@@ -1,0 +1,71 @@
+//! Calibration check: does the synthetic data land on the paper's measured
+//! characteristics?
+//!
+//! Prints, next to the paper's values:
+//! * the author-similarity CCDF at 0.2 / 0.3 (Figure 9: 2.3% / 0.6%);
+//! * similarity-graph topology `d`, `c`, `s` at λa = 0.6 / 0.7 / 0.8
+//!   (Section 6.2.1: d 113.7→437.3, c 29→106, s 20→38 between 0.7 and 0.8);
+//! * the full-model pruning ratio at default thresholds (Figure 10: ≈10%).
+//!
+//! Run with `FIREHOSE_SCALE=paper` for the full-size comparison.
+
+use firehose_bench::{f1, f3, Dataset, Report, Scale};
+use firehose_core::engine::AlgorithmKind;
+use firehose_core::Thresholds;
+use firehose_graph::{greedy_clique_cover, similarity_ccdf, GraphTopology};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[calibrate] scale = {scale}");
+    let data = Dataset::generate(scale);
+
+    // Figure 9 anchor points.
+    let ccdf = similarity_ccdf(&data.social.graph, &[0.2, 0.3]);
+    let mut r = Report::new("calibrate_ccdf", &["threshold", "measured_pct", "paper_pct"]);
+    r.row(&[f3(0.2), f3(ccdf[0].1 * 100.0), "2.3".into()]);
+    r.row(&[f3(0.3), f3(ccdf[1].1 * 100.0), "0.6".into()]);
+    r.finish();
+
+    // Topology at the three λa of Figure 13.
+    let mut r = Report::new(
+        "calibrate_topology",
+        &["lambda_a", "edges", "d", "c", "s", "paper_d", "paper_c", "paper_s"],
+    );
+    for (lambda_a, pd, pc, ps) in
+        [(0.6, "-", "-", "-"), (0.7, "113.7", "29", "20"), (0.8, "437.3", "106", "38")]
+    {
+        let g = data.similarity_graph(lambda_a);
+        let cover = greedy_clique_cover(&g);
+        let t = GraphTopology::measure(&g, &cover);
+        r.row(&[
+            f1(lambda_a),
+            t.edges.to_string(),
+            f1(t.d),
+            f1(t.c),
+            f1(t.s),
+            pd.into(),
+            pc.into(),
+            ps.into(),
+        ]);
+    }
+    r.finish();
+
+    // Figure 10 anchor: ≈10% pruned at the default thresholds.
+    let graph = data.similarity_graph(0.7);
+    let stats = firehose_bench::run_spsd(
+        AlgorithmKind::UniBin,
+        Thresholds::paper_defaults(),
+        graph,
+        &data.workload.posts,
+    );
+    let pruned =
+        1.0 - stats.metrics.posts_emitted as f64 / stats.metrics.posts_processed as f64;
+    let mut r = Report::new("calibrate_pruning", &["posts", "emitted", "pruned_pct", "paper_pct"]);
+    r.row(&[
+        stats.metrics.posts_processed.to_string(),
+        stats.metrics.posts_emitted.to_string(),
+        f1(pruned * 100.0),
+        "≈10".into(),
+    ]);
+    r.finish();
+}

@@ -1,0 +1,43 @@
+//! Diagnostic: clique-cover shape on the synthetic similarity graph.
+
+use firehose_bench::{Dataset, Scale};
+use firehose_graph::greedy_clique_cover;
+
+fn main() {
+    let data = Dataset::generate(Scale::from_env());
+    for lambda_a in [0.6, 0.7, 0.8] {
+        let g = data.similarity_graph(lambda_a);
+        let t0 = std::time::Instant::now();
+        let cover = greedy_clique_cover(&g);
+        let count = cover.count();
+        let total = cover.total_size();
+        let clique_edges: usize =
+            cover.cliques().iter().map(|k| k.len() * (k.len() - 1) / 2).sum();
+        println!(
+            "λa={lambda_a}: edges={} cliques={count} total_size={total} c={:.2} s={:.2} clique_edges={clique_edges} q={:.3} valid={:?} ({:.2?})",
+            g.edge_count(),
+            cover.avg_cliques_per_member(),
+            cover.avg_clique_size(),
+            g.edge_count() as f64 / clique_edges.max(1) as f64,
+            cover.validate(&g).is_ok(),
+            t0.elapsed()
+        );
+        // clique size histogram (coarse)
+        let mut hist = [0usize; 8];
+        for k in cover.cliques() {
+            let b = match k.len() {
+                0..=2 => 0,
+                3..=4 => 1,
+                5..=8 => 2,
+                9..=16 => 3,
+                17..=32 => 4,
+                33..=64 => 5,
+                65..=128 => 6,
+                _ => 7,
+            };
+            hist[b] += 1;
+        }
+        println!("  sizes ≤2:{} 3-4:{} 5-8:{} 9-16:{} 17-32:{} 33-64:{} 65-128:{} >128:{}",
+            hist[0], hist[1], hist[2], hist[3], hist[4], hist[5], hist[6], hist[7]);
+    }
+}

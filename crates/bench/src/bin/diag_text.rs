@@ -1,0 +1,52 @@
+//! Diagnostic: random-pair SimHash distance distribution (Figure 2 sanity)
+//! and mutation-pair distances.
+
+use firehose_datagen::{MutationClass, TextGen, TextGenConfig};
+use firehose_simhash::{hamming_distance, simhash, SimHashOptions};
+
+fn main() {
+    let opts = SimHashOptions::paper();
+    let mut g = TextGen::new(TextGenConfig::default(), 1);
+    let tweets: Vec<String> = (0..4_000).map(|_| g.base_tweet()).collect();
+
+    let mut hist = [0u32; 65];
+    let mut pairs = 0u64;
+    let fps: Vec<u64> = tweets.iter().map(|t| simhash(t, opts)).collect();
+    for i in 0..fps.len() {
+        for j in (i + 1)..fps.len().min(i + 200) {
+            hist[hamming_distance(fps[i], fps[j]) as usize] += 1;
+            pairs += 1;
+        }
+    }
+    let below18: u32 = hist[..=18].iter().sum();
+    let mean: f64 = hist
+        .iter()
+        .enumerate()
+        .map(|(d, &c)| d as f64 * f64::from(c))
+        .sum::<f64>()
+        / pairs as f64;
+    println!("random pairs: {pairs}, mean {mean:.1}, P(<=18) = {:.4}%", below18 as f64 / pairs as f64 * 100.0);
+    print!("hist: ");
+    for d in (0..=64).step_by(4) {
+        let band: u32 = hist[d..(d + 4).min(65)].iter().sum();
+        print!("{d}:{:.2}% ", f64::from(band) / pairs as f64 * 100.0);
+    }
+    println!();
+
+    // Mutation distances per class.
+    for class in MutationClass::ALL {
+        let mut le18 = 0u32;
+        let mut total = 0f64;
+        let n = 400;
+        for _ in 0..n {
+            let base = g.base_tweet();
+            let m = g.mutate(&base, class);
+            let d = hamming_distance(simhash(&base, opts), simhash(&m, opts));
+            total += f64::from(d);
+            if d <= 18 {
+                le18 += 1;
+            }
+        }
+        println!("{class:?}: mean {:.1}, P(<=18) = {:.1}%", total / f64::from(n), f64::from(le18) / f64::from(n) * 100.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Figure 11: performance of UniBin / NeighborBin / CliqueBin across time
+//! diversity thresholds `λt` (runtime, RAM, comparisons, insertions).
+//!
+//! Paper shape to reproduce (`λc = 18`, `λa = 0.7`):
+//! * all costs shrink with smaller `λt`;
+//! * NeighborBin and CliqueBin beat UniBin on runtime at moderate/large `λt`;
+//! * CliqueBin beats NeighborBin for small `λt` (≤ ~10 min);
+//! * at `λt = 1 min` UniBin wins outright (discussed in Section 6.2.2);
+//! * RAM: NeighborBin > CliqueBin > UniBin.
+
+use firehose_bench::{sweep_rows, Dataset, Report, Scale, SWEEP_HEADER};
+use firehose_core::Thresholds;
+use firehose_stream::minutes;
+
+fn main() {
+    let data = Dataset::generate(Scale::from_env());
+    let graph = data.similarity_graph(0.7);
+
+    let mut r = Report::new("fig11_vary_lambda_t", &SWEEP_HEADER);
+    for lt_min in [1u64, 5, 10, 20, 30, 60] {
+        eprintln!("[fig11] λt = {lt_min} min");
+        let thresholds = Thresholds::new(18, minutes(lt_min), 0.7).expect("valid");
+        let stats = firehose_bench::run_all(thresholds, &graph, &data.workload.posts);
+        sweep_rows(&mut r, &format!("{lt_min}min"), &stats);
+    }
+    r.finish();
+}

@@ -1,0 +1,24 @@
+//! Figure 12: performance across content diversity thresholds `λc`.
+//!
+//! Paper shape (`λt = 30 min`, `λa = 0.7`): varying `λc` from 9 to 18 only
+//! *slightly* affects all three algorithms — SimHash already detects most
+//! near-duplicates at distance 9, so the emit ratio (and hence all costs)
+//! barely moves.
+
+use firehose_bench::{sweep_rows, Dataset, Report, Scale, SWEEP_HEADER};
+use firehose_core::Thresholds;
+use firehose_stream::minutes;
+
+fn main() {
+    let data = Dataset::generate(Scale::from_env());
+    let graph = data.similarity_graph(0.7);
+
+    let mut r = Report::new("fig12_vary_lambda_c", &SWEEP_HEADER);
+    for lc in [9u32, 12, 15, 18] {
+        eprintln!("[fig12] λc = {lc}");
+        let thresholds = Thresholds::new(lc, minutes(30), 0.7).expect("valid");
+        let stats = firehose_bench::run_all(thresholds, &graph, &data.workload.posts);
+        sweep_rows(&mut r, &lc.to_string(), &stats);
+    }
+    r.finish();
+}

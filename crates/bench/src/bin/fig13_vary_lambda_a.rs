@@ -1,0 +1,38 @@
+//! Figure 13: performance across author diversity thresholds `λa`.
+//!
+//! Paper shape (`λt = 30 min`, `λc = 18`): `λa` barely affects UniBin but
+//! dominates NeighborBin and CliqueBin — at `λa = 0.8` the similarity graph
+//! densifies (the paper's `d` jumps 113.7 → 437.3 and `c` 29 → 106), so both
+//! per-author and per-clique indexes blow up in RAM and runtime, and UniBin
+//! becomes the best choice (the "dense G" row of Table 4).
+
+use firehose_bench::{sweep_rows, Dataset, Report, Scale, SWEEP_HEADER};
+use firehose_core::Thresholds;
+use firehose_graph::{greedy_clique_cover, GraphTopology};
+use firehose_stream::minutes;
+
+fn main() {
+    let data = Dataset::generate(Scale::from_env());
+
+    let mut r = Report::new("fig13_vary_lambda_a", &SWEEP_HEADER);
+    let mut topo = Report::new("fig13_topology", &["lambda_a", "d", "c", "s"]);
+    for lambda_a in [0.6f64, 0.7, 0.8] {
+        eprintln!("[fig13] λa = {lambda_a}");
+        let graph = data.similarity_graph(lambda_a);
+        let cover = greedy_clique_cover(&graph);
+        let t = GraphTopology::measure(&graph, &cover);
+        topo.row(&[
+            format!("{lambda_a}"),
+            format!("{:.1}", t.d),
+            format!("{:.1}", t.c),
+            format!("{:.1}", t.s),
+        ]);
+
+        let thresholds = Thresholds::new(18, minutes(30), lambda_a).expect("valid");
+        let stats = firehose_bench::run_all(thresholds, &graph, &data.workload.posts);
+        sweep_rows(&mut r, &format!("{lambda_a}"), &stats);
+    }
+    topo.finish();
+    r.finish();
+    println!("paper topology reference: λa=0.7 → d=113.7 c=29 s=20; λa=0.8 → d=437.3 c=106 s=38");
+}

@@ -1,0 +1,26 @@
+//! Figure 14: performance across post-generation rates (uniform stream
+//! sampling at 1%, 5%, 25%, 100%).
+//!
+//! Paper shape (`λt = 30 min`, `λc = 18`, `λa = 0.7`): at low throughput
+//! UniBin outperforms both indexed engines — the per-window post count `n`
+//! shrinks, so comparisons (super-linear in `n`) stop dominating and the
+//! indexed engines' extra insertions become pure overhead. CliqueBin beats
+//! NeighborBin at moderate/small rates.
+
+use firehose_bench::{sweep_rows, Dataset, Report, Scale, SWEEP_HEADER};
+use firehose_core::Thresholds;
+
+fn main() {
+    let data = Dataset::generate(Scale::from_env());
+    let graph = data.similarity_graph(0.7);
+    let thresholds = Thresholds::paper_defaults();
+
+    let mut r = Report::new("fig14_vary_post_rate", &SWEEP_HEADER);
+    for ratio in [0.01f64, 0.05, 0.25, 1.0] {
+        let posts = data.workload.sample_posts(ratio, 0x000F_1614);
+        eprintln!("[fig14] sample ratio {ratio}: {} posts", posts.len());
+        let stats = firehose_bench::run_all(thresholds, &graph, &posts);
+        sweep_rows(&mut r, &format!("{:.0}%", ratio * 100.0), &stats);
+    }
+    r.finish();
+}

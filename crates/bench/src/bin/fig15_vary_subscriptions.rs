@@ -1,0 +1,39 @@
+//! Figure 15: performance across the number of subscribed authors.
+//!
+//! The user follows a random author sample of varying size; the stream is
+//! restricted to those authors and the similarity graph to the induced
+//! subgraph. Paper shape: UniBin slightly wins at small subscription counts
+//! (same low-throughput reasoning as Figure 14).
+
+use std::sync::Arc;
+
+use firehose_bench::{sweep_rows, Dataset, Report, Scale, SWEEP_HEADER};
+use firehose_core::Thresholds;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn main() {
+    let data = Dataset::generate(Scale::from_env());
+    let graph = data.similarity_graph(0.7);
+    let thresholds = Thresholds::paper_defaults();
+    let m = data.social.author_count();
+
+    let mut rng = StdRng::seed_from_u64(0xF15);
+    let mut all_authors: Vec<u32> = (0..m as u32).collect();
+    all_authors.shuffle(&mut rng);
+
+    let mut r = Report::new("fig15_vary_subscriptions", &SWEEP_HEADER);
+    for fraction in [16usize, 8, 4, 2, 1] {
+        let count = m / fraction;
+        let subscribed = &all_authors[..count];
+        let posts = data.workload.filter_authors(subscribed);
+        // The user's similarity graph Gi: the subgraph induced by her
+        // subscriptions (kept in the full id space, so bins stay addressable).
+        let gi = Arc::new(graph.induced_subgraph(subscribed));
+        eprintln!("[fig15] {count} authors, {} posts, {} edges in Gi", posts.len(), gi.edge_count());
+        let stats = firehose_bench::run_all(thresholds, &gi, &posts);
+        sweep_rows(&mut r, &count.to_string(), &stats);
+    }
+    r.finish();
+}

@@ -1,0 +1,74 @@
+//! Table 3: the qualitative RAM / comparisons / insertions profile of the
+//! three algorithms.
+//!
+//! | | UniBin | NeighborBin | CliqueBin |
+//! |---|---|---|---|
+//! | RAM | Low | High | Moderate |
+//! | Comparisons | High | Low | Moderate |
+//! | Insertions | Low | High | Moderate |
+//!
+//! The binary measures all three at the default setting and *checks* the
+//! orderings, printing PASS/FAIL per row.
+
+use firehose_bench::{Dataset, Report, Scale};
+use firehose_core::engine::AlgorithmKind;
+use firehose_core::Thresholds;
+
+fn main() {
+    let data = Dataset::generate(Scale::from_env());
+    let graph = data.similarity_graph(0.7);
+    let stats = firehose_bench::run_all(Thresholds::paper_defaults(), &graph, &data.workload.posts);
+
+    let get = |kind: AlgorithmKind| {
+        stats.iter().find(|s| s.kind == kind).expect("all kinds ran")
+    };
+    let (uni, nb, cb) = (
+        get(AlgorithmKind::UniBin),
+        get(AlgorithmKind::NeighborBin),
+        get(AlgorithmKind::CliqueBin),
+    );
+
+    let mut r = Report::new(
+        "table3_algorithm_profile",
+        &["metric", "UniBin", "NeighborBin", "CliqueBin", "expected_order", "verdict"],
+    );
+    let mut check = |name: &str, u: u64, n: u64, c: u64, order: &str, ok: bool| {
+        r.row(&[
+            name.into(),
+            u.to_string(),
+            n.to_string(),
+            c.to_string(),
+            order.into(),
+            if ok { "PASS" } else { "FAIL" }.into(),
+        ]);
+    };
+
+    check(
+        "peak RAM (records)",
+        uni.metrics.peak_copies,
+        nb.metrics.peak_copies,
+        cb.metrics.peak_copies,
+        "Uni < Clique < Neighbor",
+        uni.metrics.peak_copies < cb.metrics.peak_copies
+            && cb.metrics.peak_copies < nb.metrics.peak_copies,
+    );
+    check(
+        "comparisons",
+        uni.metrics.comparisons,
+        nb.metrics.comparisons,
+        cb.metrics.comparisons,
+        "Neighbor < Clique < Uni",
+        nb.metrics.comparisons < cb.metrics.comparisons
+            && cb.metrics.comparisons < uni.metrics.comparisons,
+    );
+    check(
+        "insertions",
+        uni.metrics.insertions,
+        nb.metrics.insertions,
+        cb.metrics.insertions,
+        "Uni < Clique < Neighbor",
+        uni.metrics.insertions < cb.metrics.insertions
+            && cb.metrics.insertions < nb.metrics.insertions,
+    );
+    r.finish();
+}

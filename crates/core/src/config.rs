@@ -1,0 +1,141 @@
+//! Diversity thresholds and engine configuration.
+
+use firehose_simhash::SimHashOptions;
+use firehose_stream::{minutes, Timestamp};
+
+/// The three diversity thresholds of Definition 1.
+///
+/// Defaults follow the paper's evaluation: `λc = 18` (the precision/recall
+/// crossover of Figure 4), `λt = 30` minutes, `λa = 0.7` (authors similar iff
+/// followee cosine ≥ 0.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Thresholds {
+    /// Content: maximum SimHash Hamming distance (0..=64).
+    pub lambda_c: u32,
+    /// Time: maximum timestamp distance in milliseconds.
+    pub lambda_t: Timestamp,
+    /// Author: maximum author distance `1 − cosine` in `[0, 1]`.
+    pub lambda_a: f64,
+}
+
+/// Validation errors for [`Thresholds`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `λc` exceeds the fingerprint width.
+    ContentThresholdTooLarge {
+        /// The rejected content threshold.
+        lambda_c: u32,
+    },
+    /// `λa` is not a probability-like distance in `[0, 1]`.
+    AuthorThresholdOutOfRange {
+        /// The rejected author threshold.
+        lambda_a: f64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ContentThresholdTooLarge { lambda_c } => {
+                write!(f, "λc = {lambda_c} exceeds the 64-bit fingerprint width")
+            }
+            Self::AuthorThresholdOutOfRange { lambda_a } => {
+                write!(f, "λa = {lambda_a} outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Thresholds {
+    /// Validated constructor.
+    pub fn new(lambda_c: u32, lambda_t: Timestamp, lambda_a: f64) -> Result<Self, ConfigError> {
+        if lambda_c > 64 {
+            return Err(ConfigError::ContentThresholdTooLarge { lambda_c });
+        }
+        if !(0.0..=1.0).contains(&lambda_a) || lambda_a.is_nan() {
+            return Err(ConfigError::AuthorThresholdOutOfRange { lambda_a });
+        }
+        Ok(Self { lambda_c, lambda_t, lambda_a })
+    }
+
+    /// The paper's default evaluation setting: `λc = 18`, `λt = 30 min`,
+    /// `λa = 0.7`.
+    pub fn paper_defaults() -> Self {
+        Self { lambda_c: 18, lambda_t: minutes(30), lambda_a: 0.7 }
+    }
+
+    /// Minimum followee-cosine similarity implied by `λa`
+    /// (`similarity ≥ 1 − λa`).
+    pub fn min_author_similarity(&self) -> f64 {
+        1.0 - self.lambda_a
+    }
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+/// Full engine configuration: thresholds plus fingerprinting options.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EngineConfig {
+    /// The three diversity thresholds.
+    pub thresholds: Thresholds,
+    /// How post text is fingerprinted (normalization, weights, n-grams).
+    pub simhash: SimHashOptions,
+}
+
+impl EngineConfig {
+    /// Configuration with the given thresholds and paper-default SimHash.
+    pub fn new(thresholds: Thresholds) -> Self {
+        Self { thresholds, simhash: SimHashOptions::paper() }
+    }
+
+    /// Paper-default everything.
+    pub fn paper_defaults() -> Self {
+        Self::new(Thresholds::paper_defaults())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let t = Thresholds::paper_defaults();
+        assert_eq!(t.lambda_c, 18);
+        assert_eq!(t.lambda_t, minutes(30));
+        assert_eq!(t.lambda_a, 0.7);
+        assert!((t.min_author_similarity() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_oversized_lambda_c() {
+        assert!(matches!(
+            Thresholds::new(65, 0, 0.5),
+            Err(ConfigError::ContentThresholdTooLarge { .. })
+        ));
+        assert!(Thresholds::new(64, 0, 0.5).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_lambda_a() {
+        assert!(Thresholds::new(18, 0, -0.1).is_err());
+        assert!(Thresholds::new(18, 0, 1.1).is_err());
+        assert!(Thresholds::new(18, 0, f64::NAN).is_err());
+        assert!(Thresholds::new(18, 0, 0.0).is_ok());
+        assert!(Thresholds::new(18, 0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = Thresholds::new(99, 0, 0.5).unwrap_err();
+        assert!(e.to_string().contains("99"));
+        let e = Thresholds::new(18, 0, 2.0).unwrap_err();
+        assert!(e.to_string().contains('2'));
+    }
+}

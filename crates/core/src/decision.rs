@@ -1,0 +1,47 @@
+//! Per-post engine decisions.
+
+use firehose_stream::PostId;
+
+/// The engine's real-time verdict on an arriving post (Problem 1 requires
+/// the decision "immediately ... at its arrival").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// The post is not covered: it joins the diversified sub-stream `Z` and
+    /// is pushed to the user.
+    Emitted,
+    /// The post is redundant: `by` is the id of the (already emitted) post
+    /// that covers it in all three dimensions.
+    Covered {
+        /// Id of the covering post.
+        by: PostId,
+    },
+}
+
+impl Decision {
+    /// `true` for [`Decision::Emitted`].
+    pub fn is_emitted(&self) -> bool {
+        matches!(self, Decision::Emitted)
+    }
+
+    /// The covering post's id, if any.
+    pub fn covered_by(&self) -> Option<PostId> {
+        match self {
+            Decision::Emitted => None,
+            Decision::Covered { by } => Some(*by),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert!(Decision::Emitted.is_emitted());
+        assert_eq!(Decision::Emitted.covered_by(), None);
+        let d = Decision::Covered { by: 42 };
+        assert!(!d.is_emitted());
+        assert_eq!(d.covered_by(), Some(42));
+    }
+}

@@ -1,0 +1,208 @@
+//! Single-user SPSD engines (Section 4).
+//!
+//! All three engines implement [`Diversifier`] and emit the *same*
+//! diversified sub-stream `Z` for the same inputs — they differ only in how
+//! posts are indexed, trading RAM for comparisons (Table 3):
+//!
+//! | engine | RAM | comparisons | insertions |
+//! |---|---|---|---|
+//! | [`UniBin`] | low | high | low |
+//! | [`NeighborBin`] | high | low | high |
+//! | [`CliqueBin`] | moderate | moderate | moderate |
+
+mod cliquebin;
+mod neighborbin;
+mod unibin;
+
+pub use cliquebin::CliqueBin;
+pub use neighborbin::NeighborBin;
+pub use unibin::UniBin;
+
+use std::sync::Arc;
+
+use firehose_graph::{greedy_clique_cover, CliqueCover, UndirectedGraph};
+use firehose_stream::{Post, PostRecord};
+
+use crate::config::EngineConfig;
+use crate::decision::Decision;
+use crate::metrics::EngineMetrics;
+
+/// A real-time stream diversifier: decides for each arriving post whether it
+/// joins the diversified sub-stream `Z` or is covered by an earlier emission.
+///
+/// Posts must be offered in timestamp order (the stream contract of
+/// Problem 1) with author ids below the similarity graph's node count.
+pub trait Diversifier {
+    /// Offer a pre-fingerprinted record. This is the hot entry point: the
+    /// multi-user engines fingerprint a post once and feed the record to many
+    /// sub-engines.
+    fn offer_record(&mut self, record: PostRecord) -> Decision;
+
+    /// Offer a raw post; fingerprints the text with the engine's SimHash
+    /// configuration, then delegates to
+    /// [`offer_record`](Self::offer_record).
+    fn offer(&mut self, post: &Post) -> Decision {
+        let record = post.to_record(self.config().simhash);
+        self.offer_record(record)
+    }
+
+    /// The engine's configuration.
+    fn config(&self) -> &EngineConfig;
+
+    /// Performance counters accumulated so far.
+    fn metrics(&self) -> &EngineMetrics;
+
+    /// Human-readable algorithm name (`"UniBin"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Evict every record that can no longer cover an arrival at `now`
+    /// (timestamp older than `now − λt`) from **all** bins.
+    ///
+    /// Engines evict lazily on the bins they touch per offer; bins of
+    /// inactive authors/cliques would otherwise retain their last window
+    /// forever. Single-user deployments rarely care, but the multi-user
+    /// engines host thousands of mostly-idle sub-engines and call this
+    /// periodically (a timer sweep in a real deployment).
+    fn evict_expired(&mut self, now: firehose_stream::Timestamp);
+
+    /// Current record payload across all bins, in bytes.
+    fn memory_bytes(&self) -> u64 {
+        self.metrics().memory_bytes()
+    }
+}
+
+impl<D: Diversifier + ?Sized> Diversifier for Box<D> {
+    fn offer_record(&mut self, record: PostRecord) -> Decision {
+        (**self).offer_record(record)
+    }
+
+    fn offer(&mut self, post: &Post) -> Decision {
+        (**self).offer(post)
+    }
+
+    fn config(&self) -> &EngineConfig {
+        (**self).config()
+    }
+
+    fn metrics(&self) -> &EngineMetrics {
+        (**self).metrics()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn evict_expired(&mut self, now: firehose_stream::Timestamp) {
+        (**self).evict_expired(now)
+    }
+}
+
+/// Algorithm selector for factory construction and the advisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgorithmKind {
+    /// Single shared bin ([`UniBin`]).
+    UniBin,
+    /// Per-author bins ([`NeighborBin`]).
+    NeighborBin,
+    /// Per-clique bins ([`CliqueBin`]).
+    CliqueBin,
+}
+
+impl AlgorithmKind {
+    /// All three algorithms, in paper order.
+    pub const ALL: [AlgorithmKind; 3] =
+        [AlgorithmKind::UniBin, AlgorithmKind::NeighborBin, AlgorithmKind::CliqueBin];
+}
+
+impl std::fmt::Display for AlgorithmKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AlgorithmKind::UniBin => "UniBin",
+            AlgorithmKind::NeighborBin => "NeighborBin",
+            AlgorithmKind::CliqueBin => "CliqueBin",
+        })
+    }
+}
+
+/// Build an engine of the requested kind over the author similarity graph.
+///
+/// For [`AlgorithmKind::CliqueBin`] the greedy clique edge cover is computed
+/// here; use [`CliqueBin::with_cover`] to share a precomputed cover.
+pub fn build_engine(
+    kind: AlgorithmKind,
+    config: EngineConfig,
+    graph: Arc<UndirectedGraph>,
+) -> Box<dyn Diversifier + Send> {
+    match kind {
+        AlgorithmKind::UniBin => Box::new(UniBin::new(config, graph)),
+        AlgorithmKind::NeighborBin => Box::new(NeighborBin::new(config, graph)),
+        AlgorithmKind::CliqueBin => {
+            let cover = Arc::new(greedy_clique_cover(&graph));
+            Box::new(CliqueBin::with_cover(config, graph, cover))
+        }
+    }
+}
+
+/// Build a [`CliqueBin`] reusing a precomputed cover (M-SPSD setup shares
+/// covers across users).
+pub fn build_cliquebin_with_cover(
+    config: EngineConfig,
+    graph: Arc<UndirectedGraph>,
+    cover: Arc<CliqueCover>,
+) -> Box<dyn Diversifier + Send> {
+    Box::new(CliqueBin::with_cover(config, graph, cover))
+}
+
+/// Run `engine` over a whole time-ordered stream, returning every decision.
+pub fn diversify_stream<D: Diversifier + ?Sized>(engine: &mut D, posts: &[Post]) -> Vec<Decision> {
+    posts.iter().map(|p| engine.offer(p)).collect()
+}
+
+/// Run `engine` over a stream and return only the emitted post ids — the
+/// diversified sub-stream `Z`.
+pub fn diversified_ids<D: Diversifier + ?Sized>(engine: &mut D, posts: &[Post]) -> Vec<u64> {
+    posts
+        .iter()
+        .filter(|p| engine.offer(p).is_emitted())
+        .map(|p| p.id)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Thresholds;
+    use firehose_stream::minutes;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AlgorithmKind::UniBin.to_string(), "UniBin");
+        assert_eq!(AlgorithmKind::NeighborBin.to_string(), "NeighborBin");
+        assert_eq!(AlgorithmKind::CliqueBin.to_string(), "CliqueBin");
+    }
+
+    #[test]
+    fn factory_builds_all_kinds() {
+        let graph = Arc::new(UndirectedGraph::from_edges(3, [(0, 1)]));
+        let config = EngineConfig::new(Thresholds::new(18, minutes(30), 0.7).unwrap());
+        for kind in AlgorithmKind::ALL {
+            let engine = build_engine(kind, config, Arc::clone(&graph));
+            assert_eq!(engine.name(), kind.to_string());
+            assert_eq!(engine.metrics().posts_processed, 0);
+        }
+    }
+
+    #[test]
+    fn diversify_stream_helpers() {
+        let graph = Arc::new(UndirectedGraph::new(2));
+        let config = EngineConfig::paper_defaults();
+        let posts = vec![
+            Post::new(1, 0, 0, "alpha beta gamma delta".into()),
+            Post::new(2, 0, 1_000, "alpha beta gamma delta".into()),
+            Post::new(3, 1, 2_000, "totally different subject matter entirely".into()),
+        ];
+        let mut engine = build_engine(AlgorithmKind::UniBin, config, graph);
+        let ids = diversified_ids(engine.as_mut(), &posts);
+        assert_eq!(ids, vec![1, 3]);
+    }
+}

@@ -1,0 +1,199 @@
+//! UniBin (Section 4.1): one bin for everything.
+
+use std::sync::Arc;
+
+use firehose_graph::UndirectedGraph;
+use firehose_simhash::within_distance;
+use firehose_stream::{PostRecord, TimeWindowBin};
+
+use crate::config::EngineConfig;
+use crate::coverage::authors_similar;
+use crate::decision::Decision;
+use crate::engine::Diversifier;
+use crate::metrics::EngineMetrics;
+
+/// The baseline engine: every emitted post lands in one time-ordered bin and
+/// each arrival is compared — newest first — against every in-window record,
+/// checking content (Hamming ≤ `λc`) and author (same author or an edge of
+/// the similarity graph `G`).
+///
+/// UniBin stores exactly one copy per emitted post, so it is the most
+/// RAM-frugal engine and the best pick for low-throughput streams, very
+/// small `λt`, or dense similarity graphs (Table 4).
+pub struct UniBin {
+    config: EngineConfig,
+    graph: Arc<UndirectedGraph>,
+    bin: TimeWindowBin,
+    metrics: EngineMetrics,
+}
+
+impl UniBin {
+    /// New engine over the author similarity graph `G`.
+    pub fn new(config: EngineConfig, graph: Arc<UndirectedGraph>) -> Self {
+        Self { config, graph, bin: TimeWindowBin::new(), metrics: EngineMetrics::default() }
+    }
+
+    /// The similarity graph this engine consults.
+    pub fn graph(&self) -> &UndirectedGraph {
+        &self.graph
+    }
+
+    /// Snapshot internals (see `crate::snapshot`).
+    pub(crate) fn parts(&self) -> (&TimeWindowBin, &EngineMetrics) {
+        (&self.bin, &self.metrics)
+    }
+
+    /// Rebuild from snapshot internals (see `crate::snapshot`).
+    pub(crate) fn from_parts(
+        config: EngineConfig,
+        graph: Arc<UndirectedGraph>,
+        bin: TimeWindowBin,
+        metrics: EngineMetrics,
+    ) -> Self {
+        Self { config, graph, bin, metrics }
+    }
+}
+
+impl Diversifier for UniBin {
+    fn offer_record(&mut self, record: PostRecord) -> Decision {
+        self.metrics.posts_processed += 1;
+        let t = &self.config.thresholds;
+
+        let evicted = self.bin.evict_expired(record.timestamp, t.lambda_t);
+        self.metrics.on_evict(evicted as u64);
+
+        // Newest-first scan over the λt window (index b down to a in the
+        // paper's circular-array description).
+        let mut verdict = None;
+        for stored in self.bin.iter_window(record.timestamp, t.lambda_t) {
+            self.metrics.comparisons += 1;
+            if within_distance(stored.fingerprint, record.fingerprint, t.lambda_c)
+                && authors_similar(&self.graph, stored.author, record.author)
+            {
+                verdict = Some(stored.id);
+                break;
+            }
+        }
+        if let Some(by) = verdict {
+            return Decision::Covered { by };
+        }
+
+        self.bin.push(record);
+        self.metrics.on_insert(1, PostRecord::SIZE_BYTES);
+        self.metrics.posts_emitted += 1;
+        Decision::Emitted
+    }
+
+    fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    fn name(&self) -> &'static str {
+        "UniBin"
+    }
+
+    fn evict_expired(&mut self, now: firehose_stream::Timestamp) {
+        let evicted = self.bin.evict_expired(now, self.config.thresholds.lambda_t);
+        self.metrics.on_evict(evicted as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Thresholds;
+    use firehose_stream::minutes;
+
+    fn rec(id: u64, author: u32, ts: u64, fp: u64) -> PostRecord {
+        PostRecord { id, author, timestamp: ts, fingerprint: fp }
+    }
+
+    /// Figure 5/6a reproduction: authors a1..a4 (here 0..3) with edges
+    /// 0-1, 0-2, 1-2, 2-3 and the paper's post sequence P1..P5.
+    fn paper_example() -> (UniBin, Vec<PostRecord>) {
+        let graph = Arc::new(UndirectedGraph::from_edges(4, [(0, 1), (0, 2), (1, 2), (2, 3)]));
+        // λc chosen so that "similar content" = Hamming ≤ 2.
+        let config = EngineConfig::new(Thresholds::new(2, minutes(30), 0.7).unwrap());
+        let engine = UniBin::new(config, graph);
+        // Content groups: P1,P3 similar; P4,P5 similar; P2 alone.
+        let posts = vec![
+            rec(1, 0, 0, 0b0000),          // P1 by a1
+            rec(2, 1, 60_000, 0xFF00),     // P2 by a2 (far from P1)
+            rec(3, 2, 120_000, 0b0001),    // P3 by a3, covered by P1 (a1~a3)
+            rec(4, 3, 180_000, 0x00FF),    // P4 by a4, not covered
+            rec(5, 2, 240_000, 0x00FE),    // P5 by a3, covered by P4 (a3~a4)
+        ];
+        (engine, posts)
+    }
+
+    #[test]
+    fn reproduces_figure6a() {
+        let (mut engine, posts) = paper_example();
+        let decisions: Vec<_> = posts.iter().map(|&r| engine.offer_record(r)).collect();
+        assert_eq!(decisions[0], Decision::Emitted); // P1
+        assert_eq!(decisions[1], Decision::Emitted); // P2
+        assert_eq!(decisions[2], Decision::Covered { by: 1 }); // P3 by P1
+        assert_eq!(decisions[3], Decision::Emitted); // P4
+        assert_eq!(decisions[4], Decision::Covered { by: 4 }); // P5 by P4
+        assert_eq!(engine.metrics().posts_emitted, 3);
+    }
+
+    #[test]
+    fn time_window_expires_coverage() {
+        let graph = Arc::new(UndirectedGraph::new(1));
+        let config = EngineConfig::new(Thresholds::new(2, minutes(10), 0.7).unwrap());
+        let mut engine = UniBin::new(config, graph);
+        assert!(engine.offer_record(rec(1, 0, 0, 0)).is_emitted());
+        // Same author+content but 11 minutes later: out of window.
+        assert!(engine.offer_record(rec(2, 0, minutes(11), 0)).is_emitted());
+        // 5 minutes after that: covered by post 2.
+        assert_eq!(
+            engine.offer_record(rec(3, 0, minutes(16), 0)),
+            Decision::Covered { by: 2 }
+        );
+    }
+
+    #[test]
+    fn eviction_reclaims_memory() {
+        let graph = Arc::new(UndirectedGraph::new(1));
+        let config = EngineConfig::new(Thresholds::new(0, 1_000, 0.0).unwrap());
+        let mut engine = UniBin::new(config, graph);
+        for i in 0..10u64 {
+            engine.offer_record(rec(i, 0, i * 10_000, i * 12345)); // all far apart in time
+        }
+        // Each arrival evicts the previous one: at most 1 record stored.
+        assert_eq!(engine.metrics().copies_stored, 1);
+        assert_eq!(engine.metrics().evictions, 9);
+        assert_eq!(engine.memory_bytes(), PostRecord::SIZE_BYTES as u64);
+    }
+
+    #[test]
+    fn newest_covering_post_wins() {
+        // The scan is newest-first, so the most recent covering post is the
+        // one reported.
+        let graph = Arc::new(UndirectedGraph::new(1));
+        let config = EngineConfig::new(Thresholds::new(64, minutes(30), 1.0).unwrap());
+        let mut engine = UniBin::new(config, graph);
+        engine.offer_record(rec(1, 0, 0, 0));
+        // Post 2 has λc=64 so it is covered by post 1 and never stored.
+        assert_eq!(engine.offer_record(rec(2, 0, 1, 0)).covered_by(), Some(1));
+    }
+
+    #[test]
+    fn comparison_counting_is_linear_in_bin() {
+        let graph = Arc::new(UndirectedGraph::new(5));
+        // Nothing ever covers (λc = 0 and all fingerprints distinct).
+        let config = EngineConfig::new(Thresholds::new(0, minutes(60), 0.0).unwrap());
+        let mut engine = UniBin::new(config, graph);
+        for i in 0..5u64 {
+            engine.offer_record(rec(i, i as u32, i, 1 << i));
+        }
+        // Arrival i compares against i stored posts: 0+1+2+3+4 = 10.
+        assert_eq!(engine.metrics().comparisons, 10);
+        assert_eq!(engine.metrics().insertions, 5);
+    }
+}

@@ -1,0 +1,80 @@
+#![warn(missing_docs)]
+
+//! Social Post Stream Diversification (SPSD / M-SPSD) engines.
+//!
+//! This crate is the primary contribution of *Slowing the Firehose:
+//! Multi-Dimensional Diversity on Social Post Streams* (Cheng, Chrobak,
+//! Hristidis — EDBT 2016): real-time algorithms that ingest a social post
+//! stream and emit a diversified sub-stream `Z` such that every pruned post
+//! is **covered** — simultaneously similar in content (SimHash Hamming
+//! distance ≤ `λc`), time (timestamp distance ≤ `λt`) and author (author
+//! distance ≤ `λa`) — by an already-emitted post.
+//!
+//! # Single user (SPSD)
+//!
+//! Three exact algorithms differing only in indexing (Section 4):
+//!
+//! * [`UniBin`](engine::UniBin) — one time-ordered bin, scanned newest-first.
+//!   Least RAM, most comparisons.
+//! * [`NeighborBin`](engine::NeighborBin) — a bin per author holding her own
+//!   and her similar authors' emitted posts. Fewest comparisons, most RAM.
+//! * [`CliqueBin`](engine::CliqueBin) — a bin per clique of a greedy clique
+//!   edge cover. The middle ground.
+//!
+//! All three emit the **same** sub-stream; the choice is purely a
+//! performance trade-off (Table 3 / Table 4 of the paper, encoded in
+//! [`advisor`]).
+//!
+//! # Many users (M-SPSD)
+//!
+//! [`multi`] scales the model to a whole service: `M_*` engines process each
+//! user independently, `S_*` engines share one engine per distinct connected
+//! component of the users' author-similarity subgraphs (Section 5), and a
+//! sharded parallel runner (an extension, see `DESIGN.md`) spreads distinct
+//! components across threads.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use firehose_core::{EngineConfig, Thresholds, engine::{Diversifier, UniBin}};
+//! use firehose_graph::UndirectedGraph;
+//! use firehose_stream::{minutes, Post};
+//! use std::sync::Arc;
+//!
+//! // Authors 0 and 1 are similar; author 2 is unrelated.
+//! let graph = Arc::new(UndirectedGraph::from_edges(3, [(0, 1)]));
+//! let config = EngineConfig::new(Thresholds::new(18, minutes(30), 0.7).unwrap());
+//! let mut engine = UniBin::new(config, graph);
+//!
+//! let p1 = Post::new(1, 0, 0, "breaking: ferry sinks off the coast".into());
+//! let p2 = Post::new(2, 1, 60_000, "breaking: ferry sinks off the coast".into());
+//! let p3 = Post::new(3, 2, 61_000, "breaking: ferry sinks off the coast".into());
+//!
+//! assert!(engine.offer(&p1).is_emitted());       // first of its kind
+//! assert!(!engine.offer(&p2).is_emitted());      // covered: similar author, text, time
+//! assert!(engine.offer(&p3).is_emitted());       // author 2 is NOT similar -> emitted
+//! ```
+
+pub mod advisor;
+pub mod baseline;
+pub mod config;
+pub mod costmodel;
+pub mod coverage;
+pub mod decision;
+pub mod engine;
+pub mod metrics;
+pub mod multi;
+pub mod quality;
+pub mod snapshot;
+pub mod stream_ext;
+
+pub use advisor::{recommend, AdvisorInputs, ThroughputClass};
+pub use baseline::MaxMinDiversifier;
+pub use config::{ConfigError, EngineConfig, Thresholds};
+pub use costmodel::{CostInputs, CostPrediction};
+pub use coverage::{covers, explain, CoverageExplanation};
+pub use decision::Decision;
+pub use engine::{build_engine, AlgorithmKind, Diversifier};
+pub use metrics::EngineMetrics;
+pub use quality::{evaluate, QualityReport};
+pub use stream_ext::{Diversified, DiversifyExt};

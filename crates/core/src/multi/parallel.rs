@@ -1,0 +1,318 @@
+//! Sharded, pipelined `S_*` runner (extension beyond the paper).
+//!
+//! Distinct connected components are independent: no post of one component
+//! can cover a post of another, so their engines can run on different
+//! threads with no synchronization. [`ParallelShared`] shards the component
+//! engines across worker threads and streams fingerprinted records to them
+//! over bounded crossbeam channels — the main thread's SimHash computation
+//! pipelines with the workers' coverage scans.
+//!
+//! Determinism: each worker consumes its channel in stream order and each
+//! component lives on exactly one shard, so per-component decisions are
+//! identical to the sequential [`SharedMulti`](crate::multi::SharedMulti)
+//! (asserted in the integration
+//! tests).
+
+use std::collections::HashMap;
+
+use firehose_graph::UndirectedGraph;
+use firehose_stream::{AuthorId, Post, PostRecord};
+
+use crate::config::EngineConfig;
+use crate::engine::AlgorithmKind;
+use crate::metrics::EngineMetrics;
+use crate::multi::independent::CompactEngine;
+use crate::multi::shared::user_components;
+use crate::multi::subscriptions::{Subscriptions, UserId};
+use crate::multi::MultiDecision;
+
+/// One worker's slice of the component engines.
+struct Shard {
+    /// `(global component id, engine)`.
+    engines: Vec<(u32, CompactEngine)>,
+    /// Author → indexes into `engines`.
+    author_engines: HashMap<AuthorId, Vec<u32>>,
+}
+
+/// Thread-parallel batch runner for the shared-component strategy.
+pub struct ParallelShared {
+    kind: AlgorithmKind,
+    config: EngineConfig,
+    shards: Vec<Shard>,
+    /// Users served by each (global) component id.
+    component_users: Vec<Vec<UserId>>,
+    /// Author → shard ids that own a component containing the author.
+    author_shards: Vec<Vec<u32>>,
+}
+
+impl ParallelShared {
+    /// Build the decomposition of [`SharedMulti`](crate::multi::SharedMulti)
+    /// and distribute the distinct components round-robin over `threads`
+    /// shards.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn new(
+        kind: AlgorithmKind,
+        config: EngineConfig,
+        graph: &UndirectedGraph,
+        subscriptions: Subscriptions,
+        threads: usize,
+    ) -> Self {
+        assert!(threads > 0, "at least one worker thread required");
+        let mut key_to_id: HashMap<Vec<AuthorId>, u32> = HashMap::new();
+        let mut component_members: Vec<Vec<AuthorId>> = Vec::new();
+        let mut component_users: Vec<Vec<UserId>> = Vec::new();
+
+        for u in 0..subscriptions.user_count() as UserId {
+            for members in user_components(graph, subscriptions.authors_of(u)) {
+                let id = *key_to_id.entry(members.clone()).or_insert_with(|| {
+                    let id = component_members.len() as u32;
+                    component_members.push(members);
+                    component_users.push(Vec::new());
+                    id
+                });
+                component_users[id as usize].push(u);
+            }
+        }
+
+        let mut shards: Vec<Shard> = (0..threads)
+            .map(|_| Shard { engines: Vec::new(), author_engines: HashMap::new() })
+            .collect();
+        let mut author_shards: Vec<Vec<u32>> = vec![Vec::new(); graph.node_count()];
+        for (cid, members) in component_members.iter().enumerate() {
+            let shard_id = cid % threads;
+            let shard = &mut shards[shard_id];
+            let local = shard.engines.len() as u32;
+            shard.engines.push((cid as u32, CompactEngine::build(kind, config, graph, members)));
+            for &a in members {
+                shard.author_engines.entry(a).or_default().push(local);
+                let list = &mut author_shards[a as usize];
+                if !list.contains(&(shard_id as u32)) {
+                    list.push(shard_id as u32);
+                }
+            }
+        }
+
+        Self { kind, config, shards, component_users, author_shards }
+    }
+
+    /// Number of distinct components across all shards.
+    pub fn component_count(&self) -> usize {
+        self.shards.iter().map(|s| s.engines.len()).sum()
+    }
+
+    /// Number of shards (worker threads used by
+    /// [`process_stream`](Self::process_stream)).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Author count of the largest single component — the parallelism
+    /// ceiling: a component cannot be split across shards (its posts cover
+    /// each other), so by Amdahl's law the speedup is bounded by the largest
+    /// component's share of the total work.
+    pub fn largest_component_size(&self) -> usize {
+        self.shards
+            .iter()
+            .flat_map(|s| s.engines.iter())
+            .map(|(_, e)| e.member_count())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Diversify a whole time-ordered stream; returns one delivery list per
+    /// post, identical to running `SharedMulti` sequentially.
+    pub fn process_stream(&mut self, posts: &[Post]) -> Vec<MultiDecision> {
+        let simhash = self.config.simhash;
+        let sweep_every = (self.config.thresholds.lambda_t / 2).max(1);
+        let author_shards = &self.author_shards;
+        let component_users = &self.component_users;
+        let shards = &mut self.shards;
+
+        // (post index, component id) emissions across all shards.
+        let mut emissions: Vec<(u32, u32)> = Vec::new();
+
+        std::thread::scope(|scope| {
+            // Records travel in batches: a channel rendezvous per post would
+            // dominate the runtime at firehose rates.
+            const BATCH: usize = 256;
+            let (result_tx, result_rx) = crossbeam::channel::unbounded::<Vec<(u32, u32)>>();
+            let mut senders = Vec::with_capacity(shards.len());
+            for shard in shards.iter_mut() {
+                let (tx, rx) = crossbeam::channel::bounded::<Vec<(u32, PostRecord)>>(16);
+                senders.push(tx);
+                let result_tx = result_tx.clone();
+                scope.spawn(move || {
+                    let mut emitted: Vec<(u32, u32)> = Vec::new();
+                    let mut last_sweep: firehose_stream::Timestamp = 0;
+                    for batch in rx {
+                        for (idx, record) in batch {
+                            // Same periodic sweep as the sequential engines,
+                            // on this shard's view of stream time.
+                            if record.timestamp.saturating_sub(last_sweep) >= sweep_every {
+                                last_sweep = record.timestamp;
+                                for (_, engine) in shard.engines.iter_mut() {
+                                    engine.evict_expired(record.timestamp);
+                                }
+                            }
+                            if let Some(engine_ids) = shard.author_engines.get(&record.author) {
+                                for &eid in engine_ids {
+                                    let (cid, engine) = &mut shard.engines[eid as usize];
+                                    let verdict = engine
+                                        .offer(record)
+                                        .expect("component engine must contain its author");
+                                    if verdict.is_emitted() {
+                                        emitted.push((idx, *cid));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    let _ = result_tx.send(emitted);
+                });
+            }
+            drop(result_tx);
+
+            // Pipeline stage 1: fingerprint on this thread, route records to
+            // only the shards owning components of the post's author.
+            let mut buffers: Vec<Vec<(u32, PostRecord)>> =
+                vec![Vec::with_capacity(BATCH); senders.len()];
+            for (idx, post) in posts.iter().enumerate() {
+                let record = post.to_record(simhash);
+                for &shard_id in &author_shards[post.author as usize] {
+                    let buffer = &mut buffers[shard_id as usize];
+                    buffer.push((idx as u32, record));
+                    if buffer.len() >= BATCH {
+                        senders[shard_id as usize]
+                            .send(std::mem::replace(buffer, Vec::with_capacity(BATCH)))
+                            .expect("worker hung up unexpectedly");
+                    }
+                }
+            }
+            for (buffer, sender) in buffers.into_iter().zip(&senders) {
+                if !buffer.is_empty() {
+                    sender.send(buffer).expect("worker hung up unexpectedly");
+                }
+            }
+            drop(senders);
+
+            for partial in result_rx {
+                emissions.extend(partial);
+            }
+        });
+
+        let mut decisions = vec![MultiDecision::default(); posts.len()];
+        for (idx, cid) in emissions {
+            decisions[idx as usize]
+                .delivered_to
+                .extend_from_slice(&component_users[cid as usize]);
+        }
+        for d in &mut decisions {
+            d.delivered_to.sort_unstable();
+        }
+        decisions
+    }
+
+    /// Aggregated counters across all shards' engines.
+    pub fn metrics(&self) -> EngineMetrics {
+        let mut total = EngineMetrics::default();
+        for shard in &self.shards {
+            for (_, e) in &shard.engines {
+                total.merge(e.metrics());
+            }
+        }
+        total
+    }
+
+    /// Strategy name, e.g. `"P_UniBin(4)"`.
+    pub fn name(&self) -> String {
+        format!("P_{}({})", self.kind, self.shards.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Thresholds;
+    use crate::multi::{MultiDiversifier, SharedMulti};
+    use firehose_stream::minutes;
+
+    fn setting() -> (UndirectedGraph, Subscriptions, Vec<Post>) {
+        let graph = UndirectedGraph::from_edges(6, [(0, 1), (0, 5), (3, 4)]);
+        let subs =
+            Subscriptions::new(6, vec![vec![0, 1, 3, 5], vec![0, 1, 3, 4, 5], vec![2]]).unwrap();
+        let posts: Vec<Post> = (0..60u64)
+            .map(|i| {
+                Post::new(i, (i % 6) as u32, i * 5_000, format!("content group {}", i % 9))
+            })
+            .collect();
+        (graph, subs, posts)
+    }
+
+    #[test]
+    fn matches_sequential_shared_multi() {
+        let (graph, subs, posts) = setting();
+        let config = EngineConfig::new(Thresholds::new(18, minutes(30), 0.7).unwrap());
+        for kind in AlgorithmKind::ALL {
+            let mut seq = SharedMulti::new(kind, config, &graph, subs.clone());
+            let expected: Vec<_> = posts.iter().map(|p| seq.offer(p)).collect();
+            for threads in [1, 2, 4] {
+                let mut par =
+                    ParallelShared::new(kind, config, &graph, subs.clone(), threads);
+                let got = par.process_stream(&posts);
+                assert_eq!(got, expected, "{kind} with {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn component_count_matches_shared() {
+        let (graph, subs, _) = setting();
+        let config = EngineConfig::paper_defaults();
+        let seq = SharedMulti::new(AlgorithmKind::UniBin, config, &graph, subs.clone());
+        let par = ParallelShared::new(AlgorithmKind::UniBin, config, &graph, subs, 3);
+        assert_eq!(par.component_count(), seq.component_count());
+        assert_eq!(par.shard_count(), 3);
+    }
+
+    #[test]
+    fn metrics_match_sequential() {
+        let (graph, subs, posts) = setting();
+        let config = EngineConfig::new(Thresholds::new(18, minutes(30), 0.7).unwrap());
+        let mut seq = SharedMulti::new(AlgorithmKind::UniBin, config, &graph, subs.clone());
+        for p in &posts {
+            seq.offer(p);
+        }
+        let mut par = ParallelShared::new(AlgorithmKind::UniBin, config, &graph, subs, 2);
+        par.process_stream(&posts);
+        // Decision-relevant counters are identical; eviction/memory counters
+        // may differ slightly because each shard sweeps on its own view of
+        // stream time.
+        let (s, p) = (seq.metrics(), par.metrics());
+        assert_eq!(p.posts_processed, s.posts_processed);
+        assert_eq!(p.posts_emitted, s.posts_emitted);
+        assert_eq!(p.comparisons, s.comparisons);
+        assert_eq!(p.insertions, s.insertions);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker thread")]
+    fn zero_threads_rejected() {
+        let (graph, subs, _) = setting();
+        ParallelShared::new(AlgorithmKind::UniBin, EngineConfig::paper_defaults(), &graph, subs, 0);
+    }
+
+    #[test]
+    fn name_reports_shards() {
+        let (graph, subs, _) = setting();
+        let par = ParallelShared::new(
+            AlgorithmKind::CliqueBin,
+            EngineConfig::paper_defaults(),
+            &graph,
+            subs,
+            4,
+        );
+        assert_eq!(par.name(), "P_CliqueBin(4)");
+    }
+}

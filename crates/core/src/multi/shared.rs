@@ -1,0 +1,290 @@
+//! `S_*`: one engine per distinct connected component (Section 5).
+//!
+//! Posts from a connected component `g` of a user's similarity subgraph `Gi`
+//! can only be covered by posts from `g`, so the diversified stream of `g` is
+//! identical for every user whose decomposition contains exactly `g`. The
+//! engine therefore:
+//!
+//! 1. decomposes each user's subscription set into connected components of
+//!    the induced similarity subgraph,
+//! 2. deduplicates components across users by their (sorted) member list,
+//! 3. runs one single-user engine per distinct component, and
+//! 4. delivers an emitted post of component `g` to every user of `g`.
+
+use std::collections::HashMap;
+
+use firehose_graph::{UndirectedGraph, UnionFind};
+use firehose_stream::{AuthorId, Post};
+
+use crate::config::EngineConfig;
+use crate::engine::AlgorithmKind;
+use crate::metrics::EngineMetrics;
+use crate::multi::independent::CompactEngine;
+use crate::multi::subscriptions::{Subscriptions, UserId};
+use crate::multi::{MultiDecision, MultiDiversifier};
+
+/// Decompose a user's (sorted) subscription set into connected components of
+/// the similarity subgraph induced on it. Returns sorted member lists,
+/// ordered by smallest member.
+pub(crate) fn user_components(
+    graph: &UndirectedGraph,
+    authors: &[AuthorId],
+) -> Vec<Vec<AuthorId>> {
+    let local: HashMap<AuthorId, u32> =
+        authors.iter().enumerate().map(|(i, &a)| (a, i as u32)).collect();
+    let mut uf = UnionFind::new(authors.len());
+    for (i, &a) in authors.iter().enumerate() {
+        for &b in graph.neighbors(a) {
+            if b > a {
+                if let Some(&j) = local.get(&b) {
+                    uf.union(i as u32, j);
+                }
+            }
+        }
+    }
+    let mut groups: HashMap<u32, Vec<AuthorId>> = HashMap::new();
+    for (i, &a) in authors.iter().enumerate() {
+        groups.entry(uf.find(i as u32)).or_default().push(a);
+    }
+    let mut comps: Vec<Vec<AuthorId>> = groups.into_values().collect();
+    // Author lists inherit sortedness from `authors`; order components.
+    comps.sort_by_key(|c| c[0]);
+    comps
+}
+
+/// The shared-component multi-user engine.
+pub struct SharedMulti {
+    kind: AlgorithmKind,
+    config: EngineConfig,
+    subscriptions: Subscriptions,
+    /// One engine per distinct component.
+    engines: Vec<CompactEngine>,
+    /// Users served by each component.
+    component_users: Vec<Vec<UserId>>,
+    /// For each author: the distinct components containing it.
+    author_components: Vec<Vec<u32>>,
+    /// Stream time of the last global eviction sweep (see
+    /// `IndependentMulti::last_sweep`).
+    last_sweep: firehose_stream::Timestamp,
+    /// Record copies currently stored across all component engines.
+    live_copies: u64,
+    /// Peak of `live_copies` — the true simultaneous footprint.
+    peak_live_copies: u64,
+}
+
+impl SharedMulti {
+    /// Build the component decomposition and the per-component engines.
+    pub fn new(
+        kind: AlgorithmKind,
+        config: EngineConfig,
+        graph: &UndirectedGraph,
+        subscriptions: Subscriptions,
+    ) -> Self {
+        let mut key_to_id: HashMap<Vec<AuthorId>, u32> = HashMap::new();
+        let mut engines: Vec<CompactEngine> = Vec::new();
+        let mut component_users: Vec<Vec<UserId>> = Vec::new();
+        let mut author_components: Vec<Vec<u32>> = vec![Vec::new(); graph.node_count()];
+
+        for u in 0..subscriptions.user_count() as UserId {
+            for members in user_components(graph, subscriptions.authors_of(u)) {
+                let id = *key_to_id.entry(members.clone()).or_insert_with(|| {
+                    let id = engines.len() as u32;
+                    engines.push(CompactEngine::build(kind, config, graph, &members));
+                    component_users.push(Vec::new());
+                    for &a in &members {
+                        author_components[a as usize].push(id);
+                    }
+                    id
+                });
+                component_users[id as usize].push(u);
+            }
+        }
+
+        Self {
+            kind,
+            config,
+            subscriptions,
+            engines,
+            component_users,
+            author_components,
+            last_sweep: 0,
+            live_copies: 0,
+            peak_live_copies: 0,
+        }
+    }
+
+    /// Number of distinct components (= number of engines).
+    pub fn component_count(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// The subscription relation.
+    pub fn subscriptions(&self) -> &Subscriptions {
+        &self.subscriptions
+    }
+}
+
+impl MultiDiversifier for SharedMulti {
+    fn offer(&mut self, post: &Post) -> MultiDecision {
+        // Periodic global eviction sweep across all component engines.
+        let sweep_every = (self.config.thresholds.lambda_t / 2).max(1);
+        if post.timestamp.saturating_sub(self.last_sweep) >= sweep_every {
+            self.last_sweep = post.timestamp;
+            for engine in &mut self.engines {
+                engine.evict_expired(post.timestamp);
+            }
+            self.live_copies =
+                self.engines.iter().map(|e| e.metrics().copies_stored).sum();
+        }
+
+        let record = post.to_record(self.config.simhash);
+        let mut delivered_to: Vec<UserId> = Vec::new();
+        // Each component runs once; its verdict fans out to all its users.
+        // A user has at most one component containing this author, so the
+        // fan-outs are disjoint.
+        for &cid in &self.author_components[post.author as usize] {
+            let engine = &mut self.engines[cid as usize];
+            let before = engine.metrics().copies_stored;
+            let verdict = engine
+                .offer(record)
+                .expect("component engine must contain its own author");
+            let after = engine.metrics().copies_stored;
+            self.live_copies = (self.live_copies + after).saturating_sub(before);
+            if verdict.is_emitted() {
+                delivered_to.extend_from_slice(&self.component_users[cid as usize]);
+            }
+        }
+        self.peak_live_copies = self.peak_live_copies.max(self.live_copies);
+        delivered_to.sort_unstable();
+        debug_assert!(delivered_to.windows(2).all(|w| w[0] != w[1]));
+        MultiDecision { delivered_to }
+    }
+
+    fn metrics(&self) -> EngineMetrics {
+        let mut total = EngineMetrics::default();
+        for e in &self.engines {
+            total.merge(e.metrics());
+        }
+        // Replace the summed per-engine peaks with the tracked simultaneous
+        // peak (see `peak_live_copies`).
+        total.peak_copies = self.peak_live_copies.max(total.copies_stored);
+        total.peak_memory_bytes =
+            total.peak_copies * firehose_stream::PostRecord::SIZE_BYTES as u64;
+        total
+    }
+
+    fn name(&self) -> String {
+        format!("S_{}", self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Thresholds;
+    use firehose_stream::minutes;
+
+    /// The paper's Figure 7 setting: G over authors a1..a6 (0..5) where
+    /// {a1,a2,a6} = {0,1,5} form a connected component in both users'
+    /// subgraphs, and a4 (3) is connected to a5 (4) which only u2 follows.
+    fn figure7() -> (UndirectedGraph, Subscriptions) {
+        // Edges: 0-1, 0-5 (component {0,1,5}); 3-4.
+        let graph = UndirectedGraph::from_edges(6, [(0, 1), (0, 5), (3, 4)]);
+        // u1 follows {0,1,3,5}; u2 follows {0,1,3,4,5}.
+        let subs =
+            Subscriptions::new(6, vec![vec![0, 1, 3, 5], vec![0, 1, 3, 4, 5]]).unwrap();
+        (graph, subs)
+    }
+
+    #[test]
+    fn user_components_decomposition() {
+        let (graph, subs) = figure7();
+        let c1 = user_components(&graph, subs.authors_of(0));
+        assert_eq!(c1, vec![vec![0, 1, 5], vec![3]]);
+        let c2 = user_components(&graph, subs.authors_of(1));
+        assert_eq!(c2, vec![vec![0, 1, 5], vec![3, 4]]);
+    }
+
+    #[test]
+    fn shares_identical_components_only() {
+        let (graph, subs) = figure7();
+        let s = SharedMulti::new(
+            AlgorithmKind::UniBin,
+            EngineConfig::paper_defaults(),
+            &graph,
+            subs,
+        );
+        // {0,1,5} shared; {3} for u1; {3,4} for u2 → 3 distinct engines.
+        assert_eq!(s.component_count(), 3);
+    }
+
+    #[test]
+    fn figure7_a4_divergence() {
+        // "it is possible that some posts from a4 are shown to u1 but not to
+        // u2 if they are covered by a5's posts."
+        let (graph, subs) = figure7();
+        let config = EngineConfig::new(Thresholds::new(18, minutes(30), 0.7).unwrap());
+        let mut s = SharedMulti::new(AlgorithmKind::UniBin, config, &graph, subs);
+
+        // a5 (author 4) posts; only u2 subscribes.
+        let d = s.offer(&Post::new(1, 4, 0, "match highlights video replay".into()));
+        assert_eq!(d.delivered_to, vec![1]);
+        // a4 (author 3) posts a near-duplicate: u1 sees it (her component {3}
+        // never saw post 1); u2 does not (covered within {3,4}).
+        let d = s.offer(&Post::new(2, 3, 60_000, "match highlights video replay".into()));
+        assert_eq!(d.delivered_to, vec![0]);
+    }
+
+    #[test]
+    fn shared_component_posts_delivered_identically() {
+        let (graph, subs) = figure7();
+        let config = EngineConfig::new(Thresholds::new(18, minutes(30), 0.7).unwrap());
+        let mut s = SharedMulti::new(AlgorithmKind::UniBin, config, &graph, subs);
+        let d = s.offer(&Post::new(1, 0, 0, "shared component news item".into()));
+        assert_eq!(d.delivered_to, vec![0, 1]);
+        // Near-duplicate by similar author 1: covered for both.
+        let d = s.offer(&Post::new(2, 1, 1_000, "shared component news item".into()));
+        assert!(d.delivered_to.is_empty());
+    }
+
+    #[test]
+    fn sharing_reduces_work() {
+        let (graph, subs) = figure7();
+        let config = EngineConfig::new(Thresholds::new(18, minutes(30), 0.7).unwrap());
+        let mut s = SharedMulti::new(AlgorithmKind::UniBin, config, &graph, subs.clone());
+        let mut m = crate::multi::IndependentMulti::new(
+            AlgorithmKind::UniBin,
+            config,
+            &graph,
+            subs,
+        );
+        for i in 0..10u64 {
+            let p = Post::new(i, (i % 6) as u32, i * 10_000, format!("post number {i} body"));
+            s.offer(&p);
+            m.offer(&p);
+        }
+        assert!(
+            s.metrics().posts_processed < m.metrics().posts_processed,
+            "shared engines must process fewer (post, engine) pairs"
+        );
+    }
+
+    #[test]
+    fn all_kinds_share_identically() {
+        let (graph, subs) = figure7();
+        let config = EngineConfig::new(Thresholds::new(18, minutes(30), 0.7).unwrap());
+        let posts: Vec<Post> = (0..30u64)
+            .map(|i| {
+                Post::new(i, (i % 6) as u32, i * 5_000, format!("body of post {}", i % 7))
+            })
+            .collect();
+        let mut outputs = Vec::new();
+        for kind in AlgorithmKind::ALL {
+            let mut s = SharedMulti::new(kind, config, &graph, subs.clone());
+            let out: Vec<_> = posts.iter().map(|p| s.offer(p)).collect();
+            outputs.push(out);
+        }
+        assert_eq!(outputs[0], outputs[1], "UniBin vs NeighborBin");
+        assert_eq!(outputs[0], outputs[2], "UniBin vs CliqueBin");
+    }
+}

@@ -1,0 +1,152 @@
+//! User → author subscription relation.
+
+use firehose_stream::AuthorId;
+
+/// Dense user identifier.
+pub type UserId = u32;
+
+/// Errors constructing [`Subscriptions`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubscriptionError {
+    /// A subscription referenced an author id ≥ the author universe size.
+    AuthorOutOfRange {
+        /// The offending user.
+        user: UserId,
+        /// The offending author id.
+        author: AuthorId,
+        /// The author universe size.
+        author_count: usize,
+    },
+}
+
+impl std::fmt::Display for SubscriptionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::AuthorOutOfRange { user, author, author_count } => write!(
+                f,
+                "user {user} subscribes to author {author} outside universe of {author_count}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SubscriptionError {}
+
+/// The subscription relation: which authors each user follows, with the
+/// inverted author → subscribers index used to route arriving posts.
+#[derive(Debug, Clone)]
+pub struct Subscriptions {
+    per_user: Vec<Vec<AuthorId>>,
+    subscribers: Vec<Vec<UserId>>,
+}
+
+impl Subscriptions {
+    /// Build from per-user author lists over an author universe of size
+    /// `author_count`. Lists are sorted and deduplicated.
+    pub fn new(
+        author_count: usize,
+        per_user: impl IntoIterator<Item = Vec<AuthorId>>,
+    ) -> Result<Self, SubscriptionError> {
+        let mut users: Vec<Vec<AuthorId>> = per_user.into_iter().collect();
+        let mut subscribers: Vec<Vec<UserId>> = vec![Vec::new(); author_count];
+        for (u, subs) in users.iter_mut().enumerate() {
+            subs.sort_unstable();
+            subs.dedup();
+            for &a in subs.iter() {
+                if (a as usize) >= author_count {
+                    return Err(SubscriptionError::AuthorOutOfRange {
+                        user: u as UserId,
+                        author: a,
+                        author_count,
+                    });
+                }
+                subscribers[a as usize].push(u as UserId);
+            }
+        }
+        Ok(Self { per_user: users, subscribers })
+    }
+
+    /// Number of users.
+    pub fn user_count(&self) -> usize {
+        self.per_user.len()
+    }
+
+    /// Size of the author universe.
+    pub fn author_count(&self) -> usize {
+        self.subscribers.len()
+    }
+
+    /// Sorted authors user `u` follows.
+    pub fn authors_of(&self, u: UserId) -> &[AuthorId] {
+        &self.per_user[u as usize]
+    }
+
+    /// Sorted users following author `a` (post routing).
+    pub fn subscribers_of(&self, a: AuthorId) -> &[UserId] {
+        &self.subscribers[a as usize]
+    }
+
+    /// `true` iff user `u` follows author `a`.
+    pub fn is_subscribed(&self, u: UserId, a: AuthorId) -> bool {
+        self.per_user[u as usize].binary_search(&a).is_ok()
+    }
+
+    /// Mean subscriptions per user.
+    pub fn mean_subscriptions(&self) -> f64 {
+        if self.per_user.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.per_user.iter().map(Vec::len).sum();
+        total as f64 / self.per_user.len() as f64
+    }
+
+    /// Median subscriptions per user (0 when there are no users).
+    pub fn median_subscriptions(&self) -> usize {
+        if self.per_user.is_empty() {
+            return 0;
+        }
+        let mut sizes: Vec<usize> = self.per_user.iter().map(Vec::len).collect();
+        sizes.sort_unstable();
+        sizes[sizes.len() / 2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_and_lookup() {
+        let subs =
+            Subscriptions::new(4, vec![vec![0, 2], vec![2, 3], vec![]]).unwrap();
+        assert_eq!(subs.user_count(), 3);
+        assert_eq!(subs.author_count(), 4);
+        assert_eq!(subs.authors_of(0), &[0, 2]);
+        assert_eq!(subs.subscribers_of(2), &[0, 1]);
+        assert_eq!(subs.subscribers_of(1), &[] as &[u32]);
+        assert!(subs.is_subscribed(1, 3));
+        assert!(!subs.is_subscribed(2, 0));
+    }
+
+    #[test]
+    fn dedup_and_sort() {
+        let subs = Subscriptions::new(3, vec![vec![2, 0, 2, 0]]).unwrap();
+        assert_eq!(subs.authors_of(0), &[0, 2]);
+        assert_eq!(subs.subscribers_of(0), &[0]);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let err = Subscriptions::new(2, vec![vec![5]]).unwrap_err();
+        assert!(matches!(err, SubscriptionError::AuthorOutOfRange { author: 5, .. }));
+        assert!(err.to_string().contains("author 5"));
+    }
+
+    #[test]
+    fn stats() {
+        let subs = Subscriptions::new(5, vec![vec![0], vec![1, 2, 3], vec![4, 0]]).unwrap();
+        assert!((subs.mean_subscriptions() - 2.0).abs() < 1e-12);
+        assert_eq!(subs.median_subscriptions(), 2);
+        assert_eq!(Subscriptions::new(1, Vec::<Vec<u32>>::new()).unwrap().median_subscriptions(), 0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Diversification quality evaluation.
+//!
+//! Given a stream and the delivery decisions some system made, measure how
+//! well the output meets the paper's two requirements (Problem 1):
+//!
+//! * **no coverage violations** — "any post in the whole stream will be
+//!   either included or covered by a post in the sub-stream" (evaluated
+//!   against *earlier* deliveries, matching the real-time guarantee);
+//! * **no residual redundancy** — "all posts [in the sub-stream] are
+//!   dissimilar to each other": no delivered post is covered by an earlier
+//!   delivered post within the window.
+//!
+//! The SPSD engines satisfy both by construction (property-tested); this
+//! module exists to *measure* arbitrary alternatives — the MaxMin baseline,
+//! sampling, a hand-written filter — on equal terms.
+
+use firehose_graph::UndirectedGraph;
+use firehose_stream::{PostRecord, TimeWindowBin};
+
+use crate::config::Thresholds;
+use crate::coverage::covers;
+
+/// The quality measurements for one (stream, decisions) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QualityReport {
+    /// Posts in the stream.
+    pub total: usize,
+    /// Posts delivered.
+    pub delivered: usize,
+    /// Pruned posts with no covering earlier delivery inside their λt window
+    /// — information the user lost.
+    pub coverage_violations: usize,
+    /// Delivered posts covered by an earlier delivery inside their window —
+    /// redundancy the user still saw.
+    pub residual_redundancy: usize,
+}
+
+impl QualityReport {
+    /// Fraction of the stream delivered.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.total as f64
+        }
+    }
+
+    /// `true` iff the output satisfies both Problem 1 requirements.
+    pub fn is_valid_diversification(&self) -> bool {
+        self.coverage_violations == 0 && self.residual_redundancy == 0
+    }
+}
+
+/// Evaluate `decisions` (`true` = delivered) against the coverage semantics.
+///
+/// # Panics
+/// Panics if `decisions.len() != records.len()` or the records are not in
+/// timestamp order.
+pub fn evaluate(
+    records: &[PostRecord],
+    decisions: &[bool],
+    thresholds: &Thresholds,
+    graph: &UndirectedGraph,
+) -> QualityReport {
+    assert_eq!(records.len(), decisions.len(), "one decision per record");
+    let mut window = TimeWindowBin::new();
+    let mut report = QualityReport {
+        total: records.len(),
+        delivered: 0,
+        coverage_violations: 0,
+        residual_redundancy: 0,
+    };
+    for (record, &kept) in records.iter().zip(decisions) {
+        let covered = window
+            .iter_window(record.timestamp, thresholds.lambda_t)
+            .any(|delivered| covers(delivered, record, thresholds, graph));
+        if kept {
+            report.delivered += 1;
+            if covered {
+                report.residual_redundancy += 1;
+            }
+            window.evict_expired(record.timestamp, thresholds.lambda_t);
+            window.push(*record);
+        } else if !covered {
+            report.coverage_violations += 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Diversifier, UniBin};
+    use crate::EngineConfig;
+    use firehose_stream::minutes;
+    use std::sync::Arc;
+
+    fn rec(id: u64, author: u32, ts: u64, fp: u64) -> PostRecord {
+        PostRecord { id, author, timestamp: ts, fingerprint: fp }
+    }
+
+    fn setup() -> (Thresholds, UndirectedGraph, Vec<PostRecord>) {
+        let thresholds = Thresholds::new(3, minutes(10), 0.7).unwrap();
+        let graph = UndirectedGraph::from_edges(3, [(0, 1)]);
+        let records = vec![
+            rec(1, 0, 0, 0),
+            rec(2, 1, 60_000, 1),       // covered by 1 (similar author, d=1)
+            rec(3, 2, 120_000, 0),      // author 2 dissimilar: not covered
+            rec(4, 0, 180_000, 0xFF00), // different content: not covered
+        ];
+        (thresholds, graph, records)
+    }
+
+    #[test]
+    fn spsd_output_is_valid() {
+        let (thresholds, graph, records) = setup();
+        let graph = Arc::new(graph);
+        let mut engine = UniBin::new(
+            EngineConfig::new(thresholds),
+            Arc::clone(&graph),
+        );
+        let decisions: Vec<bool> =
+            records.iter().map(|&r| engine.offer_record(r).is_emitted()).collect();
+        let report = evaluate(&records, &decisions, &thresholds, &graph);
+        assert!(report.is_valid_diversification(), "{report:?}");
+        assert_eq!(report.delivered, 3);
+        assert!((report.delivery_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dropping_an_uncovered_post_is_a_violation() {
+        let (thresholds, graph, records) = setup();
+        // Drop post 3 (author 2, covered by nobody).
+        let decisions = vec![true, false, false, true];
+        let report = evaluate(&records, &decisions, &thresholds, &graph);
+        assert_eq!(report.coverage_violations, 1);
+        assert!(!report.is_valid_diversification());
+    }
+
+    #[test]
+    fn delivering_a_covered_post_is_residual_redundancy() {
+        let (thresholds, graph, records) = setup();
+        // Deliver everything: post 2 is redundant with post 1.
+        let decisions = vec![true, true, true, true];
+        let report = evaluate(&records, &decisions, &thresholds, &graph);
+        assert_eq!(report.residual_redundancy, 1);
+        assert_eq!(report.coverage_violations, 0);
+    }
+
+    #[test]
+    fn window_expiry_limits_both_measures() {
+        let thresholds = Thresholds::new(3, 1_000, 0.7).unwrap();
+        let graph = UndirectedGraph::new(1);
+        // Identical posts far apart in time: dropping the second IS a
+        // violation (nothing covers it in its window).
+        let records = vec![rec(1, 0, 0, 0), rec(2, 0, 10_000, 0)];
+        let report = evaluate(&records, &[true, false], &thresholds, &graph);
+        assert_eq!(report.coverage_violations, 1);
+        // Delivering both is NOT redundant (the first left the window).
+        let report = evaluate(&records, &[true, true], &thresholds, &graph);
+        assert_eq!(report.residual_redundancy, 0);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let thresholds = Thresholds::paper_defaults();
+        let graph = UndirectedGraph::new(0);
+        let report = evaluate(&[], &[], &thresholds, &graph);
+        assert_eq!(report.total, 0);
+        assert_eq!(report.delivery_ratio(), 0.0);
+        assert!(report.is_valid_diversification());
+    }
+
+    #[test]
+    #[should_panic(expected = "one decision per record")]
+    fn length_mismatch_panics() {
+        let (thresholds, graph, records) = setup();
+        evaluate(&records, &[true], &thresholds, &graph);
+    }
+}

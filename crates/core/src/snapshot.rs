@@ -1,0 +1,478 @@
+//! Engine state snapshot / restore.
+//!
+//! A diversification engine is a long-running stateful stream processor;
+//! restarting one cold silently re-emits every post the previous incarnation
+//! already showed (nothing is in the window). These functions serialize an
+//! engine's bins, counters and configuration so a restarted process resumes
+//! with exactly the same future decisions.
+//!
+//! The similarity graph / clique cover are *not* embedded — they are large
+//! shared artifacts with their own persistence (`firehose_graph::io`); the
+//! caller supplies them on restore, and structural mismatches are rejected.
+//!
+//! Format (little-endian): magic `FHSNAP01`, engine tag, the full
+//! [`EngineConfig`], the [`EngineMetrics`] counters, then the bins as
+//! record arrays.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+use firehose_graph::{CliqueCover, UndirectedGraph};
+use firehose_simhash::SimHashOptions;
+use firehose_stream::{AuthorId, PostRecord, TimeWindowBin};
+use firehose_text::tokenize::TokenWeights;
+use firehose_text::NormalizeOptions;
+
+use crate::config::{EngineConfig, Thresholds};
+use crate::engine::{CliqueBin, Diversifier, NeighborBin, UniBin};
+use crate::metrics::EngineMetrics;
+
+const MAGIC: &[u8; 8] = b"FHSNAP01";
+const TAG_UNIBIN: u8 = 1;
+const TAG_NEIGHBORBIN: u8 = 2;
+const TAG_CLIQUEBIN: u8 = 3;
+
+/// Errors from the `restore_*` functions.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not a snapshot file.
+    BadMagic,
+    /// The snapshot holds a different engine kind than requested.
+    WrongEngine {
+        /// Tag found in the snapshot.
+        found: u8,
+        /// Tag the caller asked to restore.
+        expected: u8,
+    },
+    /// The supplied graph/cover does not match the snapshot's structure.
+    StructureMismatch(&'static str),
+    /// The stored configuration fails validation.
+    BadConfig(crate::config::ConfigError),
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "io error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a firehose snapshot"),
+            SnapshotError::WrongEngine { found, expected } => {
+                write!(f, "snapshot holds engine tag {found}, expected {expected}")
+            }
+            SnapshotError::StructureMismatch(what) => {
+                write!(f, "snapshot does not match supplied structure: {what}")
+            }
+            SnapshotError::BadConfig(e) => write!(f, "invalid stored config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+fn w_u32<W: Write>(w: &mut W, x: u32) -> io::Result<()> {
+    w.write_all(&x.to_le_bytes())
+}
+fn w_u64<W: Write>(w: &mut W, x: u64) -> io::Result<()> {
+    w.write_all(&x.to_le_bytes())
+}
+fn w_f64<W: Write>(w: &mut W, x: f64) -> io::Result<()> {
+    w.write_all(&x.to_le_bytes())
+}
+fn r_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+fn r_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+fn r_f64<R: Read>(r: &mut R) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+fn w_bool<W: Write>(w: &mut W, x: bool) -> io::Result<()> {
+    w.write_all(&[u8::from(x)])
+}
+fn r_bool<R: Read>(r: &mut R) -> io::Result<bool> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0] != 0)
+}
+
+fn write_config<W: Write>(w: &mut W, c: &EngineConfig) -> io::Result<()> {
+    w_u32(w, c.thresholds.lambda_c)?;
+    w_u64(w, c.thresholds.lambda_t)?;
+    w_f64(w, c.thresholds.lambda_a)?;
+    let n = c.simhash.normalize;
+    w_bool(w, n.lowercase)?;
+    w_bool(w, n.collapse_whitespace)?;
+    w_bool(w, n.strip_non_alphanumeric)?;
+    w_bool(w, n.keep_social_sigils)?;
+    let weights = c.simhash.weights;
+    w_f64(w, weights.word)?;
+    w_f64(w, weights.hashtag)?;
+    w_f64(w, weights.mention)?;
+    w_f64(w, weights.url)?;
+    w_u32(w, c.simhash.ngram as u32)
+}
+
+fn read_config<R: Read>(r: &mut R) -> Result<EngineConfig, SnapshotError> {
+    let lambda_c = r_u32(r)?;
+    let lambda_t = r_u64(r)?;
+    let lambda_a = r_f64(r)?;
+    let thresholds =
+        Thresholds::new(lambda_c, lambda_t, lambda_a).map_err(SnapshotError::BadConfig)?;
+    let normalize = NormalizeOptions {
+        lowercase: r_bool(r)?,
+        collapse_whitespace: r_bool(r)?,
+        strip_non_alphanumeric: r_bool(r)?,
+        keep_social_sigils: r_bool(r)?,
+    };
+    let weights = TokenWeights {
+        word: r_f64(r)?,
+        hashtag: r_f64(r)?,
+        mention: r_f64(r)?,
+        url: r_f64(r)?,
+    };
+    let ngram = r_u32(r)? as usize;
+    Ok(EngineConfig { thresholds, simhash: SimHashOptions { normalize, weights, ngram } })
+}
+
+fn write_metrics<W: Write>(w: &mut W, m: &EngineMetrics) -> io::Result<()> {
+    for x in [
+        m.posts_processed,
+        m.posts_emitted,
+        m.comparisons,
+        m.insertions,
+        m.evictions,
+        m.copies_stored,
+        m.peak_copies,
+        m.peak_memory_bytes,
+    ] {
+        w_u64(w, x)?;
+    }
+    Ok(())
+}
+
+fn read_metrics<R: Read>(r: &mut R) -> io::Result<EngineMetrics> {
+    Ok(EngineMetrics {
+        posts_processed: r_u64(r)?,
+        posts_emitted: r_u64(r)?,
+        comparisons: r_u64(r)?,
+        insertions: r_u64(r)?,
+        evictions: r_u64(r)?,
+        copies_stored: r_u64(r)?,
+        peak_copies: r_u64(r)?,
+        peak_memory_bytes: r_u64(r)?,
+    })
+}
+
+fn write_bin<W: Write>(w: &mut W, bin: &TimeWindowBin) -> io::Result<()> {
+    w_u32(w, bin.len() as u32)?;
+    for record in bin.iter() {
+        w_u64(w, record.id)?;
+        w_u32(w, record.author)?;
+        w_u64(w, record.timestamp)?;
+        w_u64(w, record.fingerprint)?;
+    }
+    Ok(())
+}
+
+fn read_bin<R: Read>(r: &mut R) -> Result<TimeWindowBin, SnapshotError> {
+    let len = r_u32(r)?;
+    let mut bin = TimeWindowBin::with_capacity(len as usize);
+    let mut prev = 0u64;
+    for _ in 0..len {
+        let record = PostRecord {
+            id: r_u64(r)?,
+            author: r_u32(r)?,
+            timestamp: r_u64(r)?,
+            fingerprint: r_u64(r)?,
+        };
+        if record.timestamp < prev {
+            return Err(SnapshotError::StructureMismatch("bin records out of time order"));
+        }
+        prev = record.timestamp;
+        bin.push(record);
+    }
+    Ok(bin)
+}
+
+fn read_header<R: Read>(r: &mut R, expected_tag: u8) -> Result<EngineConfig, SnapshotError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    if tag[0] != expected_tag {
+        return Err(SnapshotError::WrongEngine { found: tag[0], expected: expected_tag });
+    }
+    read_config(r)
+}
+
+/// Snapshot a [`UniBin`].
+pub fn snapshot_unibin<W: Write>(engine: &UniBin, w: &mut W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&[TAG_UNIBIN])?;
+    write_config(w, engine.config())?;
+    let (bin, metrics) = engine.parts();
+    write_metrics(w, metrics)?;
+    write_bin(w, bin)
+}
+
+/// Restore a [`UniBin`] over the (externally persisted) similarity graph.
+pub fn restore_unibin<R: Read>(
+    r: &mut R,
+    graph: Arc<UndirectedGraph>,
+) -> Result<UniBin, SnapshotError> {
+    let config = read_header(r, TAG_UNIBIN)?;
+    let metrics = read_metrics(r)?;
+    let bin = read_bin(r)?;
+    for record in bin.iter() {
+        if record.author as usize >= graph.node_count() {
+            return Err(SnapshotError::StructureMismatch("record author outside graph"));
+        }
+    }
+    Ok(UniBin::from_parts(config, graph, bin, metrics))
+}
+
+/// Snapshot a [`NeighborBin`].
+pub fn snapshot_neighborbin<W: Write>(engine: &NeighborBin, w: &mut W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&[TAG_NEIGHBORBIN])?;
+    write_config(w, engine.config())?;
+    let (bins, metrics) = engine.parts();
+    write_metrics(w, metrics)?;
+    w_u32(w, bins.len() as u32)?;
+    for bin in bins {
+        write_bin(w, bin)?;
+    }
+    Ok(())
+}
+
+/// Restore a [`NeighborBin`]; `graph` must have the same author count the
+/// snapshot was taken with.
+pub fn restore_neighborbin<R: Read>(
+    r: &mut R,
+    graph: Arc<UndirectedGraph>,
+) -> Result<NeighborBin, SnapshotError> {
+    let config = read_header(r, TAG_NEIGHBORBIN)?;
+    let metrics = read_metrics(r)?;
+    let count = r_u32(r)? as usize;
+    if count != graph.node_count() {
+        return Err(SnapshotError::StructureMismatch("bin count != author count"));
+    }
+    let mut bins = Vec::with_capacity(count);
+    for _ in 0..count {
+        bins.push(read_bin(r)?);
+    }
+    Ok(NeighborBin::from_parts(config, graph, bins, metrics))
+}
+
+/// Snapshot a [`CliqueBin`].
+pub fn snapshot_cliquebin<W: Write>(engine: &CliqueBin, w: &mut W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&[TAG_CLIQUEBIN])?;
+    write_config(w, engine.config())?;
+    let (clique_bins, self_bins, metrics) = engine.parts();
+    write_metrics(w, metrics)?;
+    w_u32(w, clique_bins.len() as u32)?;
+    for bin in clique_bins {
+        write_bin(w, bin)?;
+    }
+    w_u32(w, self_bins.len() as u32)?;
+    let mut authors: Vec<&AuthorId> = self_bins.keys().collect();
+    authors.sort_unstable();
+    for &author in authors {
+        w_u32(w, author)?;
+        write_bin(w, &self_bins[&author])?;
+    }
+    Ok(())
+}
+
+/// Restore a [`CliqueBin`]; `graph` and `cover` must structurally match the
+/// snapshot (same author count and clique count).
+pub fn restore_cliquebin<R: Read>(
+    r: &mut R,
+    graph: Arc<UndirectedGraph>,
+    cover: Arc<CliqueCover>,
+) -> Result<CliqueBin, SnapshotError> {
+    let config = read_header(r, TAG_CLIQUEBIN)?;
+    let metrics = read_metrics(r)?;
+    let clique_count = r_u32(r)? as usize;
+    if clique_count != cover.count() {
+        return Err(SnapshotError::StructureMismatch("clique bin count != cover cliques"));
+    }
+    let mut clique_bins = Vec::with_capacity(clique_count);
+    for _ in 0..clique_count {
+        clique_bins.push(read_bin(r)?);
+    }
+    let self_count = r_u32(r)? as usize;
+    let mut self_bins = HashMap::with_capacity(self_count);
+    for _ in 0..self_count {
+        let author = r_u32(r)?;
+        if author as usize >= graph.node_count() {
+            return Err(SnapshotError::StructureMismatch("self-bin author outside graph"));
+        }
+        self_bins.insert(author, read_bin(r)?);
+    }
+    Ok(CliqueBin::from_parts(config, graph, cover, clique_bins, self_bins, metrics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Diversifier;
+    use firehose_graph::greedy_clique_cover;
+    use firehose_stream::{minutes, Post};
+
+    fn graph() -> Arc<UndirectedGraph> {
+        Arc::new(UndirectedGraph::from_edges(4, [(0, 1), (0, 2), (1, 2), (2, 3)]))
+    }
+
+    fn posts(range: std::ops::Range<u64>) -> Vec<Post> {
+        range
+            .map(|i| {
+                Post::new(
+                    i,
+                    (i % 4) as u32,
+                    i * 30_000,
+                    format!("post body variant number {}", i % 6),
+                )
+            })
+            .collect()
+    }
+
+    fn config() -> EngineConfig {
+        EngineConfig::new(Thresholds::new(18, minutes(30), 0.7).unwrap())
+    }
+
+    /// Snapshot after the first half of the stream; the restored engine and
+    /// the original must make identical decisions (and counters) on the rest.
+    #[test]
+    fn unibin_roundtrip_preserves_future_decisions() {
+        let mut original = UniBin::new(config(), graph());
+        for p in posts(0..40) {
+            original.offer(&p);
+        }
+        let mut buf = Vec::new();
+        snapshot_unibin(&original, &mut buf).unwrap();
+        let mut restored = restore_unibin(&mut buf.as_slice(), graph()).unwrap();
+        assert_eq!(restored.metrics(), original.metrics());
+
+        for p in posts(40..80) {
+            assert_eq!(restored.offer(&p), original.offer(&p), "post {}", p.id);
+        }
+        assert_eq!(restored.metrics(), original.metrics());
+    }
+
+    #[test]
+    fn neighborbin_roundtrip() {
+        let mut original = NeighborBin::new(config(), graph());
+        for p in posts(0..40) {
+            original.offer(&p);
+        }
+        let mut buf = Vec::new();
+        snapshot_neighborbin(&original, &mut buf).unwrap();
+        let mut restored = restore_neighborbin(&mut buf.as_slice(), graph()).unwrap();
+        for p in posts(40..80) {
+            assert_eq!(restored.offer(&p), original.offer(&p), "post {}", p.id);
+        }
+    }
+
+    #[test]
+    fn cliquebin_roundtrip_including_self_bins() {
+        // Author 4 is isolated: exercises the self-bin path.
+        let g = Arc::new(UndirectedGraph::from_edges(5, [(0, 1), (0, 2), (1, 2), (2, 3)]));
+        let cover = Arc::new(greedy_clique_cover(&g));
+        let mut original = CliqueBin::with_cover(config(), Arc::clone(&g), Arc::clone(&cover));
+        for i in 0..40u64 {
+            let p = Post::new(i, (i % 5) as u32, i * 30_000, format!("text {}", i % 6));
+            original.offer(&p);
+        }
+        let mut buf = Vec::new();
+        snapshot_cliquebin(&original, &mut buf).unwrap();
+        let mut restored =
+            restore_cliquebin(&mut buf.as_slice(), Arc::clone(&g), cover).unwrap();
+        for i in 40..80u64 {
+            let p = Post::new(i, (i % 5) as u32, i * 30_000, format!("text {}", i % 6));
+            assert_eq!(restored.offer(&p), original.offer(&p), "post {i}");
+        }
+    }
+
+    #[test]
+    fn config_survives_roundtrip() {
+        let custom = EngineConfig {
+            thresholds: Thresholds::new(9, minutes(7), 0.55).unwrap(),
+            simhash: SimHashOptions {
+                normalize: NormalizeOptions::raw(),
+                weights: TokenWeights { hashtag: 2.5, ..TokenWeights::uniform() },
+                ngram: 2,
+            },
+        };
+        let engine = UniBin::new(custom, graph());
+        let mut buf = Vec::new();
+        snapshot_unibin(&engine, &mut buf).unwrap();
+        let restored = restore_unibin(&mut buf.as_slice(), graph()).unwrap();
+        assert_eq!(restored.config(), &custom);
+    }
+
+    #[test]
+    fn wrong_engine_tag_rejected() {
+        let engine = UniBin::new(config(), graph());
+        let mut buf = Vec::new();
+        snapshot_unibin(&engine, &mut buf).unwrap();
+        assert!(matches!(
+            restore_neighborbin(&mut buf.as_slice(), graph()),
+            Err(SnapshotError::WrongEngine { found: TAG_UNIBIN, expected: TAG_NEIGHBORBIN })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"NOT_SNAP_AT_ALL".to_vec();
+        assert!(matches!(
+            restore_unibin(&mut buf.as_slice(), graph()),
+            Err(SnapshotError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn structure_mismatch_rejected() {
+        let mut engine = NeighborBin::new(config(), graph());
+        engine.offer(&Post::new(1, 0, 0, "anything at all".into()));
+        let mut buf = Vec::new();
+        snapshot_neighborbin(&engine, &mut buf).unwrap();
+        // A graph with a different author count must be rejected.
+        let other = Arc::new(UndirectedGraph::new(9));
+        assert!(matches!(
+            restore_neighborbin(&mut buf.as_slice(), other),
+            Err(SnapshotError::StructureMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_snapshot_rejected() {
+        let mut engine = UniBin::new(config(), graph());
+        for p in posts(0..10) {
+            engine.offer(&p);
+        }
+        let mut buf = Vec::new();
+        snapshot_unibin(&engine, &mut buf).unwrap();
+        let cut = buf.len() - 5;
+        assert!(restore_unibin(&mut &buf[..cut], graph()).is_err());
+    }
+}

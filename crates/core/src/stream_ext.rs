@@ -1,0 +1,138 @@
+//! Iterator adapter: filter a post stream through a diversifier.
+//!
+//! SPSD is deliberately an online filter — "we cannot first view the whole
+//! stream and then decide" — which maps naturally onto a lazy iterator
+//! adapter: pull posts from any source, emit only the uncovered ones.
+
+use firehose_stream::Post;
+
+use crate::engine::Diversifier;
+
+/// An iterator over the diversified sub-stream `Z` of an inner post stream.
+///
+/// Created by [`DiversifyExt::diversify`].
+pub struct Diversified<I, D> {
+    inner: I,
+    engine: D,
+}
+
+impl<I, D> Diversified<I, D> {
+    /// Recover the engine (e.g. for its metrics) after consuming the stream.
+    pub fn into_engine(self) -> D {
+        self.engine
+    }
+
+    /// Borrow the engine (metrics mid-stream).
+    pub fn engine(&self) -> &D {
+        &self.engine
+    }
+}
+
+impl<I, D> Iterator for Diversified<I, D>
+where
+    I: Iterator<Item = Post>,
+    D: Diversifier,
+{
+    type Item = Post;
+
+    fn next(&mut self) -> Option<Post> {
+        loop {
+            let post = self.inner.next()?;
+            if self.engine.offer(&post).is_emitted() {
+                return Some(post);
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // Everything may be covered, or nothing.
+        (0, self.inner.size_hint().1)
+    }
+}
+
+/// Extension trait adding [`diversify`](DiversifyExt::diversify) to any
+/// time-ordered post iterator.
+///
+/// ```
+/// use firehose_core::{DiversifyExt, EngineConfig};
+/// use firehose_core::engine::UniBin;
+/// use firehose_graph::UndirectedGraph;
+/// use firehose_stream::Post;
+/// use std::sync::Arc;
+///
+/// let engine = UniBin::new(EngineConfig::paper_defaults(), Arc::new(UndirectedGraph::new(1)));
+/// let posts = vec![
+///     Post::new(1, 0, 0, "the same exact story right here".into()),
+///     Post::new(2, 0, 1_000, "the same exact story right here".into()),
+///     Post::new(3, 0, 2_000, "a completely unrelated second subject".into()),
+/// ];
+/// let shown: Vec<u64> = posts.into_iter().diversify(engine).map(|p| p.id).collect();
+/// assert_eq!(shown, vec![1, 3]);
+/// ```
+pub trait DiversifyExt: Iterator<Item = Post> + Sized {
+    /// Filter this stream through `engine`, yielding only emitted posts.
+    fn diversify<D: Diversifier>(self, engine: D) -> Diversified<Self, D> {
+        Diversified { inner: self, engine }
+    }
+}
+
+impl<I: Iterator<Item = Post>> DiversifyExt for I {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{EngineConfig, Thresholds};
+    use crate::engine::UniBin;
+    use firehose_graph::UndirectedGraph;
+    use firehose_stream::minutes;
+    use std::sync::Arc;
+
+    fn engine() -> UniBin {
+        UniBin::new(
+            EngineConfig::new(Thresholds::new(18, minutes(30), 0.7).unwrap()),
+            Arc::new(UndirectedGraph::from_edges(2, [(0, 1)])),
+        )
+    }
+
+    fn posts() -> Vec<Post> {
+        vec![
+            Post::new(1, 0, 0, "ferry sinks off the coast hundreds missing".into()),
+            Post::new(2, 1, 60_000, "ferry sinks off the coast hundreds missing".into()),
+            Post::new(3, 0, 120_000, "tech stocks rally for a third straight day".into()),
+        ]
+    }
+
+    #[test]
+    fn yields_only_emitted_posts() {
+        let shown: Vec<u64> = posts().into_iter().diversify(engine()).map(|p| p.id).collect();
+        assert_eq!(shown, vec![1, 3]);
+    }
+
+    #[test]
+    fn engine_recoverable_with_metrics() {
+        let mut it = posts().into_iter().diversify(engine());
+        while it.next().is_some() {}
+        let engine = it.into_engine();
+        assert_eq!(engine.metrics().posts_processed, 3);
+        assert_eq!(engine.metrics().posts_emitted, 2);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let shown: Vec<Post> = std::iter::empty().diversify(engine()).collect();
+        assert!(shown.is_empty());
+    }
+
+    #[test]
+    fn works_with_boxed_engines() {
+        use crate::engine::{build_engine, AlgorithmKind};
+        let graph = Arc::new(UndirectedGraph::from_edges(2, [(0, 1)]));
+        let boxed = build_engine(
+            AlgorithmKind::CliqueBin,
+            EngineConfig::new(Thresholds::new(18, minutes(30), 0.7).unwrap()),
+            graph,
+        );
+        let shown: Vec<u64> = posts().into_iter().diversify(boxed).map(|p| p.id).collect();
+        assert_eq!(shown, vec![1, 3]);
+    }
+}

@@ -1,0 +1,337 @@
+//! Incrementally maintained author similarity.
+//!
+//! The paper precomputes all pairwise author similarity offline because it
+//! "changes slowly over time (e.g., once every week)". A production service
+//! would rather fold follow/unfollow events in as they happen;
+//! [`SimilarityIndex`] maintains the co-follow intersection counts
+//! incrementally:
+//!
+//! * `add_follow(u, f)` / `remove_follow(u, f)` update `|F(a) ∩ F(b)|` for
+//!   every pair touched — `O(followers(f))` map updates per event;
+//! * [`similarity`](SimilarityIndex::similarity) and
+//!   [`similar_authors`](SimilarityIndex::similar_authors) answer queries in
+//!   `O(1)` / `O(candidates)`;
+//! * [`to_similarity_graph`](SimilarityIndex::to_similarity_graph) snapshots
+//!   the thresholded graph `G` the engines consume, identical to the batch
+//!   [`build_similarity_graph`](crate::similarity::build_similarity_graph)
+//!   (property-tested under random edit sequences).
+
+use std::collections::HashMap;
+
+use crate::follower::FollowerGraph;
+use crate::undirected::UndirectedGraph;
+use crate::NodeId;
+
+/// Online co-follow intersection counts with similarity queries.
+#[derive(Debug, Clone, Default)]
+pub struct SimilarityIndex {
+    /// Sorted followee list per author (`F(a)`; its length is the cosine
+    /// denominator component).
+    followees: Vec<Vec<NodeId>>,
+    /// Sorted follower list per account (who follows it).
+    followers: Vec<Vec<NodeId>>,
+    /// Symmetric co-follow counts: `shared[a][b] = |F(a) ∩ F(b)| > 0`.
+    shared: Vec<HashMap<NodeId, u32>>,
+}
+
+impl SimilarityIndex {
+    /// An empty index over `n` accounts.
+    pub fn new(n: usize) -> Self {
+        Self {
+            followees: vec![Vec::new(); n],
+            followers: vec![Vec::new(); n],
+            shared: vec![HashMap::new(); n],
+        }
+    }
+
+    /// Bootstrap from an existing follower graph (the weekly batch job),
+    /// after which events can be folded in incrementally.
+    pub fn from_graph(graph: &FollowerGraph) -> Self {
+        let mut index = Self::new(graph.node_count());
+        for u in 0..graph.node_count() as NodeId {
+            for &f in graph.followees(u) {
+                index.add_follow(u, f);
+            }
+        }
+        index
+    }
+
+    /// Number of accounts.
+    pub fn node_count(&self) -> usize {
+        self.followees.len()
+    }
+
+    /// Record that `u` now follows `f`. Returns `false` (and does nothing)
+    /// for self-follows and duplicates.
+    pub fn add_follow(&mut self, u: NodeId, f: NodeId) -> bool {
+        assert!((u as usize) < self.followees.len(), "follower {u} out of range");
+        assert!((f as usize) < self.followees.len(), "followee {f} out of range");
+        if u == f {
+            return false;
+        }
+        let pos = match self.followees[u as usize].binary_search(&f) {
+            Ok(_) => return false,
+            Err(p) => p,
+        };
+        self.followees[u as usize].insert(pos, f);
+
+        // Every existing follower of `f` now shares one more followee with u.
+        // Split the borrow: take the follower list out, mutate `shared`.
+        let peers = std::mem::take(&mut self.followers[f as usize]);
+        for &v in &peers {
+            *self.shared[u as usize].entry(v).or_insert(0) += 1;
+            *self.shared[v as usize].entry(u).or_insert(0) += 1;
+        }
+        self.followers[f as usize] = peers;
+
+        let pos = self.followers[f as usize]
+            .binary_search(&u)
+            .expect_err("follower/followee lists out of sync");
+        self.followers[f as usize].insert(pos, u);
+        true
+    }
+
+    /// Record that `u` unfollowed `f`. Returns `false` when no such relation
+    /// existed.
+    pub fn remove_follow(&mut self, u: NodeId, f: NodeId) -> bool {
+        assert!((u as usize) < self.followees.len(), "follower {u} out of range");
+        assert!((f as usize) < self.followees.len(), "followee {f} out of range");
+        let Ok(pos) = self.followees[u as usize].binary_search(&f) else {
+            return false;
+        };
+        self.followees[u as usize].remove(pos);
+        let pos = self.followers[f as usize]
+            .binary_search(&u)
+            .expect("follower/followee lists out of sync");
+        self.followers[f as usize].remove(pos);
+
+        let peers = std::mem::take(&mut self.followers[f as usize]);
+        for &v in &peers {
+            Self::decrement(&mut self.shared[u as usize], v);
+            Self::decrement(&mut self.shared[v as usize], u);
+        }
+        self.followers[f as usize] = peers;
+        true
+    }
+
+    fn decrement(map: &mut HashMap<NodeId, u32>, key: NodeId) {
+        if let Some(count) = map.get_mut(&key) {
+            *count -= 1;
+            if *count == 0 {
+                map.remove(&key);
+            }
+        }
+    }
+
+    /// Sorted followees of `u`.
+    pub fn followees(&self, u: NodeId) -> &[NodeId] {
+        &self.followees[u as usize]
+    }
+
+    /// Co-follow count `|F(a) ∩ F(b)|`.
+    pub fn shared_count(&self, a: NodeId, b: NodeId) -> u32 {
+        if a == b {
+            return self.followees[a as usize].len() as u32;
+        }
+        self.shared[a as usize].get(&b).copied().unwrap_or(0)
+    }
+
+    /// Followee-cosine similarity of `a` and `b` in `[0, 1]`.
+    pub fn similarity(&self, a: NodeId, b: NodeId) -> f64 {
+        let (da, db) =
+            (self.followees[a as usize].len() as f64, self.followees[b as usize].len() as f64);
+        if da == 0.0 || db == 0.0 {
+            return 0.0;
+        }
+        f64::from(self.shared_count(a, b)) / (da * db).sqrt()
+    }
+
+    /// Authors with similarity ≥ `min_sim` to `a`, ascending by id.
+    pub fn similar_authors(&self, a: NodeId, min_sim: f64) -> Vec<(NodeId, f64)> {
+        let mut out: Vec<(NodeId, f64)> = self.shared[a as usize]
+            .keys()
+            .map(|&b| (b, self.similarity(a, b)))
+            .filter(|&(_, sim)| sim >= min_sim && sim > 0.0)
+            .collect();
+        out.sort_unstable_by_key(|&(b, _)| b);
+        out
+    }
+
+    /// Snapshot the thresholded author similarity graph `G` at `lambda_a`
+    /// (edge iff distance `1 − cosine ≤ λa`), identical to the batch build on
+    /// the current follow relation.
+    pub fn to_similarity_graph(&self, lambda_a: f64) -> UndirectedGraph {
+        let min_sim = 1.0 - lambda_a;
+        let mut g = UndirectedGraph::new(self.node_count());
+        for a in 0..self.node_count() as NodeId {
+            for &b in self.shared[a as usize].keys() {
+                if b > a {
+                    let sim = self.similarity(a, b);
+                    if sim >= min_sim && sim > 0.0 {
+                        g.add_edge(a, b);
+                    }
+                }
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::{build_similarity_graph, followee_cosine};
+    use proptest::prelude::*;
+
+    fn follower_graph(n: usize, edits: &[(bool, NodeId, NodeId)]) -> FollowerGraph {
+        // Replay only the surviving follows into a batch graph.
+        let mut index = SimilarityIndex::new(n);
+        for &(add, u, f) in edits {
+            if add {
+                index.add_follow(u, f);
+            } else {
+                index.remove_follow(u, f);
+            }
+        }
+        let mut g = FollowerGraph::new(n);
+        for u in 0..n as NodeId {
+            for &f in index.followees(u) {
+                g.add_follow(u, f);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn add_follow_updates_counts() {
+        let mut idx = SimilarityIndex::new(4);
+        idx.add_follow(0, 2);
+        idx.add_follow(1, 2);
+        assert_eq!(idx.shared_count(0, 1), 1);
+        idx.add_follow(0, 3);
+        idx.add_follow(1, 3);
+        assert_eq!(idx.shared_count(0, 1), 2);
+        assert!((idx.similarity(0, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicates_and_self_follows_ignored() {
+        let mut idx = SimilarityIndex::new(3);
+        assert!(idx.add_follow(0, 1));
+        assert!(!idx.add_follow(0, 1));
+        assert!(!idx.add_follow(0, 0));
+        assert_eq!(idx.followees(0), &[1]);
+    }
+
+    #[test]
+    fn remove_follow_reverses_add() {
+        let mut idx = SimilarityIndex::new(4);
+        idx.add_follow(0, 2);
+        idx.add_follow(1, 2);
+        assert_eq!(idx.shared_count(0, 1), 1);
+        assert!(idx.remove_follow(1, 2));
+        assert_eq!(idx.shared_count(0, 1), 0);
+        assert_eq!(idx.similarity(0, 1), 0.0);
+        assert!(!idx.remove_follow(1, 2), "double-unfollow is a no-op");
+    }
+
+    #[test]
+    fn similar_authors_sorted_and_thresholded() {
+        let mut idx = SimilarityIndex::new(5);
+        // 0 and 1 share both followees; 0 and 4 share one of two.
+        for (u, f) in [(0, 2), (0, 3), (1, 2), (1, 3), (4, 3), (4, 2)] {
+            idx.add_follow(u, f);
+        }
+        idx.remove_follow(4, 2);
+        let sims = idx.similar_authors(0, 0.5);
+        assert_eq!(sims.len(), 2);
+        assert_eq!(sims[0].0, 1);
+        assert!((sims[0].1 - 1.0).abs() < 1e-12);
+        assert_eq!(sims[1].0, 4);
+        // |F0 ∩ F4| = 1, d0 = 2, d4 = 1 → 1/√2.
+        assert!((sims[1].1 - 1.0 / 2.0f64.sqrt()).abs() < 1e-12);
+        assert!(idx.similar_authors(0, 0.99).len() == 1);
+    }
+
+    #[test]
+    fn from_graph_matches_pairwise_cosine() {
+        let g = FollowerGraph::from_edges(
+            6,
+            [(0, 3), (0, 4), (1, 3), (1, 5), (2, 4), (2, 5), (0, 5)],
+        );
+        let idx = SimilarityIndex::from_graph(&g);
+        for a in 0..6 {
+            for b in 0..6 {
+                if a != b {
+                    assert!(
+                        (idx.similarity(a, b) - followee_cosine(&g, a, b)).abs() < 1e-12,
+                        "pair ({a},{b})"
+                    );
+                }
+            }
+        }
+    }
+
+    proptest! {
+        /// After an arbitrary add/remove sequence, the snapshot graph equals
+        /// the batch build over the surviving relation, at several λa.
+        #[test]
+        fn snapshot_matches_batch_build(
+            edits in proptest::collection::vec(
+                (any::<bool>(), 0u32..10, 0u32..10),
+                0..120,
+            ),
+        ) {
+            let mut idx = SimilarityIndex::new(10);
+            for &(add, u, f) in &edits {
+                if add {
+                    idx.add_follow(u, f);
+                } else {
+                    idx.remove_follow(u, f);
+                }
+            }
+            let batch_graph = follower_graph(10, &edits);
+            for lambda_a in [0.5, 0.7, 0.9] {
+                prop_assert_eq!(
+                    idx.to_similarity_graph(lambda_a),
+                    build_similarity_graph(&batch_graph, lambda_a),
+                    "λa = {}",
+                    lambda_a
+                );
+            }
+        }
+
+        /// Counts never go negative / stale: every stored pair count equals
+        /// the true intersection size.
+        #[test]
+        fn counts_are_exact(
+            edits in proptest::collection::vec(
+                (any::<bool>(), 0u32..8, 0u32..8),
+                0..80,
+            ),
+        ) {
+            let mut idx = SimilarityIndex::new(8);
+            for &(add, u, f) in &edits {
+                if add {
+                    idx.add_follow(u, f);
+                } else {
+                    idx.remove_follow(u, f);
+                }
+            }
+            let g = follower_graph(8, &edits);
+            for a in 0..8u32 {
+                for b in 0..8u32 {
+                    if a == b {
+                        continue;
+                    }
+                    let expected = g
+                        .followees(a)
+                        .iter()
+                        .filter(|f| g.followees(b).binary_search(f).is_ok())
+                        .count() as u32;
+                    prop_assert_eq!(idx.shared_count(a, b), expected, "pair ({}, {})", a, b);
+                }
+            }
+        }
+    }
+}

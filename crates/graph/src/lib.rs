@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! Social-graph substrate for stream diversification.
+//!
+//! The author dimension of *Slowing the Firehose* (EDBT 2016) is driven by an
+//! **author similarity graph** `G`: nodes are authors, and an edge connects
+//! two authors whose distance `1 − cosine(followee-vector_a, followee-vector_b)`
+//! is at most the threshold `λa`. The paper precomputes `G` offline (author
+//! similarity "changes slowly over time"); this crate provides everything
+//! required:
+//!
+//! * [`follower`] — the directed follower/followee graph from which friend
+//!   vectors are read;
+//! * [`similarity`] — cosine similarity over followee sets, all-pairs
+//!   similarity-graph construction via an inverted co-follow index, and the
+//!   similarity CCDF of Figure 9;
+//! * [`undirected`] — the adjacency representation of `G` itself;
+//! * [`components`] — union-find connected components (Section 5's sharing
+//!   criterion for M-SPSD);
+//! * [`clique_cover`] — the greedy clique edge cover heuristic behind
+//!   CliqueBin (Section 4.3), plus the `Author2Cliques` map;
+//! * [`stats`] — the topology parameters `d`, `c`, `s`, `q` of the Table 2
+//!   cost model;
+//! * [`io`] — binary persistence for the precomputed artifacts (the paper's
+//!   offline weekly pipeline writes them; the online engines load them);
+//! * [`incremental`] — an online similarity index folding follow/unfollow
+//!   events in as they happen (the production alternative to the weekly
+//!   batch job).
+
+pub mod clique_cover;
+pub mod components;
+pub mod follower;
+pub mod incremental;
+pub mod io;
+pub mod similarity;
+pub mod stats;
+pub mod undirected;
+
+pub use clique_cover::{greedy_clique_cover, naive_edge_cover, CliqueCover};
+pub use components::{connected_components, ComponentMap, UnionFind};
+pub use follower::FollowerGraph;
+pub use incremental::SimilarityIndex;
+pub use io::IoError;
+pub use similarity::{
+    build_similarity_graph, build_similarity_graph_parallel, build_similarity_graph_with,
+    followee_cosine, similarity_ccdf, SimilarityMeasure,
+};
+pub use stats::GraphTopology;
+pub use undirected::UndirectedGraph;
+
+/// Dense author identifier. The paper's datasets hold tens of thousands of
+/// authors; `u32` keeps adjacency lists and bins compact.
+pub type NodeId = u32;

@@ -1,0 +1,258 @@
+//! SimHash fingerprint construction.
+//!
+//! For each token we derive a well-mixed 64-bit hash; every set bit of the
+//! hash votes `+w` for the corresponding fingerprint bit and every clear bit
+//! votes `−w`, where `w` is the token's weight. The fingerprint's bit `i` is 1
+//! iff the accumulated vote is positive. Cosine-similar texts share most
+//! token votes and therefore land at small Hamming distance; unrelated texts
+//! produce near-independent fingerprints whose distance concentrates around
+//! 32 (Figure 2 of the paper).
+
+use firehose_text::normalize::{normalize, NormalizeOptions};
+use firehose_text::tf::fnv1a_64;
+use firehose_text::tokenize::{tokens, TokenWeights};
+
+/// A 64-bit SimHash fingerprint.
+pub type Fingerprint = u64;
+
+/// Options controlling fingerprint construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimHashOptions {
+    /// Text normalization applied before tokenization. The paper's evaluation
+    /// uses [`NormalizeOptions::paper`] (Figure 4); [`NormalizeOptions::raw`]
+    /// reproduces Figure 3.
+    pub normalize: NormalizeOptions,
+    /// Per-class token weights (Section 3's "artificial copies" experiment).
+    pub weights: TokenWeights,
+    /// Word n-gram size; `1` hashes single tokens (the paper's setting),
+    /// larger values add positional sensitivity (an extension; see DESIGN.md).
+    pub ngram: usize,
+}
+
+impl Default for SimHashOptions {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl SimHashOptions {
+    /// Figure 4 configuration: normalized text, uniform weights, unigrams.
+    pub fn paper() -> Self {
+        Self {
+            normalize: NormalizeOptions::paper(),
+            weights: TokenWeights::uniform(),
+            ngram: 1,
+        }
+    }
+
+    /// Figure 3 configuration: raw text, uniform weights, unigrams.
+    pub fn raw() -> Self {
+        Self { normalize: NormalizeOptions::raw(), ..Self::paper() }
+    }
+}
+
+/// Post-mix the FNV token hash through the SplitMix64 finalizer.
+///
+/// FNV-1a on very short tokens leaves the high bits poorly diffused, which
+/// would skew the "random pair" Hamming distribution away from mean 32. The
+/// SplitMix64 finalizer is a cheap full-avalanche mixer.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Token hash used by the fingerprint: FNV-1a then SplitMix64 finalization.
+#[inline]
+pub fn token_hash(token: &str) -> u64 {
+    mix64(fnv1a_64(token.as_bytes()))
+}
+
+/// Combine two token hashes into an n-gram hash (order-sensitive).
+#[inline]
+fn combine(h: u64, next: u64) -> u64 {
+    mix64(h.rotate_left(17) ^ next)
+}
+
+/// Compute the SimHash fingerprint of `text` under `options`.
+///
+/// Empty or token-free text maps to fingerprint `0`. (Such posts are filtered
+/// out upstream, mirroring the paper's removal of sub-two-word tweets.)
+pub fn simhash(text: &str, options: SimHashOptions) -> Fingerprint {
+    let normalized = normalize(text, options.normalize);
+    simhash_tokens(
+        tokens(&normalized).map(|t| (token_hash(t.text), options.weights.weight(t.kind))),
+        options.ngram,
+    )
+}
+
+/// Compute a SimHash from pre-hashed, pre-weighted tokens.
+///
+/// This is the allocation-free core used by the engines; `ngram == 1` feeds
+/// votes straight from the iterator, larger `ngram` slides a window of
+/// combined hashes carrying the weight of the window's first token.
+pub fn simhash_tokens<I>(token_hashes: I, ngram: usize) -> Fingerprint
+where
+    I: Iterator<Item = (u64, f64)>,
+{
+    let mut votes = [0.0f64; 64];
+    let mut any = false;
+
+    let mut vote = |h: u64, w: f64| {
+        any = true;
+        for (i, v) in votes.iter_mut().enumerate() {
+            if (h >> i) & 1 == 1 {
+                *v += w;
+            } else {
+                *v -= w;
+            }
+        }
+    };
+
+    if ngram <= 1 {
+        for (h, w) in token_hashes {
+            if w > 0.0 {
+                vote(h, w);
+            }
+        }
+    } else {
+        // Sliding n-gram window over the hashed token sequence.
+        let hs: Vec<(u64, f64)> = token_hashes.filter(|&(_, w)| w > 0.0).collect();
+        if hs.len() >= ngram {
+            for window in hs.windows(ngram) {
+                let mut h = window[0].0;
+                for &(nh, _) in &window[1..] {
+                    h = combine(h, nh);
+                }
+                vote(h, window[0].1);
+            }
+        } else if !hs.is_empty() {
+            // Shorter than one n-gram: hash the whole sequence as a unit so
+            // short posts still produce a signal.
+            let mut h = hs[0].0;
+            for &(nh, _) in &hs[1..] {
+                h = combine(h, nh);
+            }
+            vote(h, hs[0].1);
+        }
+    }
+
+    if !any {
+        return 0;
+    }
+    let mut fp: u64 = 0;
+    for (i, &v) in votes.iter().enumerate() {
+        if v > 0.0 {
+            fp |= 1 << i;
+        }
+    }
+    fp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hamming::hamming_distance;
+
+    #[test]
+    fn deterministic() {
+        let t = "Alibaba's growth accelerates, U.S. IPO filing expected next week";
+        assert_eq!(simhash(t, SimHashOptions::paper()), simhash(t, SimHashOptions::paper()));
+    }
+
+    #[test]
+    fn empty_text_is_zero() {
+        assert_eq!(simhash("", SimHashOptions::paper()), 0);
+        assert_eq!(simhash("***", SimHashOptions::paper()), 0);
+    }
+
+    #[test]
+    fn identical_normalized_texts_collide() {
+        let a = simhash("Hello,   World!", SimHashOptions::paper());
+        let b = simhash("hello world", SimHashOptions::paper());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn near_duplicates_are_close() {
+        // Table 1, row 2 of the paper (Hamming distance 8 on raw text).
+        let a = "\u{201c}In order to succeed, your desire for success should be greater than your fear of failure\u{201d} Bill Cosby";
+        let b = "In order to succeed, your desire for success should be greater than your fear of failure. #quote #success - Bill Cosby";
+        let d = hamming_distance(
+            simhash(a, SimHashOptions::paper()),
+            simhash(b, SimHashOptions::paper()),
+        );
+        assert!(d <= 18, "near-duplicate pair at distance {d}");
+    }
+
+    #[test]
+    fn unrelated_texts_are_far() {
+        let a = simhash(
+            "Over 300 people missing after South Korean ferry sinks Reuters",
+            SimHashOptions::paper(),
+        );
+        let b = simhash(
+            "Alibaba growth accelerates IPO filing expected next week Technology",
+            SimHashOptions::paper(),
+        );
+        let d = hamming_distance(a, b);
+        assert!(d > 18, "unrelated pair at distance {d}");
+    }
+
+    #[test]
+    fn raw_vs_normalized_differ_on_noisy_text() {
+        let t = "BREAKING!!!   Something  HAPPENED";
+        assert_ne!(simhash(t, SimHashOptions::raw()), simhash(t, SimHashOptions::paper()));
+    }
+
+    #[test]
+    fn heavier_weight_dominates_fingerprint() {
+        use firehose_text::tokenize::TokenWeights;
+        let boosted = SimHashOptions {
+            weights: TokenWeights { hashtag: 100.0, ..TokenWeights::uniform() },
+            ..SimHashOptions::paper()
+        };
+        // keep_social_sigils=false strips '#', so use raw normalization to
+        // retain hashtag classification.
+        let boosted = SimHashOptions { normalize: NormalizeOptions_raw(), ..boosted };
+        let only_tag = simhash("#breaking", boosted);
+        let tag_plus_noise = simhash("#breaking unrelated words here now", boosted);
+        assert!(hamming_distance(only_tag, tag_plus_noise) <= 8);
+    }
+
+    // helper: NormalizeOptions::raw() via function to dodge the import dance
+    #[allow(non_snake_case)]
+    fn NormalizeOptions_raw() -> firehose_text::NormalizeOptions {
+        firehose_text::NormalizeOptions::raw()
+    }
+
+    #[test]
+    fn ngram_two_is_order_sensitive() {
+        let opts = SimHashOptions { ngram: 2, ..SimHashOptions::paper() };
+        let ab = simhash("alpha beta gamma delta", opts);
+        let ba = simhash("delta gamma beta alpha", opts);
+        assert_ne!(ab, ba);
+        // With unigrams the same bags collide exactly.
+        let u = SimHashOptions::paper();
+        assert_eq!(
+            simhash("alpha beta gamma delta", u),
+            simhash("delta gamma beta alpha", u)
+        );
+    }
+
+    #[test]
+    fn short_post_with_large_ngram_still_fingerprints() {
+        let opts = SimHashOptions { ngram: 4, ..SimHashOptions::paper() };
+        assert_ne!(simhash("two words", opts), 0);
+    }
+
+    #[test]
+    fn token_hash_is_well_mixed() {
+        // Single-character tokens must not share obvious bit patterns.
+        let h1 = token_hash("a");
+        let h2 = token_hash("b");
+        let d = (h1 ^ h2).count_ones();
+        assert!((16..=48).contains(&d), "poorly mixed: {d}");
+    }
+}

@@ -1,0 +1,78 @@
+//! Hamming distance over 64-bit fingerprints.
+
+use crate::fingerprint::Fingerprint;
+
+/// Number of differing bits between two fingerprints (0..=64).
+///
+/// ```
+/// use firehose_simhash::hamming_distance;
+/// assert_eq!(hamming_distance(0b1010, 0b0110), 2);
+/// assert_eq!(hamming_distance(u64::MAX, 0), 64);
+/// ```
+#[inline]
+pub fn hamming_distance(a: Fingerprint, b: Fingerprint) -> u32 {
+    (a ^ b).count_ones()
+}
+
+/// `true` iff the Hamming distance is at most `threshold`.
+///
+/// This is the hot predicate of every engine: one XOR, one POPCNT, one
+/// compare.
+#[inline]
+pub fn within_distance(a: Fingerprint, b: Fingerprint, threshold: u32) -> bool {
+    hamming_distance(a, b) <= threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_distance_iff_equal() {
+        assert_eq!(hamming_distance(42, 42), 0);
+        assert_ne!(hamming_distance(42, 43), 0);
+    }
+
+    #[test]
+    fn max_distance_is_64() {
+        assert_eq!(hamming_distance(0, u64::MAX), 64);
+    }
+
+    #[test]
+    fn within_distance_boundary() {
+        let a = 0u64;
+        let b = 0b111u64; // distance 3
+        assert!(within_distance(a, b, 3));
+        assert!(!within_distance(a, b, 2));
+    }
+
+    proptest! {
+        #[test]
+        fn symmetric(a: u64, b: u64) {
+            prop_assert_eq!(hamming_distance(a, b), hamming_distance(b, a));
+        }
+
+        #[test]
+        fn identity(a: u64) {
+            prop_assert_eq!(hamming_distance(a, a), 0);
+        }
+
+        #[test]
+        fn triangle_inequality(a: u64, b: u64, c: u64) {
+            prop_assert!(
+                hamming_distance(a, c) <= hamming_distance(a, b) + hamming_distance(b, c)
+            );
+        }
+
+        #[test]
+        fn translation_invariant(a: u64, b: u64, m: u64) {
+            prop_assert_eq!(hamming_distance(a ^ m, b ^ m), hamming_distance(a, b));
+        }
+
+        #[test]
+        fn bounded(a: u64, b: u64) {
+            prop_assert!(hamming_distance(a, b) <= 64);
+        }
+    }
+}

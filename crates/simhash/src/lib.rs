@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! 64-bit SimHash fingerprints for social posts.
+//!
+//! Section 3 of *Slowing the Firehose* (EDBT 2016) defines the content
+//! distance between two posts as the Hamming distance between their 64-bit
+//! SimHash fingerprints, computed over (optionally normalized) tweet text.
+//! This crate provides:
+//!
+//! * [`fingerprint`] — the SimHash construction (Charikar-style random
+//!   hyperplane rounding realized via per-token hashing, as in Manku et al.,
+//!   WWW'07) with configurable text normalization and token weighting;
+//! * [`hamming`] — Hamming-distance utilities;
+//! * [`index`] — the permuted-table near-duplicate index of Manku et al.
+//!   The paper argues this index is infeasible at its default threshold
+//!   `λc = 18`; we implement it anyway so the claim can be measured
+//!   (`ablation_manku_index` in `firehose-bench`).
+//!
+//! # Example
+//!
+//! ```
+//! use firehose_simhash::{simhash, hamming_distance, SimHashOptions};
+//!
+//! let a = simhash("Over 300 people missing after ferry sinks", SimHashOptions::paper());
+//! let b = simhash("Over 300 people missing after ferry sinks!", SimHashOptions::paper());
+//! let c = simhash("Alibaba growth accelerates, IPO filing expected", SimHashOptions::paper());
+//! assert!(hamming_distance(a, b) <= 3);
+//! assert!(hamming_distance(a, c) > 18);
+//! ```
+
+pub mod fingerprint;
+pub mod hamming;
+pub mod index;
+
+pub use fingerprint::{simhash, simhash_tokens, Fingerprint, SimHashOptions};
+pub use hamming::{hamming_distance, within_distance};
+pub use index::{HammingIndex, IndexError, IndexPlan};

@@ -1,0 +1,211 @@
+//! Post corpus files: a line-oriented TSV interchange format.
+//!
+//! One post per line: `id \t author \t timestamp_ms \t text`, with `\t`,
+//! `\n`, `\r` and `\\` escaped inside the text field. The format is the
+//! bridge between the dataset generators, the CLI and any external data a
+//! user brings (a crawled tweet dump maps onto it line by line).
+
+use std::io::{self, BufRead, Write};
+
+use crate::post::Post;
+
+/// Errors from [`read_posts`].
+#[derive(Debug)]
+pub enum CorpusError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line (with its 1-based line number).
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// Posts were not in non-decreasing timestamp order.
+    OutOfOrder {
+        /// 1-based line number of the offending post.
+        line: usize,
+    },
+}
+
+impl From<io::Error> for CorpusError {
+    fn from(e: io::Error) -> Self {
+        CorpusError::Io(e)
+    }
+}
+
+impl std::fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorpusError::Io(e) => write!(f, "io error: {e}"),
+            CorpusError::Parse { line, reason } => write!(f, "line {line}: {reason}"),
+            CorpusError::OutOfOrder { line } => {
+                write!(f, "line {line}: posts must be in timestamp order")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+fn escape(text: &str, out: &mut String) {
+    for ch in text.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(ch),
+        }
+    }
+}
+
+fn unescape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars();
+    while let Some(ch) = chars.next() {
+        if ch != '\\' {
+            out.push(ch);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('\\') => out.push('\\'),
+            // Unknown escape or trailing backslash: keep literally.
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Write `posts` as TSV lines.
+pub fn write_posts<W: Write>(posts: &[Post], w: &mut W) -> io::Result<()> {
+    let mut buf = String::new();
+    for post in posts {
+        buf.clear();
+        escape(&post.text, &mut buf);
+        writeln!(w, "{}\t{}\t{}\t{}", post.id, post.author, post.timestamp, buf)?;
+    }
+    Ok(())
+}
+
+/// Read a TSV corpus, validating field syntax and timestamp order. Empty
+/// lines and lines starting with `#` are skipped.
+pub fn read_posts<R: BufRead>(r: &mut R) -> Result<Vec<Post>, CorpusError> {
+    let mut posts = Vec::new();
+    let mut last_ts = 0u64;
+    for (idx, line) in r.lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.splitn(4, '\t');
+        let parse_err = |reason: &str| CorpusError::Parse {
+            line: lineno,
+            reason: reason.to_string(),
+        };
+        let id = fields
+            .next()
+            .ok_or_else(|| parse_err("missing id"))?
+            .parse::<u64>()
+            .map_err(|e| parse_err(&format!("bad id: {e}")))?;
+        let author = fields
+            .next()
+            .ok_or_else(|| parse_err("missing author"))?
+            .parse::<u32>()
+            .map_err(|e| parse_err(&format!("bad author: {e}")))?;
+        let timestamp = fields
+            .next()
+            .ok_or_else(|| parse_err("missing timestamp"))?
+            .parse::<u64>()
+            .map_err(|e| parse_err(&format!("bad timestamp: {e}")))?;
+        let text = unescape(fields.next().ok_or_else(|| parse_err("missing text"))?);
+
+        if timestamp < last_ts {
+            return Err(CorpusError::OutOfOrder { line: lineno });
+        }
+        last_ts = timestamp;
+        posts.push(Post::new(id, author, timestamp, text));
+    }
+    Ok(posts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(posts: &[Post]) -> Vec<Post> {
+        let mut buf = Vec::new();
+        write_posts(posts, &mut buf).unwrap();
+        read_posts(&mut buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn basic_roundtrip() {
+        let posts = vec![
+            Post::new(1, 0, 100, "plain text".into()),
+            Post::new(2, 3, 200, "with\ttab and\nnewline and \\backslash".into()),
+            Post::new(3, 1, 200, String::new()),
+        ];
+        assert_eq!(roundtrip(&posts), posts);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let data = "# header comment\n\n1\t0\t5\thello\n";
+        let posts = read_posts(&mut data.as_bytes()).unwrap();
+        assert_eq!(posts.len(), 1);
+        assert_eq!(posts[0].text, "hello");
+    }
+
+    #[test]
+    fn malformed_lines_report_position() {
+        let data = "1\t0\t5\tok\nnot-a-number\t0\t6\tbad\n";
+        let err = read_posts(&mut data.as_bytes()).unwrap_err();
+        match err {
+            CorpusError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn missing_fields_rejected() {
+        let err = read_posts(&mut "1\t2\t3\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, CorpusError::Parse { .. }), "{err}");
+    }
+
+    #[test]
+    fn out_of_order_rejected() {
+        let data = "1\t0\t100\ta\n2\t0\t50\tb\n";
+        let err = read_posts(&mut data.as_bytes()).unwrap_err();
+        assert!(matches!(err, CorpusError::OutOfOrder { line: 2 }), "{err}");
+    }
+
+    #[test]
+    fn unknown_escape_preserved() {
+        let posts = read_posts(&mut "1\t0\t1\ta\\qb\n".as_bytes()).unwrap();
+        assert_eq!(posts[0].text, "a\\qb");
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_text(
+            texts in proptest::collection::vec(".{0,60}", 0..20)
+        ) {
+            let posts: Vec<Post> = texts
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| Post::new(i as u64, (i % 7) as u32, i as u64 * 10, t))
+                .collect();
+            prop_assert_eq!(roundtrip(&posts), posts);
+        }
+    }
+}

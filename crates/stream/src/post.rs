@@ -1,0 +1,97 @@
+//! The social post model.
+
+use firehose_simhash::{simhash, Fingerprint, SimHashOptions};
+
+/// Unique post identifier (assigned by the producer, strictly increasing in
+/// arrival order in all of our generators).
+pub type PostId = u64;
+
+/// Dense author identifier; identical to `firehose_graph::NodeId`.
+pub type AuthorId = u32;
+
+/// Milliseconds since an arbitrary epoch.
+pub type Timestamp = u64;
+
+/// A full social post as it arrives on the stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Post {
+    /// Unique id.
+    pub id: PostId,
+    /// The author of the post.
+    pub author: AuthorId,
+    /// Post time in milliseconds.
+    pub timestamp: Timestamp,
+    /// Raw textual content.
+    pub text: String,
+}
+
+impl Post {
+    /// Construct a post.
+    pub fn new(id: PostId, author: AuthorId, timestamp: Timestamp, text: String) -> Self {
+        Self { id, author, timestamp, text }
+    }
+
+    /// Fingerprint this post's text into the compact [`PostRecord`] the
+    /// engines store and compare.
+    pub fn to_record(&self, options: SimHashOptions) -> PostRecord {
+        PostRecord {
+            id: self.id,
+            author: self.author,
+            timestamp: self.timestamp,
+            fingerprint: simhash(&self.text, options),
+        }
+    }
+}
+
+/// The compact, fingerprinted form of a post kept inside post bins.
+///
+/// 24 bytes: all three diversity dimensions (fingerprint / timestamp /
+/// author) plus the id needed to report *which* post covered a pruned one.
+/// Keeping records small matters — NeighborBin stores `d+1` copies of each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PostRecord {
+    /// Unique id of the originating post.
+    pub id: PostId,
+    /// Author of the post.
+    pub author: AuthorId,
+    /// Post time in milliseconds.
+    pub timestamp: Timestamp,
+    /// 64-bit SimHash of the (normalized) text.
+    pub fingerprint: Fingerprint,
+}
+
+impl PostRecord {
+    /// In-memory footprint of one record, used for the RAM accounting of the
+    /// Figure 11–16 experiments.
+    pub const SIZE_BYTES: usize = std::mem::size_of::<PostRecord>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_carries_all_dimensions() {
+        let p = Post::new(7, 3, 1000, "hello diversification world".to_string());
+        let r = p.to_record(SimHashOptions::paper());
+        assert_eq!(r.id, 7);
+        assert_eq!(r.author, 3);
+        assert_eq!(r.timestamp, 1000);
+        assert_eq!(r.fingerprint, simhash("hello diversification world", SimHashOptions::paper()));
+    }
+
+    #[test]
+    fn record_is_compact() {
+        // A static bound on the hot record type (see the perf guidance on
+        // type sizes); `const _` makes the check compile-time.
+        const _: () = assert!(PostRecord::SIZE_BYTES <= 32);
+    }
+
+    #[test]
+    fn identical_texts_identical_fingerprints() {
+        let a = Post::new(1, 1, 0, "same words here".into()).to_record(SimHashOptions::paper());
+        let b = Post::new(2, 2, 99, "same words here".into()).to_record(SimHashOptions::paper());
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_ne!(a.id, b.id);
+    }
+}

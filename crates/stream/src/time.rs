@@ -1,0 +1,40 @@
+//! Millisecond timestamp helpers.
+//!
+//! All timestamps and thresholds in the library are plain `u64` millisecond
+//! counts: the evaluation sweeps `λt` from 1 minute to hours (Figure 11) and
+//! integer milliseconds keep arithmetic exact and comparisons branch-free.
+
+use crate::post::Timestamp;
+
+/// `s` seconds in milliseconds.
+pub const fn seconds(s: u64) -> Timestamp {
+    s * 1_000
+}
+
+/// `m` minutes in milliseconds.
+pub const fn minutes(m: u64) -> Timestamp {
+    m * 60_000
+}
+
+/// `h` hours in milliseconds.
+pub const fn hours(h: u64) -> Timestamp {
+    h * 3_600_000
+}
+
+/// `d` days in milliseconds.
+pub const fn days(d: u64) -> Timestamp {
+    d * 86_400_000
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(seconds(2), 2_000);
+        assert_eq!(minutes(30), 1_800_000);
+        assert_eq!(hours(1), 60 * minutes(1));
+        assert_eq!(days(1), 24 * hours(1));
+    }
+}

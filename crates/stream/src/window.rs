@@ -1,0 +1,235 @@
+//! The λt-window post bin (Section 4, "Handling Time Diversity").
+//!
+//! > "it is sufficient to store only the posts from previous λt time in
+//! > memory for checking the coverage of a new post. One possible
+//! > implementation is that we could store the posts in a circular array."
+//!
+//! [`TimeWindowBin`] is that structure: a growable ring buffer (`VecDeque`)
+//! holding [`PostRecord`]s in arrival (= time) order. New records append at
+//! the back; coverage checks iterate back-to-front (most recent first, the
+//! paper's comparison order) and stop at the window edge; expired records are
+//! lazily evicted from the front.
+
+use std::collections::VecDeque;
+
+use crate::post::{PostRecord, Timestamp};
+
+/// A time-ordered bin of post records with λt-window eviction.
+#[derive(Debug, Clone, Default)]
+pub struct TimeWindowBin {
+    records: VecDeque<PostRecord>,
+    /// Lifetime count of evictions (for metrics).
+    evicted: u64,
+}
+
+impl TimeWindowBin {
+    /// An empty bin.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty bin with pre-reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { records: VecDeque::with_capacity(capacity), evicted: 0 }
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the bin holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Lifetime number of evicted records.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Append a record.
+    ///
+    /// # Panics
+    /// In debug builds, panics if `record` is older than the newest stored
+    /// record — the stream contract is time order.
+    pub fn push(&mut self, record: PostRecord) {
+        debug_assert!(
+            self.records.back().is_none_or(|b| b.timestamp <= record.timestamp),
+            "posts must arrive in time order"
+        );
+        self.records.push_back(record);
+    }
+
+    /// Drop every record with `timestamp + lambda_t < now`, i.e. records that
+    /// can no longer cover an arrival at time `now`. Returns the number
+    /// evicted.
+    pub fn evict_expired(&mut self, now: Timestamp, lambda_t: Timestamp) -> usize {
+        let cutoff = now.saturating_sub(lambda_t);
+        let mut n = 0;
+        while let Some(front) = self.records.front() {
+            if front.timestamp < cutoff {
+                self.records.pop_front();
+                n += 1;
+            } else {
+                break;
+            }
+        }
+        self.evicted += n as u64;
+        n
+    }
+
+    /// Iterate records within the λt window of `now`, most recent first —
+    /// the exact scan order of the paper's algorithms (index `b` down to `a`).
+    ///
+    /// The iterator stops early at the first out-of-window record, so it is
+    /// correct even before [`evict_expired`](Self::evict_expired) runs.
+    pub fn iter_window(
+        &self,
+        now: Timestamp,
+        lambda_t: Timestamp,
+    ) -> impl Iterator<Item = &PostRecord> {
+        let cutoff = now.saturating_sub(lambda_t);
+        self.records.iter().rev().take_while(move |r| r.timestamp >= cutoff)
+    }
+
+    /// Iterate all stored records oldest-first (diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = &PostRecord> {
+        self.records.iter()
+    }
+
+    /// Bytes of record payload currently held (RAM accounting for the
+    /// Figure 11–16 experiments; excludes container overhead, which is the
+    /// same convention for all three algorithms).
+    pub fn memory_bytes(&self) -> usize {
+        self.records.len() * PostRecord::SIZE_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rec(id: u64, ts: Timestamp) -> PostRecord {
+        PostRecord { id, author: 0, timestamp: ts, fingerprint: id.wrapping_mul(0x9E37) }
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut bin = TimeWindowBin::new();
+        assert!(bin.is_empty());
+        bin.push(rec(1, 10));
+        bin.push(rec(2, 20));
+        assert_eq!(bin.len(), 2);
+    }
+
+    #[test]
+    fn eviction_drops_only_expired() {
+        let mut bin = TimeWindowBin::new();
+        for (id, ts) in [(1, 0), (2, 50), (3, 100), (4, 150)] {
+            bin.push(rec(id, ts));
+        }
+        // now=150, λt=100 ⇒ cutoff 50: only id 1 (ts 0) expires.
+        assert_eq!(bin.evict_expired(150, 100), 1);
+        assert_eq!(bin.len(), 3);
+        assert_eq!(bin.evicted(), 1);
+        assert_eq!(bin.iter().next().unwrap().id, 2);
+    }
+
+    #[test]
+    fn boundary_record_stays() {
+        let mut bin = TimeWindowBin::new();
+        bin.push(rec(1, 50));
+        // distt = now − ts = λt exactly ⇒ still within the window (≤ λt).
+        assert_eq!(bin.evict_expired(150, 100), 0);
+        assert_eq!(bin.len(), 1);
+    }
+
+    #[test]
+    fn window_iteration_most_recent_first() {
+        let mut bin = TimeWindowBin::new();
+        for (id, ts) in [(1, 0), (2, 100), (3, 200)] {
+            bin.push(rec(id, ts));
+        }
+        let ids: Vec<u64> = bin.iter_window(200, 150).map(|r| r.id).collect();
+        assert_eq!(ids, vec![3, 2]); // id 1 out of window
+    }
+
+    #[test]
+    fn window_iteration_without_prior_eviction() {
+        let mut bin = TimeWindowBin::new();
+        for ts in 0..10 {
+            bin.push(rec(ts, ts * 10));
+        }
+        // No evict_expired call; iterator must still respect the window.
+        let ids: Vec<u64> = bin.iter_window(90, 25).map(|r| r.id).collect();
+        assert_eq!(ids, vec![9, 8, 7]); // ts 90, 80, 70 >= 90-25=65
+    }
+
+    #[test]
+    fn saturating_cutoff_near_zero() {
+        let mut bin = TimeWindowBin::new();
+        bin.push(rec(1, 5));
+        // now < λt: cutoff saturates to 0, nothing evicted.
+        assert_eq!(bin.evict_expired(10, 100), 0);
+        assert_eq!(bin.iter_window(10, 100).count(), 1);
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let mut bin = TimeWindowBin::new();
+        assert_eq!(bin.memory_bytes(), 0);
+        bin.push(rec(1, 1));
+        assert_eq!(bin.memory_bytes(), PostRecord::SIZE_BYTES);
+    }
+
+    proptest! {
+        /// After eviction at (now, λt), no stored record is outside the
+        /// window and no in-window record was lost.
+        #[test]
+        fn eviction_exactness(
+            mut times in proptest::collection::vec(0u64..1_000, 1..50),
+            lambda_t in 0u64..500,
+        ) {
+            times.sort_unstable();
+            let now = *times.last().unwrap();
+            let mut bin = TimeWindowBin::new();
+            for (i, &ts) in times.iter().enumerate() {
+                bin.push(rec(i as u64, ts));
+            }
+            bin.evict_expired(now, lambda_t);
+            let kept: Vec<u64> = bin.iter().map(|r| r.timestamp).collect();
+            let expected: Vec<u64> = times
+                .iter()
+                .copied()
+                .filter(|&ts| ts >= now.saturating_sub(lambda_t))
+                .collect();
+            prop_assert_eq!(kept, expected);
+        }
+
+        /// iter_window sees exactly the records within distance λt of `now`,
+        /// newest first.
+        #[test]
+        fn window_iteration_exactness(
+            mut times in proptest::collection::vec(0u64..1_000, 0..50),
+            lambda_t in 0u64..500,
+            now_extra in 0u64..100,
+        ) {
+            times.sort_unstable();
+            let now = times.last().copied().unwrap_or(0) + now_extra;
+            let mut bin = TimeWindowBin::new();
+            for (i, &ts) in times.iter().enumerate() {
+                bin.push(rec(i as u64, ts));
+            }
+            let seen: Vec<u64> = bin.iter_window(now, lambda_t).map(|r| r.timestamp).collect();
+            let mut expected: Vec<u64> = times
+                .iter()
+                .copied()
+                .filter(|&ts| now.saturating_sub(ts) <= lambda_t)
+                .collect();
+            expected.reverse();
+            prop_assert_eq!(seen, expected);
+        }
+    }
+}

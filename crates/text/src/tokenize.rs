@@ -1,0 +1,172 @@
+//! Whitespace tokenization with social-media token classification.
+//!
+//! SimHash fingerprints (and the cosine baseline) are computed over weighted
+//! tokens. Tweets contain token classes with special roles — hashtags,
+//! mentions and shortened URLs — and the paper experimented with varying their
+//! weights "by creating artificial copies" (Section 3). [`TokenWeights`]
+//! expresses the same idea as fractional multipliers instead of copies.
+
+/// The class of a token, used for weighting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// Plain word or number.
+    Word,
+    /// `#hashtag`.
+    Hashtag,
+    /// `@mention`.
+    Mention,
+    /// `http://...` / `https://...` URL (tweets carry t.co-shortened URLs).
+    Url,
+}
+
+/// A token: a byte range into the input plus its class.
+///
+/// Borrowing instead of owning keeps tokenization allocation-free; the
+/// fingerprint pipeline hashes the slice in place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// The token text (as sliced from the input).
+    pub text: &'a str,
+    /// The token's class.
+    pub kind: TokenKind,
+}
+
+impl<'a> Token<'a> {
+    fn classify(text: &'a str) -> Self {
+        let kind = if text.starts_with("http://") || text.starts_with("https://") {
+            TokenKind::Url
+        } else if text.len() > 1 && text.starts_with('#') {
+            TokenKind::Hashtag
+        } else if text.len() > 1 && text.starts_with('@') {
+            TokenKind::Mention
+        } else {
+            TokenKind::Word
+        };
+        Self { text, kind }
+    }
+}
+
+/// Per-class token weights.
+///
+/// A weight of `0.0` drops the class entirely; `1.0` is neutral; larger values
+/// emulate the paper's "artificial copies" boosting. Weights multiply the
+/// token's term frequency both in [`crate::TfVector`] and in the SimHash
+/// accumulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TokenWeights {
+    /// Weight of [`TokenKind::Word`] tokens.
+    pub word: f64,
+    /// Weight of [`TokenKind::Hashtag`] tokens.
+    pub hashtag: f64,
+    /// Weight of [`TokenKind::Mention`] tokens.
+    pub mention: f64,
+    /// Weight of [`TokenKind::Url`] tokens.
+    pub url: f64,
+}
+
+impl Default for TokenWeights {
+    fn default() -> Self {
+        Self { word: 1.0, hashtag: 1.0, mention: 1.0, url: 1.0 }
+    }
+}
+
+impl TokenWeights {
+    /// All classes weighted equally (the paper's final choice — boosting was
+    /// found to have "no significant impact").
+    pub fn uniform() -> Self {
+        Self::default()
+    }
+
+    /// The weight applied to a token of class `kind`.
+    pub fn weight(&self, kind: TokenKind) -> f64 {
+        match kind {
+            TokenKind::Word => self.word,
+            TokenKind::Hashtag => self.hashtag,
+            TokenKind::Mention => self.mention,
+            TokenKind::Url => self.url,
+        }
+    }
+}
+
+/// Split `text` on whitespace and classify each token.
+///
+/// ```
+/// use firehose_text::{tokenize, TokenKind};
+/// let toks = tokenize("breaking #news from @cnn http://t.co/x");
+/// assert_eq!(toks.len(), 5);
+/// assert_eq!(toks[1].kind, TokenKind::Hashtag);
+/// assert_eq!(toks[3].kind, TokenKind::Mention);
+/// assert_eq!(toks[4].kind, TokenKind::Url);
+/// ```
+pub fn tokenize(text: &str) -> Vec<Token<'_>> {
+    text.split_whitespace().map(Token::classify).collect()
+}
+
+/// Iterator variant of [`tokenize`] that avoids the intermediate `Vec` for
+/// hot paths such as fingerprinting every arriving post.
+pub fn tokens(text: &str) -> impl Iterator<Item = Token<'_>> {
+    text.split_whitespace().map(Token::classify)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_words() {
+        let t = tokenize("plain words 123");
+        assert!(t.iter().all(|t| t.kind == TokenKind::Word));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn classifies_hashtags_and_mentions() {
+        let t = tokenize("#Technology @Reuters");
+        assert_eq!(t[0].kind, TokenKind::Hashtag);
+        assert_eq!(t[1].kind, TokenKind::Mention);
+    }
+
+    #[test]
+    fn bare_sigils_are_words() {
+        let t = tokenize("# @ a");
+        assert_eq!(t[0].kind, TokenKind::Word);
+        assert_eq!(t[1].kind, TokenKind::Word);
+    }
+
+    #[test]
+    fn classifies_urls() {
+        let t = tokenize("see http://t.co/mUcmLJ4cpc and https://example.com/a");
+        assert_eq!(t[1].kind, TokenKind::Url);
+        assert_eq!(t[3].kind, TokenKind::Url);
+    }
+
+    #[test]
+    fn empty_and_whitespace_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize(" \t\n ").is_empty());
+    }
+
+    #[test]
+    fn token_text_slices_input() {
+        let input = "alpha beta";
+        let t = tokenize(input);
+        assert_eq!(t[0].text, "alpha");
+        assert_eq!(t[1].text, "beta");
+    }
+
+    #[test]
+    fn weights_lookup() {
+        let w = TokenWeights { word: 1.0, hashtag: 2.0, mention: 3.0, url: 0.0 };
+        assert_eq!(w.weight(TokenKind::Word), 1.0);
+        assert_eq!(w.weight(TokenKind::Hashtag), 2.0);
+        assert_eq!(w.weight(TokenKind::Mention), 3.0);
+        assert_eq!(w.weight(TokenKind::Url), 0.0);
+    }
+
+    #[test]
+    fn iterator_matches_vec() {
+        let input = "a #b @c http://d";
+        let collected: Vec<_> = tokens(input).collect();
+        assert_eq!(collected, tokenize(input));
+    }
+}

@@ -1,0 +1,69 @@
+//! Quickstart: diversify a handful of posts across all three dimensions.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! Builds a four-author similarity graph by hand, feeds seven posts through
+//! a [`UniBin`] engine at the paper's default thresholds, and prints the
+//! real-time decision for each post with the reason.
+
+use std::sync::Arc;
+
+use firehose::core::engine::{Diversifier, UniBin};
+use firehose::core::{Decision, EngineConfig, Thresholds};
+use firehose::graph::UndirectedGraph;
+use firehose::stream::{minutes, Post};
+
+fn main() {
+    // Authors: 0 = CNN, 1 = CNN Breaking, 2 = Fox News, 3 = a food blogger.
+    // CNN and CNN Breaking share most followers, so they are similar; Fox is
+    // dissimilar to both (different audience), the blogger to everyone.
+    let graph = Arc::new(UndirectedGraph::from_edges(4, [(0, 1)]));
+    let names = ["@CNN", "@CNNBrk", "@FoxNews", "@pasta_daily"];
+
+    // λc = 18 bits, λt = 30 minutes, λa = 0.7 — the paper's defaults.
+    let config = EngineConfig::new(Thresholds::new(18, minutes(30), 0.7).expect("valid"));
+    let mut engine = UniBin::new(config, graph);
+
+    let posts = [
+        Post::new(1, 0, minutes(0), "Ferry carrying 450 passengers sinks off the coast, hundreds missing http://t.co/aaa111".into()),
+        // Same newsroom, same story, re-shortened URL two minutes later.
+        Post::new(2, 1, minutes(2), "Ferry carrying 450 passengers sinks off the coast, hundreds missing http://t.co/bbb222".into()),
+        // Dissimilar author, same story: the reader may want Fox's angle.
+        Post::new(3, 2, minutes(4), "Ferry carrying 450 passengers sinks off the coast, hundreds missing http://t.co/ccc333".into()),
+        // Unrelated content from a similar author.
+        Post::new(4, 1, minutes(6), "Markets close higher as tech stocks rally for a third day".into()),
+        // CNN repeats itself *after* the time window: of interest again.
+        Post::new(5, 0, minutes(40), "Ferry carrying 450 passengers sinks off the coast, hundreds missing http://t.co/ddd444".into()),
+        // ... and repeats itself *within* the window: pruned.
+        Post::new(6, 0, minutes(50), "Ferry carrying 450 passengers sinks off the coast, hundreds missing http://t.co/eee555".into()),
+        Post::new(7, 3, minutes(51), "This 20 minute cacio e pepe will change your life, recipe inside".into()),
+    ];
+
+    println!("λc=18 bits, λt=30 min, λa=0.7\n");
+    for post in &posts {
+        let verdict = engine.offer(post);
+        let minute = post.timestamp / minutes(1);
+        match verdict {
+            Decision::Emitted => {
+                println!("t+{minute:>2}min  {:<13} SHOW   {}", names[post.author as usize], post.text);
+            }
+            Decision::Covered { by } => {
+                println!(
+                    "t+{minute:>2}min  {:<13} prune  (covered by post {by})",
+                    names[post.author as usize]
+                );
+            }
+        }
+    }
+
+    let m = engine.metrics();
+    println!(
+        "\n{} of {} posts shown ({:.0}% pruned), {} pairwise comparisons",
+        m.posts_emitted,
+        m.posts_processed,
+        (1.0 - m.emit_ratio()) * 100.0,
+        m.comparisons
+    );
+}

@@ -1,0 +1,353 @@
+//! `firehose` — command-line front end for the diversification pipeline.
+//!
+//! ```text
+//! firehose generate    --authors 2000 --hours 8 --out-posts posts.tsv --out-follower follower.fhf
+//! firehose build-graph --follower follower.fhf --lambda-a 0.7 --out similarity.fhg
+//! firehose cover       --graph similarity.fhg --out cover.fhc
+//! firehose run         --posts posts.tsv --graph similarity.fhg --algorithm cliquebin \
+//!                      --lambda-c 18 --lambda-t-mins 30 --out diversified.tsv
+//! firehose explain     --posts posts.tsv --graph similarity.fhg --first 12 --second 40
+//! ```
+//!
+//! Files use the formats of `firehose_graph::io` (graphs, covers) and
+//! `firehose_stream::corpus` (posts TSV). `run` works on any corpus a user
+//! brings, not just generated ones.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use firehose::core::engine::{build_engine, AlgorithmKind, Diversifier};
+use firehose::core::quality;
+use firehose::core::{explain, EngineConfig, Thresholds};
+use firehose::datagen::{SocialGenConfig, SyntheticSocialGraph, Workload, WorkloadConfig};
+use firehose::graph::io as graph_io;
+use firehose::graph::{build_similarity_graph_parallel, greedy_clique_cover, UndirectedGraph};
+use firehose::simhash::SimHashOptions;
+use firehose::stream::{corpus, hours, minutes, Post};
+
+/// Minimal `--flag value` argument map (every flag takes exactly one value).
+struct Args {
+    command: String,
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(mut argv: std::env::Args) -> Result<Self, String> {
+        let _program = argv.next();
+        let command = argv.next().ok_or_else(usage)?;
+        let rest: Vec<String> = argv.collect();
+        if !rest.len().is_multiple_of(2) {
+            return Err(format!("flag without value in {rest:?}"));
+        }
+        let mut flags = Vec::new();
+        for pair in rest.chunks_exact(2) {
+            let flag = pair[0]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {:?}", pair[0]))?;
+            flags.push((flag.to_string(), pair[1].clone()));
+        }
+        Ok(Self { command, flags })
+    }
+
+    fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.iter().find(|(f, _)| f == flag).map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, flag: &str) -> Result<&str, String> {
+        self.get(flag).ok_or_else(|| format!("missing required --{flag}"))
+    }
+
+    fn parse_or<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("bad --{flag} {v:?}: {e}")),
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: firehose <generate|build-graph|cover|run|explain|quality> [--flag value]...\n\
+     \n\
+     generate     --out-posts FILE --out-follower FILE [--authors N] [--hours H] [--seed S]\n\
+     build-graph  --follower FILE --out FILE [--lambda-a F] [--threads N]\n\
+     cover        --graph FILE --out FILE\n\
+     run          --posts FILE --graph FILE [--algorithm unibin|neighborbin|cliquebin]\n\
+     \t[--lambda-c N] [--lambda-t-mins N] [--lambda-a F] [--out FILE] [--quiet true]\n\
+     explain      --posts FILE --graph FILE --first POST_ID --second POST_ID\n\
+     \t[--lambda-c N] [--lambda-t-mins N] [--lambda-a F]\n\
+     quality      --posts FILE --delivered FILE --graph FILE\n\
+     \t[--lambda-c N] [--lambda-t-mins N] [--lambda-a F]"
+        .to_string()
+}
+
+fn thresholds_from(args: &Args) -> Result<Thresholds, String> {
+    let lambda_c: u32 = args.parse_or("lambda-c", 18)?;
+    let lambda_t_mins: u64 = args.parse_or("lambda-t-mins", 30)?;
+    let lambda_a: f64 = args.parse_or("lambda-a", 0.7)?;
+    Thresholds::new(lambda_c, minutes(lambda_t_mins), lambda_a).map_err(|e| e.to_string())
+}
+
+fn open_reader(path: &str) -> Result<BufReader<File>, String> {
+    File::open(path).map(BufReader::new).map_err(|e| format!("cannot open {path}: {e}"))
+}
+
+fn create_writer(path: &str) -> Result<BufWriter<File>, String> {
+    File::create(path).map(BufWriter::new).map_err(|e| format!("cannot create {path}: {e}"))
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let authors: usize = args.parse_or("authors", 2_000)?;
+    let hours_n: u64 = args.parse_or("hours", 8)?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+    let out_posts = args.require("out-posts")?;
+    let out_follower = args.require("out-follower")?;
+
+    // The calibrated windows assume a ring much larger than the wide window;
+    // below ~3000 authors switch to the proportionally smaller test-scale
+    // geometry so the similarity graph keeps a sane density.
+    let social_config = if authors >= 3_000 {
+        SocialGenConfig::paper_scale()
+    } else {
+        SocialGenConfig::test_scale()
+    }
+    .with_authors(authors)
+    .with_seed(seed);
+    let social = SyntheticSocialGraph::generate(social_config);
+    let workload = Workload::generate(
+        &social,
+        WorkloadConfig { duration: hours(hours_n), seed, ..Default::default() },
+    );
+
+    corpus::write_posts(&workload.posts, &mut create_writer(out_posts)?)
+        .map_err(|e| e.to_string())?;
+    graph_io::write_follower(&social.graph, &mut create_writer(out_follower)?)
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {} posts from {} authors to {out_posts}; follower graph ({} follows) to {out_follower}",
+        workload.len(),
+        social.author_count(),
+        social.graph.edge_count()
+    );
+    Ok(())
+}
+
+fn cmd_build_graph(args: &Args) -> Result<(), String> {
+    let follower_path = args.require("follower")?;
+    let out = args.require("out")?;
+    let lambda_a: f64 = args.parse_or("lambda-a", 0.7)?;
+    let threads: usize = args.parse_or(
+        "threads",
+        std::thread::available_parallelism().map_or(4, |n| n.get()),
+    )?;
+
+    let follower =
+        graph_io::read_follower(&mut open_reader(follower_path)?).map_err(|e| e.to_string())?;
+    let graph = build_similarity_graph_parallel(&follower, lambda_a, threads);
+    graph_io::write_undirected(&graph, &mut create_writer(out)?).map_err(|e| e.to_string())?;
+    eprintln!(
+        "similarity graph at λa={lambda_a}: {} authors, {} edges, avg degree {:.1} -> {out}",
+        graph.node_count(),
+        graph.edge_count(),
+        graph.average_degree()
+    );
+    Ok(())
+}
+
+fn cmd_cover(args: &Args) -> Result<(), String> {
+    let graph_path = args.require("graph")?;
+    let out = args.require("out")?;
+    let graph =
+        graph_io::read_undirected(&mut open_reader(graph_path)?).map_err(|e| e.to_string())?;
+    let cover = greedy_clique_cover(&graph);
+    graph_io::write_cover(&cover, graph.node_count(), &mut create_writer(out)?)
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "clique edge cover: {} cliques, avg size {:.1}, {:.1} cliques/author -> {out}",
+        cover.count(),
+        cover.avg_clique_size(),
+        cover.avg_cliques_per_member()
+    );
+    Ok(())
+}
+
+fn load_graph_for_posts(
+    graph_path: &str,
+    posts: &[Post],
+) -> Result<Arc<UndirectedGraph>, String> {
+    let graph =
+        graph_io::read_undirected(&mut open_reader(graph_path)?).map_err(|e| e.to_string())?;
+    if let Some(max_author) = posts.iter().map(|p| p.author).max() {
+        if max_author as usize >= graph.node_count() {
+            return Err(format!(
+                "posts reference author {max_author} but the graph has only {} authors",
+                graph.node_count()
+            ));
+        }
+    }
+    Ok(Arc::new(graph))
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let posts_path = args.require("posts")?;
+    let graph_path = args.require("graph")?;
+    let algorithm = match args.get("algorithm").unwrap_or("unibin") {
+        "unibin" => AlgorithmKind::UniBin,
+        "neighborbin" => AlgorithmKind::NeighborBin,
+        "cliquebin" => AlgorithmKind::CliqueBin,
+        other => return Err(format!("unknown --algorithm {other:?}")),
+    };
+    let thresholds = thresholds_from(args)?;
+    let quiet: bool = args.parse_or("quiet", false)?;
+
+    let posts = corpus::read_posts(&mut open_reader(posts_path)?).map_err(|e| e.to_string())?;
+    let graph = load_graph_for_posts(graph_path, &posts)?;
+
+    let mut engine = build_engine(algorithm, EngineConfig::new(thresholds), graph);
+    let started = std::time::Instant::now();
+    let mut emitted: Vec<&Post> = Vec::new();
+    for post in &posts {
+        if engine.offer(post).is_emitted() {
+            emitted.push(post);
+        }
+    }
+    let elapsed = started.elapsed();
+
+    if let Some(out) = args.get("out") {
+        let owned: Vec<Post> = emitted.iter().map(|&p| p.clone()).collect();
+        corpus::write_posts(&owned, &mut create_writer(out)?).map_err(|e| e.to_string())?;
+    } else if !quiet {
+        let stdout = std::io::stdout();
+        let mut lock = BufWriter::new(stdout.lock());
+        for post in &emitted {
+            writeln!(lock, "{}\t{}\t{}\t{}", post.id, post.author, post.timestamp, post.text)
+                .map_err(|e| e.to_string())?;
+        }
+    }
+
+    let m = engine.metrics();
+    eprintln!(
+        "{}: {} of {} posts emitted ({:.1}% pruned) in {:.1?}; {} comparisons, {} insertions, peak {} records",
+        engine.name(),
+        m.posts_emitted,
+        m.posts_processed,
+        (1.0 - m.emit_ratio()) * 100.0,
+        elapsed,
+        m.comparisons,
+        m.insertions,
+        m.peak_copies
+    );
+    Ok(())
+}
+
+fn cmd_quality(args: &Args) -> Result<(), String> {
+    let posts_path = args.require("posts")?;
+    let delivered_path = args.require("delivered")?;
+    let graph_path = args.require("graph")?;
+    let thresholds = thresholds_from(args)?;
+
+    let posts = corpus::read_posts(&mut open_reader(posts_path)?).map_err(|e| e.to_string())?;
+    let delivered =
+        corpus::read_posts(&mut open_reader(delivered_path)?).map_err(|e| e.to_string())?;
+    let graph = load_graph_for_posts(graph_path, &posts)?;
+
+    let delivered_ids: std::collections::HashSet<u64> =
+        delivered.iter().map(|p| p.id).collect();
+    for post in &delivered {
+        if !posts.iter().any(|p| p.id == post.id) {
+            return Err(format!("delivered post {} is not in the original stream", post.id));
+        }
+    }
+    let records: Vec<firehose::stream::PostRecord> =
+        posts.iter().map(|p| p.to_record(SimHashOptions::paper())).collect();
+    let decisions: Vec<bool> = posts.iter().map(|p| delivered_ids.contains(&p.id)).collect();
+    let report = quality::evaluate(&records, &decisions, &thresholds, &graph);
+
+    println!(
+        "stream: {} posts; delivered: {} ({:.1}%)",
+        report.total,
+        report.delivered,
+        report.delivery_ratio() * 100.0
+    );
+    println!("coverage violations (lost posts): {}", report.coverage_violations);
+    println!("residual redundancy (duplicate deliveries): {}", report.residual_redundancy);
+    println!(
+        "verdict: {}",
+        if report.is_valid_diversification() {
+            "VALID diversification (Problem 1 requirements met)"
+        } else {
+            "NOT a valid diversification"
+        }
+    );
+    Ok(())
+}
+
+fn cmd_explain(args: &Args) -> Result<(), String> {
+    let posts_path = args.require("posts")?;
+    let graph_path = args.require("graph")?;
+    let first: u64 = args.require("first")?.parse().map_err(|e| format!("bad --first: {e}"))?;
+    let second: u64 =
+        args.require("second")?.parse().map_err(|e| format!("bad --second: {e}"))?;
+    let thresholds = thresholds_from(args)?;
+
+    let posts = corpus::read_posts(&mut open_reader(posts_path)?).map_err(|e| e.to_string())?;
+    let graph = load_graph_for_posts(graph_path, &posts)?;
+    let find = |id: u64| {
+        posts
+            .iter()
+            .find(|p| p.id == id)
+            .ok_or_else(|| format!("post id {id} not found in {posts_path}"))
+    };
+    let (a, b) = (find(first)?, find(second)?);
+    let (ra, rb) =
+        (a.to_record(SimHashOptions::paper()), b.to_record(SimHashOptions::paper()));
+    let explanation = explain(&ra, &rb, &thresholds, &graph);
+
+    println!("post {first} (author {} @ {} ms): {}", a.author, a.timestamp, a.text);
+    println!("post {second} (author {} @ {} ms): {}", b.author, b.timestamp, b.text);
+    println!("{explanation}");
+    println!(
+        "verdict: the posts {} cover each other{}",
+        if explanation.covers { "DO" } else { "do NOT" },
+        if explanation.covers {
+            String::new()
+        } else {
+            format!(" (blocked by: {})", explanation.blocking_dimensions().join(", "))
+        }
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args()) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_str() {
+        "generate" => cmd_generate(&args),
+        "build-graph" => cmd_build_graph(&args),
+        "cover" => cmd_cover(&args),
+        "run" => cmd_run(&args),
+        "explain" => cmd_explain(&args),
+        "quality" => cmd_quality(&args),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

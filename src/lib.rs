@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! # firehose
+//!
+//! A Rust reproduction of *Slowing the Firehose: Multi-Dimensional Diversity
+//! on Social Post Streams* (Cheng, Chrobak, Hristidis — EDBT 2016): real-time
+//! diversification of social post streams under simultaneous **content**
+//! (SimHash), **time** (sliding window) and **author** (social-graph
+//! similarity) coverage semantics.
+//!
+//! This crate is a façade re-exporting the workspace members:
+//!
+//! * [`core`] — the SPSD/M-SPSD engines (UniBin, NeighborBin, CliqueBin and
+//!   their multi-user `M_*`/`S_*` variants), the Table 2 cost model and the
+//!   Table 4 advisor;
+//! * [`text`] — normalization, tokenization, TF-cosine;
+//! * [`simhash`] — 64-bit fingerprints, Hamming utilities, the Manku
+//!   permuted-table index;
+//! * [`graph`] — follower graphs, author similarity, connected components,
+//!   greedy clique edge covers;
+//! * [`stream`] — the post model and λt-window bins;
+//! * [`datagen`] — synthetic Twitter-like workloads and the surrogate user
+//!   study.
+//!
+//! See `README.md` for a walkthrough, `DESIGN.md` for the system inventory
+//! and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use firehose::core::{EngineConfig, Thresholds};
+//! use firehose::core::engine::{Diversifier, UniBin};
+//! use firehose::graph::UndirectedGraph;
+//! use firehose::stream::{minutes, Post};
+//! use std::sync::Arc;
+//!
+//! let graph = Arc::new(UndirectedGraph::from_edges(2, [(0, 1)]));
+//! let config = EngineConfig::new(Thresholds::new(18, minutes(30), 0.7).unwrap());
+//! let mut engine = UniBin::new(config, graph);
+//!
+//! let decision = engine.offer(&Post::new(1, 0, 0, "hello stream".into()));
+//! assert!(decision.is_emitted());
+//! ```
+
+pub use firehose_core as core;
+pub use firehose_datagen as datagen;
+pub use firehose_graph as graph;
+pub use firehose_simhash as simhash;
+pub use firehose_stream as stream;
+pub use firehose_text as text;

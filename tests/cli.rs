@@ -1,0 +1,162 @@
+//! End-to-end tests of the `firehose` CLI: generate → build-graph → cover →
+//! run → explain over real files in a temp directory.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_firehose");
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("firehose_cli_test_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        Self(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn run_ok(args: &[&str]) -> (String, String) {
+    let output = Command::new(BIN).args(args).output().expect("spawn CLI");
+    assert!(
+        output.status.success(),
+        "firehose {args:?} failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    (
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+fn run_err(args: &[&str]) -> String {
+    let output = Command::new(BIN).args(args).output().expect("spawn CLI");
+    assert!(!output.status.success(), "firehose {args:?} unexpectedly succeeded");
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+#[test]
+fn full_pipeline() {
+    let dir = TempDir::new("pipeline");
+    let posts = dir.path("posts.tsv");
+    let follower = dir.path("follower.fhf");
+    let graph = dir.path("sim.fhg");
+    let cover = dir.path("cover.fhc");
+    let out = dir.path("diversified.tsv");
+
+    let (_, err) = run_ok(&[
+        "generate",
+        "--authors", "300",
+        "--hours", "3",
+        "--seed", "7",
+        "--out-posts", &posts,
+        "--out-follower", &follower,
+    ]);
+    assert!(err.contains("300 authors"), "{err}");
+
+    let (_, err) = run_ok(&["build-graph", "--follower", &follower, "--out", &graph]);
+    assert!(err.contains("similarity graph"), "{err}");
+
+    let (_, err) = run_ok(&["cover", "--graph", &graph, "--out", &cover]);
+    assert!(err.contains("clique edge cover"), "{err}");
+
+    // Run all three algorithms; they must emit identical counts.
+    let mut emitted_counts = Vec::new();
+    for algorithm in ["unibin", "neighborbin", "cliquebin"] {
+        let (_, err) = run_ok(&[
+            "run",
+            "--posts", &posts,
+            "--graph", &graph,
+            "--algorithm", algorithm,
+            "--out", &out,
+        ]);
+        let line = err.lines().last().unwrap_or_default().to_string();
+        let emitted: u64 = line
+            .split(": ")
+            .nth(1)
+            .and_then(|s| s.split(" of").next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("unparseable stats line: {line}"));
+        emitted_counts.push(emitted);
+        let diversified = std::fs::read_to_string(&out).expect("output written");
+        assert_eq!(diversified.lines().count() as u64, emitted);
+    }
+    assert_eq!(emitted_counts[0], emitted_counts[1]);
+    assert_eq!(emitted_counts[0], emitted_counts[2]);
+
+    // Quality: the run output must be a valid diversification.
+    let (stdout, _) = run_ok(&[
+        "quality",
+        "--posts", &posts,
+        "--delivered", &out,
+        "--graph", &graph,
+    ]);
+    assert!(stdout.contains("coverage violations (lost posts): 0"), "{stdout}");
+    assert!(stdout.contains("VALID diversification"), "{stdout}");
+
+    // Explain a pair.
+    let (stdout, _) = run_ok(&[
+        "explain",
+        "--posts", &posts,
+        "--graph", &graph,
+        "--first", "0",
+        "--second", "1",
+    ]);
+    assert!(stdout.contains("verdict:"), "{stdout}");
+    assert!(stdout.contains("content"), "{stdout}");
+}
+
+#[test]
+fn helpful_errors() {
+    let err = run_err(&["run", "--graph", "nowhere.fhg"]);
+    assert!(err.contains("missing required --posts"), "{err}");
+
+    let err = run_err(&["frobnicate"]);
+    assert!(err.contains("unknown command"), "{err}");
+
+    let err = run_err(&["run", "--posts"]);
+    assert!(err.contains("flag without value"), "{err}");
+
+    let dir = TempDir::new("errors");
+    let missing = dir.path("missing.tsv");
+    let err = run_err(&["run", "--posts", &missing, "--graph", &missing]);
+    assert!(err.contains("cannot open"), "{err}");
+}
+
+#[test]
+fn run_rejects_mismatched_graph() {
+    let dir = TempDir::new("mismatch");
+    let posts = dir.path("posts.tsv");
+    let follower = dir.path("follower.fhf");
+    let graph = dir.path("sim.fhg");
+    run_ok(&[
+        "generate",
+        "--authors", "300",
+        "--hours", "1",
+        "--out-posts", &posts,
+        "--out-follower", &follower,
+    ]);
+    run_ok(&["build-graph", "--follower", &follower, "--out", &graph]);
+
+    // A corpus referencing authors beyond the graph must be rejected.
+    std::fs::write(&posts, "1\t9999\t0\tsome text here\n").unwrap();
+    let err = run_err(&["run", "--posts", &posts, "--graph", &graph]);
+    assert!(err.contains("author 9999"), "{err}");
+}
+
+#[test]
+fn help_prints_usage() {
+    let (stdout, _) = run_ok(&["help"]);
+    assert!(stdout.contains("usage: firehose"));
+    assert!(stdout.contains("build-graph"));
+}

@@ -1,0 +1,165 @@
+//! The central correctness property of Section 4: UniBin, NeighborBin and
+//! CliqueBin are *exact* index optimizations — all three must emit the same
+//! diversified sub-stream, and that sub-stream must match a brute-force
+//! reference implementation of the coverage semantics.
+
+use std::sync::Arc;
+
+use firehose::core::engine::{build_engine, AlgorithmKind};
+use firehose::core::{covers, EngineConfig, Thresholds};
+use firehose::graph::UndirectedGraph;
+use firehose::stream::PostRecord;
+use proptest::prelude::*;
+
+/// Brute-force SPSD: scan all previously emitted records.
+fn reference_spsd(
+    records: &[PostRecord],
+    thresholds: &Thresholds,
+    graph: &UndirectedGraph,
+) -> Vec<bool> {
+    let mut emitted: Vec<PostRecord> = Vec::new();
+    records
+        .iter()
+        .map(|r| {
+            let covered = emitted.iter().any(|e| covers(e, r, thresholds, graph));
+            if !covered {
+                emitted.push(*r);
+            }
+            !covered
+        })
+        .collect()
+}
+
+fn run_engine(
+    kind: AlgorithmKind,
+    records: &[PostRecord],
+    thresholds: Thresholds,
+    graph: &Arc<UndirectedGraph>,
+) -> Vec<bool> {
+    let mut engine = build_engine(kind, EngineConfig::new(thresholds), Arc::clone(graph));
+    records.iter().map(|&r| engine.offer_record(r).is_emitted()).collect()
+}
+
+/// A random stream over `m` authors: timestamps increase by 0..gap steps,
+/// fingerprints drawn from a small pool so content collisions actually occur.
+fn stream_strategy(m: u32) -> impl Strategy<Value = Vec<PostRecord>> {
+    proptest::collection::vec(
+        (0..m, 0u64..500, proptest::sample::select(vec![0u64, 1, 0xFF, 0xFF00, u64::MAX, 0xF0F0F0F0])),
+        0..80,
+    )
+    .prop_map(|items| {
+        let mut ts = 0u64;
+        items
+            .into_iter()
+            .enumerate()
+            .map(|(i, (author, gap, fingerprint))| {
+                ts += gap;
+                PostRecord { id: i as u64, author, timestamp: ts, fingerprint }
+            })
+            .collect()
+    })
+}
+
+fn graph_strategy(m: u32) -> impl Strategy<Value = UndirectedGraph> {
+    proptest::collection::vec((0..m, 0..m), 0..40)
+        .prop_map(move |edges| UndirectedGraph::from_edges(m as usize, edges))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// All three engines match the brute-force reference on arbitrary
+    /// streams, graphs and thresholds.
+    #[test]
+    fn engines_match_reference(
+        records in stream_strategy(12),
+        graph in graph_strategy(12),
+        lambda_c in 0u32..24,
+        lambda_t in 1u64..2_000,
+        ) {
+        let thresholds = Thresholds::new(lambda_c, lambda_t, 0.7).unwrap();
+        let graph = Arc::new(graph);
+        let expected = reference_spsd(&records, &thresholds, &graph);
+        for kind in AlgorithmKind::ALL {
+            let got = run_engine(kind, &records, thresholds, &graph);
+            prop_assert_eq!(&got, &expected, "{} diverged from reference", kind);
+        }
+    }
+
+    /// The coverage invariant: every pruned post is covered by an *earlier
+    /// emitted* post within the window; no emitted post is covered by an
+    /// earlier emitted post.
+    #[test]
+    fn coverage_invariant_holds(
+        records in stream_strategy(10),
+        graph in graph_strategy(10),
+        lambda_t in 1u64..1_000,
+    ) {
+        let thresholds = Thresholds::new(8, lambda_t, 0.7).unwrap();
+        let graph = Arc::new(graph);
+        let decisions = run_engine(AlgorithmKind::UniBin, &records, thresholds, &graph);
+
+        let mut emitted: Vec<PostRecord> = Vec::new();
+        for (r, &keep) in records.iter().zip(&decisions) {
+            let covered_by_earlier = emitted.iter().any(|e| covers(e, r, &thresholds, &graph));
+            if keep {
+                prop_assert!(
+                    !covered_by_earlier,
+                    "emitted post {} is covered by an earlier emission",
+                    r.id
+                );
+                emitted.push(*r);
+            } else {
+                prop_assert!(
+                    covered_by_earlier,
+                    "pruned post {} has no covering emission",
+                    r.id
+                );
+            }
+        }
+    }
+
+    /// Engines are deterministic: the same stream twice produces the same
+    /// decisions and the same counters.
+    ///
+    /// (Note: emitted-set *cardinality* is deliberately NOT asserted to be
+    /// monotone in the thresholds — greedy online diversification is not
+    /// monotone: pruning a post removes it from future comparisons, which
+    /// can cascade either way.)
+    #[test]
+    fn engines_are_deterministic(
+        records in stream_strategy(10),
+        graph in graph_strategy(10),
+        lambda_c in 0u32..24,
+        lambda_t in 1u64..1_000,
+    ) {
+        let thresholds = Thresholds::new(lambda_c, lambda_t, 0.7).unwrap();
+        let graph = Arc::new(graph);
+        for kind in AlgorithmKind::ALL {
+            let a = run_engine(kind, &records, thresholds, &graph);
+            let b = run_engine(kind, &records, thresholds, &graph);
+            prop_assert_eq!(a, b, "{} is nondeterministic", kind);
+        }
+    }
+}
+
+#[test]
+fn empty_stream_is_fine() {
+    let graph = Arc::new(UndirectedGraph::new(4));
+    for kind in AlgorithmKind::ALL {
+        let engine = build_engine(kind, EngineConfig::paper_defaults(), Arc::clone(&graph));
+        assert_eq!(engine.metrics().posts_processed, 0);
+        assert_eq!(engine.memory_bytes(), 0);
+    }
+}
+
+#[test]
+fn single_post_always_emitted() {
+    let graph = Arc::new(UndirectedGraph::new(2));
+    let record = PostRecord { id: 9, author: 1, timestamp: 42, fingerprint: 0xDEAD };
+    for kind in AlgorithmKind::ALL {
+        let mut engine =
+            build_engine(kind, EngineConfig::paper_defaults(), Arc::clone(&graph));
+        assert!(engine.offer_record(record).is_emitted(), "{kind}");
+    }
+}

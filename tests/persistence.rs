@@ -1,0 +1,132 @@
+//! Persistence round-trips across crates: offline artifacts through
+//! `firehose::graph::io`, engine state through `firehose::core::snapshot`,
+//! composed the way a deployment would use them.
+
+use std::sync::Arc;
+
+use firehose::core::engine::{Diversifier, NeighborBin, UniBin};
+use firehose::core::snapshot::{
+    restore_neighborbin, restore_unibin, snapshot_neighborbin, snapshot_unibin,
+};
+use firehose::core::{EngineConfig, Thresholds};
+use firehose::datagen::{SocialGenConfig, SyntheticSocialGraph, Workload, WorkloadConfig};
+use firehose::graph::io::{
+    read_cover, read_follower, read_undirected, write_cover, write_follower, write_undirected,
+};
+use firehose::graph::{build_similarity_graph, greedy_clique_cover, GraphTopology};
+use firehose::stream::hours;
+use proptest::prelude::*;
+
+fn pipeline_fixture() -> (SyntheticSocialGraph, Workload) {
+    let social = SyntheticSocialGraph::generate(SocialGenConfig::test_scale());
+    let workload =
+        Workload::generate(&social, WorkloadConfig { duration: hours(3), ..Default::default() });
+    (social, workload)
+}
+
+#[test]
+fn offline_artifacts_roundtrip_on_real_data() {
+    let (social, _) = pipeline_fixture();
+
+    // Follower graph.
+    let mut buf = Vec::new();
+    write_follower(&social.graph, &mut buf).unwrap();
+    let follower = read_follower(&mut buf.as_slice()).unwrap();
+    assert_eq!(follower.edge_count(), social.graph.edge_count());
+
+    // Similarity graph built from the *loaded* follower graph must equal the
+    // one built from the original.
+    let original = build_similarity_graph(&social.graph, 0.7);
+    let reloaded = build_similarity_graph(&follower, 0.7);
+    assert_eq!(original, reloaded);
+
+    // Similarity graph and cover round-trips.
+    let mut buf = Vec::new();
+    write_undirected(&original, &mut buf).unwrap();
+    let graph2 = read_undirected(&mut buf.as_slice()).unwrap();
+    assert_eq!(graph2, original);
+
+    let cover = greedy_clique_cover(&original);
+    let mut buf = Vec::new();
+    write_cover(&cover, original.node_count(), &mut buf).unwrap();
+    let cover2 = read_cover(&mut buf.as_slice()).unwrap();
+    cover2.validate(&graph2).unwrap();
+
+    // Topology statistics survive the round-trip.
+    let t1 = GraphTopology::measure(&original, &cover);
+    let t2 = GraphTopology::measure(&graph2, &cover2);
+    assert_eq!(t1, t2);
+}
+
+#[test]
+fn engine_checkpoint_resumes_identically_on_real_workload() {
+    let (social, workload) = pipeline_fixture();
+    let graph = Arc::new(build_similarity_graph(&social.graph, 0.7));
+    let config = EngineConfig::new(Thresholds::paper_defaults());
+    let (first, second) = workload.posts.split_at(workload.len() / 2);
+
+    // UniBin.
+    let mut engine = UniBin::new(config, Arc::clone(&graph));
+    for p in first {
+        engine.offer(p);
+    }
+    let mut buf = Vec::new();
+    snapshot_unibin(&engine, &mut buf).unwrap();
+    let mut restored = restore_unibin(&mut buf.as_slice(), Arc::clone(&graph)).unwrap();
+    for p in second {
+        assert_eq!(restored.offer(p), engine.offer(p), "UniBin diverged at post {}", p.id);
+    }
+    assert_eq!(restored.metrics(), engine.metrics());
+
+    // NeighborBin.
+    let mut engine = NeighborBin::new(config, Arc::clone(&graph));
+    for p in first {
+        engine.offer(p);
+    }
+    let mut buf = Vec::new();
+    snapshot_neighborbin(&engine, &mut buf).unwrap();
+    let mut restored = restore_neighborbin(&mut buf.as_slice(), Arc::clone(&graph)).unwrap();
+    for p in second {
+        assert_eq!(restored.offer(p), engine.offer(p), "NeighborBin diverged at post {}", p.id);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Snapshot/restore at an arbitrary cut point never changes the rest of
+    /// the stream's decisions.
+    #[test]
+    fn snapshot_at_any_point_is_transparent(
+        cut in 0usize..60,
+        seed in 0u64..50,
+    ) {
+        let graph = Arc::new(firehose::graph::UndirectedGraph::from_edges(
+            6,
+            [(0, 1), (1, 2), (3, 4)],
+        ));
+        let config = EngineConfig::new(Thresholds::new(18, 120_000, 0.7).unwrap());
+        let posts: Vec<firehose::stream::Post> = (0..60u64)
+            .map(|i| {
+                firehose::stream::Post::new(
+                    i,
+                    ((i + seed) % 6) as u32,
+                    i * 10_000,
+                    format!("subject {} body text", (i + seed) % 9),
+                )
+            })
+            .collect();
+        let cut = cut.min(posts.len());
+
+        let mut engine = UniBin::new(config, Arc::clone(&graph));
+        for p in &posts[..cut] {
+            engine.offer(p);
+        }
+        let mut buf = Vec::new();
+        snapshot_unibin(&engine, &mut buf).unwrap();
+        let mut restored = restore_unibin(&mut buf.as_slice(), Arc::clone(&graph)).unwrap();
+        for p in &posts[cut..] {
+            prop_assert_eq!(restored.offer(p), engine.offer(p));
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! End-to-end pipeline tests on a realistic (small-scale) synthetic
+//! workload: generator → similarity graph → engines → metrics, checking the
+//! qualitative relationships the paper's evaluation rests on.
+
+use std::sync::Arc;
+
+use firehose::core::engine::{build_engine, AlgorithmKind};
+use firehose::core::{EngineConfig, Thresholds};
+use firehose::datagen::{SocialGenConfig, SyntheticSocialGraph, Workload, WorkloadConfig};
+use firehose::graph::{build_similarity_graph, greedy_clique_cover, UndirectedGraph};
+use firehose::simhash::{simhash, HammingIndex, SimHashOptions};
+use firehose::stream::{hours, minutes};
+
+struct Setup {
+    graph: Arc<UndirectedGraph>,
+    workload: Workload,
+}
+
+fn setup() -> Setup {
+    let social = SyntheticSocialGraph::generate(SocialGenConfig::test_scale());
+    let workload = Workload::generate(
+        &social,
+        WorkloadConfig { duration: hours(6), ..WorkloadConfig::default() },
+    );
+    let graph = Arc::new(build_similarity_graph(&social.graph, 0.7));
+    Setup { graph, workload }
+}
+
+fn run(setup: &Setup, kind: AlgorithmKind) -> firehose::core::EngineMetrics {
+    let mut engine =
+        build_engine(kind, EngineConfig::paper_defaults(), Arc::clone(&setup.graph));
+    for post in &setup.workload.posts {
+        engine.offer(post);
+    }
+    *engine.metrics()
+}
+
+#[test]
+fn all_engines_emit_identical_streams_on_real_workload() {
+    let s = setup();
+    let emitted: Vec<Vec<u64>> = AlgorithmKind::ALL
+        .into_iter()
+        .map(|kind| {
+            let mut engine =
+                build_engine(kind, EngineConfig::paper_defaults(), Arc::clone(&s.graph));
+            s.workload
+                .posts
+                .iter()
+                .filter(|p| engine.offer(p).is_emitted())
+                .map(|p| p.id)
+                .collect()
+        })
+        .collect();
+    assert_eq!(emitted[0], emitted[1], "UniBin vs NeighborBin");
+    assert_eq!(emitted[0], emitted[2], "UniBin vs CliqueBin");
+    assert!(!emitted[0].is_empty());
+}
+
+#[test]
+fn workload_pruning_is_in_the_papers_regime() {
+    let s = setup();
+    let metrics = run(&s, AlgorithmKind::UniBin);
+    let pruned = 1.0 - metrics.emit_ratio();
+    // The paper prunes ≈10% at default thresholds; tolerate generator noise
+    // at the tiny test scale.
+    assert!(
+        (0.02..0.30).contains(&pruned),
+        "pruning {pruned:.3} outside plausible band"
+    );
+}
+
+#[test]
+fn table3_orderings_on_real_workload() {
+    let s = setup();
+    let uni = run(&s, AlgorithmKind::UniBin);
+    let nb = run(&s, AlgorithmKind::NeighborBin);
+    let cb = run(&s, AlgorithmKind::CliqueBin);
+
+    // RAM: Uni < Clique < Neighbor.
+    assert!(uni.peak_copies < cb.peak_copies, "UniBin must use least RAM");
+    assert!(cb.peak_copies < nb.peak_copies, "CliqueBin must beat NeighborBin on RAM");
+    // Insertions: Uni < Clique < Neighbor.
+    assert!(uni.insertions < cb.insertions);
+    assert!(cb.insertions < nb.insertions);
+    // Comparisons: Neighbor is the floor.
+    assert!(nb.comparisons < uni.comparisons, "NeighborBin must beat UniBin on comparisons");
+    // All process the same stream and emit the same count.
+    assert_eq!(uni.posts_emitted, nb.posts_emitted);
+    assert_eq!(uni.posts_emitted, cb.posts_emitted);
+}
+
+#[test]
+fn smaller_lambda_t_means_less_work() {
+    let s = setup();
+    let run_with = |lt| {
+        let config = EngineConfig::new(Thresholds::new(18, lt, 0.7).unwrap());
+        let mut engine = build_engine(AlgorithmKind::UniBin, config, Arc::clone(&s.graph));
+        for post in &s.workload.posts {
+            engine.offer(post);
+        }
+        *engine.metrics()
+    };
+    let short = run_with(minutes(5));
+    let long = run_with(minutes(60));
+    assert!(short.comparisons < long.comparisons);
+    assert!(short.peak_copies <= long.peak_copies);
+}
+
+#[test]
+fn injected_duplicates_are_what_gets_pruned() {
+    let s = setup();
+    let mut engine = build_engine(
+        AlgorithmKind::UniBin,
+        EngineConfig::paper_defaults(),
+        Arc::clone(&s.graph),
+    );
+    let mut pruned_dup = 0usize;
+    let mut pruned_fresh = 0usize;
+    for (i, post) in s.workload.posts.iter().enumerate() {
+        if !engine.offer(post).is_emitted() {
+            if s.workload.duplicate_of[i].is_some() {
+                pruned_dup += 1;
+            } else {
+                pruned_fresh += 1;
+            }
+        }
+    }
+    assert!(
+        pruned_dup > pruned_fresh,
+        "pruning should hit injected near-duplicates first ({pruned_dup} vs {pruned_fresh})"
+    );
+}
+
+#[test]
+fn clique_cover_scales_on_real_similarity_graph() {
+    let s = setup();
+    let cover = greedy_clique_cover(&s.graph);
+    cover.validate(&s.graph).expect("valid cover");
+    assert!(cover.count() > 0);
+    // Sanity: the per-author membership (c) stays within an order of
+    // magnitude of the degree — no pathological blow-up.
+    let c = cover.avg_cliques_per_member();
+    let d = s.graph.average_degree();
+    assert!(c < d * 2.0, "cover exploded: c={c:.1} vs d={d:.1}");
+}
+
+#[test]
+fn manku_index_agrees_with_linear_scan_on_real_fingerprints() {
+    let s = setup();
+    let fingerprints: Vec<u64> = s
+        .workload
+        .posts
+        .iter()
+        .take(400)
+        .map(|p| simhash(&p.text, SimHashOptions::paper()))
+        .collect();
+    let mut index = HammingIndex::new(6).unwrap();
+    for &fp in &fingerprints {
+        index.insert(fp);
+    }
+    for &q in fingerprints.iter().take(50) {
+        let got = index.query(q);
+        let expected: Vec<u32> = fingerprints
+            .iter()
+            .enumerate()
+            .filter(|&(_, &fp)| firehose::simhash::hamming_distance(fp, q) <= 6)
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(got, expected);
+    }
+}

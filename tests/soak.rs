@@ -1,0 +1,78 @@
+//! Long-run soak tests — `cargo test -- --ignored` to run.
+//!
+//! The evaluation streams one day; a deployed engine runs indefinitely.
+//! These tests stream a simulated week and check that state stays bounded
+//! (the λt window, not the stream length, governs memory) and that the
+//! workload calibration is not a single-seed fluke.
+
+use std::sync::Arc;
+
+use firehose::core::engine::{build_engine, AlgorithmKind};
+use firehose::core::EngineConfig;
+use firehose::datagen::{SocialGenConfig, SyntheticSocialGraph, Workload, WorkloadConfig};
+use firehose::graph::build_similarity_graph;
+use firehose::stream::days;
+
+#[test]
+#[ignore = "slow: streams a simulated week"]
+fn week_long_stream_keeps_memory_bounded() {
+    let social = SyntheticSocialGraph::generate(SocialGenConfig::test_scale());
+    let graph = Arc::new(build_similarity_graph(&social.graph, 0.7));
+    let workload = Workload::generate(
+        &social,
+        WorkloadConfig { duration: days(7), ..WorkloadConfig::default() },
+    );
+    assert!(workload.len() > 10_000, "a week should hold plenty of posts");
+
+    for kind in AlgorithmKind::ALL {
+        let mut engine = build_engine(kind, EngineConfig::paper_defaults(), Arc::clone(&graph));
+        // Measure the day-1 peak, then verify the week never exceeds a small
+        // multiple of it: the window is ~30 minutes, so day 7 looks like day 1.
+        let day1_end = workload.posts.partition_point(|p| p.timestamp < days(1));
+        for post in &workload.posts[..day1_end] {
+            engine.offer(post);
+        }
+        let day1_peak = engine.metrics().peak_copies.max(1);
+        for post in &workload.posts[day1_end..] {
+            engine.offer(post);
+        }
+        let week_peak = engine.metrics().peak_copies;
+        assert!(
+            week_peak <= day1_peak * 3,
+            "{kind}: week peak {week_peak} vs day-1 peak {day1_peak} — state is growing"
+        );
+        // Decisions keep flowing: the last day prunes in the usual band.
+        let pruned = 1.0 - engine.metrics().emit_ratio();
+        assert!((0.02..0.35).contains(&pruned), "{kind}: pruning drifted to {pruned}");
+    }
+}
+
+#[test]
+#[ignore = "slow: regenerates the workload under several seeds"]
+fn calibration_is_seed_robust() {
+    let social = SyntheticSocialGraph::generate(SocialGenConfig::test_scale());
+    let graph = Arc::new(build_similarity_graph(&social.graph, 0.7));
+    for seed in [1u64, 2, 3, 4, 5] {
+        let workload = Workload::generate(
+            &social,
+            WorkloadConfig {
+                duration: firehose::stream::hours(12),
+                ..WorkloadConfig::default()
+            }
+            .with_seed(seed),
+        );
+        let mut engine = build_engine(
+            AlgorithmKind::UniBin,
+            EngineConfig::paper_defaults(),
+            Arc::clone(&graph),
+        );
+        for post in &workload.posts {
+            engine.offer(post);
+        }
+        let pruned = 1.0 - engine.metrics().emit_ratio();
+        assert!(
+            (0.04..0.25).contains(&pruned),
+            "seed {seed}: pruning {pruned:.3} outside the calibrated band"
+        );
+    }
+}
