@@ -15,9 +15,7 @@ use firehose_core::EngineConfig;
 use firehose_datagen::{
     SocialGenConfig, SyntheticSocialGraph, TextGen, TextGenConfig, Workload, WorkloadConfig,
 };
-use firehose_graph::{
-    build_similarity_graph, greedy_clique_cover, UndirectedGraph,
-};
+use firehose_graph::{build_similarity_graph, greedy_clique_cover, UndirectedGraph};
 use firehose_simhash::{hamming_distance, simhash, HammingIndex, SimHashOptions};
 use firehose_stream::{hours, Post, PostRecord, TimeWindowBin};
 
@@ -41,7 +39,9 @@ fn bench_simhash(c: &mut Criterion) {
 }
 
 fn bench_hamming(c: &mut Criterion) {
-    let fps: Vec<u64> = (0..1024u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+    let fps: Vec<u64> = (0..1024u64)
+        .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+        .collect();
     let mut group = c.benchmark_group("hamming");
     group.throughput(Throughput::Elements(fps.len() as u64 * fps.len() as u64));
     group.bench_function("all_pairs_1024", |b| {
@@ -63,7 +63,10 @@ fn engine_fixture() -> (Arc<UndirectedGraph>, Vec<Post>) {
     let social = SyntheticSocialGraph::generate(SocialGenConfig::test_scale());
     let workload = Workload::generate(
         &social,
-        WorkloadConfig { duration: hours(3), ..WorkloadConfig::default() },
+        WorkloadConfig {
+            duration: hours(3),
+            ..WorkloadConfig::default()
+        },
     );
     let graph = Arc::new(build_similarity_graph(&social.graph, 0.7));
     (graph, workload.posts)
@@ -130,8 +133,9 @@ fn bench_window(c: &mut Criterion) {
 
 fn bench_manku_index(c: &mut Criterion) {
     let mut textgen = TextGen::new(TextGenConfig::default(), 5);
-    let fps: Vec<u64> =
-        (0..4_096).map(|_| simhash(&textgen.base_tweet(), SimHashOptions::paper())).collect();
+    let fps: Vec<u64> = (0..4_096)
+        .map(|_| simhash(&textgen.base_tweet(), SimHashOptions::paper()))
+        .collect();
 
     let mut index = HammingIndex::new(3).expect("valid");
     for &fp in &fps {
@@ -154,7 +158,10 @@ fn bench_manku_index(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0usize;
             for &q in queries {
-                acc += fps.iter().filter(|&&fp| hamming_distance(fp, q) <= 3).count();
+                acc += fps
+                    .iter()
+                    .filter(|&&fp| hamming_distance(fp, q) <= 3)
+                    .count();
             }
             acc
         })
@@ -231,7 +238,11 @@ fn bench_corpus(c: &mut Criterion) {
         })
     });
     group.bench_function("read_posts", |b| {
-        b.iter(|| read_posts(&mut black_box(encoded.as_slice())).expect("decode").len())
+        b.iter(|| {
+            read_posts(&mut black_box(encoded.as_slice()))
+                .expect("decode")
+                .len()
+        })
     });
     group.finish();
 }

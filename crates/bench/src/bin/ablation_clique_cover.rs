@@ -58,10 +58,12 @@ fn main() {
             let t0 = Instant::now();
             let cover = build(&graph);
             let build_ms = t0.elapsed().as_secs_f64() * 1_000.0;
-            let (cliques, total, c) =
-                (cover.count(), cover.total_size(), cover.avg_cliques_per_member());
-            let (engine_ms, peak, comparisons) =
-                run_cliquebin(&graph, cover, &data.workload.posts);
+            let (cliques, total, c) = (
+                cover.count(),
+                cover.total_size(),
+                cover.avg_cliques_per_member(),
+            );
+            let (engine_ms, peak, comparisons) = run_cliquebin(&graph, cover, &data.workload.posts);
             eprintln!("[a3] λa={lambda_a} {name}: {cliques} cliques, engine {engine_ms:.0} ms");
             r.row(&[
                 format!("{lambda_a}"),

@@ -29,7 +29,14 @@ fn main() {
 
     let mut r = Report::new(
         "ablation_manku_index",
-        &["k", "tables", "probed_per_query", "linear_scan", "speedup", "recall_ok"],
+        &[
+            "k",
+            "tables",
+            "probed_per_query",
+            "linear_scan",
+            "speedup",
+            "recall_ok",
+        ],
     );
     for k in [3u32, 6, 9, 12, 15, 18] {
         let mut index = HammingIndex::new(k).expect("k+1 layout always fits");
@@ -65,9 +72,23 @@ fn main() {
     // Sharper layouts: what would it take to keep queries selective at k=18?
     let mut plans = Report::new(
         "ablation_manku_plans",
-        &["k", "blocks", "tables", "min_key_bits", "expected_probe_fraction"],
+        &[
+            "k",
+            "blocks",
+            "tables",
+            "min_key_bits",
+            "expected_probe_fraction",
+        ],
     );
-    for (k, blocks) in [(3u32, 4u32), (3, 6), (3, 8), (18, 19), (18, 22), (18, 26), (18, 32)] {
+    for (k, blocks) in [
+        (3u32, 4u32),
+        (3, 6),
+        (3, 8),
+        (18, 19),
+        (18, 22),
+        (18, 26),
+        (18, 32),
+    ] {
         match IndexPlan::evaluate(k, blocks) {
             Ok(p) => plans.row(&[
                 k.to_string(),

@@ -34,14 +34,23 @@ fn main() {
 
     let mut r = Report::new(
         "ablation_maxmin_baseline",
-        &["system", "delivered", "delivered_pct", "lost_posts", "lost_pct", "comparisons"],
+        &[
+            "system",
+            "delivered",
+            "delivered_pct",
+            "lost_posts",
+            "lost_pct",
+            "comparisons",
+        ],
     );
     let total = records.len() as f64;
 
     // SPSD (UniBin — all engines emit the same stream).
     let mut engine = UniBin::new(EngineConfig::new(thresholds), Arc::clone(&graph));
-    let spsd_delivered: Vec<bool> =
-        records.iter().map(|&rec| engine.offer_record(rec).is_emitted()).collect();
+    let spsd_delivered: Vec<bool> = records
+        .iter()
+        .map(|&rec| engine.offer_record(rec).is_emitted())
+        .collect();
     let spsd_quality = evaluate(&records, &spsd_delivered, &thresholds, &graph);
     let spsd_lost = spsd_quality.coverage_violations;
     let spsd_count = spsd_quality.delivered;

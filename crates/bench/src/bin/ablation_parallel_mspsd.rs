@@ -30,12 +30,22 @@ fn main() {
     eprintln!("[a4] sequential S_UniBin ...");
     let mut sequential = SharedMulti::new(AlgorithmKind::UniBin, config, &graph, subs.clone());
     let t0 = Instant::now();
-    let expected: Vec<_> = data.workload.posts.iter().map(|p| sequential.offer(p)).collect();
+    let expected: Vec<_> = data
+        .workload
+        .posts
+        .iter()
+        .map(|p| sequential.offer(p))
+        .collect();
     let seq_ms = t0.elapsed().as_secs_f64() * 1_000.0;
 
     let mut r = Report::new(
         "ablation_parallel_mspsd",
-        &["shards", "time_ms", "speedup_vs_sequential", "output_identical"],
+        &[
+            "shards",
+            "time_ms",
+            "speedup_vs_sequential",
+            "output_identical",
+        ],
     );
     r.row(&["sequential".into(), f1(seq_ms), "1.0".into(), "-".into()]);
 

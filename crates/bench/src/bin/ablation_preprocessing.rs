@@ -55,7 +55,10 @@ fn main() {
     };
 
     add("raw", study.precision_recall(SimHashOptions::raw()));
-    add("normalized", study.precision_recall(SimHashOptions::paper()));
+    add(
+        "normalized",
+        study.precision_recall(SimHashOptions::paper()),
+    );
     add(
         "normalized + abbreviations",
         study.precision_recall_with(SimHashOptions::paper(), expand_abbreviations),
@@ -68,27 +71,39 @@ fn main() {
     add(
         "hashtags boosted 3x",
         study.precision_recall(SimHashOptions {
-            weights: TokenWeights { hashtag: 3.0, ..TokenWeights::uniform() },
+            weights: TokenWeights {
+                hashtag: 3.0,
+                ..TokenWeights::uniform()
+            },
             ..SimHashOptions::paper()
         }),
     );
     add(
         "mentions boosted 3x",
         study.precision_recall(SimHashOptions {
-            weights: TokenWeights { mention: 3.0, ..TokenWeights::uniform() },
+            weights: TokenWeights {
+                mention: 3.0,
+                ..TokenWeights::uniform()
+            },
             ..SimHashOptions::paper()
         }),
     );
     add(
         "urls dropped",
         study.precision_recall(SimHashOptions {
-            weights: TokenWeights { url: 0.0, ..TokenWeights::uniform() },
+            weights: TokenWeights {
+                url: 0.0,
+                ..TokenWeights::uniform()
+            },
             ..SimHashOptions::paper()
         }),
     );
     add(
         "word bigrams",
-        study.precision_recall(SimHashOptions { ngram: 2, ..SimHashOptions::paper() }),
+        study.precision_recall(SimHashOptions {
+            ngram: 2,
+            ..SimHashOptions::paper()
+        }),
     );
     r.finish();
     println!("paper reference: only normalization moves the curves; the other variants had no significant impact");

@@ -74,8 +74,12 @@ fn main() {
     let posts = &data.workload.posts[..data.workload.len().min(cap)];
 
     // SimHash engine.
-    let simhash_stats =
-        firehose_bench::run_spsd(firehose_core::AlgorithmKind::UniBin, thresholds, Arc::clone(&graph), posts);
+    let simhash_stats = firehose_bench::run_spsd(
+        firehose_core::AlgorithmKind::UniBin,
+        thresholds,
+        Arc::clone(&graph),
+        posts,
+    );
     let mut simhash_engine = firehose_core::engine::UniBin::new(
         firehose_core::EngineConfig::new(thresholds),
         Arc::clone(&graph),

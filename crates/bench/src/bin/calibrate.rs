@@ -21,7 +21,10 @@ fn main() {
 
     // Figure 9 anchor points.
     let ccdf = similarity_ccdf(&data.social.graph, &[0.2, 0.3]);
-    let mut r = Report::new("calibrate_ccdf", &["threshold", "measured_pct", "paper_pct"]);
+    let mut r = Report::new(
+        "calibrate_ccdf",
+        &["threshold", "measured_pct", "paper_pct"],
+    );
     r.row(&[f3(0.2), f3(ccdf[0].1 * 100.0), "2.3".into()]);
     r.row(&[f3(0.3), f3(ccdf[1].1 * 100.0), "0.6".into()]);
     r.finish();
@@ -29,11 +32,15 @@ fn main() {
     // Topology at the three λa of Figure 13.
     let mut r = Report::new(
         "calibrate_topology",
-        &["lambda_a", "edges", "d", "c", "s", "paper_d", "paper_c", "paper_s"],
+        &[
+            "lambda_a", "edges", "d", "c", "s", "paper_d", "paper_c", "paper_s",
+        ],
     );
-    for (lambda_a, pd, pc, ps) in
-        [(0.6, "-", "-", "-"), (0.7, "113.7", "29", "20"), (0.8, "437.3", "106", "38")]
-    {
+    for (lambda_a, pd, pc, ps) in [
+        (0.6, "-", "-", "-"),
+        (0.7, "113.7", "29", "20"),
+        (0.8, "437.3", "106", "38"),
+    ] {
         let g = data.similarity_graph(lambda_a);
         let cover = greedy_clique_cover(&g);
         let t = GraphTopology::measure(&g, &cover);
@@ -58,9 +65,11 @@ fn main() {
         graph,
         &data.workload.posts,
     );
-    let pruned =
-        1.0 - stats.metrics.posts_emitted as f64 / stats.metrics.posts_processed as f64;
-    let mut r = Report::new("calibrate_pruning", &["posts", "emitted", "pruned_pct", "paper_pct"]);
+    let pruned = 1.0 - stats.metrics.posts_emitted as f64 / stats.metrics.posts_processed as f64;
+    let mut r = Report::new(
+        "calibrate_pruning",
+        &["posts", "emitted", "pruned_pct", "paper_pct"],
+    );
     r.row(&[
         stats.metrics.posts_processed.to_string(),
         stats.metrics.posts_emitted.to_string(),

@@ -11,8 +11,11 @@ fn main() {
         let cover = greedy_clique_cover(&g);
         let count = cover.count();
         let total = cover.total_size();
-        let clique_edges: usize =
-            cover.cliques().iter().map(|k| k.len() * (k.len() - 1) / 2).sum();
+        let clique_edges: usize = cover
+            .cliques()
+            .iter()
+            .map(|k| k.len() * (k.len() - 1) / 2)
+            .sum();
         println!(
             "λa={lambda_a}: edges={} cliques={count} total_size={total} c={:.2} s={:.2} clique_edges={clique_edges} q={:.3} valid={:?} ({:.2?})",
             g.edge_count(),
@@ -37,7 +40,9 @@ fn main() {
             };
             hist[b] += 1;
         }
-        println!("  sizes ≤2:{} 3-4:{} 5-8:{} 9-16:{} 17-32:{} 33-64:{} 65-128:{} >128:{}",
-            hist[0], hist[1], hist[2], hist[3], hist[4], hist[5], hist[6], hist[7]);
+        println!(
+            "  sizes ≤2:{} 3-4:{} 5-8:{} 9-16:{} 17-32:{} 33-64:{} 65-128:{} >128:{}",
+            hist[0], hist[1], hist[2], hist[3], hist[4], hist[5], hist[6], hist[7]
+        );
     }
 }

@@ -8,7 +8,9 @@ fn main() {
     let g = SyntheticSocialGraph::generate(Scale::Bench.social_config());
     let n = g.author_count() as u32;
     println!("F(author 500) = {}", g.graph.followees(500).len());
-    for delta in [1u32, 10, 25, 50, 75, 100, 150, 200, 250, 300, 400, 500, 600, 800, 1200, 2000] {
+    for delta in [
+        1u32, 10, 25, 50, 75, 100, 150, 200, 250, 300, 400, 500, 600, 800, 1200, 2000,
+    ] {
         let mut total = 0.0;
         let k = 40;
         for i in 0..k {

@@ -25,7 +25,10 @@ fn main() {
         .map(|(d, &c)| d as f64 * f64::from(c))
         .sum::<f64>()
         / pairs as f64;
-    println!("random pairs: {pairs}, mean {mean:.1}, P(<=18) = {:.4}%", below18 as f64 / pairs as f64 * 100.0);
+    println!(
+        "random pairs: {pairs}, mean {mean:.1}, P(<=18) = {:.4}%",
+        below18 as f64 / pairs as f64 * 100.0
+    );
     print!("hist: ");
     for d in (0..=64).step_by(4) {
         let band: u32 = hist[d..(d + 4).min(65)].iter().sum();
@@ -47,6 +50,10 @@ fn main() {
                 le18 += 1;
             }
         }
-        println!("{class:?}: mean {:.1}, P(<=18) = {:.1}%", total / f64::from(n), f64::from(le18) / f64::from(n) * 100.0);
+        println!(
+            "{class:?}: mean {:.1}, P(<=18) = {:.1}%",
+            total / f64::from(n),
+            f64::from(le18) / f64::from(n) * 100.0
+        );
     }
 }

@@ -21,8 +21,9 @@ fn main() {
 
     let opts = SimHashOptions::paper();
     let mut textgen = TextGen::new(TextGenConfig::default(), 2);
-    let fingerprints: Vec<u64> =
-        (0..tweets).map(|_| simhash(&textgen.base_tweet(), opts)).collect();
+    let fingerprints: Vec<u64> = (0..tweets)
+        .map(|_| simhash(&textgen.base_tweet(), opts))
+        .collect();
 
     // Random pairs via a fixed stride (deterministic, covers the corpus).
     let mut hist = [0u64; 65];
@@ -34,8 +35,12 @@ fn main() {
         }
     }
 
-    let mean: f64 =
-        hist.iter().enumerate().map(|(d, &c)| d as f64 * c as f64).sum::<f64>() / pairs as f64;
+    let mean: f64 = hist
+        .iter()
+        .enumerate()
+        .map(|(d, &c)| d as f64 * c as f64)
+        .sum::<f64>()
+        / pairs as f64;
     let var: f64 = hist
         .iter()
         .enumerate()
@@ -44,7 +49,10 @@ fn main() {
         / pairs as f64;
     let bulk: u64 = hist[24..=40].iter().sum();
 
-    let mut r = Report::new("fig02_hamming_distribution", &["distance", "pairs", "fraction"]);
+    let mut r = Report::new(
+        "fig02_hamming_distribution",
+        &["distance", "pairs", "fraction"],
+    );
     for (d, &c) in hist.iter().enumerate() {
         if c > 0 {
             r.row(&[d.to_string(), c.to_string(), f3(c as f64 / pairs as f64)]);
@@ -54,7 +62,14 @@ fn main() {
 
     let mut s = Report::new(
         "fig02_summary",
-        &["pairs", "mean", "stddev", "mass_24_40", "paper_mean", "paper_bulk"],
+        &[
+            "pairs",
+            "mean",
+            "stddev",
+            "mass_24_40",
+            "paper_mean",
+            "paper_bulk",
+        ],
     );
     s.row(&[
         pairs.to_string(),

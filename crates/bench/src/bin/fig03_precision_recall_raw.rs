@@ -19,7 +19,10 @@ fn main() {
         study.redundant_count()
     );
 
-    let mut r = Report::new("fig03_precision_recall_raw", &["threshold", "precision", "recall"]);
+    let mut r = Report::new(
+        "fig03_precision_recall_raw",
+        &["threshold", "precision", "recall"],
+    );
     for pr in study.precision_recall(SimHashOptions::raw()) {
         r.row(&[pr.threshold.to_string(), f3(pr.precision), f3(pr.recall)]);
     }

@@ -20,7 +20,12 @@ fn main() {
 
     let mut r = Report::new(
         "fig09_author_similarity",
-        &["similarity", "fraction_pct", "paper_scale_pct", "paper_reference"],
+        &[
+            "similarity",
+            "fraction_pct",
+            "paper_scale_pct",
+            "paper_reference",
+        ],
     );
     for (t, frac) in ccdf {
         let reference = match t {

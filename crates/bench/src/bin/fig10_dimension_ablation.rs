@@ -28,7 +28,14 @@ fn main() {
     let defaults = Thresholds::paper_defaults();
     let mut r = Report::new(
         "fig10_dimension_ablation",
-        &["content", "time", "author", "left", "left_pct", "pruned_pct"],
+        &[
+            "content",
+            "time",
+            "author",
+            "left",
+            "left_pct",
+            "pruned_pct",
+        ],
     );
 
     for content_on in [true, false] {
@@ -36,11 +43,19 @@ fn main() {
             for author_on in [true, false] {
                 let thresholds = Thresholds::new(
                     if content_on { defaults.lambda_c } else { 64 },
-                    if time_on { defaults.lambda_t } else { Timestamp::MAX },
+                    if time_on {
+                        defaults.lambda_t
+                    } else {
+                        Timestamp::MAX
+                    },
                     defaults.lambda_a,
                 )
                 .expect("valid thresholds");
-                let graph = if author_on { Arc::clone(&sim_graph) } else { Arc::clone(&complete) };
+                let graph = if author_on {
+                    Arc::clone(&sim_graph)
+                } else {
+                    Arc::clone(&complete)
+                };
                 // UniBin suffices: all engines emit the same sub-stream.
                 let stats = firehose_bench::run_spsd(
                     AlgorithmKind::UniBin,

@@ -31,7 +31,11 @@ fn main() {
         // The user's similarity graph Gi: the subgraph induced by her
         // subscriptions (kept in the full id space, so bins stay addressable).
         let gi = Arc::new(graph.induced_subgraph(subscribed));
-        eprintln!("[fig15] {count} authors, {} posts, {} edges in Gi", posts.len(), gi.edge_count());
+        eprintln!(
+            "[fig15] {count} authors, {} posts, {} edges in Gi",
+            posts.len(),
+            gi.edge_count()
+        );
         let stats = firehose_bench::run_all(thresholds, &gi, &posts);
         sweep_rows(&mut r, &count.to_string(), &stats);
     }

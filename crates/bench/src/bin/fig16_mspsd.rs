@@ -15,9 +15,7 @@ use std::time::Instant;
 
 use firehose_bench::{f1, Dataset, Report, Scale};
 use firehose_core::engine::AlgorithmKind;
-use firehose_core::multi::{
-    IndependentMulti, MultiDiversifier, SharedMulti, Subscriptions,
-};
+use firehose_core::multi::{IndependentMulti, MultiDiversifier, SharedMulti, Subscriptions};
 use firehose_core::{EngineConfig, Thresholds};
 
 fn main() {
@@ -50,7 +48,13 @@ fn main() {
 
     let mut r = Report::new(
         "fig16_mspsd",
-        &["strategy", "time_ms", "peak_ram_mib", "comparisons", "insertions"],
+        &[
+            "strategy",
+            "time_ms",
+            "peak_ram_mib",
+            "comparisons",
+            "insertions",
+        ],
     );
     let mut summary: Vec<(AlgorithmKind, f64, f64)> = Vec::new();
 
@@ -77,7 +81,10 @@ fn main() {
         // S_*: one engine per distinct connected component.
         eprintln!("[fig16] building S_{kind} ...");
         let mut s_engine = SharedMulti::new(kind, config, &graph, subs.clone());
-        eprintln!("[fig16] S_{kind}: {} distinct components", s_engine.component_count());
+        eprintln!(
+            "[fig16] S_{kind}: {} distinct components",
+            s_engine.component_count()
+        );
         let t0 = Instant::now();
         for post in &data.workload.posts {
             s_engine.offer(post);
@@ -99,7 +106,12 @@ fn main() {
 
     let mut s = Report::new(
         "fig16_summary",
-        &["algorithm", "time_saved_pct", "ram_saved_pct", "paper_time_saved_pct"],
+        &[
+            "algorithm",
+            "time_saved_pct",
+            "ram_saved_pct",
+            "paper_time_saved_pct",
+        ],
     );
     for (kind, time_saved, ram_saved) in summary {
         let paper = match kind {

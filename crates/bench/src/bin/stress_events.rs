@@ -5,13 +5,20 @@
 //! on one crawled day; this stress run injects synthetic viral events (see
 //! `WorkloadConfig::events`) and measures how each engine's cost and tail
 //! latency respond, plus how much of the burst the diversifier absorbs.
+//!
+//! With `--metrics-out <dir>` each stream run additionally attaches a
+//! `firehose-obs` registry to every engine and dumps Prometheus text
+//! exposition + JSON snapshots (`--metrics-every <posts>` controls the
+//! cadence; default final-only). The exposition carries one
+//! `firehose_offer_latency_ns` histogram per engine kind, so p50/p99 are
+//! derivable from the `_bucket` series alone.
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use firehose_bench::{f1, Dataset, Report, Scale};
+use firehose_bench::{f1, Dataset, MetricsSink, Report, Scale};
 use firehose_core::engine::{build_engine, AlgorithmKind};
-use firehose_core::{EngineConfig, Thresholds};
+use firehose_core::{export_engine_metrics, EngineConfig, EngineObs, Thresholds};
 use firehose_datagen::{Workload, WorkloadConfig};
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
@@ -46,21 +53,41 @@ fn main() {
 
     let mut r = Report::new(
         "stress_events",
-        &["stream", "algorithm", "time_ms", "pruned_pct", "p99_ns", "comparisons"],
+        &[
+            "stream",
+            "algorithm",
+            "time_ms",
+            "pruned_pct",
+            "p99_ns",
+            "comparisons",
+        ],
     );
     for (label, workload) in [("calm", &data.workload), ("stormy", &stormy)] {
+        // One registry per stream; engines separate themselves by label.
+        let mut sink = MetricsSink::from_args(&format!("stress_events_{label}"));
+        let mut offered: u64 = 0;
         for kind in AlgorithmKind::ALL {
             let mut engine = build_engine(kind, config, Arc::clone(&graph));
+            if let Some(s) = &sink {
+                engine.attach_obs(EngineObs::register(s.registry(), &kind.to_string()));
+            }
             let mut latencies = Vec::with_capacity(workload.len());
             let t0 = Instant::now();
             for post in &workload.posts {
                 let p0 = Instant::now();
                 engine.offer(post);
                 latencies.push(p0.elapsed().as_nanos() as u64);
+                offered += 1;
+                if let Some(s) = &mut sink {
+                    s.tick(offered);
+                }
             }
             let elapsed_ms = t0.elapsed().as_secs_f64() * 1_000.0;
             latencies.sort_unstable();
             let m = engine.metrics();
+            if let Some(s) = &sink {
+                export_engine_metrics(s.registry(), &kind.to_string(), m);
+            }
             r.row(&[
                 label.into(),
                 kind.to_string(),
@@ -69,6 +96,9 @@ fn main() {
                 percentile(&latencies, 0.99).to_string(),
                 m.comparisons.to_string(),
             ]);
+        }
+        if let Some(s) = &mut sink {
+            s.finish(offered);
         }
     }
     r.finish();

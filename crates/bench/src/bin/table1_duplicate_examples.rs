@@ -49,7 +49,11 @@ fn main() {
     for class in MutationClass::ALL {
         let base = textgen.base_tweet();
         let mutated = textgen.mutate(&base, class);
-        println!("--- {class:?} (raw d={}, normalized d={})", distance(&base, &mutated, raw), distance(&base, &mutated, norm));
+        println!(
+            "--- {class:?} (raw d={}, normalized d={})",
+            distance(&base, &mutated, raw),
+            distance(&base, &mutated, norm)
+        );
         println!("  A: {base}");
         println!("  B: {mutated}");
     }

@@ -44,7 +44,12 @@ fn main() {
     };
     eprintln!(
         "[table2] inputs: m={:.0} n={:.0} r={:.3} d={:.1} c={:.1} s={:.1} (identity err {:.2})",
-        inputs.m, inputs.n, inputs.r, inputs.d, inputs.c, inputs.s,
+        inputs.m,
+        inputs.n,
+        inputs.r,
+        inputs.d,
+        inputs.c,
+        inputs.s,
         topology.identity_relative_error()
     );
 

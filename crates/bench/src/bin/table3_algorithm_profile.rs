@@ -20,7 +20,10 @@ fn main() {
     let stats = firehose_bench::run_all(Thresholds::paper_defaults(), &graph, &data.workload.posts);
 
     let get = |kind: AlgorithmKind| {
-        stats.iter().find(|s| s.kind == kind).expect("all kinds ran")
+        stats
+            .iter()
+            .find(|s| s.kind == kind)
+            .expect("all kinds ran")
     };
     let (uni, nb, cb) = (
         get(AlgorithmKind::UniBin),
@@ -30,7 +33,14 @@ fn main() {
 
     let mut r = Report::new(
         "table3_algorithm_profile",
-        &["metric", "UniBin", "NeighborBin", "CliqueBin", "expected_order", "verdict"],
+        &[
+            "metric",
+            "UniBin",
+            "NeighborBin",
+            "CliqueBin",
+            "expected_order",
+            "verdict",
+        ],
     );
     let mut check = |name: &str, u: u64, n: u64, c: u64, order: &str, ok: bool| {
         r.row(&[

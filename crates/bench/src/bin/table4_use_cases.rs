@@ -74,7 +74,13 @@ fn main() {
 
     let mut r = Report::new(
         "table4_use_cases",
-        &["regime", "advisor", "measured_winner", "winner_ms", "paper_choice"],
+        &[
+            "regime",
+            "advisor",
+            "measured_winner",
+            "winner_ms",
+            "paper_choice",
+        ],
     );
     for regime in &regimes {
         eprintln!("[table4] {}", regime.name);
@@ -91,8 +97,7 @@ fn main() {
         } else {
             data.workload.posts.clone()
         };
-        let thresholds =
-            Thresholds::new(18, regime.lambda_t, regime.lambda_a).expect("valid");
+        let thresholds = Thresholds::new(18, regime.lambda_t, regime.lambda_a).expect("valid");
         let stats = firehose_bench::run_all(thresholds, &graph, &posts);
         let winner = stats
             .iter()

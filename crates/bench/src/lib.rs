@@ -11,6 +11,10 @@
 //!   the four reported quantities (time / RAM / comparisons / insertions);
 //! * [`Report`] — aligned stdout tables plus CSV files under `results/`.
 
+mod metrics_sink;
+
+pub use metrics_sink::MetricsSink;
+
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -107,7 +111,11 @@ impl Dataset {
             workload.duplicate_fraction() * 100.0,
             t1.elapsed()
         );
-        Self { scale, social, workload }
+        Self {
+            scale,
+            social,
+            workload,
+        }
     }
 
     /// Generate for the environment-selected scale.
@@ -162,7 +170,11 @@ pub fn run_spsd(
         engine.offer(post);
     }
     let elapsed_ms = t0.elapsed().as_secs_f64() * 1_000.0;
-    RunStats { kind, elapsed_ms, metrics: *engine.metrics() }
+    RunStats {
+        kind,
+        elapsed_ms,
+        metrics: *engine.metrics(),
+    }
 }
 
 /// Run all three algorithms over the same stream (fresh engines each).
@@ -190,8 +202,14 @@ pub fn run_all(
 }
 
 /// The standard header of the Figure 11–15 sweep tables.
-pub const SWEEP_HEADER: [&str; 6] =
-    ["setting", "algorithm", "time_ms", "peak_ram_mib", "comparisons", "insertions"];
+pub const SWEEP_HEADER: [&str; 6] = [
+    "setting",
+    "algorithm",
+    "time_ms",
+    "peak_ram_mib",
+    "comparisons",
+    "insertions",
+];
 
 /// Append one sweep row per algorithm run.
 pub fn sweep_rows(report: &mut Report, setting: &str, stats: &[RunStats]) {

@@ -1,0 +1,205 @@
+//! `--metrics-out` support for the experiment binaries.
+//!
+//! A [`MetricsSink`] parses the shared CLI flags, owns a
+//! [`firehose_obs::Registry`], and dumps snapshots of it during a run:
+//!
+//! * `--metrics-out <dir>` — enable dumping; snapshots land in `<dir>`.
+//! * `--metrics-every <posts>` — additionally dump every N processed posts
+//!   (default: final snapshot only).
+//!
+//! Each dump writes two sibling files named `<run>.prom` (Prometheus text
+//! exposition, overwritten per dump so the file always holds the latest
+//! scrape state — point a file-based scraper at it) and `<run>.json` (a JSON
+//! array of all snapshots taken so far, each tagged with its post count —
+//! the run's history, rewritten atomically-enough per dump).
+
+use std::path::PathBuf;
+
+use firehose_obs::Registry;
+
+/// Destination and cadence for registry snapshots.
+pub struct MetricsSink {
+    dir: PathBuf,
+    run: String,
+    every: Option<u64>,
+    registry: Registry,
+    history: Vec<String>,
+    last_dump_at: u64,
+}
+
+impl MetricsSink {
+    /// Parse `--metrics-out` / `--metrics-every` from the process arguments.
+    /// Returns `None` when `--metrics-out` is absent. `run` names the output
+    /// files (one sink per engine run keeps streams separable).
+    pub fn from_args(run: &str) -> Option<Self> {
+        let args: Vec<String> = std::env::args().collect();
+        Self::from_argv(run, &args)
+    }
+
+    fn from_argv(run: &str, args: &[String]) -> Option<Self> {
+        let dir = flag_value(args, "--metrics-out")?;
+        let every = flag_value(args, "--metrics-every").map(|v| {
+            v.parse::<u64>().unwrap_or_else(|_| {
+                usage(&format!("--metrics-every expects a post count, got {v:?}"))
+            })
+        });
+        Some(Self {
+            dir: PathBuf::from(dir),
+            run: run.to_string(),
+            every,
+            registry: Registry::new(),
+            history: Vec::new(),
+            last_dump_at: 0,
+        })
+    }
+
+    /// The registry to attach engines to.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Dump if the configured interval elapsed since the last dump.
+    /// `processed` is the number of posts offered so far.
+    pub fn tick(&mut self, processed: u64) {
+        if let Some(every) = self.every {
+            if processed.saturating_sub(self.last_dump_at) >= every {
+                self.dump(processed);
+            }
+        }
+    }
+
+    /// Unconditional final dump.
+    pub fn finish(&mut self, processed: u64) {
+        self.dump(processed);
+        eprintln!(
+            "[metrics] {} snapshot(s) -> {}/{}.{{prom,json}}",
+            self.history.len(),
+            self.dir.display(),
+            self.run
+        );
+    }
+
+    fn dump(&mut self, processed: u64) {
+        self.last_dump_at = processed;
+        self.history.push(format!(
+            "{{\"posts_processed\": {processed}, \"snapshot\": {}}}",
+            self.registry.render_json().trim_end()
+        ));
+        if let Err(e) = self.write_files() {
+            eprintln!("[metrics] could not write snapshot: {e}");
+        }
+    }
+
+    fn write_files(&self) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        let prom = self.dir.join(format!("{}.prom", self.run));
+        std::fs::write(prom, self.registry.render_prometheus())?;
+
+        let json = self.dir.join(format!("{}.json", self.run));
+        std::fs::write(json, format!("[\n{}\n]\n", self.history.join(",\n")))
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            return Some(
+                it.next()
+                    .unwrap_or_else(|| usage(&format!("{flag} expects a value")))
+                    .clone(),
+            );
+        }
+        if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+/// Bad CLI usage: print the problem and exit — a backtrace helps nobody here.
+/// Diverges under test (where `std::process::exit` would swallow the failure).
+fn usage(msg: &str) -> ! {
+    if cfg!(test) {
+        panic!("{msg}");
+    }
+    eprintln!("error: {msg}\nusage: --metrics-out <dir> [--metrics-every <posts>]");
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_parsing_supports_both_forms() {
+        let a = argv(&["bin", "--metrics-out", "/tmp/m"]);
+        assert_eq!(flag_value(&a, "--metrics-out").as_deref(), Some("/tmp/m"));
+        let a = argv(&["bin", "--metrics-out=/tmp/m2"]);
+        assert_eq!(flag_value(&a, "--metrics-out").as_deref(), Some("/tmp/m2"));
+        let a = argv(&["bin"]);
+        assert_eq!(flag_value(&a, "--metrics-out"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "--metrics-every expects a post count")]
+    fn garbage_interval_is_rejected() {
+        MetricsSink::from_argv(
+            "x",
+            &argv(&["bin", "--metrics-out", "/tmp/m", "--metrics-every", "abc"]),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "--metrics-out expects a value")]
+    fn dangling_flag_is_rejected() {
+        MetricsSink::from_argv("x", &argv(&["bin", "--metrics-out"]));
+    }
+
+    #[test]
+    fn absent_flag_disables_sink() {
+        assert!(MetricsSink::from_argv("x", &argv(&["bin", "--other"])).is_none());
+    }
+
+    #[test]
+    fn sink_writes_prom_and_json_history() {
+        let dir = std::env::temp_dir().join(format!("firehose-metrics-{}", std::process::id()));
+        let args = argv(&[
+            "bin",
+            "--metrics-out",
+            dir.to_str().unwrap(),
+            "--metrics-every",
+            "10",
+        ]);
+        let mut sink = MetricsSink::from_argv("unit", &args).unwrap();
+        let c = sink
+            .registry()
+            .counter("unit_posts_total", "posts", Default::default());
+        c.add(7);
+        sink.tick(5); // below interval: no dump
+        sink.tick(10); // dumps
+        c.add(3);
+        sink.finish(20); // dumps again
+
+        let prom = std::fs::read_to_string(dir.join("unit.prom")).unwrap();
+        assert!(prom.contains("# TYPE unit_posts_total counter"), "{prom}");
+        assert!(prom.contains("unit_posts_total 10"), "latest state: {prom}");
+
+        let json = std::fs::read_to_string(dir.join("unit.json")).unwrap();
+        assert!(json.trim_start().starts_with('['), "{json}");
+        assert!(json.trim_end().ends_with(']'), "{json}");
+        assert!(json.contains("\"posts_processed\": 10"), "{json}");
+        assert!(json.contains("\"posts_processed\": 20"), "{json}");
+        assert_eq!(
+            json.matches("\"snapshot\"").count(),
+            2,
+            "one snapshot per dump"
+        );
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -106,40 +106,62 @@ mod tests {
 
     #[test]
     fn twitch_long_window_picks_neighborbin() {
-        let inputs = AdvisorInputs { lambda_t: days(1), ..base() };
+        let inputs = AdvisorInputs {
+            lambda_t: days(1),
+            ..base()
+        };
         assert_eq!(recommend(inputs), AlgorithmKind::NeighborBin);
     }
 
     #[test]
     fn news_rss_dense_graph_picks_unibin() {
-        let inputs = AdvisorInputs { lambda_a: 0.85, ..base() };
+        let inputs = AdvisorInputs {
+            lambda_a: 0.85,
+            ..base()
+        };
         assert_eq!(recommend(inputs), AlgorithmKind::UniBin);
     }
 
     #[test]
     fn scholar_low_throughput_picks_unibin() {
-        let inputs = AdvisorInputs { throughput: ThroughputClass::Low, ..base() };
+        let inputs = AdvisorInputs {
+            throughput: ThroughputClass::Low,
+            ..base()
+        };
         assert_eq!(recommend(inputs), AlgorithmKind::UniBin);
         // ... even with a long window.
-        let inputs = AdvisorInputs { lambda_t: days(7), ..inputs };
+        let inputs = AdvisorInputs {
+            lambda_t: days(7),
+            ..inputs
+        };
         assert_eq!(recommend(inputs), AlgorithmKind::UniBin);
     }
 
     #[test]
     fn tiny_window_picks_unibin() {
-        let inputs = AdvisorInputs { lambda_t: minutes(1), ..base() };
+        let inputs = AdvisorInputs {
+            lambda_t: minutes(1),
+            ..base()
+        };
         assert_eq!(recommend(inputs), AlgorithmKind::UniBin);
     }
 
     #[test]
     fn ram_critical_overrides_everything() {
-        let inputs = AdvisorInputs { ram_critical: true, lambda_t: days(1), ..base() };
+        let inputs = AdvisorInputs {
+            ram_critical: true,
+            lambda_t: days(1),
+            ..base()
+        };
         assert_eq!(recommend(inputs), AlgorithmKind::UniBin);
     }
 
     #[test]
     fn custom_boundaries_shift_regimes() {
-        let b = AdvisorBoundaries { large_lambda_t: minutes(20), ..Default::default() };
+        let b = AdvisorBoundaries {
+            large_lambda_t: minutes(20),
+            ..Default::default()
+        };
         assert_eq!(recommend_with(base(), b), AlgorithmKind::NeighborBin);
     }
 }

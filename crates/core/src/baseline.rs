@@ -42,7 +42,12 @@ impl MaxMinDiversifier {
     /// Panics if `k == 0`.
     pub fn new(k: usize, lambda_t: Timestamp) -> Self {
         assert!(k > 0, "k must be positive");
-        Self { k, lambda_t, selected: VecDeque::new(), comparisons: 0 }
+        Self {
+            k,
+            lambda_t,
+            selected: VecDeque::new(),
+            comparisons: 0,
+        }
     }
 
     /// The configured k.
@@ -152,7 +157,12 @@ mod tests {
     use super::*;
 
     fn rec(id: u64, ts: Timestamp, fp: u64) -> PostRecord {
-        PostRecord { id, author: 0, timestamp: ts, fingerprint: fp }
+        PostRecord {
+            id,
+            author: 0,
+            timestamp: ts,
+            fingerprint: fp,
+        }
     }
 
     #[test]

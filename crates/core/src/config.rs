@@ -57,13 +57,21 @@ impl Thresholds {
         if !(0.0..=1.0).contains(&lambda_a) || lambda_a.is_nan() {
             return Err(ConfigError::AuthorThresholdOutOfRange { lambda_a });
         }
-        Ok(Self { lambda_c, lambda_t, lambda_a })
+        Ok(Self {
+            lambda_c,
+            lambda_t,
+            lambda_a,
+        })
     }
 
     /// The paper's default evaluation setting: `λc = 18`, `λt = 30 min`,
     /// `λa = 0.7`.
     pub fn paper_defaults() -> Self {
-        Self { lambda_c: 18, lambda_t: minutes(30), lambda_a: 0.7 }
+        Self {
+            lambda_c: 18,
+            lambda_t: minutes(30),
+            lambda_a: 0.7,
+        }
     }
 
     /// Minimum followee-cosine similarity implied by `λa`
@@ -91,7 +99,10 @@ pub struct EngineConfig {
 impl EngineConfig {
     /// Configuration with the given thresholds and paper-default SimHash.
     pub fn new(thresholds: Thresholds) -> Self {
-        Self { thresholds, simhash: SimHashOptions::paper() }
+        Self {
+            thresholds,
+            simhash: SimHashOptions::paper(),
+        }
     }
 
     /// Paper-default everything.

@@ -100,12 +100,26 @@ mod tests {
 
     /// The paper's λa = 0.7 topology: d ≈ 113.7, c ≈ 29, s ≈ 20, m = 20,150.
     fn paper_inputs() -> CostInputs {
-        CostInputs { m: 20_150.0, n: 4_441.0, r: 0.9, d: 113.7, c: 29.0, s: 20.0 }
+        CostInputs {
+            m: 20_150.0,
+            n: 4_441.0,
+            r: 0.9,
+            d: 113.7,
+            c: 29.0,
+            s: 20.0,
+        }
     }
 
     #[test]
     fn table2_formulas() {
-        let i = CostInputs { m: 100.0, n: 1_000.0, r: 0.5, d: 9.0, c: 3.0, s: 4.0 };
+        let i = CostInputs {
+            m: 100.0,
+            n: 1_000.0,
+            r: 0.5,
+            d: 9.0,
+            c: 3.0,
+            s: 4.0,
+        };
         let u = i.predict(AlgorithmKind::UniBin);
         assert_eq!(u.ram_records, 500.0);
         assert_eq!(u.comparisons, 500_000.0);
@@ -131,13 +145,23 @@ mod tests {
     #[test]
     fn neighborbin_fewest_comparisons_on_sparse_graphs() {
         // (d+1)/m < s·c/m < 1 for the paper's topology.
-        assert_eq!(paper_inputs().fewest_comparisons(), AlgorithmKind::NeighborBin);
+        assert_eq!(
+            paper_inputs().fewest_comparisons(),
+            AlgorithmKind::NeighborBin
+        );
     }
 
     #[test]
     fn dense_graph_favors_unibin_comparisons() {
         // d+1 > m means per-author bins are larger than the whole window.
-        let i = CostInputs { m: 10.0, n: 100.0, r: 0.9, d: 12.0, c: 8.0, s: 6.0 };
+        let i = CostInputs {
+            m: 10.0,
+            n: 100.0,
+            r: 0.9,
+            d: 12.0,
+            c: 8.0,
+            s: 6.0,
+        };
         assert_eq!(i.fewest_comparisons(), AlgorithmKind::UniBin);
     }
 

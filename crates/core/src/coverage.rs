@@ -92,7 +92,11 @@ impl std::fmt::Display for CoverageExplanation {
             if self.time_ok() { "✓" } else { "✗" },
             self.time_distance,
             self.lambda_t,
-            if self.authors_similar { "similar ✓" } else { "dissimilar ✗" },
+            if self.authors_similar {
+                "similar ✓"
+            } else {
+                "dissimilar ✗"
+            },
         )
     }
 }
@@ -126,7 +130,12 @@ mod tests {
     use firehose_stream::minutes;
 
     fn rec(id: u64, author: u32, ts: u64, fp: u64) -> PostRecord {
-        PostRecord { id, author, timestamp: ts, fingerprint: fp }
+        PostRecord {
+            id,
+            author,
+            timestamp: ts,
+            fingerprint: fp,
+        }
     }
 
     fn setup() -> (Thresholds, UndirectedGraph) {
@@ -211,6 +220,33 @@ mod tests {
         let e = explain(&rec(1, 0, 0, 0), &rec(2, 2, 0, 0), &t, &g);
         assert_eq!(e.blocking_dimensions(), vec!["author"]);
         assert!(e.to_string().contains("dissimilar ✗"));
+    }
+
+    #[test]
+    fn timestamp_extremes_never_panic_or_wrap() {
+        // Regression: the time dimension must use absolute-difference
+        // semantics even at the u64 boundaries. A wrapping subtraction would
+        // make MAX and 0 look 0ms apart (silent false coverage) or panic in
+        // debug builds.
+        let (_, g) = setup();
+        let t = Thresholds::new(3, minutes(10), 0.7).unwrap();
+        let old = rec(1, 0, 0, 0);
+        let new = rec(2, 1, u64::MAX, 0);
+        assert!(
+            !covers(&old, &new, &t, &g),
+            "u64::MAX ms apart is not time-close"
+        );
+        assert!(!covers(&new, &old, &t, &g), "order must not matter");
+        assert_eq!(explain(&old, &new, &t, &g).time_distance, u64::MAX);
+
+        // With λt = u64::MAX every pair is time-close, including the extremes.
+        let forever = Thresholds::new(3, u64::MAX, 0.7).unwrap();
+        assert!(covers(&old, &new, &forever, &g));
+
+        // Two posts at the far end of the clock still compare exactly.
+        let a = rec(3, 0, u64::MAX - 1, 0);
+        let b = rec(4, 1, u64::MAX, 0);
+        assert!(covers(&a, &b, &t, &g));
     }
 
     #[test]

@@ -22,6 +22,7 @@ use crate::config::EngineConfig;
 use crate::decision::Decision;
 use crate::engine::Diversifier;
 use crate::metrics::EngineMetrics;
+use crate::obs::EngineObs;
 
 /// Per-clique-bin engine: the RAM/comparison middle ground (Table 3).
 pub struct CliqueBin {
@@ -34,6 +35,7 @@ pub struct CliqueBin {
     /// Number of authors (for the out-of-range guard).
     author_count: usize,
     metrics: EngineMetrics,
+    obs: Option<EngineObs>,
 }
 
 impl CliqueBin {
@@ -58,6 +60,7 @@ impl CliqueBin {
             self_bins: HashMap::new(),
             author_count: graph.node_count(),
             metrics: EngineMetrics::default(),
+            obs: None,
         }
     }
 
@@ -69,7 +72,11 @@ impl CliqueBin {
     /// Snapshot internals (see `crate::snapshot`).
     pub(crate) fn parts(
         &self,
-    ) -> (&[TimeWindowBin], &HashMap<AuthorId, TimeWindowBin>, &EngineMetrics) {
+    ) -> (
+        &[TimeWindowBin],
+        &HashMap<AuthorId, TimeWindowBin>,
+        &EngineMetrics,
+    ) {
         (&self.clique_bins, &self.self_bins, &self.metrics)
     }
 
@@ -82,7 +89,11 @@ impl CliqueBin {
         self_bins: HashMap<AuthorId, TimeWindowBin>,
         metrics: EngineMetrics,
     ) -> Self {
-        assert_eq!(clique_bins.len(), cover.count(), "bin count must match cliques");
+        assert_eq!(
+            clique_bins.len(),
+            cover.count(),
+            "bin count must match cliques"
+        );
         Self {
             config,
             cover,
@@ -90,12 +101,11 @@ impl CliqueBin {
             self_bins,
             author_count: graph.node_count(),
             metrics,
+            obs: None,
         }
     }
-}
 
-impl Diversifier for CliqueBin {
-    fn offer_record(&mut self, record: PostRecord) -> Decision {
+    fn offer_inner(&mut self, record: PostRecord) -> Decision {
         assert!(
             (record.author as usize) < self.author_count,
             "author {} outside the similarity graph (m = {})",
@@ -159,9 +169,22 @@ impl Diversifier for CliqueBin {
         for &cid in clique_ids {
             self.clique_bins[cid as usize].push(record);
         }
-        self.metrics.on_insert(clique_ids.len() as u64, PostRecord::SIZE_BYTES);
+        self.metrics
+            .on_insert(clique_ids.len() as u64, PostRecord::SIZE_BYTES);
         self.metrics.posts_emitted += 1;
         Decision::Emitted
+    }
+}
+
+impl Diversifier for CliqueBin {
+    fn offer_record(&mut self, record: PostRecord) -> Decision {
+        let started = self.obs.is_some().then(std::time::Instant::now);
+        let before = self.metrics.comparisons;
+        let decision = self.offer_inner(record);
+        if let (Some(t0), Some(obs)) = (started, &self.obs) {
+            obs.record_offer(t0, self.metrics.comparisons - before);
+        }
+        decision
     }
 
     fn config(&self) -> &EngineConfig {
@@ -187,6 +210,10 @@ impl Diversifier for CliqueBin {
         }
         self.metrics.on_evict(evicted);
     }
+
+    fn attach_obs(&mut self, obs: EngineObs) {
+        self.obs = Some(obs);
+    }
 }
 
 #[cfg(test)]
@@ -196,11 +223,19 @@ mod tests {
     use firehose_stream::minutes;
 
     fn rec(id: u64, author: u32, ts: u64, fp: u64) -> PostRecord {
-        PostRecord { id, author, timestamp: ts, fingerprint: fp }
+        PostRecord {
+            id,
+            author,
+            timestamp: ts,
+            fingerprint: fp,
+        }
     }
 
     fn paper_graph() -> Arc<UndirectedGraph> {
-        Arc::new(UndirectedGraph::from_edges(4, [(0, 1), (0, 2), (1, 2), (2, 3)]))
+        Arc::new(UndirectedGraph::from_edges(
+            4,
+            [(0, 1), (0, 2), (1, 2), (2, 3)],
+        ))
     }
 
     #[test]
@@ -266,8 +301,11 @@ mod tests {
         let config = EngineConfig::new(Thresholds::new(2, minutes(30), 0.7).unwrap());
         let mut engine = CliqueBin::new(config, paper_graph());
         assert!(engine.offer_record(rec(1, 3, 0, 0)).is_emitted()); // a4 -> C1
-        // a3 shares C1 with a4.
-        assert_eq!(engine.offer_record(rec(2, 2, 1_000, 0)).covered_by(), Some(1));
+                                                                    // a3 shares C1 with a4.
+        assert_eq!(
+            engine.offer_record(rec(2, 2, 1_000, 0)).covered_by(),
+            Some(1)
+        );
     }
 
     #[test]
@@ -277,7 +315,10 @@ mod tests {
         let config = EngineConfig::new(Thresholds::new(2, minutes(30), 0.7).unwrap());
         let mut engine = CliqueBin::new(config, graph);
         assert!(engine.offer_record(rec(1, 2, 0, 0)).is_emitted());
-        assert_eq!(engine.offer_record(rec(2, 2, 1_000, 1)).covered_by(), Some(1));
+        assert_eq!(
+            engine.offer_record(rec(2, 2, 1_000, 1)).covered_by(),
+            Some(1)
+        );
         // Other authors never see isolated-author posts.
         assert!(engine.offer_record(rec(3, 0, 2_000, 0)).is_emitted());
     }
@@ -296,8 +337,9 @@ mod tests {
     fn fewer_copies_than_neighborbin() {
         use crate::engine::NeighborBin;
         // K4: NeighborBin stores 4 copies per post, CliqueBin 1.
-        let edges: Vec<(u32, u32)> =
-            (0..4u32).flat_map(|u| ((u + 1)..4).map(move |v| (u, v))).collect();
+        let edges: Vec<(u32, u32)> = (0..4u32)
+            .flat_map(|u| ((u + 1)..4).map(move |v| (u, v)))
+            .collect();
         let graph = Arc::new(UndirectedGraph::from_edges(4, edges));
         let config = EngineConfig::new(Thresholds::new(0, minutes(60), 0.7).unwrap());
         let mut cb = CliqueBin::new(config, Arc::clone(&graph));

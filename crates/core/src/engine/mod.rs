@@ -69,6 +69,14 @@ pub trait Diversifier {
     fn memory_bytes(&self) -> u64 {
         self.metrics().memory_bytes()
     }
+
+    /// Attach hot-path instruments: every subsequent
+    /// [`offer_record`](Self::offer_record) records its wall-clock latency
+    /// and comparison count into the histograms of `obs`. Unattached engines
+    /// pay only an `Option` branch per offer.
+    fn attach_obs(&mut self, obs: crate::obs::EngineObs) {
+        let _ = obs;
+    }
 }
 
 impl<D: Diversifier + ?Sized> Diversifier for Box<D> {
@@ -95,6 +103,10 @@ impl<D: Diversifier + ?Sized> Diversifier for Box<D> {
     fn evict_expired(&mut self, now: firehose_stream::Timestamp) {
         (**self).evict_expired(now)
     }
+
+    fn attach_obs(&mut self, obs: crate::obs::EngineObs) {
+        (**self).attach_obs(obs)
+    }
 }
 
 /// Algorithm selector for factory construction and the advisor.
@@ -110,8 +122,11 @@ pub enum AlgorithmKind {
 
 impl AlgorithmKind {
     /// All three algorithms, in paper order.
-    pub const ALL: [AlgorithmKind; 3] =
-        [AlgorithmKind::UniBin, AlgorithmKind::NeighborBin, AlgorithmKind::CliqueBin];
+    pub const ALL: [AlgorithmKind; 3] = [
+        AlgorithmKind::UniBin,
+        AlgorithmKind::NeighborBin,
+        AlgorithmKind::CliqueBin,
+    ];
 }
 
 impl std::fmt::Display for AlgorithmKind {
@@ -199,7 +214,12 @@ mod tests {
         let posts = vec![
             Post::new(1, 0, 0, "alpha beta gamma delta".into()),
             Post::new(2, 0, 1_000, "alpha beta gamma delta".into()),
-            Post::new(3, 1, 2_000, "totally different subject matter entirely".into()),
+            Post::new(
+                3,
+                1,
+                2_000,
+                "totally different subject matter entirely".into(),
+            ),
         ];
         let mut engine = build_engine(AlgorithmKind::UniBin, config, graph);
         let ids = diversified_ids(engine.as_mut(), &posts);

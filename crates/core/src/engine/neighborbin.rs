@@ -17,6 +17,7 @@ use crate::coverage::authors_similar;
 use crate::decision::Decision;
 use crate::engine::Diversifier;
 use crate::metrics::EngineMetrics;
+use crate::obs::EngineObs;
 
 /// Per-author-bin engine: fewest comparisons, most RAM (Table 3).
 pub struct NeighborBin {
@@ -25,6 +26,7 @@ pub struct NeighborBin {
     /// One bin per author id.
     bins: Vec<TimeWindowBin>,
     metrics: EngineMetrics,
+    obs: Option<EngineObs>,
 }
 
 impl NeighborBin {
@@ -32,7 +34,13 @@ impl NeighborBin {
     /// bin per author.
     pub fn new(config: EngineConfig, graph: Arc<UndirectedGraph>) -> Self {
         let bins = vec![TimeWindowBin::new(); graph.node_count()];
-        Self { config, graph, bins, metrics: EngineMetrics::default() }
+        Self {
+            config,
+            graph,
+            bins,
+            metrics: EngineMetrics::default(),
+            obs: None,
+        }
     }
 
     /// The similarity graph this engine was built from.
@@ -52,13 +60,21 @@ impl NeighborBin {
         bins: Vec<TimeWindowBin>,
         metrics: EngineMetrics,
     ) -> Self {
-        assert_eq!(bins.len(), graph.node_count(), "bin count must match authors");
-        Self { config, graph, bins, metrics }
+        assert_eq!(
+            bins.len(),
+            graph.node_count(),
+            "bin count must match authors"
+        );
+        Self {
+            config,
+            graph,
+            bins,
+            metrics,
+            obs: None,
+        }
     }
-}
 
-impl Diversifier for NeighborBin {
-    fn offer_record(&mut self, record: PostRecord) -> Decision {
+    fn offer_inner(&mut self, record: PostRecord) -> Decision {
         assert!(
             (record.author as usize) < self.bins.len(),
             "author {} outside the similarity graph (m = {})",
@@ -112,6 +128,18 @@ impl Diversifier for NeighborBin {
         self.metrics.posts_emitted += 1;
         Decision::Emitted
     }
+}
+
+impl Diversifier for NeighborBin {
+    fn offer_record(&mut self, record: PostRecord) -> Decision {
+        let started = self.obs.is_some().then(std::time::Instant::now);
+        let before = self.metrics.comparisons;
+        let decision = self.offer_inner(record);
+        if let (Some(t0), Some(obs)) = (started, &self.obs) {
+            obs.record_offer(t0, self.metrics.comparisons - before);
+        }
+        decision
+    }
 
     fn config(&self) -> &EngineConfig {
         &self.config
@@ -133,6 +161,10 @@ impl Diversifier for NeighborBin {
         }
         self.metrics.on_evict(evicted);
     }
+
+    fn attach_obs(&mut self, obs: EngineObs) {
+        self.obs = Some(obs);
+    }
 }
 
 #[cfg(test)]
@@ -142,12 +174,20 @@ mod tests {
     use firehose_stream::minutes;
 
     fn rec(id: u64, author: u32, ts: u64, fp: u64) -> PostRecord {
-        PostRecord { id, author, timestamp: ts, fingerprint: fp }
+        PostRecord {
+            id,
+            author,
+            timestamp: ts,
+            fingerprint: fp,
+        }
     }
 
     fn paper_graph() -> Arc<UndirectedGraph> {
         // Figure 5a: a1..a4 => 0..3, edges 0-1, 0-2, 1-2, 2-3.
-        Arc::new(UndirectedGraph::from_edges(4, [(0, 1), (0, 2), (1, 2), (2, 3)]))
+        Arc::new(UndirectedGraph::from_edges(
+            4,
+            [(0, 1), (0, 2), (1, 2), (2, 3)],
+        ))
     }
 
     #[test]
@@ -194,7 +234,10 @@ mod tests {
     fn fewer_comparisons_than_unibin() {
         use crate::engine::UniBin;
         // Star graph: hub 0 with leaves; posts from mutually non-similar leaves.
-        let graph = Arc::new(UndirectedGraph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]));
+        let graph = Arc::new(UndirectedGraph::from_edges(
+            5,
+            [(0, 1), (0, 2), (0, 3), (0, 4)],
+        ));
         let config = EngineConfig::new(Thresholds::new(0, minutes(60), 0.7).unwrap());
         let mut nb = NeighborBin::new(config, Arc::clone(&graph));
         let mut ub = UniBin::new(config, graph);
@@ -219,7 +262,10 @@ mod tests {
         let mut engine = NeighborBin::new(config, graph);
         assert!(engine.offer_record(rec(1, 0, 0, 0)).is_emitted());
         // Author 1's bin received a copy of post 1 (neighbor insert).
-        assert_eq!(engine.offer_record(rec(2, 1, 1_000, 1)).covered_by(), Some(1));
+        assert_eq!(
+            engine.offer_record(rec(2, 1, 1_000, 1)).covered_by(),
+            Some(1)
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::coverage::authors_similar;
 use crate::decision::Decision;
 use crate::engine::Diversifier;
 use crate::metrics::EngineMetrics;
+use crate::obs::EngineObs;
 
 /// The baseline engine: every emitted post lands in one time-ordered bin and
 /// each arrival is compared — newest first — against every in-window record,
@@ -25,12 +26,19 @@ pub struct UniBin {
     graph: Arc<UndirectedGraph>,
     bin: TimeWindowBin,
     metrics: EngineMetrics,
+    obs: Option<EngineObs>,
 }
 
 impl UniBin {
     /// New engine over the author similarity graph `G`.
     pub fn new(config: EngineConfig, graph: Arc<UndirectedGraph>) -> Self {
-        Self { config, graph, bin: TimeWindowBin::new(), metrics: EngineMetrics::default() }
+        Self {
+            config,
+            graph,
+            bin: TimeWindowBin::new(),
+            metrics: EngineMetrics::default(),
+            obs: None,
+        }
     }
 
     /// The similarity graph this engine consults.
@@ -50,12 +58,16 @@ impl UniBin {
         bin: TimeWindowBin,
         metrics: EngineMetrics,
     ) -> Self {
-        Self { config, graph, bin, metrics }
+        Self {
+            config,
+            graph,
+            bin,
+            metrics,
+            obs: None,
+        }
     }
-}
 
-impl Diversifier for UniBin {
-    fn offer_record(&mut self, record: PostRecord) -> Decision {
+    fn offer_inner(&mut self, record: PostRecord) -> Decision {
         self.metrics.posts_processed += 1;
         let t = &self.config.thresholds;
 
@@ -83,6 +95,18 @@ impl Diversifier for UniBin {
         self.metrics.posts_emitted += 1;
         Decision::Emitted
     }
+}
+
+impl Diversifier for UniBin {
+    fn offer_record(&mut self, record: PostRecord) -> Decision {
+        let started = self.obs.is_some().then(std::time::Instant::now);
+        let before = self.metrics.comparisons;
+        let decision = self.offer_inner(record);
+        if let (Some(t0), Some(obs)) = (started, &self.obs) {
+            obs.record_offer(t0, self.metrics.comparisons - before);
+        }
+        decision
+    }
 
     fn config(&self) -> &EngineConfig {
         &self.config
@@ -100,6 +124,10 @@ impl Diversifier for UniBin {
         let evicted = self.bin.evict_expired(now, self.config.thresholds.lambda_t);
         self.metrics.on_evict(evicted as u64);
     }
+
+    fn attach_obs(&mut self, obs: EngineObs) {
+        self.obs = Some(obs);
+    }
 }
 
 #[cfg(test)]
@@ -109,23 +137,31 @@ mod tests {
     use firehose_stream::minutes;
 
     fn rec(id: u64, author: u32, ts: u64, fp: u64) -> PostRecord {
-        PostRecord { id, author, timestamp: ts, fingerprint: fp }
+        PostRecord {
+            id,
+            author,
+            timestamp: ts,
+            fingerprint: fp,
+        }
     }
 
     /// Figure 5/6a reproduction: authors a1..a4 (here 0..3) with edges
     /// 0-1, 0-2, 1-2, 2-3 and the paper's post sequence P1..P5.
     fn paper_example() -> (UniBin, Vec<PostRecord>) {
-        let graph = Arc::new(UndirectedGraph::from_edges(4, [(0, 1), (0, 2), (1, 2), (2, 3)]));
+        let graph = Arc::new(UndirectedGraph::from_edges(
+            4,
+            [(0, 1), (0, 2), (1, 2), (2, 3)],
+        ));
         // λc chosen so that "similar content" = Hamming ≤ 2.
         let config = EngineConfig::new(Thresholds::new(2, minutes(30), 0.7).unwrap());
         let engine = UniBin::new(config, graph);
         // Content groups: P1,P3 similar; P4,P5 similar; P2 alone.
         let posts = vec![
-            rec(1, 0, 0, 0b0000),          // P1 by a1
-            rec(2, 1, 60_000, 0xFF00),     // P2 by a2 (far from P1)
-            rec(3, 2, 120_000, 0b0001),    // P3 by a3, covered by P1 (a1~a3)
-            rec(4, 3, 180_000, 0x00FF),    // P4 by a4, not covered
-            rec(5, 2, 240_000, 0x00FE),    // P5 by a3, covered by P4 (a3~a4)
+            rec(1, 0, 0, 0b0000),       // P1 by a1
+            rec(2, 1, 60_000, 0xFF00),  // P2 by a2 (far from P1)
+            rec(3, 2, 120_000, 0b0001), // P3 by a3, covered by P1 (a1~a3)
+            rec(4, 3, 180_000, 0x00FF), // P4 by a4, not covered
+            rec(5, 2, 240_000, 0x00FE), // P5 by a3, covered by P4 (a3~a4)
         ];
         (engine, posts)
     }
@@ -181,6 +217,30 @@ mod tests {
         engine.offer_record(rec(1, 0, 0, 0));
         // Post 2 has λc=64 so it is covered by post 1 and never stored.
         assert_eq!(engine.offer_record(rec(2, 0, 1, 0)).covered_by(), Some(1));
+    }
+
+    #[test]
+    fn timestamp_extremes_offer_without_panic() {
+        // Regression: eviction cutoffs and window scans must saturate at the
+        // clock boundaries rather than under/overflow.
+        let graph = Arc::new(UndirectedGraph::new(2));
+        let config = EngineConfig::new(Thresholds::new(2, u64::MAX, 0.7).unwrap());
+        let mut engine = UniBin::new(config, graph);
+        assert!(engine.offer_record(rec(1, 0, 0, 0)).is_emitted());
+        // λt = u64::MAX keeps post 1 in-window forever; same author + content
+        // at the far end of the clock is covered, not wrapped out of range.
+        assert_eq!(
+            engine.offer_record(rec(2, 0, u64::MAX, 0)).covered_by(),
+            Some(1)
+        );
+        // A finite window at the top of the clock still evicts cleanly.
+        let config = EngineConfig::new(Thresholds::new(2, 1_000, 0.7).unwrap());
+        let mut engine = UniBin::new(config, Arc::new(UndirectedGraph::new(2)));
+        assert!(engine
+            .offer_record(rec(1, 0, u64::MAX - 2_000, 0))
+            .is_emitted());
+        assert!(engine.offer_record(rec(2, 0, u64::MAX, 0)).is_emitted());
+        assert_eq!(engine.metrics().evictions, 1);
     }
 
     #[test]

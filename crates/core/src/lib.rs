@@ -64,6 +64,7 @@ pub mod decision;
 pub mod engine;
 pub mod metrics;
 pub mod multi;
+pub mod obs;
 pub mod quality;
 pub mod snapshot;
 pub mod stream_ext;
@@ -76,5 +77,6 @@ pub use coverage::{covers, explain, CoverageExplanation};
 pub use decision::Decision;
 pub use engine::{build_engine, AlgorithmKind, Diversifier};
 pub use metrics::EngineMetrics;
+pub use obs::{export_engine_metrics, EngineObs, MultiObs, ShardObs};
 pub use quality::{evaluate, QualityReport};
 pub use stream_ext::{Diversified, DiversifyExt};

@@ -12,6 +12,7 @@ use crate::engine::{build_engine, AlgorithmKind, Diversifier};
 use crate::metrics::EngineMetrics;
 use crate::multi::subscriptions::Subscriptions;
 use crate::multi::{MultiDecision, MultiDiversifier};
+use crate::obs::MultiObs;
 
 /// A single-user engine over a compact relabeling of a subset of authors.
 ///
@@ -32,8 +33,11 @@ impl CompactEngine {
         global: &UndirectedGraph,
         members: &[AuthorId],
     ) -> Self {
-        let local_id: HashMap<AuthorId, u32> =
-            members.iter().enumerate().map(|(i, &a)| (a, i as u32)).collect();
+        let local_id: HashMap<AuthorId, u32> = members
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| (a, i as u32))
+            .collect();
         let mut g = UndirectedGraph::new(members.len());
         for (i, &a) in members.iter().enumerate() {
             for &b in global.neighbors(a) {
@@ -44,7 +48,10 @@ impl CompactEngine {
                 }
             }
         }
-        Self { engine: build_engine(kind, config, Arc::new(g)), local_id }
+        Self {
+            engine: build_engine(kind, config, Arc::new(g)),
+            local_id,
+        }
     }
 
     /// Offer a record whose author is translated to the local id space.
@@ -90,6 +97,8 @@ pub struct IndependentMulti {
     /// per-engine peaks would overstate it: thousands of engines peak at
     /// different moments.)
     peak_live_copies: u64,
+    /// Strategy-level instruments, when attached.
+    obs: Option<MultiObs>,
 }
 
 impl IndependentMulti {
@@ -147,7 +156,15 @@ impl IndependentMulti {
             last_sweep: 0,
             live_copies: 0,
             peak_live_copies: 0,
+            obs: None,
         }
+    }
+
+    /// Attach strategy-level instruments (offer-latency histogram, sweep
+    /// counter, live-copies gauge) labelled `{strategy="M_<kind>"}` to
+    /// `registry`.
+    pub fn attach_obs(&mut self, registry: &firehose_obs::Registry) {
+        self.obs = Some(MultiObs::register(registry, &MultiDiversifier::name(self)));
     }
 
     /// The subscription relation.
@@ -158,6 +175,7 @@ impl IndependentMulti {
 
 impl MultiDiversifier for IndependentMulti {
     fn offer(&mut self, post: &Post) -> MultiDecision {
+        let started = self.obs.is_some().then(std::time::Instant::now);
         // Periodic global eviction sweep (see `last_sweep`).
         let sweep_every = (self.config.thresholds.lambda_t / 2).max(1);
         if post.timestamp.saturating_sub(self.last_sweep) >= sweep_every {
@@ -166,8 +184,10 @@ impl MultiDiversifier for IndependentMulti {
                 engine.evict_expired(post.timestamp);
             }
             // Recompute the authoritative live-copy count after the sweep.
-            self.live_copies =
-                self.engines.iter().map(|e| e.metrics().copies_stored).sum();
+            self.live_copies = self.engines.iter().map(|e| e.metrics().copies_stored).sum();
+            if let Some(obs) = &self.obs {
+                obs.sweeps.inc();
+            }
         }
 
         // Fingerprint once per *distinct* SimHash option set among the
@@ -197,6 +217,10 @@ impl MultiDiversifier for IndependentMulti {
             }
         }
         self.peak_live_copies = self.peak_live_copies.max(self.live_copies);
+        if let (Some(t0), Some(obs)) = (started, &self.obs) {
+            obs.offer_latency.record_duration(t0.elapsed());
+            obs.live_copies.set(self.live_copies as i64);
+        }
         MultiDecision { delivered_to }
     }
 
@@ -252,7 +276,12 @@ mod tests {
             assert_eq!(d.delivered_to, vec![0]);
             // Near-duplicate from author 1 (similar to 0): u0 covered (saw
             // post 1), u1 emitted (never saw post 1).
-            let d = m.offer(&Post::new(2, 1, 1_000, "breaking news about the ferry".into()));
+            let d = m.offer(&Post::new(
+                2,
+                1,
+                1_000,
+                "breaking news about the ferry".into(),
+            ));
             assert_eq!(d.delivered_to, vec![1], "{kind}");
         }
     }
@@ -300,7 +329,12 @@ mod tests {
         assert_eq!(d.delivered_to, vec![0, 1]);
         // 5 minutes later: outside u0's window (shown again), inside u1's
         // (covered).
-        let d = m.offer(&Post::new(2, 0, minutes(5), "same story told twice over".into()));
+        let d = m.offer(&Post::new(
+            2,
+            0,
+            minutes(5),
+            "same story told twice over".into(),
+        ));
         assert_eq!(d.delivered_to, vec![0]);
     }
 
@@ -327,7 +361,12 @@ mod tests {
             &graph,
             &[2, 4],
         );
-        let rec = |id, author, ts, fp| PostRecord { id, author, timestamp: ts, fingerprint: fp };
+        let rec = |id, author, ts, fp| PostRecord {
+            id,
+            author,
+            timestamp: ts,
+            fingerprint: fp,
+        };
         assert!(ce.offer(rec(1, 2, 0, 0)).unwrap().is_emitted());
         // Author 4 is similar to author 2 in the induced subgraph.
         assert_eq!(ce.offer(rec(2, 4, 1_000, 1)).unwrap().covered_by(), Some(1));

@@ -4,19 +4,27 @@
 //! can cover a post of another, so their engines can run on different
 //! threads with no synchronization. [`ParallelShared`] shards the component
 //! engines across worker threads and streams fingerprinted records to them
-//! over bounded crossbeam channels — the main thread's SimHash computation
-//! pipelines with the workers' coverage scans.
+//! over bounded `std::sync::mpsc` channels — the main thread's SimHash
+//! computation pipelines with the workers' coverage scans.
 //!
 //! Determinism: each worker consumes its channel in stream order and each
 //! component lives on exactly one shard, so per-component decisions are
-//! identical to the sequential [`SharedMulti`](crate::multi::SharedMulti)
-//! (asserted in the integration
-//! tests).
+//! identical to the sequential [`SharedMulti`](crate::multi::SharedMulti).
+//! Eviction sweeps are driven by the *main* thread from post timestamps —
+//! the exact schedule `SharedMulti` uses — and delivered in-band as
+//! [`Item::Sweep`] markers ordered before the triggering post's records, so
+//! every per-engine counter (including evictions and memory) is also
+//! identical. The true simultaneous copy footprint is reconstructed by
+//! replaying per-post copy deltas reported by the shards in post order
+//! (asserted in `metrics_match_sequential`).
 
 use std::collections::HashMap;
+use std::sync::mpsc;
+use std::time::Instant;
 
 use firehose_graph::UndirectedGraph;
-use firehose_stream::{AuthorId, Post, PostRecord};
+use firehose_obs::Registry;
+use firehose_stream::{AuthorId, Post, PostRecord, Timestamp};
 
 use crate::config::EngineConfig;
 use crate::engine::AlgorithmKind;
@@ -25,6 +33,26 @@ use crate::multi::independent::CompactEngine;
 use crate::multi::shared::user_components;
 use crate::multi::subscriptions::{Subscriptions, UserId};
 use crate::multi::MultiDecision;
+use crate::obs::ShardObs;
+
+/// One work item in a shard's channel, ordered by post index.
+enum Item {
+    /// Offer this record to the shard's engines owning its author.
+    Record(u32, PostRecord),
+    /// Evict expired records from **all** the shard's engines, as of this
+    /// stream time. Broadcast to every shard at the exact post index where
+    /// `SharedMulti` would sweep, so eviction counters match it.
+    Sweep(u32, Timestamp),
+}
+
+/// What one worker reports back after its channel closes.
+struct ShardReport {
+    /// `(post index, component id)` emissions.
+    emitted: Vec<(u32, u32)>,
+    /// `(post index, copies delta)` — net change of stored copies caused by
+    /// that post on this shard (offers and sweeps alike). Sorted by index.
+    copy_deltas: Vec<(u32, i64)>,
+}
 
 /// One worker's slice of the component engines.
 struct Shard {
@@ -32,6 +60,15 @@ struct Shard {
     engines: Vec<(u32, CompactEngine)>,
     /// Author → indexes into `engines`.
     author_engines: HashMap<AuthorId, Vec<u32>>,
+}
+
+impl Shard {
+    fn copies_stored(&self) -> u64 {
+        self.engines
+            .iter()
+            .map(|(_, e)| e.metrics().copies_stored)
+            .sum()
+    }
 }
 
 /// Thread-parallel batch runner for the shared-component strategy.
@@ -43,6 +80,15 @@ pub struct ParallelShared {
     component_users: Vec<Vec<UserId>>,
     /// Author → shard ids that own a component containing the author.
     author_shards: Vec<Vec<u32>>,
+    /// Stream time of the last eviction sweep (same schedule as
+    /// `SharedMulti::last_sweep`).
+    last_sweep: Timestamp,
+    /// Record copies currently stored across all shards' engines.
+    live_copies: u64,
+    /// Peak of `live_copies` — the true simultaneous footprint.
+    peak_live_copies: u64,
+    /// Per-shard instruments, when attached.
+    shard_obs: Option<Vec<ShardObs>>,
 }
 
 impl ParallelShared {
@@ -77,14 +123,20 @@ impl ParallelShared {
         }
 
         let mut shards: Vec<Shard> = (0..threads)
-            .map(|_| Shard { engines: Vec::new(), author_engines: HashMap::new() })
+            .map(|_| Shard {
+                engines: Vec::new(),
+                author_engines: HashMap::new(),
+            })
             .collect();
         let mut author_shards: Vec<Vec<u32>> = vec![Vec::new(); graph.node_count()];
         for (cid, members) in component_members.iter().enumerate() {
             let shard_id = cid % threads;
             let shard = &mut shards[shard_id];
             let local = shard.engines.len() as u32;
-            shard.engines.push((cid as u32, CompactEngine::build(kind, config, graph, members)));
+            shard.engines.push((
+                cid as u32,
+                CompactEngine::build(kind, config, graph, members),
+            ));
             for &a in members {
                 shard.author_engines.entry(a).or_default().push(local);
                 let list = &mut author_shards[a as usize];
@@ -94,7 +146,30 @@ impl ParallelShared {
             }
         }
 
-        Self { kind, config, shards, component_users, author_shards }
+        Self {
+            kind,
+            config,
+            shards,
+            component_users,
+            author_shards,
+            last_sweep: 0,
+            live_copies: 0,
+            peak_live_copies: 0,
+            shard_obs: None,
+        }
+    }
+
+    /// Attach per-shard instruments (offer-latency histogram, channel-depth
+    /// gauge, sweep counter) labelled `{strategy, shard}` to `registry`.
+    /// Workers update them lock-free during
+    /// [`process_stream`](Self::process_stream).
+    pub fn attach_obs(&mut self, registry: &Registry) {
+        let strategy = self.name();
+        self.shard_obs = Some(
+            (0..self.shards.len())
+                .map(|i| ShardObs::register(registry, &strategy, i))
+                .collect(),
+        );
     }
 
     /// Number of distinct components across all shards.
@@ -128,85 +203,155 @@ impl ParallelShared {
         let sweep_every = (self.config.thresholds.lambda_t / 2).max(1);
         let author_shards = &self.author_shards;
         let component_users = &self.component_users;
+        let obs: Vec<Option<ShardObs>> = match &self.shard_obs {
+            Some(v) => v.iter().cloned().map(Some).collect(),
+            None => vec![None; self.shards.len()],
+        };
+        let depth_gauges: Vec<_> = obs
+            .iter()
+            .map(|o| o.as_ref().map(|o| o.channel_depth.clone()))
+            .collect();
         let shards = &mut self.shards;
+        let mut last_sweep = self.last_sweep;
 
-        // (post index, component id) emissions across all shards.
-        let mut emissions: Vec<(u32, u32)> = Vec::new();
+        let mut reports: Vec<ShardReport> = Vec::new();
 
         std::thread::scope(|scope| {
             // Records travel in batches: a channel rendezvous per post would
             // dominate the runtime at firehose rates.
             const BATCH: usize = 256;
-            let (result_tx, result_rx) = crossbeam::channel::unbounded::<Vec<(u32, u32)>>();
+            let (report_tx, report_rx) = mpsc::channel::<ShardReport>();
             let mut senders = Vec::with_capacity(shards.len());
-            for shard in shards.iter_mut() {
-                let (tx, rx) = crossbeam::channel::bounded::<Vec<(u32, PostRecord)>>(16);
+            for (shard, obs) in shards.iter_mut().zip(obs) {
+                let (tx, rx) = mpsc::sync_channel::<Vec<Item>>(16);
                 senders.push(tx);
-                let result_tx = result_tx.clone();
+                let report_tx = report_tx.clone();
                 scope.spawn(move || {
                     let mut emitted: Vec<(u32, u32)> = Vec::new();
-                    let mut last_sweep: firehose_stream::Timestamp = 0;
+                    let mut copy_deltas: Vec<(u32, i64)> = Vec::new();
                     for batch in rx {
-                        for (idx, record) in batch {
-                            // Same periodic sweep as the sequential engines,
-                            // on this shard's view of stream time.
-                            if record.timestamp.saturating_sub(last_sweep) >= sweep_every {
-                                last_sweep = record.timestamp;
-                                for (_, engine) in shard.engines.iter_mut() {
-                                    engine.evict_expired(record.timestamp);
+                        if let Some(o) = &obs {
+                            o.channel_depth.add(-1);
+                        }
+                        for item in batch {
+                            match item {
+                                Item::Sweep(idx, now) => {
+                                    let before = shard.copies_stored();
+                                    for (_, engine) in shard.engines.iter_mut() {
+                                        engine.evict_expired(now);
+                                    }
+                                    let after = shard.copies_stored();
+                                    if after != before {
+                                        copy_deltas.push((idx, after as i64 - before as i64));
+                                    }
+                                    if let Some(o) = &obs {
+                                        o.sweeps.inc();
+                                    }
                                 }
-                            }
-                            if let Some(engine_ids) = shard.author_engines.get(&record.author) {
-                                for &eid in engine_ids {
-                                    let (cid, engine) = &mut shard.engines[eid as usize];
-                                    let verdict = engine
-                                        .offer(record)
-                                        .expect("component engine must contain its author");
-                                    if verdict.is_emitted() {
-                                        emitted.push((idx, *cid));
+                                Item::Record(idx, record) => {
+                                    let Some(engine_ids) = shard.author_engines.get(&record.author)
+                                    else {
+                                        continue;
+                                    };
+                                    for &eid in engine_ids {
+                                        let (cid, engine) = &mut shard.engines[eid as usize];
+                                        let started = obs.is_some().then(Instant::now);
+                                        let before = engine.metrics().copies_stored;
+                                        let verdict = engine
+                                            .offer(record)
+                                            .expect("component engine must contain its author");
+                                        let after = engine.metrics().copies_stored;
+                                        if let (Some(t0), Some(o)) = (started, &obs) {
+                                            o.offer_latency.record_duration(t0.elapsed());
+                                        }
+                                        if after != before {
+                                            copy_deltas.push((idx, after as i64 - before as i64));
+                                        }
+                                        if verdict.is_emitted() {
+                                            emitted.push((idx, *cid));
+                                        }
                                     }
                                 }
                             }
                         }
                     }
-                    let _ = result_tx.send(emitted);
+                    let _ = report_tx.send(ShardReport {
+                        emitted,
+                        copy_deltas,
+                    });
                 });
             }
-            drop(result_tx);
+            drop(report_tx);
 
             // Pipeline stage 1: fingerprint on this thread, route records to
-            // only the shards owning components of the post's author.
-            let mut buffers: Vec<Vec<(u32, PostRecord)>> =
-                vec![Vec::with_capacity(BATCH); senders.len()];
+            // only the shards owning components of the post's author, and
+            // broadcast sweep markers on `SharedMulti`'s exact schedule.
+            let mut buffers: Vec<Vec<Item>> = (0..senders.len())
+                .map(|_| Vec::with_capacity(BATCH))
+                .collect();
+            let flush = |shard_id: usize, buffers: &mut Vec<Vec<Item>>| {
+                let buffer = &mut buffers[shard_id];
+                if !buffer.is_empty() {
+                    if let Some(g) = &depth_gauges[shard_id] {
+                        g.add(1);
+                    }
+                    senders[shard_id]
+                        .send(std::mem::replace(buffer, Vec::with_capacity(BATCH)))
+                        .expect("worker hung up unexpectedly");
+                }
+            };
             for (idx, post) in posts.iter().enumerate() {
+                if post.timestamp.saturating_sub(last_sweep) >= sweep_every {
+                    last_sweep = post.timestamp;
+                    for buffer in &mut buffers {
+                        buffer.push(Item::Sweep(idx as u32, post.timestamp));
+                    }
+                }
                 let record = post.to_record(simhash);
                 for &shard_id in &author_shards[post.author as usize] {
-                    let buffer = &mut buffers[shard_id as usize];
-                    buffer.push((idx as u32, record));
-                    if buffer.len() >= BATCH {
-                        senders[shard_id as usize]
-                            .send(std::mem::replace(buffer, Vec::with_capacity(BATCH)))
-                            .expect("worker hung up unexpectedly");
+                    buffers[shard_id as usize].push(Item::Record(idx as u32, record));
+                    if buffers[shard_id as usize].len() >= BATCH {
+                        flush(shard_id as usize, &mut buffers);
                     }
                 }
             }
-            for (buffer, sender) in buffers.into_iter().zip(&senders) {
-                if !buffer.is_empty() {
-                    sender.send(buffer).expect("worker hung up unexpectedly");
-                }
+            for shard_id in 0..buffers.len() {
+                flush(shard_id, &mut buffers);
             }
             drop(senders);
 
-            for partial in result_rx {
-                emissions.extend(partial);
+            for report in report_rx {
+                reports.push(report);
             }
         });
+        self.last_sweep = last_sweep;
+
+        // Replay copy deltas in post order to reconstruct the peak live
+        // footprint exactly as `SharedMulti` samples it (once per post,
+        // after that post's sweep and offers).
+        let mut delta_per_post = vec![0i64; posts.len()];
+        for report in &reports {
+            for &(idx, d) in &report.copy_deltas {
+                delta_per_post[idx as usize] += d;
+            }
+        }
+        let mut live = self.live_copies as i64;
+        let mut peak = self.peak_live_copies as i64;
+        for d in delta_per_post {
+            live += d;
+            peak = peak.max(live);
+        }
+        debug_assert!(live >= 0, "copy ledger went negative");
+        self.live_copies = live.max(0) as u64;
+        self.peak_live_copies = peak.max(0) as u64;
 
         let mut decisions = vec![MultiDecision::default(); posts.len()];
-        for (idx, cid) in emissions {
-            decisions[idx as usize]
-                .delivered_to
-                .extend_from_slice(&component_users[cid as usize]);
+        for report in reports {
+            for (idx, cid) in report.emitted {
+                decisions[idx as usize]
+                    .delivered_to
+                    .extend_from_slice(&component_users[cid as usize]);
+            }
         }
         for d in &mut decisions {
             d.delivered_to.sort_unstable();
@@ -214,7 +359,9 @@ impl ParallelShared {
         decisions
     }
 
-    /// Aggregated counters across all shards' engines.
+    /// Aggregated counters across all shards' engines. Equal — field for
+    /// field — to a sequential [`SharedMulti`](crate::multi::SharedMulti)
+    /// run over the same stream.
     pub fn metrics(&self) -> EngineMetrics {
         let mut total = EngineMetrics::default();
         for shard in &self.shards {
@@ -222,6 +369,10 @@ impl ParallelShared {
                 total.merge(e.metrics());
             }
         }
+        // Replace the summed per-engine peaks with the replayed simultaneous
+        // peak (see `peak_live_copies`), exactly as `SharedMulti` does.
+        total.peak_copies = self.peak_live_copies.max(total.copies_stored);
+        total.peak_memory_bytes = total.peak_copies * PostRecord::SIZE_BYTES as u64;
         total
     }
 
@@ -244,7 +395,12 @@ mod tests {
             Subscriptions::new(6, vec![vec![0, 1, 3, 5], vec![0, 1, 3, 4, 5], vec![2]]).unwrap();
         let posts: Vec<Post> = (0..60u64)
             .map(|i| {
-                Post::new(i, (i % 6) as u32, i * 5_000, format!("content group {}", i % 9))
+                Post::new(
+                    i,
+                    (i % 6) as u32,
+                    i * 5_000,
+                    format!("content group {}", i % 9),
+                )
             })
             .collect();
         (graph, subs, posts)
@@ -258,8 +414,7 @@ mod tests {
             let mut seq = SharedMulti::new(kind, config, &graph, subs.clone());
             let expected: Vec<_> = posts.iter().map(|p| seq.offer(p)).collect();
             for threads in [1, 2, 4] {
-                let mut par =
-                    ParallelShared::new(kind, config, &graph, subs.clone(), threads);
+                let mut par = ParallelShared::new(kind, config, &graph, subs.clone(), threads);
                 let got = par.process_stream(&posts);
                 assert_eq!(got, expected, "{kind} with {threads} threads");
             }
@@ -279,28 +434,93 @@ mod tests {
     #[test]
     fn metrics_match_sequential() {
         let (graph, subs, posts) = setting();
-        let config = EngineConfig::new(Thresholds::new(18, minutes(30), 0.7).unwrap());
+        // λt = 1 minute over a 5-minute stream: several eviction sweeps
+        // trigger, so this exercises the in-band sweep markers, not just the
+        // offer path.
+        let config = EngineConfig::new(Thresholds::new(18, minutes(1), 0.7).unwrap());
+        for kind in AlgorithmKind::ALL {
+            let mut seq = SharedMulti::new(kind, config, &graph, subs.clone());
+            for p in &posts {
+                seq.offer(p);
+            }
+            for threads in [1, 2, 4] {
+                let mut par = ParallelShared::new(kind, config, &graph, subs.clone(), threads);
+                par.process_stream(&posts);
+                // Sweeps are driven from post timestamps on the main thread,
+                // so every counter — including evictions, peak copies, and
+                // peak memory — must equal the sequential run exactly.
+                assert_eq!(
+                    par.metrics(),
+                    seq.metrics(),
+                    "{kind} with {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_match_across_split_streams() {
+        // Stream state (sweep schedule, live-copy ledger) persists across
+        // process_stream calls, so feeding the stream in two halves must
+        // match one sequential pass.
+        let (graph, subs, posts) = setting();
+        let config = EngineConfig::new(Thresholds::new(18, minutes(1), 0.7).unwrap());
         let mut seq = SharedMulti::new(AlgorithmKind::UniBin, config, &graph, subs.clone());
         for p in &posts {
             seq.offer(p);
         }
         let mut par = ParallelShared::new(AlgorithmKind::UniBin, config, &graph, subs, 2);
+        let (a, b) = posts.split_at(posts.len() / 2);
+        par.process_stream(a);
+        par.process_stream(b);
+        assert_eq!(par.metrics(), seq.metrics());
+    }
+
+    #[test]
+    fn observed_run_counts_offers_and_sweeps() {
+        let (graph, subs, posts) = setting();
+        let config = EngineConfig::new(Thresholds::new(18, minutes(1), 0.7).unwrap());
+        let registry = Registry::new();
+        let mut par = ParallelShared::new(AlgorithmKind::UniBin, config, &graph, subs, 2);
+        par.attach_obs(&registry);
         par.process_stream(&posts);
-        // Decision-relevant counters are identical; eviction/memory counters
-        // may differ slightly because each shard sweeps on its own view of
-        // stream time.
-        let (s, p) = (seq.metrics(), par.metrics());
-        assert_eq!(p.posts_processed, s.posts_processed);
-        assert_eq!(p.posts_emitted, s.posts_emitted);
-        assert_eq!(p.comparisons, s.comparisons);
-        assert_eq!(p.insertions, s.insertions);
+
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains("# TYPE firehose_shard_offer_latency_ns histogram"),
+            "{text}"
+        );
+        assert!(text.contains("firehose_shard_sweeps_total{"), "{text}");
+        // Every queued batch was drained: depth gauges are back to zero.
+        for line in text
+            .lines()
+            .filter(|l| l.starts_with("firehose_shard_channel_depth{"))
+        {
+            assert!(line.ends_with(" 0"), "undrained channel: {line}");
+        }
+        // The shard offer histograms saw every (post, engine) offer.
+        let processed: u64 = par.metrics().posts_processed;
+        let mut observed = 0u64;
+        for line in text
+            .lines()
+            .filter(|l| l.starts_with("firehose_shard_offer_latency_ns_count{"))
+        {
+            observed += line.rsplit(' ').next().unwrap().parse::<u64>().unwrap();
+        }
+        assert_eq!(observed, processed);
     }
 
     #[test]
     #[should_panic(expected = "at least one worker thread")]
     fn zero_threads_rejected() {
         let (graph, subs, _) = setting();
-        ParallelShared::new(AlgorithmKind::UniBin, EngineConfig::paper_defaults(), &graph, subs, 0);
+        ParallelShared::new(
+            AlgorithmKind::UniBin,
+            EngineConfig::paper_defaults(),
+            &graph,
+            subs,
+            0,
+        );
     }
 
     #[test]

@@ -22,16 +22,17 @@ use crate::metrics::EngineMetrics;
 use crate::multi::independent::CompactEngine;
 use crate::multi::subscriptions::{Subscriptions, UserId};
 use crate::multi::{MultiDecision, MultiDiversifier};
+use crate::obs::MultiObs;
 
 /// Decompose a user's (sorted) subscription set into connected components of
 /// the similarity subgraph induced on it. Returns sorted member lists,
 /// ordered by smallest member.
-pub(crate) fn user_components(
-    graph: &UndirectedGraph,
-    authors: &[AuthorId],
-) -> Vec<Vec<AuthorId>> {
-    let local: HashMap<AuthorId, u32> =
-        authors.iter().enumerate().map(|(i, &a)| (a, i as u32)).collect();
+pub(crate) fn user_components(graph: &UndirectedGraph, authors: &[AuthorId]) -> Vec<Vec<AuthorId>> {
+    let local: HashMap<AuthorId, u32> = authors
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| (a, i as u32))
+        .collect();
     let mut uf = UnionFind::new(authors.len());
     for (i, &a) in authors.iter().enumerate() {
         for &b in graph.neighbors(a) {
@@ -70,6 +71,8 @@ pub struct SharedMulti {
     live_copies: u64,
     /// Peak of `live_copies` — the true simultaneous footprint.
     peak_live_copies: u64,
+    /// Strategy-level instruments, when attached.
+    obs: Option<MultiObs>,
 }
 
 impl SharedMulti {
@@ -110,7 +113,15 @@ impl SharedMulti {
             last_sweep: 0,
             live_copies: 0,
             peak_live_copies: 0,
+            obs: None,
         }
+    }
+
+    /// Attach strategy-level instruments (offer-latency histogram, sweep
+    /// counter, live-copies gauge) labelled `{strategy="S_<kind>"}` to
+    /// `registry`.
+    pub fn attach_obs(&mut self, registry: &firehose_obs::Registry) {
+        self.obs = Some(MultiObs::register(registry, &MultiDiversifier::name(self)));
     }
 
     /// Number of distinct components (= number of engines).
@@ -126,6 +137,7 @@ impl SharedMulti {
 
 impl MultiDiversifier for SharedMulti {
     fn offer(&mut self, post: &Post) -> MultiDecision {
+        let started = self.obs.is_some().then(std::time::Instant::now);
         // Periodic global eviction sweep across all component engines.
         let sweep_every = (self.config.thresholds.lambda_t / 2).max(1);
         if post.timestamp.saturating_sub(self.last_sweep) >= sweep_every {
@@ -133,8 +145,10 @@ impl MultiDiversifier for SharedMulti {
             for engine in &mut self.engines {
                 engine.evict_expired(post.timestamp);
             }
-            self.live_copies =
-                self.engines.iter().map(|e| e.metrics().copies_stored).sum();
+            self.live_copies = self.engines.iter().map(|e| e.metrics().copies_stored).sum();
+            if let Some(obs) = &self.obs {
+                obs.sweeps.inc();
+            }
         }
 
         let record = post.to_record(self.config.simhash);
@@ -155,6 +169,10 @@ impl MultiDiversifier for SharedMulti {
             }
         }
         self.peak_live_copies = self.peak_live_copies.max(self.live_copies);
+        if let (Some(t0), Some(obs)) = (started, &self.obs) {
+            obs.offer_latency.record_duration(t0.elapsed());
+            obs.live_copies.set(self.live_copies as i64);
+        }
         delivered_to.sort_unstable();
         debug_assert!(delivered_to.windows(2).all(|w| w[0] != w[1]));
         MultiDecision { delivered_to }
@@ -191,8 +209,7 @@ mod tests {
         // Edges: 0-1, 0-5 (component {0,1,5}); 3-4.
         let graph = UndirectedGraph::from_edges(6, [(0, 1), (0, 5), (3, 4)]);
         // u1 follows {0,1,3,5}; u2 follows {0,1,3,4,5}.
-        let subs =
-            Subscriptions::new(6, vec![vec![0, 1, 3, 5], vec![0, 1, 3, 4, 5]]).unwrap();
+        let subs = Subscriptions::new(6, vec![vec![0, 1, 3, 5], vec![0, 1, 3, 4, 5]]).unwrap();
         (graph, subs)
     }
 
@@ -231,7 +248,12 @@ mod tests {
         assert_eq!(d.delivered_to, vec![1]);
         // a4 (author 3) posts a near-duplicate: u1 sees it (her component {3}
         // never saw post 1); u2 does not (covered within {3,4}).
-        let d = s.offer(&Post::new(2, 3, 60_000, "match highlights video replay".into()));
+        let d = s.offer(&Post::new(
+            2,
+            3,
+            60_000,
+            "match highlights video replay".into(),
+        ));
         assert_eq!(d.delivered_to, vec![0]);
     }
 
@@ -252,14 +274,15 @@ mod tests {
         let (graph, subs) = figure7();
         let config = EngineConfig::new(Thresholds::new(18, minutes(30), 0.7).unwrap());
         let mut s = SharedMulti::new(AlgorithmKind::UniBin, config, &graph, subs.clone());
-        let mut m = crate::multi::IndependentMulti::new(
-            AlgorithmKind::UniBin,
-            config,
-            &graph,
-            subs,
-        );
+        let mut m =
+            crate::multi::IndependentMulti::new(AlgorithmKind::UniBin, config, &graph, subs);
         for i in 0..10u64 {
-            let p = Post::new(i, (i % 6) as u32, i * 10_000, format!("post number {i} body"));
+            let p = Post::new(
+                i,
+                (i % 6) as u32,
+                i * 10_000,
+                format!("post number {i} body"),
+            );
             s.offer(&p);
             m.offer(&p);
         }
@@ -275,7 +298,12 @@ mod tests {
         let config = EngineConfig::new(Thresholds::new(18, minutes(30), 0.7).unwrap());
         let posts: Vec<Post> = (0..30u64)
             .map(|i| {
-                Post::new(i, (i % 6) as u32, i * 5_000, format!("body of post {}", i % 7))
+                Post::new(
+                    i,
+                    (i % 6) as u32,
+                    i * 5_000,
+                    format!("body of post {}", i % 7),
+                )
             })
             .collect();
         let mut outputs = Vec::new();

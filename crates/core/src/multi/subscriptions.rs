@@ -22,7 +22,11 @@ pub enum SubscriptionError {
 impl std::fmt::Display for SubscriptionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Self::AuthorOutOfRange { user, author, author_count } => write!(
+            Self::AuthorOutOfRange {
+                user,
+                author,
+                author_count,
+            } => write!(
                 f,
                 "user {user} subscribes to author {author} outside universe of {author_count}"
             ),
@@ -63,7 +67,10 @@ impl Subscriptions {
                 subscribers[a as usize].push(u as UserId);
             }
         }
-        Ok(Self { per_user: users, subscribers })
+        Ok(Self {
+            per_user: users,
+            subscribers,
+        })
     }
 
     /// Number of users.
@@ -117,8 +124,7 @@ mod tests {
 
     #[test]
     fn routing_and_lookup() {
-        let subs =
-            Subscriptions::new(4, vec![vec![0, 2], vec![2, 3], vec![]]).unwrap();
+        let subs = Subscriptions::new(4, vec![vec![0, 2], vec![2, 3], vec![]]).unwrap();
         assert_eq!(subs.user_count(), 3);
         assert_eq!(subs.author_count(), 4);
         assert_eq!(subs.authors_of(0), &[0, 2]);
@@ -138,7 +144,10 @@ mod tests {
     #[test]
     fn out_of_range_rejected() {
         let err = Subscriptions::new(2, vec![vec![5]]).unwrap_err();
-        assert!(matches!(err, SubscriptionError::AuthorOutOfRange { author: 5, .. }));
+        assert!(matches!(
+            err,
+            SubscriptionError::AuthorOutOfRange { author: 5, .. }
+        ));
         assert!(err.to_string().contains("author 5"));
     }
 
@@ -147,6 +156,11 @@ mod tests {
         let subs = Subscriptions::new(5, vec![vec![0], vec![1, 2, 3], vec![4, 0]]).unwrap();
         assert!((subs.mean_subscriptions() - 2.0).abs() < 1e-12);
         assert_eq!(subs.median_subscriptions(), 2);
-        assert_eq!(Subscriptions::new(1, Vec::<Vec<u32>>::new()).unwrap().median_subscriptions(), 0);
+        assert_eq!(
+            Subscriptions::new(1, Vec::<Vec<u32>>::new())
+                .unwrap()
+                .median_subscriptions(),
+            0
+        );
     }
 }

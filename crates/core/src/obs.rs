@@ -1,0 +1,234 @@
+//! Observability hooks for the diversification engines.
+//!
+//! The engines stay metrics-free by default: instrumentation is attached
+//! explicitly via [`EngineObs::register`] /
+//! [`Diversifier::attach_obs`](crate::engine::Diversifier::attach_obs), so
+//! unobserved hot paths pay only an `Option` branch. All handles come from a
+//! [`firehose_obs::Registry`] and are lock-free to update.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use firehose_obs::{labels, Counter, Gauge, Histogram, Registry};
+
+use crate::metrics::EngineMetrics;
+
+/// Per-engine instruments for the single-user engines' hot path.
+///
+/// `offer_latency_ns` is a wall-clock histogram of one `offer_record` call;
+/// `offer_comparisons` is a histogram of how many pairwise coverage tests
+/// that call performed (the scan-length distribution, far more informative
+/// than the running total in [`EngineMetrics`]).
+#[derive(Clone)]
+pub struct EngineObs {
+    /// Wall-clock nanoseconds per `offer_record` call.
+    pub offer_latency: Arc<Histogram>,
+    /// Pairwise coverage comparisons per `offer_record` call.
+    pub offer_comparisons: Arc<Histogram>,
+}
+
+impl EngineObs {
+    /// Create (or look up) the instruments for `engine` (e.g. `"UniBin"`)
+    /// in `registry`.
+    pub fn register(registry: &Registry, engine: &str) -> Self {
+        let l = labels(&[("engine", engine)]);
+        Self {
+            offer_latency: registry.histogram(
+                "firehose_offer_latency_ns",
+                "Wall-clock latency of one offer_record call, nanoseconds",
+                l.clone(),
+            ),
+            offer_comparisons: registry.histogram(
+                "firehose_offer_comparisons",
+                "Pairwise coverage comparisons performed by one offer_record call",
+                l,
+            ),
+        }
+    }
+
+    /// Record one observed offer.
+    #[inline]
+    pub fn record_offer(&self, started: Instant, comparisons: u64) {
+        self.offer_latency.record_duration(started.elapsed());
+        self.offer_comparisons.record(comparisons);
+    }
+}
+
+/// Instruments for a multi-user strategy
+/// ([`SharedMulti`](crate::multi::SharedMulti) /
+/// [`IndependentMulti`](crate::multi::IndependentMulti)): whole-post offer
+/// latency, eviction-sweep count, and the live record-copy footprint.
+#[derive(Clone)]
+pub struct MultiObs {
+    /// Wall-clock nanoseconds per multi-user `offer` call (fingerprint +
+    /// every sub-engine consulted).
+    pub offer_latency: Arc<Histogram>,
+    /// Periodic eviction sweeps performed.
+    pub sweeps: Counter,
+    /// Record copies currently live across all sub-engines.
+    pub live_copies: Gauge,
+}
+
+impl MultiObs {
+    /// Create (or look up) the instruments for `strategy` (e.g. `"S_UniBin"`)
+    /// in `registry`.
+    pub fn register(registry: &Registry, strategy: &str) -> Self {
+        let l = labels(&[("strategy", strategy)]);
+        Self {
+            offer_latency: registry.histogram(
+                "firehose_multi_offer_latency_ns",
+                "Wall-clock latency of one multi-user offer, nanoseconds",
+                l.clone(),
+            ),
+            sweeps: registry.counter(
+                "firehose_sweeps_total",
+                "Periodic eviction sweeps performed",
+                l.clone(),
+            ),
+            live_copies: registry.gauge(
+                "firehose_live_copies",
+                "Record copies currently stored across all sub-engines",
+                l,
+            ),
+        }
+    }
+}
+
+/// Per-shard instruments for
+/// [`ParallelShared`](crate::multi::ParallelShared) workers.
+#[derive(Clone)]
+pub struct ShardObs {
+    /// Wall-clock nanoseconds per component-engine offer on this shard.
+    pub offer_latency: Arc<Histogram>,
+    /// Batches currently queued in this shard's channel.
+    pub channel_depth: Gauge,
+    /// Eviction sweeps this shard has executed.
+    pub sweeps: Counter,
+}
+
+impl ShardObs {
+    /// Create (or look up) the instruments for shard `shard` of `strategy`
+    /// in `registry`.
+    pub fn register(registry: &Registry, strategy: &str, shard: usize) -> Self {
+        let l = labels(&[("strategy", strategy), ("shard", &shard.to_string())]);
+        Self {
+            offer_latency: registry.histogram(
+                "firehose_shard_offer_latency_ns",
+                "Wall-clock latency of one component-engine offer on this shard, nanoseconds",
+                l.clone(),
+            ),
+            channel_depth: registry.gauge(
+                "firehose_shard_channel_depth",
+                "Record batches queued in this shard's channel",
+                l.clone(),
+            ),
+            sweeps: registry.counter(
+                "firehose_shard_sweeps_total",
+                "Eviction sweeps executed by this shard",
+                l,
+            ),
+        }
+    }
+}
+
+/// Export an [`EngineMetrics`] snapshot into `registry` as counters labelled
+/// `{engine="<name>"}`. Called at snapshot time (not per offer), so the hot
+/// path never touches these.
+pub fn export_engine_metrics(registry: &Registry, engine: &str, m: &EngineMetrics) {
+    let l = labels(&[("engine", engine)]);
+    for (name, help, value) in [
+        (
+            "firehose_posts_processed_total",
+            "Posts offered to the engine",
+            m.posts_processed,
+        ),
+        (
+            "firehose_posts_emitted_total",
+            "Posts emitted into the diversified sub-stream",
+            m.posts_emitted,
+        ),
+        (
+            "firehose_comparisons_total",
+            "Pairwise coverage comparisons performed",
+            m.comparisons,
+        ),
+        (
+            "firehose_insertions_total",
+            "Record copies inserted into bins",
+            m.insertions,
+        ),
+        (
+            "firehose_evictions_total",
+            "Record copies evicted from bins",
+            m.evictions,
+        ),
+        (
+            "firehose_peak_copies",
+            "Peak record copies stored simultaneously",
+            m.peak_copies,
+        ),
+        (
+            "firehose_peak_memory_bytes",
+            "Peak record payload in bytes",
+            m.peak_memory_bytes,
+        ),
+    ] {
+        registry.counter(name, help, l.clone()).set(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_obs_records() {
+        let r = Registry::new();
+        let obs = EngineObs::register(&r, "UniBin");
+        obs.record_offer(Instant::now(), 7);
+        assert_eq!(obs.offer_latency.count(), 1);
+        assert_eq!(obs.offer_comparisons.count(), 1);
+        // Registering again returns handles to the same instruments.
+        let again = EngineObs::register(&r, "UniBin");
+        assert_eq!(again.offer_comparisons.count(), 1);
+    }
+
+    #[test]
+    fn export_renders_prometheus_counters() {
+        let r = Registry::new();
+        let m = EngineMetrics {
+            posts_processed: 10,
+            posts_emitted: 7,
+            comparisons: 42,
+            insertions: 7,
+            evictions: 2,
+            copies_stored: 5,
+            peak_copies: 6,
+            peak_memory_bytes: 144,
+        };
+        export_engine_metrics(&r, "CliqueBin", &m);
+        let text = r.render_prometheus();
+        assert!(text.contains("firehose_posts_processed_total{engine=\"CliqueBin\"} 10"));
+        assert!(text.contains("firehose_comparisons_total{engine=\"CliqueBin\"} 42"));
+        assert!(text.contains("firehose_peak_memory_bytes{engine=\"CliqueBin\"} 144"));
+        // Re-export after progress overwrites, never duplicates.
+        let mut m2 = m;
+        m2.comparisons = 50;
+        export_engine_metrics(&r, "CliqueBin", &m2);
+        let text = r.render_prometheus();
+        assert!(text.contains("firehose_comparisons_total{engine=\"CliqueBin\"} 50"));
+        assert!(!text.contains("firehose_comparisons_total{engine=\"CliqueBin\"} 42"));
+    }
+
+    #[test]
+    fn shard_obs_distinct_per_shard() {
+        let r = Registry::new();
+        let s0 = ShardObs::register(&r, "P_UniBin(2)", 0);
+        let s1 = ShardObs::register(&r, "P_UniBin(2)", 1);
+        s0.sweeps.inc();
+        assert_eq!(s0.sweeps.get(), 1);
+        assert_eq!(s1.sweeps.get(), 0);
+        s1.channel_depth.add(3);
+        assert_eq!(s1.channel_depth.get(), 3);
+    }
+}

@@ -97,7 +97,12 @@ mod tests {
     use std::sync::Arc;
 
     fn rec(id: u64, author: u32, ts: u64, fp: u64) -> PostRecord {
-        PostRecord { id, author, timestamp: ts, fingerprint: fp }
+        PostRecord {
+            id,
+            author,
+            timestamp: ts,
+            fingerprint: fp,
+        }
     }
 
     fn setup() -> (Thresholds, UndirectedGraph, Vec<PostRecord>) {
@@ -116,12 +121,11 @@ mod tests {
     fn spsd_output_is_valid() {
         let (thresholds, graph, records) = setup();
         let graph = Arc::new(graph);
-        let mut engine = UniBin::new(
-            EngineConfig::new(thresholds),
-            Arc::clone(&graph),
-        );
-        let decisions: Vec<bool> =
-            records.iter().map(|&r| engine.offer_record(r).is_emitted()).collect();
+        let mut engine = UniBin::new(EngineConfig::new(thresholds), Arc::clone(&graph));
+        let decisions: Vec<bool> = records
+            .iter()
+            .map(|&r| engine.offer_record(r).is_emitted())
+            .collect();
         let report = evaluate(&records, &decisions, &thresholds, &graph);
         assert!(report.is_valid_diversification(), "{report:?}");
         assert_eq!(report.delivered, 3);

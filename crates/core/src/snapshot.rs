@@ -146,7 +146,14 @@ fn read_config<R: Read>(r: &mut R) -> Result<EngineConfig, SnapshotError> {
         url: r_f64(r)?,
     };
     let ngram = r_u32(r)? as usize;
-    Ok(EngineConfig { thresholds, simhash: SimHashOptions { normalize, weights, ngram } })
+    Ok(EngineConfig {
+        thresholds,
+        simhash: SimHashOptions {
+            normalize,
+            weights,
+            ngram,
+        },
+    })
 }
 
 fn write_metrics<W: Write>(w: &mut W, m: &EngineMetrics) -> io::Result<()> {
@@ -201,7 +208,9 @@ fn read_bin<R: Read>(r: &mut R) -> Result<TimeWindowBin, SnapshotError> {
             fingerprint: r_u64(r)?,
         };
         if record.timestamp < prev {
-            return Err(SnapshotError::StructureMismatch("bin records out of time order"));
+            return Err(SnapshotError::StructureMismatch(
+                "bin records out of time order",
+            ));
         }
         prev = record.timestamp;
         bin.push(record);
@@ -218,7 +227,10 @@ fn read_header<R: Read>(r: &mut R, expected_tag: u8) -> Result<EngineConfig, Sna
     let mut tag = [0u8; 1];
     r.read_exact(&mut tag)?;
     if tag[0] != expected_tag {
-        return Err(SnapshotError::WrongEngine { found: tag[0], expected: expected_tag });
+        return Err(SnapshotError::WrongEngine {
+            found: tag[0],
+            expected: expected_tag,
+        });
     }
     read_config(r)
 }
@@ -243,7 +255,9 @@ pub fn restore_unibin<R: Read>(
     let bin = read_bin(r)?;
     for record in bin.iter() {
         if record.author as usize >= graph.node_count() {
-            return Err(SnapshotError::StructureMismatch("record author outside graph"));
+            return Err(SnapshotError::StructureMismatch(
+                "record author outside graph",
+            ));
         }
     }
     Ok(UniBin::from_parts(config, graph, bin, metrics))
@@ -273,7 +287,9 @@ pub fn restore_neighborbin<R: Read>(
     let metrics = read_metrics(r)?;
     let count = r_u32(r)? as usize;
     if count != graph.node_count() {
-        return Err(SnapshotError::StructureMismatch("bin count != author count"));
+        return Err(SnapshotError::StructureMismatch(
+            "bin count != author count",
+        ));
     }
     let mut bins = Vec::with_capacity(count);
     for _ in 0..count {
@@ -314,7 +330,9 @@ pub fn restore_cliquebin<R: Read>(
     let metrics = read_metrics(r)?;
     let clique_count = r_u32(r)? as usize;
     if clique_count != cover.count() {
-        return Err(SnapshotError::StructureMismatch("clique bin count != cover cliques"));
+        return Err(SnapshotError::StructureMismatch(
+            "clique bin count != cover cliques",
+        ));
     }
     let mut clique_bins = Vec::with_capacity(clique_count);
     for _ in 0..clique_count {
@@ -325,11 +343,20 @@ pub fn restore_cliquebin<R: Read>(
     for _ in 0..self_count {
         let author = r_u32(r)?;
         if author as usize >= graph.node_count() {
-            return Err(SnapshotError::StructureMismatch("self-bin author outside graph"));
+            return Err(SnapshotError::StructureMismatch(
+                "self-bin author outside graph",
+            ));
         }
         self_bins.insert(author, read_bin(r)?);
     }
-    Ok(CliqueBin::from_parts(config, graph, cover, clique_bins, self_bins, metrics))
+    Ok(CliqueBin::from_parts(
+        config,
+        graph,
+        cover,
+        clique_bins,
+        self_bins,
+        metrics,
+    ))
 }
 
 #[cfg(test)]
@@ -340,7 +367,10 @@ mod tests {
     use firehose_stream::{minutes, Post};
 
     fn graph() -> Arc<UndirectedGraph> {
-        Arc::new(UndirectedGraph::from_edges(4, [(0, 1), (0, 2), (1, 2), (2, 3)]))
+        Arc::new(UndirectedGraph::from_edges(
+            4,
+            [(0, 1), (0, 2), (1, 2), (2, 3)],
+        ))
     }
 
     fn posts(range: std::ops::Range<u64>) -> Vec<Post> {
@@ -396,7 +426,10 @@ mod tests {
     #[test]
     fn cliquebin_roundtrip_including_self_bins() {
         // Author 4 is isolated: exercises the self-bin path.
-        let g = Arc::new(UndirectedGraph::from_edges(5, [(0, 1), (0, 2), (1, 2), (2, 3)]));
+        let g = Arc::new(UndirectedGraph::from_edges(
+            5,
+            [(0, 1), (0, 2), (1, 2), (2, 3)],
+        ));
         let cover = Arc::new(greedy_clique_cover(&g));
         let mut original = CliqueBin::with_cover(config(), Arc::clone(&g), Arc::clone(&cover));
         for i in 0..40u64 {
@@ -405,8 +438,7 @@ mod tests {
         }
         let mut buf = Vec::new();
         snapshot_cliquebin(&original, &mut buf).unwrap();
-        let mut restored =
-            restore_cliquebin(&mut buf.as_slice(), Arc::clone(&g), cover).unwrap();
+        let mut restored = restore_cliquebin(&mut buf.as_slice(), Arc::clone(&g), cover).unwrap();
         for i in 40..80u64 {
             let p = Post::new(i, (i % 5) as u32, i * 30_000, format!("text {}", i % 6));
             assert_eq!(restored.offer(&p), original.offer(&p), "post {i}");
@@ -419,7 +451,10 @@ mod tests {
             thresholds: Thresholds::new(9, minutes(7), 0.55).unwrap(),
             simhash: SimHashOptions {
                 normalize: NormalizeOptions::raw(),
-                weights: TokenWeights { hashtag: 2.5, ..TokenWeights::uniform() },
+                weights: TokenWeights {
+                    hashtag: 2.5,
+                    ..TokenWeights::uniform()
+                },
                 ngram: 2,
             },
         };
@@ -437,7 +472,10 @@ mod tests {
         snapshot_unibin(&engine, &mut buf).unwrap();
         assert!(matches!(
             restore_neighborbin(&mut buf.as_slice(), graph()),
-            Err(SnapshotError::WrongEngine { found: TAG_UNIBIN, expected: TAG_NEIGHBORBIN })
+            Err(SnapshotError::WrongEngine {
+                found: TAG_UNIBIN,
+                expected: TAG_NEIGHBORBIN
+            })
         ));
     }
 

@@ -72,7 +72,10 @@ where
 pub trait DiversifyExt: Iterator<Item = Post> + Sized {
     /// Filter this stream through `engine`, yielding only emitted posts.
     fn diversify<D: Diversifier>(self, engine: D) -> Diversified<Self, D> {
-        Diversified { inner: self, engine }
+        Diversified {
+            inner: self,
+            engine,
+        }
     }
 }
 
@@ -97,14 +100,28 @@ mod tests {
     fn posts() -> Vec<Post> {
         vec![
             Post::new(1, 0, 0, "ferry sinks off the coast hundreds missing".into()),
-            Post::new(2, 1, 60_000, "ferry sinks off the coast hundreds missing".into()),
-            Post::new(3, 0, 120_000, "tech stocks rally for a third straight day".into()),
+            Post::new(
+                2,
+                1,
+                60_000,
+                "ferry sinks off the coast hundreds missing".into(),
+            ),
+            Post::new(
+                3,
+                0,
+                120_000,
+                "tech stocks rally for a third straight day".into(),
+            ),
         ]
     }
 
     #[test]
     fn yields_only_emitted_posts() {
-        let shown: Vec<u64> = posts().into_iter().diversify(engine()).map(|p| p.id).collect();
+        let shown: Vec<u64> = posts()
+            .into_iter()
+            .diversify(engine())
+            .map(|p| p.id)
+            .collect();
         assert_eq!(shown, vec![1, 3]);
     }
 

@@ -1,0 +1,269 @@
+//! In-tree stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched. This crate implements the benchmark-group API surface
+//! the workspace's `benches/micro.rs` uses — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`Throughput`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — with plain wall-clock
+//! timing: a short warm-up, then `sample_size` timed samples, reporting
+//! mean / min per iteration and derived throughput to stdout.
+//!
+//! It has no statistical analysis, plots, or saved baselines; it exists so
+//! `cargo bench` keeps compiling and producing useful numbers offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Warm-up duration before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("== bench group: {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Back-compat with `criterion_main!`'s final configuration hook.
+    pub fn final_summary(&self) {}
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (ignored by the shim).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup per sample.
+    PerIteration,
+}
+
+/// A named group of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used for derived rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark: `f` receives a [`Bencher`] and calls `iter*`.
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            sample_size: self.criterion.sample_size,
+            warm_up: self.criterion.warm_up,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(name.as_ref(), self.throughput);
+        self
+    }
+
+    /// End the group (cosmetic; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up: Duration,
+    /// Collected `(elapsed, iterations)` samples.
+    samples: Vec<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly; the return value is black-boxed.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate a per-sample iteration count targeting ~10ms.
+        let warm_until = Instant::now() + self.warm_up;
+        let mut per_call = Duration::ZERO;
+        let mut calls = 0u64;
+        while Instant::now() < warm_until || calls == 0 {
+            let t0 = Instant::now();
+            black_box(routine());
+            per_call = t0.elapsed();
+            calls += 1;
+        }
+        let iters = (Duration::from_millis(10).as_nanos() / per_call.as_nanos().max(1))
+            .clamp(1, 1_000_000) as u64;
+
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push((t0.elapsed(), iters));
+        }
+    }
+
+    /// Time `routine` over fresh inputs from `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push((t0.elapsed(), 1));
+        }
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        let per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|(d, n)| d.as_secs_f64() / *n as f64)
+            .collect();
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len().max(1) as f64;
+        let min = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+        let rate = match throughput {
+            Some(Throughput::Bytes(b)) => {
+                format!("  {:.1} MiB/s", b as f64 / mean / (1024.0 * 1024.0))
+            }
+            Some(Throughput::Elements(e)) => format!("  {:.0} elem/s", e as f64 / mean),
+            None => String::new(),
+        };
+        println!(
+            "  {name:<40} mean {:>12}  min {:>12}{rate}",
+            fmt_time(mean),
+            fmt_time(min)
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Declare a benchmark group runner function (criterion-compatible form).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        );
+    };
+}
+
+/// Declare the bench `main` that invokes each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $($group();)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn iter_reports_without_panicking() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("shim_batched");
+        g.bench_function("drain", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::LargeInput)
+        });
+        g.finish();
+    }
+
+    criterion_group! {
+        name = test_group;
+        config = Criterion::default().sample_size(2).warm_up_time(Duration::from_millis(1));
+        targets = noop_bench
+    }
+
+    fn noop_bench(c: &mut Criterion) {
+        c.benchmark_group("macro")
+            .bench_function("noop", |b| b.iter(|| 1u64))
+            .finish();
+    }
+
+    #[test]
+    fn group_macro_expands() {
+        test_group();
+    }
+}

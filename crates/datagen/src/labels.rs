@@ -104,7 +104,10 @@ impl UserStudy {
     /// exhausted; near-full buckets are normal at the extreme distances,
     /// just like collecting real tweets).
     pub fn generate(config: UserStudyConfig) -> Self {
-        assert!(config.distance_min <= config.distance_max, "empty distance range");
+        assert!(
+            config.distance_min <= config.distance_max,
+            "empty distance range"
+        );
         assert!(config.annotators % 2 == 1, "annotator count must be odd");
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut textgen = TextGen::new(config.text, config.seed ^ 0x1AB5);
@@ -145,15 +148,28 @@ impl UserStudy {
                 let truth = cosine_similarity(&na, &nb) >= config.cosine_threshold;
                 let mut votes = 0usize;
                 for _ in 0..config.annotators {
-                    let vote = if rng.random_bool(config.annotator_noise) { !truth } else { truth };
+                    let vote = if rng.random_bool(config.annotator_noise) {
+                        !truth
+                    } else {
+                        truth
+                    };
                     votes += usize::from(vote);
                 }
                 let redundant = votes * 2 > config.annotators;
-                pairs.push(LabeledPair { a, b, raw_distance, redundant });
+                pairs.push(LabeledPair {
+                    a,
+                    b,
+                    raw_distance,
+                    redundant,
+                });
             }
         }
 
-        Self { pairs, config, url_registry: textgen.url_registry().clone() }
+        Self {
+            pairs,
+            config,
+            url_registry: textgen.url_registry().clone(),
+        }
     }
 
     /// Number of labeled pairs.
@@ -267,10 +283,8 @@ mod tests {
     #[test]
     fn labels_correlate_with_distance() {
         let s = small_study();
-        let low: Vec<&LabeledPair> =
-            s.pairs.iter().filter(|p| p.raw_distance <= 8).collect();
-        let high: Vec<&LabeledPair> =
-            s.pairs.iter().filter(|p| p.raw_distance >= 20).collect();
+        let low: Vec<&LabeledPair> = s.pairs.iter().filter(|p| p.raw_distance <= 8).collect();
+        let high: Vec<&LabeledPair> = s.pairs.iter().filter(|p| p.raw_distance >= 20).collect();
         let frac = |ps: &[&LabeledPair]| {
             ps.iter().filter(|p| p.redundant).count() as f64 / ps.len().max(1) as f64
         };
@@ -333,7 +347,9 @@ mod tests {
                 // punctuation onto a URL, which (realistically) breaks it.
                 let clean = token.len() == "http://t.co/".len() + 10
                     && token.starts_with("http://t.co/")
-                    && token["http://t.co/".len()..].bytes().all(|b| b.is_ascii_alphanumeric());
+                    && token["http://t.co/".len()..]
+                        .bytes()
+                        .all(|b| b.is_ascii_alphanumeric());
                 if clean {
                     assert!(
                         s.url_registry.expand(token).is_some(),
@@ -349,6 +365,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "odd")]
     fn even_annotators_rejected() {
-        UserStudy::generate(UserStudyConfig { annotators: 2, ..UserStudyConfig::default() });
+        UserStudy::generate(UserStudyConfig {
+            annotators: 2,
+            ..UserStudyConfig::default()
+        });
     }
 }

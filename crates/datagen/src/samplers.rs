@@ -62,7 +62,10 @@ pub struct Exponential {
 impl Exponential {
     /// Rate must be positive and finite.
     pub fn new(rate: f64) -> Self {
-        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive, got {rate}");
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "rate must be positive, got {rate}"
+        );
         Self { rate }
     }
 

@@ -105,7 +105,10 @@ impl SocialGenConfig {
     /// are unchanged and only pair *fractions* scale) for fast experiment
     /// iterations.
     pub fn bench_scale() -> Self {
-        Self { authors: 4_147, ..Self::paper_scale() }
+        Self {
+            authors: 4_147,
+            ..Self::paper_scale()
+        }
     }
 
     /// A tiny graph for unit tests (windows scaled down ~6×).
@@ -230,7 +233,12 @@ impl SyntheticSocialGraph {
             }
         }
 
-        Self { graph, community_of, communities, config }
+        Self {
+            graph,
+            community_of,
+            communities,
+            config,
+        }
     }
 
     /// Number of authors.
@@ -274,8 +282,8 @@ mod tests {
     fn different_seed_different_graph() {
         let a = SyntheticSocialGraph::generate(SocialGenConfig::test_scale());
         let b = SyntheticSocialGraph::generate(SocialGenConfig::test_scale().with_seed(99));
-        let differs = (0..a.author_count() as NodeId)
-            .any(|u| a.graph.followees(u) != b.graph.followees(u));
+        let differs =
+            (0..a.author_count() as NodeId).any(|u| a.graph.followees(u) != b.graph.followees(u));
         assert!(differs);
     }
 
@@ -293,9 +301,12 @@ mod tests {
         let g = small();
         let n = g.author_count() as u32;
         let avg = |delta: u32| {
-            let pairs = [20u32, 60, 100, 140]
-                .map(|a| (a, (a + delta) % n));
-            pairs.iter().map(|&(a, b)| followee_cosine(&g.graph, a, b)).sum::<f64>() / 4.0
+            let pairs = [20u32, 60, 100, 140].map(|a| (a, (a + delta) % n));
+            pairs
+                .iter()
+                .map(|&(a, b)| followee_cosine(&g.graph, a, b))
+                .sum::<f64>()
+                / 4.0
         };
         let near = avg(2);
         let mid = avg(15);
@@ -304,8 +315,14 @@ mod tests {
             near > mid && mid > far,
             "similarity must decay: near {near:.3} mid {mid:.3} far {far:.3}"
         );
-        assert!(near > 0.35, "ring-adjacent authors must be similar: {near:.3}");
-        assert!(far < 0.2, "ring-distant authors must be dissimilar: {far:.3}");
+        assert!(
+            near > 0.35,
+            "ring-adjacent authors must be similar: {near:.3}"
+        );
+        assert!(
+            far < 0.2,
+            "ring-distant authors must be dissimilar: {far:.3}"
+        );
     }
 
     #[test]
@@ -328,7 +345,10 @@ mod tests {
             for off in 1..=cfg.near_window as i64 {
                 let n = g.author_count() as i64;
                 let fwd = ((i64::from(a) + off).rem_euclid(n)) as NodeId;
-                assert!(g.graph.followees(a).contains(&fwd), "author {a} must follow {fwd}");
+                assert!(
+                    g.graph.followees(a).contains(&fwd),
+                    "author {a} must follow {fwd}"
+                );
             }
         }
     }
@@ -337,10 +357,8 @@ mod tests {
     fn follow_counts_bounded() {
         let g = small();
         let cfg = g.config;
-        let max = 2 * cfg.near_window
-            + 2 * cfg.wide_window
-            + cfg.follows_celeb
-            + cfg.follows_random;
+        let max =
+            2 * cfg.near_window + 2 * cfg.wide_window + cfg.follows_celeb + cfg.follows_random;
         for a in 0..g.author_count() as NodeId {
             let k = g.graph.followees(a).len();
             assert!(k <= max, "author {a} follows {k} > {max}");
@@ -366,7 +384,10 @@ mod tests {
 
     #[test]
     fn partial_last_community_supported() {
-        let cfg = SocialGenConfig { authors: 230, ..SocialGenConfig::test_scale() };
+        let cfg = SocialGenConfig {
+            authors: 230,
+            ..SocialGenConfig::test_scale()
+        };
         let g = SyntheticSocialGraph::generate(cfg);
         assert_eq!(g.author_count(), 230);
         // Last community has only 230 − 19*12 = 2 members.

@@ -40,7 +40,13 @@ pub struct SubscriptionGenConfig {
 
 impl Default for SubscriptionGenConfig {
     fn default() -> Self {
-        Self { seed: 0x50B5, median: 20.0, mean: 130.0, local_fraction: 0.15, local_window: 150 }
+        Self {
+            seed: 0x50B5,
+            median: 20.0,
+            mean: 130.0,
+            local_fraction: 0.15,
+            local_window: 150,
+        }
     }
 }
 
@@ -53,7 +59,10 @@ pub fn generate_subscriptions(
     config: SubscriptionGenConfig,
 ) -> Vec<Vec<AuthorId>> {
     assert!(author_count > 0, "need authors to subscribe to");
-    assert!(config.mean >= config.median, "mean must be at least the median");
+    assert!(
+        config.mean >= config.median,
+        "mean must be at least the median"
+    );
     let mut rng = StdRng::seed_from_u64(config.seed);
 
     // Lognormal(μ, σ): median = e^μ, mean = e^(μ + σ²/2).
@@ -123,7 +132,10 @@ mod tests {
         let c = generate_subscriptions(
             1_000,
             100,
-            SubscriptionGenConfig { seed: 1, ..Default::default() },
+            SubscriptionGenConfig {
+                seed: 1,
+                ..Default::default()
+            },
         );
         assert_ne!(a, c);
     }

@@ -121,7 +121,10 @@ impl TextGen {
     /// New generator with the given config and seed.
     pub fn new(config: TextGenConfig, seed: u64) -> Self {
         assert!(config.min_tokens >= 2, "tweets need at least two tokens");
-        assert!(config.max_tokens >= config.min_tokens, "max_tokens < min_tokens");
+        assert!(
+            config.max_tokens >= config.min_tokens,
+            "max_tokens < min_tokens"
+        );
         let zipf = Zipf::new(config.vocabulary, config.zipf_exponent);
         Self {
             config,
@@ -155,7 +158,9 @@ impl TextGen {
 
     /// Generate a fresh base tweet.
     pub fn base_tweet(&mut self) -> String {
-        let n = self.rng.random_range(self.config.min_tokens..=self.config.max_tokens);
+        let n = self
+            .rng
+            .random_range(self.config.min_tokens..=self.config.max_tokens);
         let mut tokens: Vec<String> = Vec::with_capacity(n + 3);
         for _ in 0..n {
             tokens.push(word(self.zipf.sample(&mut self.rng)));
@@ -242,8 +247,7 @@ impl TextGen {
                 format!("{}... {url}", tokens[..keep].join(" "))
             }
             MutationClass::WordSwap => {
-                let mut tokens: Vec<String> =
-                    text.split_whitespace().map(str::to_string).collect();
+                let mut tokens: Vec<String> = text.split_whitespace().map(str::to_string).collect();
                 let swaps = if tokens.len() > 8 { 2 } else { 1 };
                 for _ in 0..swaps {
                     let i = self.rng.random_range(1..tokens.len());
@@ -325,7 +329,10 @@ mod tests {
             }
         }
         let mean = total as f64 / count as f64;
-        assert!(mean <= 12.0, "mutations drift too far: mean Hamming {mean:.1}");
+        assert!(
+            mean <= 12.0,
+            "mutations drift too far: mean Hamming {mean:.1}"
+        );
     }
 
     #[test]
@@ -349,8 +356,14 @@ mod tests {
             }
         }
         let mean = f64::from(total) / f64::from(n);
-        assert!(far * 5 >= n * 4, "only {far}/{n} unrelated pairs beyond distance 20");
-        assert!((25.0..40.0).contains(&mean), "mean random-pair distance {mean:.1}");
+        assert!(
+            far * 5 >= n * 4,
+            "only {far}/{n} unrelated pairs beyond distance 20"
+        );
+        assert!(
+            (25.0..40.0).contains(&mean),
+            "mean random-pair distance {mean:.1}"
+        );
     }
 
     #[test]

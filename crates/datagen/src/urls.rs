@@ -25,7 +25,11 @@ const BASE62: &[u8; 62] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ
 impl UrlRegistry {
     /// An empty registry; codes are deterministic in `seed`.
     pub fn new(seed: u64) -> Self {
-        Self { short_to_long: HashMap::new(), minted: 0, seed }
+        Self {
+            short_to_long: HashMap::new(),
+            minted: 0,
+            seed,
+        }
     }
 
     /// Number of short codes minted.

@@ -45,7 +45,10 @@ impl CliqueCover {
                 cliques_of[u as usize].push(id as u32);
             }
         }
-        Self { cliques, cliques_of }
+        Self {
+            cliques,
+            cliques_of,
+        }
     }
 
     /// All cliques (sorted node lists).
@@ -251,8 +254,9 @@ mod tests {
     #[test]
     fn greedy_beats_naive_on_dense_graphs() {
         // K5: greedy = one clique of 5 (size 5); naive = 10 edge cliques (size 20).
-        let edges: Vec<(u32, u32)> =
-            (0..5u32).flat_map(|u| ((u + 1)..5).map(move |v| (u, v))).collect();
+        let edges: Vec<(u32, u32)> = (0..5u32)
+            .flat_map(|u| ((u + 1)..5).map(move |v| (u, v)))
+            .collect();
         let g = UndirectedGraph::from_edges(5, edges);
         let greedy = greedy_clique_cover(&g);
         let naive = naive_edge_cover(&g);
@@ -264,8 +268,9 @@ mod tests {
 
     #[test]
     fn stats_on_k4() {
-        let edges: Vec<(u32, u32)> =
-            (0..4u32).flat_map(|u| ((u + 1)..4).map(move |v| (u, v))).collect();
+        let edges: Vec<(u32, u32)> = (0..4u32)
+            .flat_map(|u| ((u + 1)..4).map(move |v| (u, v)))
+            .collect();
         let g = UndirectedGraph::from_edges(4, edges);
         let cover = greedy_clique_cover(&g);
         assert_eq!(cover.count(), 1);

@@ -20,7 +20,11 @@ pub struct UnionFind {
 impl UnionFind {
     /// `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        Self { parent: (0..n as NodeId).collect(), rank: vec![0; n], sets: n }
+        Self {
+            parent: (0..n as NodeId).collect(),
+            rank: vec![0; n],
+            sets: n,
+        }
     }
 
     /// Representative of `x`'s set.
@@ -101,7 +105,10 @@ impl ComponentMap {
 
     /// Iterate `(component index, members)`.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &[NodeId])> {
-        self.members.iter().enumerate().map(|(i, m)| (i as u32, m.as_slice()))
+        self.members
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (i as u32, m.as_slice()))
     }
 
     /// `true` iff `a` and `b` are in the same component.
@@ -141,7 +148,10 @@ pub fn components_from_union_find(uf: &mut UnionFind) -> ComponentMap {
         component_of[u as usize] = c;
         members[c as usize].push(u);
     }
-    ComponentMap { component_of, members }
+    ComponentMap {
+        component_of,
+        members,
+    }
 }
 
 #[cfg(test)]

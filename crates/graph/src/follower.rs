@@ -20,7 +20,11 @@ pub struct FollowerGraph {
 impl FollowerGraph {
     /// An empty graph with `n` accounts.
     pub fn new(n: usize) -> Self {
-        Self { followees: vec![Vec::new(); n], followers: vec![Vec::new(); n], edges: 0 }
+        Self {
+            followees: vec![Vec::new(); n],
+            followers: vec![Vec::new(); n],
+            edges: 0,
+        }
     }
 
     /// Build from `(follower, followee)` pairs.

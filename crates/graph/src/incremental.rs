@@ -64,8 +64,14 @@ impl SimilarityIndex {
     /// Record that `u` now follows `f`. Returns `false` (and does nothing)
     /// for self-follows and duplicates.
     pub fn add_follow(&mut self, u: NodeId, f: NodeId) -> bool {
-        assert!((u as usize) < self.followees.len(), "follower {u} out of range");
-        assert!((f as usize) < self.followees.len(), "followee {f} out of range");
+        assert!(
+            (u as usize) < self.followees.len(),
+            "follower {u} out of range"
+        );
+        assert!(
+            (f as usize) < self.followees.len(),
+            "followee {f} out of range"
+        );
         if u == f {
             return false;
         }
@@ -94,8 +100,14 @@ impl SimilarityIndex {
     /// Record that `u` unfollowed `f`. Returns `false` when no such relation
     /// existed.
     pub fn remove_follow(&mut self, u: NodeId, f: NodeId) -> bool {
-        assert!((u as usize) < self.followees.len(), "follower {u} out of range");
-        assert!((f as usize) < self.followees.len(), "followee {f} out of range");
+        assert!(
+            (u as usize) < self.followees.len(),
+            "follower {u} out of range"
+        );
+        assert!(
+            (f as usize) < self.followees.len(),
+            "followee {f} out of range"
+        );
         let Ok(pos) = self.followees[u as usize].binary_search(&f) else {
             return false;
         };
@@ -138,8 +150,10 @@ impl SimilarityIndex {
 
     /// Followee-cosine similarity of `a` and `b` in `[0, 1]`.
     pub fn similarity(&self, a: NodeId, b: NodeId) -> f64 {
-        let (da, db) =
-            (self.followees[a as usize].len() as f64, self.followees[b as usize].len() as f64);
+        let (da, db) = (
+            self.followees[a as usize].len() as f64,
+            self.followees[b as usize].len() as f64,
+        );
         if da == 0.0 || db == 0.0 {
             return 0.0;
         }
@@ -255,10 +269,8 @@ mod tests {
 
     #[test]
     fn from_graph_matches_pairwise_cosine() {
-        let g = FollowerGraph::from_edges(
-            6,
-            [(0, 3), (0, 4), (1, 3), (1, 5), (2, 4), (2, 5), (0, 5)],
-        );
+        let g =
+            FollowerGraph::from_edges(6, [(0, 3), (0, 4), (1, 3), (1, 5), (2, 4), (2, 5), (0, 5)]);
         let idx = SimilarityIndex::from_graph(&g);
         for a in 0..6 {
             for b in 0..6 {

@@ -93,7 +93,11 @@ fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
     Ok(u32::from_le_bytes(buf))
 }
 
-fn read_magic<R: Read>(r: &mut R, expected: &'static [u8; 8], name: &'static str) -> Result<(), IoError> {
+fn read_magic<R: Read>(
+    r: &mut R,
+    expected: &'static [u8; 8],
+    name: &'static str,
+) -> Result<(), IoError> {
     let mut got = [0u8; 8];
     r.read_exact(&mut got)?;
     if &got != expected {
@@ -237,7 +241,10 @@ mod tests {
     fn undirected_roundtrip() {
         let g = UndirectedGraph::from_edges(6, [(0, 1), (1, 2), (0, 2), (4, 5)]);
         assert_eq!(roundtrip_undirected(&g), g);
-        assert_eq!(roundtrip_undirected(&UndirectedGraph::new(0)), UndirectedGraph::new(0));
+        assert_eq!(
+            roundtrip_undirected(&UndirectedGraph::new(0)),
+            UndirectedGraph::new(0)
+        );
     }
 
     #[test]
@@ -275,8 +282,14 @@ mod tests {
             read_undirected(&mut buf.as_slice()),
             Err(IoError::BadMagic { .. })
         ));
-        assert!(matches!(read_follower(&mut buf.as_slice()), Err(IoError::BadMagic { .. })));
-        assert!(matches!(read_cover(&mut buf.as_slice()), Err(IoError::BadMagic { .. })));
+        assert!(matches!(
+            read_follower(&mut buf.as_slice()),
+            Err(IoError::BadMagic { .. })
+        ));
+        assert!(matches!(
+            read_cover(&mut buf.as_slice()),
+            Err(IoError::BadMagic { .. })
+        ));
     }
 
     #[test]
@@ -311,13 +324,22 @@ mod tests {
         buf.extend_from_slice(&2u32.to_le_bytes()); // degree 2
         buf.extend_from_slice(&2u32.to_le_bytes());
         buf.extend_from_slice(&1u32.to_le_bytes()); // descending
-        assert!(matches!(read_follower(&mut buf.as_slice()), Err(IoError::NotSorted)));
+        assert!(matches!(
+            read_follower(&mut buf.as_slice()),
+            Err(IoError::NotSorted)
+        ));
     }
 
     #[test]
     fn error_messages_render() {
-        assert!(IoError::BadMagic { expected: "FHGRAPH1" }.to_string().contains("FHGRAPH1"));
-        assert!(IoError::NodeOutOfRange { node: 9, n: 3 }.to_string().contains('9'));
+        assert!(IoError::BadMagic {
+            expected: "FHGRAPH1"
+        }
+        .to_string()
+        .contains("FHGRAPH1"));
+        assert!(IoError::NodeOutOfRange { node: 9, n: 3 }
+            .to_string()
+            .contains('9'));
         assert!(IoError::NotSorted.to_string().contains("sorted"));
     }
 

@@ -119,8 +119,7 @@ pub fn build_similarity_graph_with(
     for (key, inter) in co_follow_counts(graph) {
         let a = (key >> 32) as NodeId;
         let b = (key & 0xFFFF_FFFF) as NodeId;
-        let sim =
-            measure.score(inter, graph.followees(a).len(), graph.followees(b).len());
+        let sim = measure.score(inter, graph.followees(a).len(), graph.followees(b).len());
         if sim >= min_sim && sim > 0.0 {
             g.add_edge(a, b);
         }
@@ -166,7 +165,10 @@ pub fn build_similarity_graph_parallel(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
 
     // Merge into the largest partial to avoid one full rehash.
@@ -305,7 +307,17 @@ mod tests {
     fn similarity_graph_matches_pairwise_cosine() {
         let g = FollowerGraph::from_edges(
             8,
-            [(0, 4), (0, 5), (1, 4), (1, 6), (2, 5), (2, 6), (3, 4), (3, 5), (3, 6)],
+            [
+                (0, 4),
+                (0, 5),
+                (1, 4),
+                (1, 6),
+                (2, 5),
+                (2, 6),
+                (3, 4),
+                (3, 5),
+                (3, 6),
+            ],
         );
         for lambda_a in [0.5, 0.7, 0.9] {
             let sim = build_similarity_graph(&g, lambda_a);
@@ -332,7 +344,11 @@ mod tests {
         assert!((SimilarityMeasure::Jaccard.score(i, a, b) - 0.5).abs() < 1e-12);
         assert!((SimilarityMeasure::Overlap.score(i, a, b) - 1.0).abs() < 1e-12);
         // Empty sets score 0 under every measure.
-        for m in [SimilarityMeasure::Cosine, SimilarityMeasure::Jaccard, SimilarityMeasure::Overlap] {
+        for m in [
+            SimilarityMeasure::Cosine,
+            SimilarityMeasure::Jaccard,
+            SimilarityMeasure::Overlap,
+        ] {
             assert_eq!(m.score(0, 0, 5), 0.0);
             assert_eq!(m.score(0, 5, 0), 0.0);
         }
@@ -347,7 +363,10 @@ mod tests {
                     let o = SimilarityMeasure::Overlap.score(inter, a, b);
                     let c = SimilarityMeasure::Cosine.score(inter, a, b);
                     let j = SimilarityMeasure::Jaccard.score(inter, a, b);
-                    assert!(o >= c - 1e-12 && c >= j - 1e-12, "i={inter} a={a} b={b}: {o} {c} {j}");
+                    assert!(
+                        o >= c - 1e-12 && c >= j - 1e-12,
+                        "i={inter} a={a} b={b}: {o} {c} {j}"
+                    );
                 }
             }
         }
@@ -357,17 +376,33 @@ mod tests {
     fn jaccard_graph_is_subgraph_of_cosine_graph() {
         let g = FollowerGraph::from_edges(
             8,
-            [(0, 4), (0, 5), (1, 4), (1, 6), (2, 5), (2, 6), (3, 4), (3, 5), (3, 6)],
+            [
+                (0, 4),
+                (0, 5),
+                (1, 4),
+                (1, 6),
+                (2, 5),
+                (2, 6),
+                (3, 4),
+                (3, 5),
+                (3, 6),
+            ],
         );
         for lambda_a in [0.5, 0.7] {
             let cosine = build_similarity_graph_with(&g, lambda_a, SimilarityMeasure::Cosine);
             let jaccard = build_similarity_graph_with(&g, lambda_a, SimilarityMeasure::Jaccard);
             let overlap = build_similarity_graph_with(&g, lambda_a, SimilarityMeasure::Overlap);
             for (u, v) in jaccard.edges() {
-                assert!(cosine.has_edge(u, v), "jaccard edge ({u},{v}) missing from cosine");
+                assert!(
+                    cosine.has_edge(u, v),
+                    "jaccard edge ({u},{v}) missing from cosine"
+                );
             }
             for (u, v) in cosine.edges() {
-                assert!(overlap.has_edge(u, v), "cosine edge ({u},{v}) missing from overlap");
+                assert!(
+                    overlap.has_edge(u, v),
+                    "cosine edge ({u},{v}) missing from overlap"
+                );
             }
         }
     }

@@ -40,8 +40,19 @@ impl GraphTopology {
             .iter()
             .map(|k| k.len() * (k.len() - 1) / 2)
             .sum();
-        let q = if clique_edges == 0 { 1.0 } else { edges as f64 / clique_edges as f64 };
-        Self { m, edges, d, c, s, q }
+        let q = if clique_edges == 0 {
+            1.0
+        } else {
+            edges as f64 / clique_edges as f64
+        };
+        Self {
+            m,
+            edges,
+            d,
+            c,
+            s,
+            q,
+        }
     }
 
     /// The paper's consistency identity `c·(s−1)·q ≈ d`, evaluated on the
@@ -56,7 +67,11 @@ impl GraphTopology {
         // On graphs with isolated nodes d averages over all m while c and s
         // average over clique members; restrict d to members for the check.
         let member_edges = 2.0 * self.edges as f64;
-        let members = if self.c > 0.0 { self.total_memberships() / self.c } else { 0.0 };
+        let members = if self.c > 0.0 {
+            self.total_memberships() / self.c
+        } else {
+            0.0
+        };
         if members == 0.0 {
             return 0.0;
         }
@@ -90,8 +105,9 @@ mod tests {
 
     #[test]
     fn k4_parameters() {
-        let edges: Vec<(u32, u32)> =
-            (0..4u32).flat_map(|u| ((u + 1)..4).map(move |v| (u, v))).collect();
+        let edges: Vec<(u32, u32)> = (0..4u32)
+            .flat_map(|u| ((u + 1)..4).map(move |v| (u, v)))
+            .collect();
         let g = UndirectedGraph::from_edges(4, edges);
         let cover = greedy_clique_cover(&g);
         let t = GraphTopology::measure(&g, &cover);

@@ -18,7 +18,10 @@ pub struct UndirectedGraph {
 impl UndirectedGraph {
     /// An edgeless graph with `n` nodes.
     pub fn new(n: usize) -> Self {
-        Self { adj: vec![Vec::new(); n], edges: 0 }
+        Self {
+            adj: vec![Vec::new(); n],
+            edges: 0,
+        }
     }
 
     /// Build from an edge list. Duplicate edges are collapsed; self-loops are
@@ -44,7 +47,10 @@ impl UndirectedGraph {
             ns.extend((u + 1)..n as NodeId);
             adj.push(ns);
         }
-        Self { adj, edges: n * n.saturating_sub(1) / 2 }
+        Self {
+            adj,
+            edges: n * n.saturating_sub(1) / 2,
+        }
     }
 
     /// Insert edge `{u, v}`. Returns `true` if the edge was new.
@@ -101,7 +107,10 @@ impl UndirectedGraph {
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         self.adj.iter().enumerate().flat_map(|(u, ns)| {
             let u = u as NodeId;
-            ns.iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+            ns.iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
         })
     }
 

@@ -1,0 +1,513 @@
+//! In-tree stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be fetched. This crate re-implements, dependency-free, the subset
+//! of its API the workspace's tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//!   supporting both `name in strategy` and `name: Type` parameters;
+//! * [`Strategy`] with `prop_map`, integer-range / tuple / `&str`-pattern
+//!   strategies, [`collection::vec`], [`sample::select`], [`arbitrary::any`];
+//! * [`prop_assert!`] / [`prop_assert_eq!`];
+//! * [`test_runner::Config`] (a.k.a. `ProptestConfig`) with `with_cases`.
+//!
+//! Differences from the real crate: cases are generated from a fixed
+//! deterministic seed (derived from the test name), there is **no
+//! shrinking**, and failures report the failing case index instead of a
+//! minimal counterexample. For regression hunting the deterministic seed
+//! means a failing case always reproduces.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of values for property tests.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),*) => {
+            impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+                type Value = ($($name::Value,)*);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)*) = self;
+                    ($($name.generate(rng),)*)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+
+    /// `&str` as a pattern strategy. The real crate interprets the string as
+    /// a full regex; this stand-in supports the forms the workspace uses —
+    /// `X{m,n}` (and bare `X`) where `X` is `.` or a literal character class
+    /// of one char — generating strings of random printable characters
+    /// (ASCII, whitespace-ish escapes and some multibyte code points, never
+    /// `\n`, matching regex `.`).
+    impl Strategy for str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (min, max) = parse_repeat(self).unwrap_or_else(|| {
+                panic!("unsupported pattern strategy {self:?} (shim supports `.{{m,n}}`)")
+            });
+            let len = min + rng.below((max - min + 1) as u128) as usize;
+            // A deliberately adversarial pool: ASCII letters, separators the
+            // corpus format must escape (tab, backslash), and multibyte
+            // characters. `.` never matches `\n`, so neither do we.
+            const POOL: &[char] = &[
+                'a', 'b', 'z', 'A', 'Z', '0', '9', ' ', '\t', '\\', ',', ';', '"', '\'', '#', '@',
+                '/', 'é', 'ß', '中', '🔥', '\u{200d}', '\u{7f}',
+            ];
+            (0..len)
+                .map(|_| POOL[rng.below(POOL.len() as u128) as usize])
+                .collect()
+        }
+    }
+
+    /// Parse `.{m,n}` / `.{n}` / `.` into a length range.
+    fn parse_repeat(pattern: &str) -> Option<(usize, usize)> {
+        let rest = pattern.strip_prefix('.')?;
+        if rest.is_empty() {
+            return Some((1, 1));
+        }
+        let body = rest.strip_prefix('{')?.strip_suffix('}')?;
+        match body.split_once(',') {
+            Some((m, n)) => Some((m.trim().parse().ok()?, n.trim().parse().ok()?)),
+            None => {
+                let n = body.trim().parse().ok()?;
+                Some((n, n))
+            }
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() >> 63 == 1
+        }
+    }
+
+    /// Strategy yielding arbitrary values of `T`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The `any::<T>()` entry point.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for vectors with element strategy `S` and a length range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// `vec(element, min..max)`: vectors of `min..max` elements.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty vec length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u128;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy choosing uniformly from a fixed set of values.
+    #[derive(Debug, Clone)]
+    pub struct Select<T>(Vec<T>);
+
+    /// `select(values)`: one of the given values, cloned.
+    pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select requires at least one value");
+        Select(values)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len() as u128) as usize].clone()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Per-test configuration (the real crate's `ProptestConfig`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// Deterministic generator state handed to strategies (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeded constructor.
+        pub fn new(seed: u64) -> Self {
+            Self { state: seed }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be positive and fit in `u64`.
+        pub fn below(&mut self, n: u128) -> u64 {
+            debug_assert!(n > 0 && n <= u64::MAX as u128 + 1);
+            if n == u64::MAX as u128 + 1 {
+                return self.next_u64();
+            }
+            let n = n as u64;
+            // Multiply-shift with rejection (unbiased).
+            let mut m = (self.next_u64() as u128) * (n as u128);
+            let mut lo = m as u64;
+            if lo < n {
+                let threshold = n.wrapping_neg() % n;
+                while lo < threshold {
+                    m = (self.next_u64() as u128) * (n as u128);
+                    lo = m as u64;
+                }
+            }
+            (m >> 64) as u64
+        }
+    }
+
+    /// Runs a test closure over `Config::cases` generated cases.
+    pub struct TestRunner {
+        config: Config,
+    }
+
+    impl TestRunner {
+        /// Runner with the given config.
+        pub fn new(config: Config) -> Self {
+            Self { config }
+        }
+
+        /// Execute `case` once per generated case with a deterministic RNG
+        /// derived from `name` and the case index. Panics (failing the
+        /// surrounding `#[test]`) on the first failing case, reporting which
+        /// case failed so it can be reproduced.
+        pub fn run_named<F: FnMut(&mut TestRng)>(&mut self, name: &str, mut case: F) {
+            let base = fnv1a(name.as_bytes());
+            for i in 0..self.config.cases {
+                let mut rng = TestRng::new(base ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let result =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)));
+                if let Err(payload) = result {
+                    eprintln!(
+                        "proptest shim: test '{name}' failed at case {i}/{}",
+                        self.config.cases
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01B3);
+        }
+        h
+    }
+}
+
+/// The customary glob import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert a condition inside a property test (plain `assert!` here — the
+/// shim has no shrinking machinery to feed rejections into).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Bind one `proptest!` parameter list entry to a generated value.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, mut $arg:ident in $strat:expr $(, $($rest:tt)*)?) => {
+        #[allow(unused_mut)]
+        let mut $arg = $crate::strategy::Strategy::generate(&($strat), $rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+    ($rng:ident, $arg:ident in $strat:expr $(, $($rest:tt)*)?) => {
+        let $arg = $crate::strategy::Strategy::generate(&($strat), $rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+    ($rng:ident, mut $arg:ident : $ty:ty $(, $($rest:tt)*)?) => {
+        #[allow(unused_mut)]
+        let mut $arg: $ty = $crate::arbitrary::Arbitrary::arbitrary($rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+    ($rng:ident, $arg:ident : $ty:ty $(, $($rest:tt)*)?) => {
+        let $arg: $ty = $crate::arbitrary::Arbitrary::arbitrary($rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+}
+
+/// Expand the test functions inside a `proptest!` block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$attr:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            runner.run_named(stringify!($name), |__proptest_rng| {
+                $crate::__proptest_bind!(__proptest_rng, $($params)*);
+                $body
+            });
+        }
+        $crate::__proptest_fns!{ cfg = $cfg; $($rest)* }
+    };
+}
+
+/// Property-test block: each contained `#[test] fn name(args) { .. }` runs
+/// once per generated case. Accepts an optional leading
+/// `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ cfg = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::new(1);
+        let s = (0u32..10, 5u64..=6);
+        for _ in 0..1_000 {
+            let (a, b) = s.generate(&mut rng);
+            assert!(a < 10);
+            assert!((5..=6).contains(&b));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_in_bounds() {
+        let mut rng = TestRng::new(2);
+        let s = crate::collection::vec(0u8..255, 2..7);
+        for _ in 0..500 {
+            let v = s.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn select_only_yields_members() {
+        let mut rng = TestRng::new(3);
+        let s = crate::sample::select(vec![1u64, 5, 9]);
+        for _ in 0..100 {
+            assert!([1u64, 5, 9].contains(&s.generate(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn pattern_strategy_respects_length() {
+        let mut rng = TestRng::new(4);
+        let s = ".{0,60}";
+        for _ in 0..200 {
+            let text = Strategy::generate(&s, &mut rng);
+            assert!(text.chars().count() <= 60);
+            assert!(!text.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = TestRng::new(5);
+        let s = (0u32..4).prop_map(|x| x * 10);
+        for _ in 0..100 {
+            assert!(s.generate(&mut rng) % 10 == 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: mixed `in` and `: ty` parameters.
+        #[test]
+        fn macro_binds_both_forms(a in 0u32..50, b: u64, mut v in crate::collection::vec(0u8..10, 0..4)) {
+            prop_assert!(a < 50);
+            let _ = b;
+            v.push(0);
+            prop_assert!(v.len() <= 4);
+        }
+    }
+}

@@ -47,7 +47,10 @@ impl SimHashOptions {
 
     /// Figure 3 configuration: raw text, uniform weights, unigrams.
     pub fn raw() -> Self {
-        Self { normalize: NormalizeOptions::raw(), ..Self::paper() }
+        Self {
+            normalize: NormalizeOptions::raw(),
+            ..Self::paper()
+        }
     }
 }
 
@@ -73,6 +76,23 @@ pub fn token_hash(token: &str) -> u64 {
 #[inline]
 fn combine(h: u64, next: u64) -> u64 {
     mix64(h.rotate_left(17) ^ next)
+}
+
+/// Fallback fingerprint for token-free text, derived from the post id.
+///
+/// [`simhash`] maps every token-free text to fingerprint `0`, so two empty
+/// posts would look content-identical (Hamming distance 0) and any empty
+/// post would silently cover all later empty posts of similar authors within
+/// `λt` — misclassification, since posts with no comparable content carry no
+/// duplicate signal. Engines that fingerprint full [`Post`]s substitute this
+/// per-id value instead: distinct ids land at expected Hamming distance 32,
+/// so empty posts behave like unrelated ones. Never returns `0`.
+///
+/// [`Post`]: https://docs.rs/firehose-stream
+pub fn empty_text_fingerprint(id: u64) -> Fingerprint {
+    // Golden-ratio offset decorrelates the id sequence before mixing; `| 1`
+    // keeps the result distinguishable from the raw empty-text sentinel.
+    mix64(id ^ 0x9e37_79b9_7f4a_7c15) | 1
 }
 
 /// Compute the SimHash fingerprint of `text` under `options`.
@@ -158,7 +178,10 @@ mod tests {
     #[test]
     fn deterministic() {
         let t = "Alibaba's growth accelerates, U.S. IPO filing expected next week";
-        assert_eq!(simhash(t, SimHashOptions::paper()), simhash(t, SimHashOptions::paper()));
+        assert_eq!(
+            simhash(t, SimHashOptions::paper()),
+            simhash(t, SimHashOptions::paper())
+        );
     }
 
     #[test]
@@ -203,19 +226,28 @@ mod tests {
     #[test]
     fn raw_vs_normalized_differ_on_noisy_text() {
         let t = "BREAKING!!!   Something  HAPPENED";
-        assert_ne!(simhash(t, SimHashOptions::raw()), simhash(t, SimHashOptions::paper()));
+        assert_ne!(
+            simhash(t, SimHashOptions::raw()),
+            simhash(t, SimHashOptions::paper())
+        );
     }
 
     #[test]
     fn heavier_weight_dominates_fingerprint() {
         use firehose_text::tokenize::TokenWeights;
         let boosted = SimHashOptions {
-            weights: TokenWeights { hashtag: 100.0, ..TokenWeights::uniform() },
+            weights: TokenWeights {
+                hashtag: 100.0,
+                ..TokenWeights::uniform()
+            },
             ..SimHashOptions::paper()
         };
         // keep_social_sigils=false strips '#', so use raw normalization to
         // retain hashtag classification.
-        let boosted = SimHashOptions { normalize: NormalizeOptions_raw(), ..boosted };
+        let boosted = SimHashOptions {
+            normalize: NormalizeOptions_raw(),
+            ..boosted
+        };
         let only_tag = simhash("#breaking", boosted);
         let tag_plus_noise = simhash("#breaking unrelated words here now", boosted);
         assert!(hamming_distance(only_tag, tag_plus_noise) <= 8);
@@ -229,7 +261,10 @@ mod tests {
 
     #[test]
     fn ngram_two_is_order_sensitive() {
-        let opts = SimHashOptions { ngram: 2, ..SimHashOptions::paper() };
+        let opts = SimHashOptions {
+            ngram: 2,
+            ..SimHashOptions::paper()
+        };
         let ab = simhash("alpha beta gamma delta", opts);
         let ba = simhash("delta gamma beta alpha", opts);
         assert_ne!(ab, ba);
@@ -243,8 +278,23 @@ mod tests {
 
     #[test]
     fn short_post_with_large_ngram_still_fingerprints() {
-        let opts = SimHashOptions { ngram: 4, ..SimHashOptions::paper() };
+        let opts = SimHashOptions {
+            ngram: 4,
+            ..SimHashOptions::paper()
+        };
         assert_ne!(simhash("two words", opts), 0);
+    }
+
+    #[test]
+    fn empty_text_fingerprints_are_distinct_and_nonzero() {
+        let fps: Vec<Fingerprint> = (0..64).map(empty_text_fingerprint).collect();
+        for (i, &a) in fps.iter().enumerate() {
+            assert_ne!(a, 0, "fallback fingerprint must never be 0");
+            for &b in &fps[i + 1..] {
+                let d = hamming_distance(a, b);
+                assert!(d >= 8, "ids too close: distance {d}");
+            }
+        }
     }
 
     #[test]

@@ -56,9 +56,15 @@ impl std::fmt::Display for IndexError {
         match self {
             Self::DistanceOutOfRange { k } => write!(f, "distance {k} out of range 0..=63"),
             Self::BadBlockCount { blocks, k } => {
-                write!(f, "block count {blocks} invalid for distance {k} (need k < blocks <= 64)")
+                write!(
+                    f,
+                    "block count {blocks} invalid for distance {k} (need k < blocks <= 64)"
+                )
             }
-            Self::TooManyTables { required, max_tables } => {
+            Self::TooManyTables {
+                required,
+                max_tables,
+            } => {
                 write!(f, "index would need {required} tables (limit {max_tables})")
             }
         }
@@ -100,7 +106,13 @@ impl IndexPlan {
         let small_block = 64 / blocks; // floor
         let min_key_bits = small_block * (blocks - k);
         let expected = (tables as f64) / 2f64.powi(min_key_bits as i32);
-        Ok(Self { k, blocks, tables, min_key_bits, expected_probe_fraction: expected })
+        Ok(Self {
+            k,
+            blocks,
+            tables,
+            min_key_bits,
+            expected_probe_fraction: expected,
+        })
     }
 }
 
@@ -181,12 +193,20 @@ impl HammingIndex {
         let mut tables = Vec::with_capacity(plan.tables as usize);
         let mut combo: Vec<u8> = (0..choose as u8).collect();
         loop {
-            tables.push(Table { key_blocks: combo.clone(), map: HashMap::new() });
+            tables.push(Table {
+                key_blocks: combo.clone(),
+                map: HashMap::new(),
+            });
             // Next lexicographic combination of `choose` ids out of `blocks`.
             let mut i = choose;
             loop {
                 if i == 0 {
-                    return Ok(Self { k, block_bits, tables, entries: Vec::new() });
+                    return Ok(Self {
+                        k,
+                        block_bits,
+                        tables,
+                        entries: Vec::new(),
+                    });
                 }
                 i -= 1;
                 if combo[i] < (blocks as u8 - (choose - i) as u8) {
@@ -296,7 +316,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_parameters() {
-        assert!(matches!(HammingIndex::new(64), Err(IndexError::DistanceOutOfRange { .. })));
+        assert!(matches!(
+            HammingIndex::new(64),
+            Err(IndexError::DistanceOutOfRange { .. })
+        ));
         assert!(matches!(
             HammingIndex::with_blocks(3, 3),
             Err(IndexError::BadBlockCount { .. })

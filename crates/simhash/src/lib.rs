@@ -32,6 +32,8 @@ pub mod fingerprint;
 pub mod hamming;
 pub mod index;
 
-pub use fingerprint::{simhash, simhash_tokens, Fingerprint, SimHashOptions};
+pub use fingerprint::{
+    empty_text_fingerprint, simhash, simhash_tokens, Fingerprint, SimHashOptions,
+};
 pub use hamming::{hamming_distance, within_distance};
 pub use index::{HammingIndex, IndexError, IndexPlan};

@@ -90,7 +90,11 @@ pub fn write_posts<W: Write>(posts: &[Post], w: &mut W) -> io::Result<()> {
     for post in posts {
         buf.clear();
         escape(&post.text, &mut buf);
-        writeln!(w, "{}\t{}\t{}\t{}", post.id, post.author, post.timestamp, buf)?;
+        writeln!(
+            w,
+            "{}\t{}\t{}\t{}",
+            post.id, post.author, post.timestamp, buf
+        )?;
     }
     Ok(())
 }

@@ -28,17 +28,31 @@ pub struct Post {
 impl Post {
     /// Construct a post.
     pub fn new(id: PostId, author: AuthorId, timestamp: Timestamp, text: String) -> Self {
-        Self { id, author, timestamp, text }
+        Self {
+            id,
+            author,
+            timestamp,
+            text,
+        }
     }
 
     /// Fingerprint this post's text into the compact [`PostRecord`] the
     /// engines store and compare.
+    ///
+    /// Token-free text (empty, or all symbols the tokenizer drops) gets a
+    /// per-post fingerprint derived from the id instead of SimHash's `0`
+    /// sentinel — otherwise every empty post would sit at Hamming distance 0
+    /// from every other empty post and silently cover them.
     pub fn to_record(&self, options: SimHashOptions) -> PostRecord {
+        let fingerprint = match simhash(&self.text, options) {
+            0 => firehose_simhash::empty_text_fingerprint(self.id),
+            fp => fp,
+        };
         PostRecord {
             id: self.id,
             author: self.author,
             timestamp: self.timestamp,
-            fingerprint: simhash(&self.text, options),
+            fingerprint,
         }
     }
 }
@@ -77,7 +91,10 @@ mod tests {
         assert_eq!(r.id, 7);
         assert_eq!(r.author, 3);
         assert_eq!(r.timestamp, 1000);
-        assert_eq!(r.fingerprint, simhash("hello diversification world", SimHashOptions::paper()));
+        assert_eq!(
+            r.fingerprint,
+            simhash("hello diversification world", SimHashOptions::paper())
+        );
     }
 
     #[test]
@@ -85,6 +102,21 @@ mod tests {
         // A static bound on the hot record type (see the perf guidance on
         // type sizes); `const _` makes the check compile-time.
         const _: () = assert!(PostRecord::SIZE_BYTES <= 32);
+    }
+
+    #[test]
+    fn empty_posts_do_not_share_fingerprints() {
+        // Regression: token-free texts all SimHash to 0; without the id-based
+        // fallback two empty posts would be content-identical and the first
+        // would cover the second in every engine.
+        let a = Post::new(10, 1, 0, String::new()).to_record(SimHashOptions::paper());
+        let b = Post::new(11, 1, 1, "***".into()).to_record(SimHashOptions::paper());
+        assert_ne!(a.fingerprint, 0);
+        assert_ne!(b.fingerprint, 0);
+        assert_ne!(a.fingerprint, b.fingerprint);
+        // Same post fingerprinted twice stays deterministic.
+        let a2 = Post::new(10, 1, 0, String::new()).to_record(SimHashOptions::paper());
+        assert_eq!(a.fingerprint, a2.fingerprint);
     }
 
     #[test]

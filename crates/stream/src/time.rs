@@ -6,24 +6,25 @@
 
 use crate::post::Timestamp;
 
-/// `s` seconds in milliseconds.
+/// `s` seconds in milliseconds. Saturates at `u64::MAX` instead of wrapping
+/// (or panicking in debug builds) so extreme inputs degrade to "forever".
 pub const fn seconds(s: u64) -> Timestamp {
-    s * 1_000
+    s.saturating_mul(1_000)
 }
 
-/// `m` minutes in milliseconds.
+/// `m` minutes in milliseconds. Saturates at `u64::MAX`.
 pub const fn minutes(m: u64) -> Timestamp {
-    m * 60_000
+    m.saturating_mul(60_000)
 }
 
-/// `h` hours in milliseconds.
+/// `h` hours in milliseconds. Saturates at `u64::MAX`.
 pub const fn hours(h: u64) -> Timestamp {
-    h * 3_600_000
+    h.saturating_mul(3_600_000)
 }
 
-/// `d` days in milliseconds.
+/// `d` days in milliseconds. Saturates at `u64::MAX`.
 pub const fn days(d: u64) -> Timestamp {
-    d * 86_400_000
+    d.saturating_mul(86_400_000)
 }
 
 #[cfg(test)]
@@ -36,5 +37,19 @@ mod tests {
         assert_eq!(minutes(30), 1_800_000);
         assert_eq!(hours(1), 60 * minutes(1));
         assert_eq!(days(1), 24 * hours(1));
+    }
+
+    #[test]
+    fn extreme_inputs_saturate() {
+        // u64::MAX "days" is not representable in milliseconds; the helpers
+        // clamp to u64::MAX rather than wrapping to a tiny window.
+        assert_eq!(seconds(u64::MAX), u64::MAX);
+        assert_eq!(minutes(u64::MAX), u64::MAX);
+        assert_eq!(hours(u64::MAX), u64::MAX);
+        assert_eq!(days(u64::MAX), u64::MAX);
+        // Largest exactly-representable day count still converts exactly.
+        let max_days = u64::MAX / 86_400_000;
+        assert_eq!(days(max_days), max_days * 86_400_000);
+        assert_eq!(days(max_days + 1), u64::MAX);
     }
 }

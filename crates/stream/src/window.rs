@@ -30,7 +30,10 @@ impl TimeWindowBin {
 
     /// An empty bin with pre-reserved capacity.
     pub fn with_capacity(capacity: usize) -> Self {
-        Self { records: VecDeque::with_capacity(capacity), evicted: 0 }
+        Self {
+            records: VecDeque::with_capacity(capacity),
+            evicted: 0,
+        }
     }
 
     /// Number of records currently held.
@@ -55,7 +58,9 @@ impl TimeWindowBin {
     /// record — the stream contract is time order.
     pub fn push(&mut self, record: PostRecord) {
         debug_assert!(
-            self.records.back().is_none_or(|b| b.timestamp <= record.timestamp),
+            self.records
+                .back()
+                .is_none_or(|b| b.timestamp <= record.timestamp),
             "posts must arrive in time order"
         );
         self.records.push_back(record);
@@ -90,7 +95,10 @@ impl TimeWindowBin {
         lambda_t: Timestamp,
     ) -> impl Iterator<Item = &PostRecord> {
         let cutoff = now.saturating_sub(lambda_t);
-        self.records.iter().rev().take_while(move |r| r.timestamp >= cutoff)
+        self.records
+            .iter()
+            .rev()
+            .take_while(move |r| r.timestamp >= cutoff)
     }
 
     /// Iterate all stored records oldest-first (diagnostics).
@@ -112,7 +120,12 @@ mod tests {
     use proptest::prelude::*;
 
     fn rec(id: u64, ts: Timestamp) -> PostRecord {
-        PostRecord { id, author: 0, timestamp: ts, fingerprint: id.wrapping_mul(0x9E37) }
+        PostRecord {
+            id,
+            author: 0,
+            timestamp: ts,
+            fingerprint: id.wrapping_mul(0x9E37),
+        }
     }
 
     #[test]

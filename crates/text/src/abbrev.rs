@@ -150,12 +150,18 @@ mod tests {
 
     #[test]
     fn expands_known_tokens() {
-        assert_eq!(expand_abbreviations("idk tbh"), "i do not know to be honest");
+        assert_eq!(
+            expand_abbreviations("idk tbh"),
+            "i do not know to be honest"
+        );
     }
 
     #[test]
     fn case_insensitive() {
-        assert_eq!(expand_abbreviations("OMG LOL"), "oh my god laughing out loud");
+        assert_eq!(
+            expand_abbreviations("OMG LOL"),
+            "oh my god laughing out loud"
+        );
     }
 
     #[test]
@@ -166,7 +172,10 @@ mod tests {
 
     #[test]
     fn social_tokens_untouched() {
-        assert_eq!(expand_abbreviations("#lol @u http://t.co/u"), "#lol @u http://t.co/u");
+        assert_eq!(
+            expand_abbreviations("#lol @u http://t.co/u"),
+            "#lol @u http://t.co/u"
+        );
     }
 
     #[test]

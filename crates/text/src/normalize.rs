@@ -123,18 +123,27 @@ mod tests {
 
     #[test]
     fn paper_pipeline_lowercases() {
-        assert_eq!(normalize("HeLLo World", NormalizeOptions::paper()), "hello world");
+        assert_eq!(
+            normalize("HeLLo World", NormalizeOptions::paper()),
+            "hello world"
+        );
     }
 
     #[test]
     fn paper_pipeline_collapses_whitespace() {
-        assert_eq!(normalize("a  b\t\tc\nd", NormalizeOptions::paper()), "a b c d");
+        assert_eq!(
+            normalize("a  b\t\tc\nd", NormalizeOptions::paper()),
+            "a b c d"
+        );
     }
 
     #[test]
     fn paper_pipeline_strips_punctuation() {
         assert_eq!(
-            normalize("wow*, really-great +stuff/ here!", NormalizeOptions::paper()),
+            normalize(
+                "wow*, really-great +stuff/ here!",
+                NormalizeOptions::paper()
+            ),
             "wow really great stuff here"
         );
     }
@@ -147,7 +156,10 @@ mod tests {
 
     #[test]
     fn leading_and_trailing_junk_trimmed() {
-        assert_eq!(normalize("  ...hello...  ", NormalizeOptions::paper()), "hello");
+        assert_eq!(
+            normalize("  ...hello...  ", NormalizeOptions::paper()),
+            "hello"
+        );
     }
 
     #[test]
@@ -166,13 +178,19 @@ mod tests {
 
     #[test]
     fn sigils_kept_when_requested() {
-        let opts = NormalizeOptions { keep_social_sigils: true, ..NormalizeOptions::paper() };
+        let opts = NormalizeOptions {
+            keep_social_sigils: true,
+            ..NormalizeOptions::paper()
+        };
         assert_eq!(normalize("#quote by @Bill", opts), "#quote by @bill");
     }
 
     #[test]
     fn unicode_alphanumerics_survive() {
-        assert_eq!(normalize("Ünïcödé 123", NormalizeOptions::paper()), "ünïcödé 123");
+        assert_eq!(
+            normalize("Ünïcödé 123", NormalizeOptions::paper()),
+            "ünïcödé 123"
+        );
     }
 
     #[test]
@@ -184,7 +202,11 @@ mod tests {
 
     #[test]
     fn normalization_is_idempotent() {
-        let inputs = ["Mixed CASE  with -- punctuation!!", "already normal", "#tag @user http://x"];
+        let inputs = [
+            "Mixed CASE  with -- punctuation!!",
+            "already normal",
+            "#tag @user http://x",
+        ];
         for input in inputs {
             let once = normalize(input, NormalizeOptions::paper());
             let twice = normalize(&once, NormalizeOptions::paper());
@@ -200,8 +222,11 @@ mod tests {
         let na = normalize(a, NormalizeOptions::paper());
         let nb = normalize(b, NormalizeOptions::paper());
         // Identical prefix, differing only in the URL id tokens.
-        let shared: usize =
-            na.bytes().zip(nb.bytes()).take_while(|(x, y)| x == y).count();
+        let shared: usize = na
+            .bytes()
+            .zip(nb.bytes())
+            .take_while(|(x, y)| x == y)
+            .count();
         assert!(shared > 70, "shared prefix only {shared} bytes");
         assert_ne!(na, nb);
     }

@@ -63,7 +63,10 @@ impl TfVector {
         }
 
         let norm = merged.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
-        Self { entries: merged, norm }
+        Self {
+            entries: merged,
+            norm,
+        }
     }
 
     /// Number of distinct terms.
@@ -146,7 +149,10 @@ mod tests {
     fn partial_overlap_between_zero_and_one() {
         let s = cosine_similarity("a b c d", "a b x y");
         assert!(s > 0.0 && s < 1.0, "got {s}");
-        assert!((s - 0.5).abs() < 1e-12, "2 shared of 4+4 tokens => 0.5, got {s}");
+        assert!(
+            (s - 0.5).abs() < 1e-12,
+            "2 shared of 4+4 tokens => 0.5, got {s}"
+        );
     }
 
     #[test]
@@ -167,7 +173,10 @@ mod tests {
 
     #[test]
     fn token_weights_can_drop_classes() {
-        let w = TokenWeights { url: 0.0, ..TokenWeights::uniform() };
+        let w = TokenWeights {
+            url: 0.0,
+            ..TokenWeights::uniform()
+        };
         let a = TfVector::from_text_weighted("news http://t.co/abc", w);
         let b = TfVector::from_text_weighted("news http://t.co/xyz", w);
         // URLs dropped => identical single-term vectors.
@@ -177,14 +186,20 @@ mod tests {
     #[test]
     fn weighting_boosts_class_influence() {
         let neutral = TokenWeights::uniform();
-        let boosted = TokenWeights { hashtag: 4.0, ..TokenWeights::uniform() };
+        let boosted = TokenWeights {
+            hashtag: 4.0,
+            ..TokenWeights::uniform()
+        };
         let a = "report #breaking";
         let b = "update #breaking";
         let n = TfVector::from_text_weighted(a, neutral)
             .cosine(&TfVector::from_text_weighted(b, neutral));
         let s = TfVector::from_text_weighted(a, boosted)
             .cosine(&TfVector::from_text_weighted(b, boosted));
-        assert!(s > n, "boosting the shared hashtag must raise similarity: {s} vs {n}");
+        assert!(
+            s > n,
+            "boosting the shared hashtag must raise similarity: {s} vs {n}"
+        );
     }
 
     #[test]

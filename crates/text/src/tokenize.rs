@@ -66,7 +66,12 @@ pub struct TokenWeights {
 
 impl Default for TokenWeights {
     fn default() -> Self {
-        Self { word: 1.0, hashtag: 1.0, mention: 1.0, url: 1.0 }
+        Self {
+            word: 1.0,
+            hashtag: 1.0,
+            mention: 1.0,
+            url: 1.0,
+        }
     }
 }
 
@@ -156,7 +161,12 @@ mod tests {
 
     #[test]
     fn weights_lookup() {
-        let w = TokenWeights { word: 1.0, hashtag: 2.0, mention: 3.0, url: 0.0 };
+        let w = TokenWeights {
+            word: 1.0,
+            hashtag: 2.0,
+            mention: 3.0,
+            url: 0.0,
+        };
         assert_eq!(w.weight(TokenKind::Word), 1.0);
         assert_eq!(w.weight(TokenKind::Hashtag), 2.0);
         assert_eq!(w.weight(TokenKind::Mention), 3.0);

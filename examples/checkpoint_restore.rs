@@ -32,8 +32,12 @@ fn main() {
     let graph_path = dir.join("similarity.fhg");
     let cover_path = dir.join("cover.fhc");
     write_undirected(&graph, &mut std::fs::File::create(&graph_path).unwrap()).unwrap();
-    write_cover(&cover, graph.node_count(), &mut std::fs::File::create(&cover_path).unwrap())
-        .unwrap();
+    write_cover(
+        &cover,
+        graph.node_count(),
+        &mut std::fs::File::create(&cover_path).unwrap(),
+    )
+    .unwrap();
     println!(
         "offline artifacts persisted: {} ({} edges), {} ({} cliques)",
         graph_path.display(),
@@ -43,8 +47,13 @@ fn main() {
     );
 
     // ---- online engine ---------------------------------------------------
-    let workload =
-        Workload::generate(&social, WorkloadConfig { duration: hours(4), ..Default::default() });
+    let workload = Workload::generate(
+        &social,
+        WorkloadConfig {
+            duration: hours(4),
+            ..Default::default()
+        },
+    );
     let (first_half, second_half) = workload.posts.split_at(workload.len() / 2);
 
     let graph = Arc::new(graph);
@@ -63,28 +72,38 @@ fn main() {
     // Checkpoint, then "crash".
     let snap_path = dir.join("engine.fhsnap");
     snapshot_cliquebin(&engine, &mut std::fs::File::create(&snap_path).unwrap()).unwrap();
-    let reference: Vec<bool> =
-        second_half.iter().map(|p| engine.offer(p).is_emitted()).collect();
+    let reference: Vec<bool> = second_half
+        .iter()
+        .map(|p| engine.offer(p).is_emitted())
+        .collect();
     drop(engine);
-    println!("checkpointed to {} — simulating a crash", snap_path.display());
+    println!(
+        "checkpointed to {} — simulating a crash",
+        snap_path.display()
+    );
 
     // ---- recovery ----------------------------------------------------------
-    let graph = Arc::new(
-        read_undirected(&mut std::fs::File::open(&graph_path).unwrap()).unwrap(),
-    );
-    let cover =
-        Arc::new(read_cover(&mut std::fs::File::open(&cover_path).unwrap()).unwrap());
+    let graph = Arc::new(read_undirected(&mut std::fs::File::open(&graph_path).unwrap()).unwrap());
+    let cover = Arc::new(read_cover(&mut std::fs::File::open(&cover_path).unwrap()).unwrap());
     let mut restored = restore_cliquebin(
         &mut std::fs::File::open(&snap_path).unwrap(),
         Arc::clone(&graph),
         cover,
     )
     .unwrap();
-    println!("restored engine: {} posts of history in counters", restored.metrics().posts_processed);
+    println!(
+        "restored engine: {} posts of history in counters",
+        restored.metrics().posts_processed
+    );
 
-    let replayed: Vec<bool> =
-        second_half.iter().map(|p| restored.offer(p).is_emitted()).collect();
-    assert_eq!(replayed, reference, "restored engine must continue identically");
+    let replayed: Vec<bool> = second_half
+        .iter()
+        .map(|p| restored.offer(p).is_emitted())
+        .collect();
+    assert_eq!(
+        replayed, reference,
+        "restored engine must continue identically"
+    );
     println!(
         "\nrestored engine made identical decisions on the remaining {} posts ✓",
         second_half.len()

@@ -45,8 +45,11 @@ fn main() {
         };
         applied += u32::from(changed);
     }
-    println!("applied {applied} effective events in {:.1?} (amortized {:.1?}/event)",
-        t0.elapsed(), t0.elapsed() / 2_000);
+    println!(
+        "applied {applied} effective events in {:.1?} (amortized {:.1?}/event)",
+        t0.elapsed(),
+        t0.elapsed() / 2_000
+    );
 
     // The similarity graph moved with the events...
     let after = index.to_similarity_graph(0.7);
@@ -65,7 +68,10 @@ fn main() {
         }
     }
     let batch = build_similarity_graph(&final_graph, 0.7);
-    assert_eq!(after, batch, "incremental snapshot must equal the batch rebuild");
+    assert_eq!(
+        after, batch,
+        "incremental snapshot must equal the batch rebuild"
+    );
     println!("incremental snapshot == batch rebuild ✓");
 
     // Spot query: who is similar to author 10 right now?

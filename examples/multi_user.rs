@@ -18,23 +18,32 @@ use firehose::core::multi::{
 };
 use firehose::core::{EngineConfig, Thresholds};
 use firehose::datagen::{
-    generate_subscriptions, SocialGenConfig, SubscriptionGenConfig, SyntheticSocialGraph,
-    Workload, WorkloadConfig,
+    generate_subscriptions, SocialGenConfig, SubscriptionGenConfig, SyntheticSocialGraph, Workload,
+    WorkloadConfig,
 };
 use firehose::graph::build_similarity_graph;
 use firehose::stream::hours;
 
 fn main() {
     let social = SyntheticSocialGraph::generate(SocialGenConfig::test_scale().with_authors(600));
-    let workload =
-        Workload::generate(&social, WorkloadConfig { duration: hours(12), ..Default::default() });
+    let workload = Workload::generate(
+        &social,
+        WorkloadConfig {
+            duration: hours(12),
+            ..Default::default()
+        },
+    );
     let graph = build_similarity_graph(&social.graph, 0.7);
 
     let users = 400;
     let sets = generate_subscriptions(
         social.author_count(),
         users,
-        SubscriptionGenConfig { median: 6.0, mean: 18.0, ..Default::default() },
+        SubscriptionGenConfig {
+            median: 6.0,
+            mean: 18.0,
+            ..Default::default()
+        },
     );
     let subs = Subscriptions::new(social.author_count(), sets).expect("valid");
     println!(
@@ -51,7 +60,11 @@ fn main() {
     let mut independent =
         IndependentMulti::new(AlgorithmKind::UniBin, config, &graph, subs.clone());
     let t0 = Instant::now();
-    let m_out: Vec<_> = workload.posts.iter().map(|p| independent.offer(p)).collect();
+    let m_out: Vec<_> = workload
+        .posts
+        .iter()
+        .map(|p| independent.offer(p))
+        .collect();
     let m_time = t0.elapsed();
 
     // Strategy 2: one engine per distinct connected component.
@@ -59,11 +72,13 @@ fn main() {
     let t0 = Instant::now();
     let s_out: Vec<_> = workload.posts.iter().map(|p| shared.offer(p)).collect();
     let s_time = t0.elapsed();
-    assert_eq!(m_out, s_out, "shared components must not change any user's stream");
+    assert_eq!(
+        m_out, s_out,
+        "shared components must not change any user's stream"
+    );
 
     // Strategy 3: the shared strategy across 4 worker threads.
-    let mut parallel =
-        ParallelShared::new(AlgorithmKind::UniBin, config, &graph, subs.clone(), 4);
+    let mut parallel = ParallelShared::new(AlgorithmKind::UniBin, config, &graph, subs.clone(), 4);
     let t0 = Instant::now();
     let p_out = parallel.process_stream(&workload.posts);
     let p_time = t0.elapsed();

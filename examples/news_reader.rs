@@ -20,7 +20,13 @@ use firehose::stream::{minutes, Post};
 
 fn main() {
     // Two dense clusters of outlets: {0,1,2} and {3,4}.
-    let outlets = ["WireOne", "MetroDaily", "CityHerald", "TheContrarian", "DailySkeptic"];
+    let outlets = [
+        "WireOne",
+        "MetroDaily",
+        "CityHerald",
+        "TheContrarian",
+        "DailySkeptic",
+    ];
     let graph = Arc::new(UndirectedGraph::from_edges(
         5,
         [(0, 1), (0, 2), (1, 2), (3, 4)],
@@ -44,24 +50,43 @@ fn main() {
         Post::new(1, 0, minutes(0), format!("{wire} http://t.co/wire0001")),
         // Syndicated copies inside the same cluster: pruned.
         Post::new(2, 1, minutes(7), format!("{wire} http://t.co/wire0002")),
-        Post::new(3, 2, minutes(12), format!("{wire} - full analysis inside http://t.co/wire0003")),
+        Post::new(
+            3,
+            2,
+            minutes(12),
+            format!("{wire} - full analysis inside http://t.co/wire0003"),
+        ),
         // The other cluster runs the same wire text: different viewpoint, kept.
         Post::new(4, 3, minutes(15), format!("{wire} http://t.co/wire0004")),
         Post::new(5, 4, minutes(21), format!("{wire} http://t.co/wire0005")),
         // Fresh story.
-        Post::new(6, 1, minutes(30), "Port authority approves expansion of the eastern container terminal".into()),
+        Post::new(
+            6,
+            1,
+            minutes(30),
+            "Port authority approves expansion of the eastern container terminal".into(),
+        ),
     ];
 
     for post in &feed {
         let verdict = engine.offer(post);
         let min = post.timestamp / minutes(1);
         match verdict.covered_by() {
-            None => println!("t+{min:>3}m  {:<13} SHOW   {}", outlets[post.author as usize], post.text),
-            Some(by) => println!("t+{min:>3}m  {:<13} prune  (syndicated copy of post {by})", outlets[post.author as usize]),
+            None => println!(
+                "t+{min:>3}m  {:<13} SHOW   {}",
+                outlets[post.author as usize], post.text
+            ),
+            Some(by) => println!(
+                "t+{min:>3}m  {:<13} prune  (syndicated copy of post {by})",
+                outlets[post.author as usize]
+            ),
         }
     }
 
     let m = engine.metrics();
     println!("\n{} of {} items shown", m.posts_emitted, m.posts_processed);
-    assert_eq!(m.posts_emitted, 3, "one copy per cluster plus the fresh story");
+    assert_eq!(
+        m.posts_emitted, 3,
+        "one copy per cluster plus the fresh story"
+    );
 }

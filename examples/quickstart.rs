@@ -47,7 +47,10 @@ fn main() {
         let minute = post.timestamp / minutes(1);
         match verdict {
             Decision::Emitted => {
-                println!("t+{minute:>2}min  {:<13} SHOW   {}", names[post.author as usize], post.text);
+                println!(
+                    "t+{minute:>2}min  {:<13} SHOW   {}",
+                    names[post.author as usize], post.text
+                );
             }
             Decision::Covered { by } => {
                 println!(

@@ -50,7 +50,10 @@ fn main() {
         let verdict = engine.offer(post);
         let day = post.timestamp / hours(24);
         match verdict.covered_by() {
-            None => println!("day {day:>2}  {:<11} SHOW   {}", groups[post.author as usize], post.text),
+            None => println!(
+                "day {day:>2}  {:<11} SHOW   {}",
+                groups[post.author as usize], post.text
+            ),
             Some(by) => println!(
                 "day {day:>2}  {:<11} prune  (same work as post {by})",
                 groups[post.author as usize]
@@ -59,6 +62,9 @@ fn main() {
     }
 
     let m = engine.metrics();
-    println!("\n{} of {} alerts shown", m.posts_emitted, m.posts_processed);
+    println!(
+        "\n{} of {} alerts shown",
+        m.posts_emitted, m.posts_processed
+    );
     assert_eq!(m.posts_emitted, 3);
 }

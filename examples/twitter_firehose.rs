@@ -24,12 +24,13 @@ use firehose::stream::hours;
 fn main() {
     // A scaled-down firehose so the example finishes in seconds; bump
     // `authors` (and run --release) for the full-size experience.
-    let social = SyntheticSocialGraph::generate(
-        SocialGenConfig::bench_scale().with_authors(2_000),
-    );
+    let social = SyntheticSocialGraph::generate(SocialGenConfig::bench_scale().with_authors(2_000));
     let workload = Workload::generate(
         &social,
-        WorkloadConfig { duration: hours(8), ..WorkloadConfig::default() },
+        WorkloadConfig {
+            duration: hours(8),
+            ..WorkloadConfig::default()
+        },
     );
     println!(
         "generated {} posts from {} authors ({:.1}% near-duplicates injected)",

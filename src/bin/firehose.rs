@@ -52,11 +52,15 @@ impl Args {
     }
 
     fn get(&self, flag: &str) -> Option<&str> {
-        self.flags.iter().find(|(f, _)| f == flag).map(|(_, v)| v.as_str())
+        self.flags
+            .iter()
+            .find(|(f, _)| f == flag)
+            .map(|(_, v)| v.as_str())
     }
 
     fn require(&self, flag: &str) -> Result<&str, String> {
-        self.get(flag).ok_or_else(|| format!("missing required --{flag}"))
+        self.get(flag)
+            .ok_or_else(|| format!("missing required --{flag}"))
     }
 
     fn parse_or<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, String>
@@ -93,11 +97,15 @@ fn thresholds_from(args: &Args) -> Result<Thresholds, String> {
 }
 
 fn open_reader(path: &str) -> Result<BufReader<File>, String> {
-    File::open(path).map(BufReader::new).map_err(|e| format!("cannot open {path}: {e}"))
+    File::open(path)
+        .map(BufReader::new)
+        .map_err(|e| format!("cannot open {path}: {e}"))
 }
 
 fn create_writer(path: &str) -> Result<BufWriter<File>, String> {
-    File::create(path).map(BufWriter::new).map_err(|e| format!("cannot create {path}: {e}"))
+    File::create(path)
+        .map(BufWriter::new)
+        .map_err(|e| format!("cannot create {path}: {e}"))
 }
 
 fn cmd_generate(args: &Args) -> Result<(), String> {
@@ -120,7 +128,11 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     let social = SyntheticSocialGraph::generate(social_config);
     let workload = Workload::generate(
         &social,
-        WorkloadConfig { duration: hours(hours_n), seed, ..Default::default() },
+        WorkloadConfig {
+            duration: hours(hours_n),
+            seed,
+            ..Default::default()
+        },
     );
 
     corpus::write_posts(&workload.posts, &mut create_writer(out_posts)?)
@@ -175,10 +187,7 @@ fn cmd_cover(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn load_graph_for_posts(
-    graph_path: &str,
-    posts: &[Post],
-) -> Result<Arc<UndirectedGraph>, String> {
+fn load_graph_for_posts(graph_path: &str, posts: &[Post]) -> Result<Arc<UndirectedGraph>, String> {
     let graph =
         graph_io::read_undirected(&mut open_reader(graph_path)?).map_err(|e| e.to_string())?;
     if let Some(max_author) = posts.iter().map(|p| p.author).max() {
@@ -224,8 +233,12 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         let stdout = std::io::stdout();
         let mut lock = BufWriter::new(stdout.lock());
         for post in &emitted {
-            writeln!(lock, "{}\t{}\t{}\t{}", post.id, post.author, post.timestamp, post.text)
-                .map_err(|e| e.to_string())?;
+            writeln!(
+                lock,
+                "{}\t{}\t{}\t{}",
+                post.id, post.author, post.timestamp, post.text
+            )
+            .map_err(|e| e.to_string())?;
         }
     }
 
@@ -255,16 +268,23 @@ fn cmd_quality(args: &Args) -> Result<(), String> {
         corpus::read_posts(&mut open_reader(delivered_path)?).map_err(|e| e.to_string())?;
     let graph = load_graph_for_posts(graph_path, &posts)?;
 
-    let delivered_ids: std::collections::HashSet<u64> =
-        delivered.iter().map(|p| p.id).collect();
+    let delivered_ids: std::collections::HashSet<u64> = delivered.iter().map(|p| p.id).collect();
     for post in &delivered {
         if !posts.iter().any(|p| p.id == post.id) {
-            return Err(format!("delivered post {} is not in the original stream", post.id));
+            return Err(format!(
+                "delivered post {} is not in the original stream",
+                post.id
+            ));
         }
     }
-    let records: Vec<firehose::stream::PostRecord> =
-        posts.iter().map(|p| p.to_record(SimHashOptions::paper())).collect();
-    let decisions: Vec<bool> = posts.iter().map(|p| delivered_ids.contains(&p.id)).collect();
+    let records: Vec<firehose::stream::PostRecord> = posts
+        .iter()
+        .map(|p| p.to_record(SimHashOptions::paper()))
+        .collect();
+    let decisions: Vec<bool> = posts
+        .iter()
+        .map(|p| delivered_ids.contains(&p.id))
+        .collect();
     let report = quality::evaluate(&records, &decisions, &thresholds, &graph);
 
     println!(
@@ -273,8 +293,14 @@ fn cmd_quality(args: &Args) -> Result<(), String> {
         report.delivered,
         report.delivery_ratio() * 100.0
     );
-    println!("coverage violations (lost posts): {}", report.coverage_violations);
-    println!("residual redundancy (duplicate deliveries): {}", report.residual_redundancy);
+    println!(
+        "coverage violations (lost posts): {}",
+        report.coverage_violations
+    );
+    println!(
+        "residual redundancy (duplicate deliveries): {}",
+        report.residual_redundancy
+    );
     println!(
         "verdict: {}",
         if report.is_valid_diversification() {
@@ -289,9 +315,14 @@ fn cmd_quality(args: &Args) -> Result<(), String> {
 fn cmd_explain(args: &Args) -> Result<(), String> {
     let posts_path = args.require("posts")?;
     let graph_path = args.require("graph")?;
-    let first: u64 = args.require("first")?.parse().map_err(|e| format!("bad --first: {e}"))?;
-    let second: u64 =
-        args.require("second")?.parse().map_err(|e| format!("bad --second: {e}"))?;
+    let first: u64 = args
+        .require("first")?
+        .parse()
+        .map_err(|e| format!("bad --first: {e}"))?;
+    let second: u64 = args
+        .require("second")?
+        .parse()
+        .map_err(|e| format!("bad --second: {e}"))?;
     let thresholds = thresholds_from(args)?;
 
     let posts = corpus::read_posts(&mut open_reader(posts_path)?).map_err(|e| e.to_string())?;
@@ -303,12 +334,20 @@ fn cmd_explain(args: &Args) -> Result<(), String> {
             .ok_or_else(|| format!("post id {id} not found in {posts_path}"))
     };
     let (a, b) = (find(first)?, find(second)?);
-    let (ra, rb) =
-        (a.to_record(SimHashOptions::paper()), b.to_record(SimHashOptions::paper()));
+    let (ra, rb) = (
+        a.to_record(SimHashOptions::paper()),
+        b.to_record(SimHashOptions::paper()),
+    );
     let explanation = explain(&ra, &rb, &thresholds, &graph);
 
-    println!("post {first} (author {} @ {} ms): {}", a.author, a.timestamp, a.text);
-    println!("post {second} (author {} @ {} ms): {}", b.author, b.timestamp, b.text);
+    println!(
+        "post {first} (author {} @ {} ms): {}",
+        a.author, a.timestamp, a.text
+    );
+    println!(
+        "post {second} (author {} @ {} ms): {}",
+        b.author, b.timestamp, b.text
+    );
     println!("{explanation}");
     println!(
         "verdict: the posts {} cover each other{}",
@@ -316,7 +355,10 @@ fn cmd_explain(args: &Args) -> Result<(), String> {
         if explanation.covers {
             String::new()
         } else {
-            format!(" (blocked by: {})", explanation.blocking_dimensions().join(", "))
+            format!(
+                " (blocked by: {})",
+                explanation.blocking_dimensions().join(", ")
+            )
         }
     );
     Ok(())

@@ -10,7 +10,8 @@ struct TempDir(PathBuf);
 
 impl TempDir {
     fn new(tag: &str) -> Self {
-        let dir = std::env::temp_dir().join(format!("firehose_cli_test_{tag}_{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("firehose_cli_test_{tag}_{}", std::process::id()));
         std::fs::create_dir_all(&dir).expect("create temp dir");
         Self(dir)
     }
@@ -41,7 +42,10 @@ fn run_ok(args: &[&str]) -> (String, String) {
 
 fn run_err(args: &[&str]) -> String {
     let output = Command::new(BIN).args(args).output().expect("spawn CLI");
-    assert!(!output.status.success(), "firehose {args:?} unexpectedly succeeded");
+    assert!(
+        !output.status.success(),
+        "firehose {args:?} unexpectedly succeeded"
+    );
     String::from_utf8_lossy(&output.stderr).into_owned()
 }
 
@@ -56,11 +60,16 @@ fn full_pipeline() {
 
     let (_, err) = run_ok(&[
         "generate",
-        "--authors", "300",
-        "--hours", "3",
-        "--seed", "7",
-        "--out-posts", &posts,
-        "--out-follower", &follower,
+        "--authors",
+        "300",
+        "--hours",
+        "3",
+        "--seed",
+        "7",
+        "--out-posts",
+        &posts,
+        "--out-follower",
+        &follower,
     ]);
     assert!(err.contains("300 authors"), "{err}");
 
@@ -75,10 +84,14 @@ fn full_pipeline() {
     for algorithm in ["unibin", "neighborbin", "cliquebin"] {
         let (_, err) = run_ok(&[
             "run",
-            "--posts", &posts,
-            "--graph", &graph,
-            "--algorithm", algorithm,
-            "--out", &out,
+            "--posts",
+            &posts,
+            "--graph",
+            &graph,
+            "--algorithm",
+            algorithm,
+            "--out",
+            &out,
         ]);
         let line = err.lines().last().unwrap_or_default().to_string();
         let emitted: u64 = line
@@ -97,20 +110,22 @@ fn full_pipeline() {
     // Quality: the run output must be a valid diversification.
     let (stdout, _) = run_ok(&[
         "quality",
-        "--posts", &posts,
-        "--delivered", &out,
-        "--graph", &graph,
+        "--posts",
+        &posts,
+        "--delivered",
+        &out,
+        "--graph",
+        &graph,
     ]);
-    assert!(stdout.contains("coverage violations (lost posts): 0"), "{stdout}");
+    assert!(
+        stdout.contains("coverage violations (lost posts): 0"),
+        "{stdout}"
+    );
     assert!(stdout.contains("VALID diversification"), "{stdout}");
 
     // Explain a pair.
     let (stdout, _) = run_ok(&[
-        "explain",
-        "--posts", &posts,
-        "--graph", &graph,
-        "--first", "0",
-        "--second", "1",
+        "explain", "--posts", &posts, "--graph", &graph, "--first", "0", "--second", "1",
     ]);
     assert!(stdout.contains("verdict:"), "{stdout}");
     assert!(stdout.contains("content"), "{stdout}");
@@ -141,10 +156,14 @@ fn run_rejects_mismatched_graph() {
     let graph = dir.path("sim.fhg");
     run_ok(&[
         "generate",
-        "--authors", "300",
-        "--hours", "1",
-        "--out-posts", &posts,
-        "--out-follower", &follower,
+        "--authors",
+        "300",
+        "--hours",
+        "1",
+        "--out-posts",
+        &posts,
+        "--out-follower",
+        &follower,
     ]);
     run_ok(&["build-graph", "--follower", &follower, "--out", &graph]);
 

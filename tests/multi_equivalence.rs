@@ -16,12 +16,16 @@ use proptest::prelude::*;
 
 fn posts_strategy(m: u32) -> impl Strategy<Value = Vec<Post>> {
     proptest::collection::vec(
-        (0..m, 0u64..300, proptest::sample::select(vec![
-            "alpha beta gamma delta epsilon zeta",
-            "alpha beta gamma delta epsilon eta",
-            "one two three four five six seven",
-            "completely different content right here now",
-        ])),
+        (
+            0..m,
+            0u64..300,
+            proptest::sample::select(vec![
+                "alpha beta gamma delta epsilon zeta",
+                "alpha beta gamma delta epsilon eta",
+                "one two three four five six seven",
+                "completely different content right here now",
+            ]),
+        ),
         0..60,
     )
     .prop_map(|items| {

@@ -19,8 +19,13 @@ use proptest::prelude::*;
 
 fn pipeline_fixture() -> (SyntheticSocialGraph, Workload) {
     let social = SyntheticSocialGraph::generate(SocialGenConfig::test_scale());
-    let workload =
-        Workload::generate(&social, WorkloadConfig { duration: hours(3), ..Default::default() });
+    let workload = Workload::generate(
+        &social,
+        WorkloadConfig {
+            duration: hours(3),
+            ..Default::default()
+        },
+    );
     (social, workload)
 }
 
@@ -74,7 +79,12 @@ fn engine_checkpoint_resumes_identically_on_real_workload() {
     snapshot_unibin(&engine, &mut buf).unwrap();
     let mut restored = restore_unibin(&mut buf.as_slice(), Arc::clone(&graph)).unwrap();
     for p in second {
-        assert_eq!(restored.offer(p), engine.offer(p), "UniBin diverged at post {}", p.id);
+        assert_eq!(
+            restored.offer(p),
+            engine.offer(p),
+            "UniBin diverged at post {}",
+            p.id
+        );
     }
     assert_eq!(restored.metrics(), engine.metrics());
 
@@ -87,7 +97,12 @@ fn engine_checkpoint_resumes_identically_on_real_workload() {
     snapshot_neighborbin(&engine, &mut buf).unwrap();
     let mut restored = restore_neighborbin(&mut buf.as_slice(), Arc::clone(&graph)).unwrap();
     for p in second {
-        assert_eq!(restored.offer(p), engine.offer(p), "NeighborBin diverged at post {}", p.id);
+        assert_eq!(
+            restored.offer(p),
+            engine.offer(p),
+            "NeighborBin diverged at post {}",
+            p.id
+        );
     }
 }
 

@@ -20,15 +20,21 @@ fn setup() -> Setup {
     let social = SyntheticSocialGraph::generate(SocialGenConfig::test_scale());
     let workload = Workload::generate(
         &social,
-        WorkloadConfig { duration: hours(6), ..WorkloadConfig::default() },
+        WorkloadConfig {
+            duration: hours(6),
+            ..WorkloadConfig::default()
+        },
     );
     let graph = Arc::new(build_similarity_graph(&social.graph, 0.7));
     Setup { graph, workload }
 }
 
 fn run(setup: &Setup, kind: AlgorithmKind) -> firehose::core::EngineMetrics {
-    let mut engine =
-        build_engine(kind, EngineConfig::paper_defaults(), Arc::clone(&setup.graph));
+    let mut engine = build_engine(
+        kind,
+        EngineConfig::paper_defaults(),
+        Arc::clone(&setup.graph),
+    );
     for post in &setup.workload.posts {
         engine.offer(post);
     }
@@ -77,13 +83,22 @@ fn table3_orderings_on_real_workload() {
     let cb = run(&s, AlgorithmKind::CliqueBin);
 
     // RAM: Uni < Clique < Neighbor.
-    assert!(uni.peak_copies < cb.peak_copies, "UniBin must use least RAM");
-    assert!(cb.peak_copies < nb.peak_copies, "CliqueBin must beat NeighborBin on RAM");
+    assert!(
+        uni.peak_copies < cb.peak_copies,
+        "UniBin must use least RAM"
+    );
+    assert!(
+        cb.peak_copies < nb.peak_copies,
+        "CliqueBin must beat NeighborBin on RAM"
+    );
     // Insertions: Uni < Clique < Neighbor.
     assert!(uni.insertions < cb.insertions);
     assert!(cb.insertions < nb.insertions);
     // Comparisons: Neighbor is the floor.
-    assert!(nb.comparisons < uni.comparisons, "NeighborBin must beat UniBin on comparisons");
+    assert!(
+        nb.comparisons < uni.comparisons,
+        "NeighborBin must beat UniBin on comparisons"
+    );
     // All process the same stream and emit the same count.
     assert_eq!(uni.posts_emitted, nb.posts_emitted);
     assert_eq!(uni.posts_emitted, cb.posts_emitted);

@@ -20,9 +20,15 @@ fn week_long_stream_keeps_memory_bounded() {
     let graph = Arc::new(build_similarity_graph(&social.graph, 0.7));
     let workload = Workload::generate(
         &social,
-        WorkloadConfig { duration: days(7), ..WorkloadConfig::default() },
+        WorkloadConfig {
+            duration: days(7),
+            ..WorkloadConfig::default()
+        },
     );
-    assert!(workload.len() > 10_000, "a week should hold plenty of posts");
+    assert!(
+        workload.len() > 10_000,
+        "a week should hold plenty of posts"
+    );
 
     for kind in AlgorithmKind::ALL {
         let mut engine = build_engine(kind, EngineConfig::paper_defaults(), Arc::clone(&graph));
@@ -43,7 +49,10 @@ fn week_long_stream_keeps_memory_bounded() {
         );
         // Decisions keep flowing: the last day prunes in the usual band.
         let pruned = 1.0 - engine.metrics().emit_ratio();
-        assert!((0.02..0.35).contains(&pruned), "{kind}: pruning drifted to {pruned}");
+        assert!(
+            (0.02..0.35).contains(&pruned),
+            "{kind}: pruning drifted to {pruned}"
+        );
     }
 }
 
