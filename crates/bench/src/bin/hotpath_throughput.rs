@@ -1,0 +1,188 @@
+//! Hot-path throughput: the recorded perf trajectory (`BENCH_hotpath.json`).
+//!
+//! Measures, per engine, sustained `offer()` throughput (offers/sec, timed
+//! without per-post instrumentation) and the per-offer latency distribution
+//! (p50/p99, a separate pass with per-post timers), over a generated
+//! ~100k-post day. A kernel microbenchmark then isolates the UniBin window
+//! scan itself: the scalar newest-first `within_distance` walk versus the
+//! batched `filter_within` pass over the same contiguous fingerprint column
+//! — both scan the full window, so the ratio is the pure kernel speedup,
+//! uncontaminated by eviction, author checks or allocator noise.
+//!
+//! The summary lands in `BENCH_hotpath.json` at the invocation directory
+//! (repo root in CI), so every future PR has a before/after number.
+//!
+//! Flags: `--smoke` (tiny workload, CI), `--posts <n>` (target stream size,
+//! default 100 000), `--out <path>` (default `BENCH_hotpath.json`).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use firehose_bench::{flag_value, stream_rate, BenchSummary, EngineRow};
+use firehose_core::engine::{build_engine, AlgorithmKind};
+use firehose_core::{EngineConfig, Thresholds};
+use firehose_datagen::{SocialGenConfig, SyntheticSocialGraph, Workload, WorkloadConfig};
+use firehose_graph::build_similarity_graph_parallel;
+use firehose_simhash::{filter_within_into, within_distance, Fingerprint};
+use firehose_stream::Post;
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+    let target_posts: usize = flag_value(&args, "--posts")
+        .map(|v| v.parse().expect("--posts expects a count"))
+        .unwrap_or(if smoke { 2_000 } else { 100_000 });
+
+    // Size the day so the stream hits the post target: fix the author
+    // population per mode and scale the per-author daily rate.
+    let social_config = if smoke {
+        SocialGenConfig::test_scale()
+    } else {
+        SocialGenConfig::bench_scale()
+    };
+    let social = SyntheticSocialGraph::generate(social_config);
+    let workload = Workload::generate(
+        &social,
+        WorkloadConfig {
+            posts_per_author_per_day: target_posts as f64 / social.author_count() as f64,
+            ..WorkloadConfig::default()
+        },
+    );
+    eprintln!(
+        "[hotpath] workload: {} posts from {} authors ({:.1}% near-duplicates)",
+        workload.len(),
+        social.author_count(),
+        workload.duplicate_fraction() * 100.0
+    );
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let graph = Arc::new(build_similarity_graph_parallel(&social.graph, 0.7, threads));
+    let thresholds = Thresholds::paper_defaults();
+    let config = EngineConfig::new(thresholds).with_expected_rate(stream_rate(&workload.posts));
+
+    let mut summary = BenchSummary::new(
+        "hotpath_throughput",
+        if smoke { "smoke" } else { "bench" },
+        workload.len() as u64,
+    );
+    for kind in AlgorithmKind::ALL {
+        // Pass 1 — throughput: whole-stream wall clock, no per-post timers.
+        let mut engine = build_engine(kind, config, Arc::clone(&graph));
+        let t0 = Instant::now();
+        for post in &workload.posts {
+            engine.offer(post);
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        let offers_per_sec = workload.len() as f64 / elapsed.max(1e-9);
+        let metrics = *engine.metrics();
+
+        // Pass 2 — latency distribution: fresh engine, per-post timers.
+        let mut engine = build_engine(kind, config, Arc::clone(&graph));
+        let mut latencies: Vec<u64> = Vec::with_capacity(workload.len());
+        for post in &workload.posts {
+            let p0 = Instant::now();
+            engine.offer(post);
+            latencies.push(p0.elapsed().as_nanos() as u64);
+        }
+        latencies.sort_unstable();
+        let p50 = percentile(&latencies, 0.50);
+        let p99 = percentile(&latencies, 0.99);
+
+        eprintln!("[hotpath] {kind}: {offers_per_sec:.0} offers/s, p50 {p50} ns, p99 {p99} ns");
+        summary.push_engine(
+            EngineRow::new(&kind.to_string(), offers_per_sec, p50, p99)
+                .with_u64("comparisons", metrics.comparisons)
+                .with_u64("insertions", metrics.insertions)
+                .with_u64("posts_emitted", metrics.posts_emitted)
+                .with_u64("peak_memory_bytes", metrics.peak_memory_bytes),
+        );
+    }
+
+    summary.push_raw("kernel", kernel_microbench(&workload, &config, smoke));
+
+    let path = std::path::Path::new(&out);
+    summary.write(path).expect("write summary");
+    // Self-check so --smoke in CI fails loudly on malformed output.
+    let written = std::fs::read_to_string(path).expect("read summary back");
+    assert!(
+        written.starts_with('{') && written.trim_end().ends_with('}'),
+        "summary is not a JSON object"
+    );
+    println!("{written}");
+}
+
+/// The pre-PR UniBin window scan (newest-first walk over array-of-structs
+/// records, one branch per record) versus the batched kernel over the dense
+/// fingerprint column — both scanning the full window (the miss case that
+/// dominates cost), so the ratio captures exactly what this layout + kernel
+/// change bought. Returns the rendered JSON object.
+fn kernel_microbench(workload: &Workload, config: &EngineConfig, smoke: bool) -> String {
+    let lambda_c = config.thresholds.lambda_c;
+    let records: Vec<firehose_stream::PostRecord> = workload
+        .posts
+        .iter()
+        .take(if smoke { 4_000 } else { 50_000 })
+        .map(|p: &Post| p.to_record(config.simhash))
+        .collect();
+    let column: Vec<Fingerprint> = records.iter().map(|r| r.fingerprint).collect();
+    // Queries drawn from the stream itself so match density is realistic.
+    let queries: Vec<Fingerprint> = column.iter().copied().step_by(97).take(64).collect();
+    let reps = if smoke { 2 } else { 8 };
+    let scanned = (column.len() * queries.len() * reps) as f64;
+
+    // Scalar-over-AoS: the pre-columnar hot loop — 32-byte records walked
+    // newest-first, one XOR+POPCNT and one data-dependent branch each.
+    let mut matches_scalar = 0u64;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        for &q in &queries {
+            for r in records.iter().rev() {
+                if within_distance(r.fingerprint, q, lambda_c) {
+                    matches_scalar += 1;
+                }
+            }
+        }
+    }
+    let scalar_ns = t0.elapsed().as_nanos() as f64 / scanned;
+
+    let mut candidates: Vec<u32> = Vec::new();
+    let mut matches_batched = 0u64;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        for &q in &queries {
+            filter_within_into(q, &column, lambda_c, &mut candidates);
+            matches_batched += candidates.len() as u64;
+        }
+    }
+    let batched_ns = t0.elapsed().as_nanos() as f64 / scanned;
+
+    assert_eq!(
+        matches_scalar, matches_batched,
+        "kernel diverged from the scalar scan"
+    );
+    let speedup = scalar_ns / batched_ns.max(1e-9);
+    eprintln!(
+        "[hotpath] window-scan kernel: scalar/AoS {scalar_ns:.3} ns/fp, batched/SoA \
+         {batched_ns:.3} ns/fp ({speedup:.2}x, {} fingerprints x {} queries x {reps} reps)",
+        column.len(),
+        queries.len()
+    );
+    format!(
+        "{{\"scalar_aos_ns_per_fingerprint\": {}, \"batched_soa_ns_per_fingerprint\": {}, \
+         \"speedup\": {}, \"column_len\": {}, \"queries\": {}, \"matches\": {}}}",
+        firehose_bench::json_num(scalar_ns),
+        firehose_bench::json_num(batched_ns),
+        firehose_bench::json_num(speedup),
+        column.len(),
+        queries.len(),
+        matches_scalar
+    )
+}

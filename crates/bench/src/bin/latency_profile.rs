@@ -15,12 +15,14 @@
 //! passes drift by several percent with CPU frequency and cache state,
 //! swamping a sub-percent effect. With `--metrics-out <dir>` the
 //! instrumented engine also dumps registry snapshots (Prometheus text +
-//! JSON, `--metrics-every <posts>` for the cadence).
+//! JSON, `--metrics-every <posts>` for the cadence). `--json <path>` writes
+//! the summary in the `BENCH_hotpath.json` schema (see
+//! [`firehose_bench::BenchSummary`]) for the recorded perf trajectory.
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use firehose_bench::{Dataset, MetricsSink, Report, Scale};
+use firehose_bench::{flag_value, BenchSummary, Dataset, EngineRow, MetricsSink, Report, Scale};
 use firehose_core::engine::{build_engine, AlgorithmKind};
 use firehose_core::{export_engine_metrics, EngineConfig, EngineObs, Thresholds};
 
@@ -33,10 +35,19 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 }
 
 fn main() {
-    let data = Dataset::generate(Scale::from_env());
+    let args: Vec<String> = std::env::args().collect();
+    let json_out = flag_value(&args, "--json");
+    let scale = Scale::from_env();
+    let data = Dataset::generate(scale);
     let graph = data.similarity_graph(0.7);
-    let config = EngineConfig::new(Thresholds::paper_defaults());
+    let config = EngineConfig::new(Thresholds::paper_defaults())
+        .with_expected_rate(firehose_bench::stream_rate(&data.workload.posts));
     let mut sink = MetricsSink::from_args("latency_profile");
+    let mut summary = BenchSummary::new(
+        "latency_profile",
+        &scale.to_string(),
+        data.workload.len() as u64,
+    );
 
     let mut r = Report::new(
         "latency_profile",
@@ -103,6 +114,21 @@ fn main() {
             "[latency] {kind}: p99 = {} ns, obs overhead {overhead_pct:+.1}%",
             percentile(&latencies, 0.99)
         );
+        // offers/sec from the timed pass-1 latencies (sum of per-post time).
+        let sum_ns = latencies.iter().sum::<u64>() as f64;
+        summary.push_engine(
+            EngineRow::new(
+                &kind.to_string(),
+                latencies.len() as f64 / (sum_ns / 1e9).max(1e-9),
+                percentile(&latencies, 0.50),
+                percentile(&latencies, 0.99),
+            )
+            .with_u64("p90_ns", percentile(&latencies, 0.90))
+            .with_u64("p999_ns", percentile(&latencies, 0.999))
+            .with_u64("max_ns", *latencies.last().unwrap_or(&0))
+            .with_f64("mean_ns", mean)
+            .with_f64("overhead_pct", overhead_pct),
+        );
         r.row(&[
             kind.to_string(),
             percentile(&latencies, 0.50).to_string(),
@@ -118,5 +144,11 @@ fn main() {
         s.finish(offered_total);
     }
     r.finish();
+    if let Some(path) = json_out {
+        summary
+            .write(std::path::Path::new(&path))
+            .expect("write --json summary");
+        eprintln!("[latency] wrote {path}");
+    }
     println!("real-time check: a Twitter-scale firehose (~5.8k posts/s) leaves ~172 µs per post");
 }

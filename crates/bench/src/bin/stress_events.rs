@@ -11,12 +11,16 @@
 //! exposition + JSON snapshots (`--metrics-every <posts>` controls the
 //! cadence; default final-only). The exposition carries one
 //! `firehose_offer_latency_ns` histogram per engine kind, so p50/p99 are
-//! derivable from the `_bucket` series alone.
+//! derivable from the `_bucket` series alone. `--json <path>` writes the
+//! summary in the `BENCH_hotpath.json` schema, one engine row per
+//! stream × algorithm (`calm/UniBin`, `stormy/CliqueBin`, …).
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use firehose_bench::{f1, Dataset, MetricsSink, Report, Scale};
+use firehose_bench::{
+    f1, flag_value, BenchSummary, Dataset, EngineRow, MetricsSink, Report, Scale,
+};
 use firehose_core::engine::{build_engine, AlgorithmKind};
 use firehose_core::{export_engine_metrics, EngineConfig, EngineObs, Thresholds};
 use firehose_datagen::{Workload, WorkloadConfig};
@@ -30,10 +34,13 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_out = flag_value(&args, "--json");
     let scale = Scale::from_env();
     let data = Dataset::generate(scale);
     let graph = data.similarity_graph(0.7);
-    let config = EngineConfig::new(Thresholds::paper_defaults());
+    let config = EngineConfig::new(Thresholds::paper_defaults())
+        .with_expected_rate(firehose_bench::stream_rate(&data.workload.posts));
 
     let stormy = Workload::generate(
         &data.social,
@@ -51,6 +58,11 @@ fn main() {
         stormy.duplicate_fraction() * 100.0
     );
 
+    let mut summary = BenchSummary::new(
+        "stress_events",
+        &scale.to_string(),
+        (data.workload.len() + stormy.len()) as u64,
+    );
     let mut r = Report::new(
         "stress_events",
         &[
@@ -88,6 +100,17 @@ fn main() {
             if let Some(s) = &sink {
                 export_engine_metrics(s.registry(), &kind.to_string(), m);
             }
+            summary.push_engine(
+                EngineRow::new(
+                    &format!("{label}/{kind}"),
+                    workload.len() as f64 / (elapsed_ms / 1_000.0).max(1e-9),
+                    percentile(&latencies, 0.50),
+                    percentile(&latencies, 0.99),
+                )
+                .with_f64("time_ms", elapsed_ms)
+                .with_f64("pruned_pct", (1.0 - m.emit_ratio()) * 100.0)
+                .with_u64("comparisons", m.comparisons),
+            );
             r.row(&[
                 label.into(),
                 kind.to_string(),
@@ -102,5 +125,11 @@ fn main() {
         }
     }
     r.finish();
+    if let Some(path) = json_out {
+        summary
+            .write(std::path::Path::new(&path))
+            .expect("write --json summary");
+        eprintln!("[stress] wrote {path}");
+    }
     println!("bursts are mostly absorbed: the pruned fraction rises with the injected duplicates while the engines' tail latency stays bounded");
 }

@@ -9,11 +9,16 @@
 //!   once per process;
 //! * [`run_spsd`] — run one single-user engine over a stream, timed, with
 //!   the four reported quantities (time / RAM / comparisons / insertions);
-//! * [`Report`] — aligned stdout tables plus CSV files under `results/`.
+//! * [`Report`] — aligned stdout tables plus CSV files under `results/`;
+//! * [`BenchSummary`] — the machine-readable `BENCH_*.json` schema shared by
+//!   `hotpath_throughput` and the `--json` flag of `latency_profile` /
+//!   `stress_events`.
 
 mod metrics_sink;
+mod summary;
 
 pub use metrics_sink::MetricsSink;
+pub use summary::{flag_value, json_num, json_str, BenchSummary, EngineRow};
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -156,6 +161,16 @@ impl RunStats {
     }
 }
 
+/// Mean stream rate of `posts` in posts/second (0 when the stream spans no
+/// time), used as the engines' bin-presizing hint.
+pub fn stream_rate(posts: &[Post]) -> f64 {
+    let (first, last) = match (posts.first(), posts.last()) {
+        (Some(f), Some(l)) if l.timestamp > f.timestamp => (f.timestamp, l.timestamp),
+        _ => return 0.0,
+    };
+    posts.len() as f64 / ((last - first) as f64 / 1_000.0)
+}
+
 /// Run a fresh engine of `kind` over `posts` under `thresholds`.
 pub fn run_spsd(
     kind: AlgorithmKind,
@@ -163,7 +178,7 @@ pub fn run_spsd(
     graph: Arc<UndirectedGraph>,
     posts: &[Post],
 ) -> RunStats {
-    let config = EngineConfig::new(thresholds);
+    let config = EngineConfig::new(thresholds).with_expected_rate(stream_rate(posts));
     let mut engine = build_engine(kind, config, graph);
     let t0 = Instant::now();
     for post in posts {
@@ -317,6 +332,17 @@ mod tests {
     fn scale_configs_are_ordered() {
         assert!(Scale::Test.social_config().authors < Scale::Bench.social_config().authors);
         assert!(Scale::Bench.social_config().authors < Scale::Paper.social_config().authors);
+    }
+
+    #[test]
+    fn stream_rate_is_posts_per_second() {
+        let posts: Vec<Post> = (0..11u64)
+            .map(|i| Post::new(i, 0, i * 100, "x".into()))
+            .collect();
+        // 11 posts over 1 s of stream time.
+        assert!((stream_rate(&posts) - 11.0).abs() < 1e-9);
+        assert_eq!(stream_rate(&[]), 0.0);
+        assert_eq!(stream_rate(&posts[..1]), 0.0);
     }
 
     #[test]

@@ -1,0 +1,266 @@
+//! Machine-readable benchmark summaries (`BENCH_hotpath.json` schema).
+//!
+//! Every perf-tracking binary emits the same JSON shape so the recorded
+//! trajectory is diffable across PRs and binaries:
+//!
+//! ```json
+//! {
+//!   "bench": "hotpath_throughput",
+//!   "scale": "bench",
+//!   "posts": 100000,
+//!   "engines": [
+//!     {"name": "UniBin", "offers_per_sec": 1.2e6, "p50_ns": 512, "p99_ns": 4096,
+//!      "comparisons": 123, ...}
+//!   ],
+//!   "kernel": {...}        // bench-specific extras, one key per object
+//! }
+//! ```
+//!
+//! `engines` always carries `name` / `offers_per_sec` / `p50_ns` / `p99_ns`;
+//! rows and the top level can append bench-specific numeric fields. The
+//! writer is hand-rolled (the workspace is dependency-free by policy) and
+//! kept total: non-finite floats serialize as `0`, strings are escaped.
+
+use std::io;
+use std::path::Path;
+
+/// One engine (or labelled engine run) in a [`BenchSummary`].
+pub struct EngineRow {
+    name: String,
+    offers_per_sec: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    extra: Vec<(String, String)>,
+}
+
+impl EngineRow {
+    /// A row with the three mandatory measurements.
+    pub fn new(name: &str, offers_per_sec: f64, p50_ns: u64, p99_ns: u64) -> Self {
+        Self {
+            name: name.to_string(),
+            offers_per_sec,
+            p50_ns,
+            p99_ns,
+            extra: Vec::new(),
+        }
+    }
+
+    /// Append a bench-specific integer field.
+    pub fn with_u64(mut self, key: &str, value: u64) -> Self {
+        self.extra.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Append a bench-specific float field.
+    pub fn with_f64(mut self, key: &str, value: f64) -> Self {
+        self.extra.push((key.to_string(), json_num(value)));
+        self
+    }
+}
+
+/// Builder for one benchmark's JSON summary file.
+pub struct BenchSummary {
+    bench: String,
+    scale: String,
+    posts: u64,
+    engines: Vec<EngineRow>,
+    extra: Vec<(String, String)>,
+}
+
+impl BenchSummary {
+    /// New summary for benchmark `bench` run at `scale` over `posts` posts.
+    pub fn new(bench: &str, scale: &str, posts: u64) -> Self {
+        Self {
+            bench: bench.to_string(),
+            scale: scale.to_string(),
+            posts,
+            engines: Vec::new(),
+            extra: Vec::new(),
+        }
+    }
+
+    /// Append one engine row.
+    pub fn push_engine(&mut self, row: EngineRow) {
+        self.engines.push(row);
+    }
+
+    /// Append a bench-specific top-level field holding pre-rendered JSON
+    /// (an object, array, or number — the caller guarantees validity).
+    pub fn push_raw(&mut self, key: &str, raw_json: String) {
+        self.extra.push((key.to_string(), raw_json));
+    }
+
+    /// Render the summary as a JSON document (trailing newline included).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"bench\": {},\n", json_str(&self.bench)));
+        out.push_str(&format!("  \"scale\": {},\n", json_str(&self.scale)));
+        out.push_str(&format!("  \"posts\": {},\n", self.posts));
+        out.push_str("  \"engines\": [");
+        for (i, e) in self.engines.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"name\": {}, ", json_str(&e.name)));
+            out.push_str(&format!(
+                "\"offers_per_sec\": {}, ",
+                json_num(e.offers_per_sec)
+            ));
+            out.push_str(&format!("\"p50_ns\": {}, ", e.p50_ns));
+            out.push_str(&format!("\"p99_ns\": {}", e.p99_ns));
+            for (k, v) in &e.extra {
+                out.push_str(&format!(", {}: {}", json_str(k), v));
+            }
+            out.push('}');
+        }
+        if !self.engines.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push(']');
+        for (k, v) in &self.extra {
+            out.push_str(&format!(",\n  {}: {}", json_str(k), v));
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Write the summary to `path`.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json())?;
+        eprintln!("[summary] wrote {}", path.display());
+        Ok(())
+    }
+}
+
+/// JSON string literal with escaping for quotes, backslashes and controls.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number from an `f64`; non-finite values (which JSON cannot carry)
+/// serialize as `0`.
+pub fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Value of `--<flag> <value>` / `--<flag>=<value>` in `args`, if present.
+/// A flag with no trailing value reads as absent.
+pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            return it.next().cloned();
+        }
+        if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn renders_schema_fields() {
+        let mut s = BenchSummary::new("hotpath_throughput", "test", 42);
+        s.push_engine(
+            EngineRow::new("UniBin", 1_000_000.5, 512, 4_096)
+                .with_u64("comparisons", 7)
+                .with_f64("speedup", 2.5),
+        );
+        s.push_raw("kernel", "{\"scalar_ns\": 1.5}".to_string());
+        let json = s.to_json();
+        assert!(json.contains("\"bench\": \"hotpath_throughput\""), "{json}");
+        assert!(json.contains("\"posts\": 42"), "{json}");
+        assert!(json.contains("\"offers_per_sec\": 1000000.5"), "{json}");
+        assert!(json.contains("\"comparisons\": 7"), "{json}");
+        assert!(json.contains("\"kernel\": {\"scalar_ns\": 1.5}"), "{json}");
+        assert_balanced(&json);
+    }
+
+    #[test]
+    fn empty_engine_list_is_valid() {
+        let json = BenchSummary::new("x", "test", 0).to_json();
+        assert!(json.contains("\"engines\": []"), "{json}");
+        assert_balanced(&json);
+    }
+
+    #[test]
+    fn strings_are_escaped_and_floats_total() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+        assert_eq!(json_num(f64::NAN), "0");
+        assert_eq!(json_num(f64::INFINITY), "0");
+        assert_eq!(json_num(2.5), "2.5");
+    }
+
+    #[test]
+    fn flag_value_both_forms() {
+        let a = argv(&["bin", "--json", "/tmp/x.json"]);
+        assert_eq!(flag_value(&a, "--json").as_deref(), Some("/tmp/x.json"));
+        let a = argv(&["bin", "--json=/tmp/y.json"]);
+        assert_eq!(flag_value(&a, "--json").as_deref(), Some("/tmp/y.json"));
+        assert_eq!(flag_value(&argv(&["bin"]), "--json"), None);
+        assert_eq!(flag_value(&argv(&["bin", "--json"]), "--json"), None);
+    }
+
+    /// Cheap structural validity check: balanced braces/brackets outside
+    /// strings, and no trailing comma before a closer.
+    fn assert_balanced(json: &str) {
+        let mut depth = 0i32;
+        let mut in_str = false;
+        let mut escaped = false;
+        let mut prev_significant = ' ';
+        for c in json.chars() {
+            if in_str {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => {
+                    assert_ne!(prev_significant, ',', "trailing comma in {json}");
+                    depth -= 1;
+                }
+                _ => {}
+            }
+            if !c.is_whitespace() {
+                prev_significant = c;
+            }
+        }
+        assert_eq!(depth, 0, "unbalanced: {json}");
+        assert!(!in_str, "unterminated string: {json}");
+    }
+}

@@ -94,20 +94,56 @@ pub struct EngineConfig {
     pub thresholds: Thresholds,
     /// How post text is fingerprinted (normalization, weights, n-grams).
     pub simhash: SimHashOptions,
+    /// Expected stream rate in posts/second offered to this engine, used
+    /// only to pre-size λt-window bins ([`window_capacity_hint`]). `0.0`
+    /// (the default) means unknown: bins start empty and grow on demand.
+    /// Never affects decisions or metrics.
+    ///
+    /// [`window_capacity_hint`]: Self::window_capacity_hint
+    pub expected_rate: f64,
 }
 
 impl EngineConfig {
+    /// Cap on [`window_capacity_hint`](Self::window_capacity_hint): 1 Mi
+    /// records ≈ 32 MiB of columns. A mis-estimated rate (or `λt = ∞`)
+    /// must not pre-allocate unbounded memory; beyond this the bins' own
+    /// doubling takes over.
+    pub const MAX_CAPACITY_HINT: usize = 1 << 20;
+
     /// Configuration with the given thresholds and paper-default SimHash.
     pub fn new(thresholds: Thresholds) -> Self {
         Self {
             thresholds,
             simhash: SimHashOptions::paper(),
+            expected_rate: 0.0,
         }
     }
 
     /// Paper-default everything.
     pub fn paper_defaults() -> Self {
         Self::new(Thresholds::paper_defaults())
+    }
+
+    /// Set the expected stream rate (posts/second) for bin pre-sizing.
+    pub fn with_expected_rate(mut self, posts_per_sec: f64) -> Self {
+        self.expected_rate = posts_per_sec;
+        self
+    }
+
+    /// Expected λt-window occupancy: `expected_rate × λt`, the steady-state
+    /// number of live posts a full window holds (every emitted post stays
+    /// exactly λt). `0` when no rate is known — engines treat that as "no
+    /// hint". Clamped to [`MAX_CAPACITY_HINT`](Self::MAX_CAPACITY_HINT).
+    pub fn window_capacity_hint(&self) -> usize {
+        if !self.expected_rate.is_finite() || self.expected_rate <= 0.0 {
+            return 0;
+        }
+        let expected = self.expected_rate * (self.thresholds.lambda_t as f64 / 1_000.0);
+        if expected >= Self::MAX_CAPACITY_HINT as f64 {
+            Self::MAX_CAPACITY_HINT
+        } else {
+            expected.ceil() as usize
+        }
     }
 }
 
@@ -140,6 +176,32 @@ mod tests {
         assert!(Thresholds::new(18, 0, f64::NAN).is_err());
         assert!(Thresholds::new(18, 0, 0.0).is_ok());
         assert!(Thresholds::new(18, 0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn capacity_hint_is_rate_times_window() {
+        let config = EngineConfig::new(Thresholds::new(18, minutes(30), 0.7).unwrap());
+        assert_eq!(config.window_capacity_hint(), 0, "no rate ⇒ no hint");
+        // 10 posts/sec × 1800 s window = 18 000 expected live posts.
+        assert_eq!(
+            config.with_expected_rate(10.0).window_capacity_hint(),
+            18_000
+        );
+    }
+
+    #[test]
+    fn capacity_hint_is_clamped_and_total() {
+        let infinite_window = EngineConfig::new(Thresholds::new(18, u64::MAX, 0.7).unwrap());
+        assert_eq!(
+            infinite_window
+                .with_expected_rate(1.0)
+                .window_capacity_hint(),
+            EngineConfig::MAX_CAPACITY_HINT
+        );
+        let config = EngineConfig::paper_defaults();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0, 0.0] {
+            assert_eq!(config.with_expected_rate(bad).window_capacity_hint(), 0);
+        }
     }
 
     #[test]

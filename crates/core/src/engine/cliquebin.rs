@@ -15,7 +15,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use firehose_graph::{greedy_clique_cover, CliqueCover, UndirectedGraph};
-use firehose_simhash::within_distance;
+use firehose_simhash::rfind_within;
 use firehose_stream::{AuthorId, PostRecord, TimeWindowBin};
 
 use crate::config::EngineConfig;
@@ -52,7 +52,13 @@ impl CliqueBin {
         graph: Arc<UndirectedGraph>,
         cover: Arc<CliqueCover>,
     ) -> Self {
-        let clique_bins = vec![TimeWindowBin::new(); cover.count()];
+        // A clique's bin receives the emitted posts of its members: size the
+        // bin to the members' share of the expected window occupancy.
+        let m = graph.node_count().max(1);
+        let hint = config.window_capacity_hint();
+        let clique_bins = (0..cover.count())
+            .map(|cid| TimeWindowBin::with_capacity(hint * cover.members(cid as u32).len() / m))
+            .collect();
         Self {
             config,
             cover,
@@ -62,6 +68,11 @@ impl CliqueBin {
             metrics: EngineMetrics::default(),
             obs: None,
         }
+    }
+
+    /// Expected occupancy of one isolated author's self bin.
+    fn self_bin_hint(&self) -> usize {
+        self.config.window_capacity_hint() / self.author_count.max(1)
     }
 
     /// The clique edge cover in use.
@@ -119,19 +130,20 @@ impl CliqueBin {
 
         if clique_ids.is_empty() {
             // Isolated author: only her own posts can cover.
-            let bin = self.self_bins.entry(record.author).or_default();
+            let hint = self.self_bin_hint();
+            let bin = self
+                .self_bins
+                .entry(record.author)
+                .or_insert_with(|| TimeWindowBin::with_capacity(hint));
             let evicted = bin.evict_expired(record.timestamp, t.lambda_t);
-            let mut verdict = None;
-            let mut comparisons = 0u64;
-            for stored in bin.iter_window(record.timestamp, t.lambda_t) {
-                comparisons += 1;
-                if within_distance(stored.fingerprint, record.fingerprint, t.lambda_c) {
-                    verdict = Some(stored.id);
-                    break;
-                }
-            }
-            let emitted = verdict.is_none();
-            if emitted {
+            let view = bin.window(record.timestamp, t.lambda_t);
+            let found = rfind_within(record.fingerprint, view.fingerprints, t.lambda_c);
+            let comparisons = match found {
+                Some(pos) => (view.len() - pos) as u64,
+                None => view.len() as u64,
+            };
+            let verdict = found.map(|pos| view.ids[pos]);
+            if verdict.is_none() {
                 bin.push(record);
             }
             self.metrics.on_evict(evicted as u64);
@@ -147,18 +159,24 @@ impl CliqueBin {
 
         // Probe every clique containing the author. Copies of the same post
         // in different shared cliques are compared once per probe — the
-        // paper's accounting (its P7 example counts P6 twice).
+        // paper's accounting (its P7 example counts P6 twice). Each bin scan
+        // is one batched Hamming pass; comparisons keep the scalar
+        // newest-first semantics (records down to and including the covering
+        // one, or the whole bin window on a miss).
         let mut verdict = None;
-        'probe: for &cid in clique_ids {
+        for &cid in clique_ids {
             let bin = &mut self.clique_bins[cid as usize];
             let evicted = bin.evict_expired(record.timestamp, t.lambda_t);
             self.metrics.on_evict(evicted as u64);
-            for stored in bin.iter_window(record.timestamp, t.lambda_t) {
-                self.metrics.comparisons += 1;
-                if within_distance(stored.fingerprint, record.fingerprint, t.lambda_c) {
-                    verdict = Some(stored.id);
-                    break 'probe;
-                }
+            let view = bin.window(record.timestamp, t.lambda_t);
+            let found = rfind_within(record.fingerprint, view.fingerprints, t.lambda_c);
+            self.metrics.comparisons += match found {
+                Some(pos) => (view.len() - pos) as u64,
+                None => view.len() as u64,
+            };
+            if let Some(pos) = found {
+                verdict = Some(view.ids[pos]);
+                break;
             }
         }
         if let Some(by) = verdict {

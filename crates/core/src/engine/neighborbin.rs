@@ -9,10 +9,11 @@
 use std::sync::Arc;
 
 use firehose_graph::UndirectedGraph;
-use firehose_simhash::within_distance;
+use firehose_simhash::rfind_within;
 use firehose_stream::{PostRecord, TimeWindowBin};
 
 use crate::config::EngineConfig;
+#[cfg(debug_assertions)]
 use crate::coverage::authors_similar;
 use crate::decision::Decision;
 use crate::engine::Diversifier;
@@ -33,7 +34,14 @@ impl NeighborBin {
     /// New engine over the author similarity graph `G`. Allocates one (empty)
     /// bin per author.
     pub fn new(config: EngineConfig, graph: Arc<UndirectedGraph>) -> Self {
-        let bins = vec![TimeWindowBin::new(); graph.node_count()];
+        // Author `a`'s bin receives the posts of `a` and her neighbors: its
+        // share of the window is (degree + 1) / m of the stream (assuming
+        // uniform posting — a hint, not a bound).
+        let m = graph.node_count();
+        let hint = config.window_capacity_hint();
+        let bins = (0..m)
+            .map(|a| TimeWindowBin::with_capacity(hint * (graph.degree(a as u32) + 1) / m.max(1)))
+            .collect();
         Self {
             config,
             graph,
@@ -89,21 +97,27 @@ impl NeighborBin {
         let evicted = bin.evict_expired(record.timestamp, t.lambda_t);
         self.metrics.on_evict(evicted as u64);
 
-        let mut verdict = None;
-        for stored in bin.iter_window(record.timestamp, t.lambda_t) {
-            self.metrics.comparisons += 1;
+        // All candidates in the bin are author-similar by construction, so
+        // coverage reduces to the batched Hamming scan: the newest in-window
+        // fingerprint within λc is the post the scalar walk would stop at.
+        let view = bin.window(record.timestamp, t.lambda_t);
+        #[cfg(debug_assertions)]
+        for &author in view.authors {
             debug_assert!(
-                authors_similar(&self.graph, stored.author, record.author),
-                "bin invariant violated: non-similar author {} in bin {}",
-                stored.author,
+                authors_similar(&self.graph, author, record.author),
+                "bin invariant violated: non-similar author {author} in bin {}",
                 record.author
             );
-            if within_distance(stored.fingerprint, record.fingerprint, t.lambda_c) {
-                verdict = Some(stored.id);
-                break;
-            }
         }
-        if let Some(by) = verdict {
+        let found = rfind_within(record.fingerprint, view.fingerprints, t.lambda_c);
+        // Comparisons keep the scalar semantics: records examined newest-first
+        // down to (and including) the covering one, or the whole window.
+        self.metrics.comparisons += match found {
+            Some(pos) => (view.len() - pos) as u64,
+            None => view.len() as u64,
+        };
+        if let Some(pos) = found {
+            let by = view.ids[pos];
             return Decision::Covered { by };
         }
 

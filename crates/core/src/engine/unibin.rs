@@ -2,12 +2,11 @@
 
 use std::sync::Arc;
 
-use firehose_graph::UndirectedGraph;
-use firehose_simhash::within_distance;
+use firehose_graph::{AdjacencyBitsets, UndirectedGraph};
+use firehose_simhash::filter_within_into;
 use firehose_stream::{PostRecord, TimeWindowBin};
 
 use crate::config::EngineConfig;
-use crate::coverage::authors_similar;
 use crate::decision::Decision;
 use crate::engine::Diversifier;
 use crate::metrics::EngineMetrics;
@@ -25,6 +24,11 @@ pub struct UniBin {
     config: EngineConfig,
     graph: Arc<UndirectedGraph>,
     bin: TimeWindowBin,
+    /// O(1) author-similarity rows, built lazily per probed author.
+    adjacency: AdjacencyBitsets,
+    /// Scratch for the Hamming prefilter's candidate positions, reused
+    /// across offers so the hot path never allocates.
+    candidates: Vec<u32>,
     metrics: EngineMetrics,
     obs: Option<EngineObs>,
 }
@@ -32,10 +36,14 @@ pub struct UniBin {
 impl UniBin {
     /// New engine over the author similarity graph `G`.
     pub fn new(config: EngineConfig, graph: Arc<UndirectedGraph>) -> Self {
+        let bin = TimeWindowBin::with_capacity(config.window_capacity_hint());
+        let adjacency = AdjacencyBitsets::new(graph.node_count());
         Self {
             config,
             graph,
-            bin: TimeWindowBin::new(),
+            bin,
+            adjacency,
+            candidates: Vec::new(),
             metrics: EngineMetrics::default(),
             obs: None,
         }
@@ -58,10 +66,13 @@ impl UniBin {
         bin: TimeWindowBin,
         metrics: EngineMetrics,
     ) -> Self {
+        let adjacency = AdjacencyBitsets::new(graph.node_count());
         Self {
             config,
             graph,
             bin,
+            adjacency,
+            candidates: Vec::new(),
             metrics,
             obs: None,
         }
@@ -75,18 +86,40 @@ impl UniBin {
         self.metrics.on_evict(evicted as u64);
 
         // Newest-first scan over the λt window (index b down to a in the
-        // paper's circular-array description).
+        // paper's circular-array description), run as a batched Hamming
+        // prefilter over the contiguous fingerprint column followed by an
+        // O(1) bitset author check per content candidate. Decision-equivalent
+        // to the scalar walk: candidates come out newest-first and the first
+        // one passing the author check is exactly where the scalar scan
+        // would have stopped.
+        let view = self.bin.window(record.timestamp, t.lambda_t);
+        filter_within_into(
+            record.fingerprint,
+            view.fingerprints,
+            t.lambda_c,
+            &mut self.candidates,
+        );
         let mut verdict = None;
-        for stored in self.bin.iter_window(record.timestamp, t.lambda_t) {
-            self.metrics.comparisons += 1;
-            if within_distance(stored.fingerprint, record.fingerprint, t.lambda_c)
-                && authors_similar(&self.graph, stored.author, record.author)
-            {
-                verdict = Some(stored.id);
-                break;
+        if !self.candidates.is_empty() {
+            let row = self.adjacency.row(&self.graph, record.author);
+            for &pos in &self.candidates {
+                let pos = pos as usize;
+                let author = view.authors[pos];
+                if author == record.author || AdjacencyBitsets::test(row, author) {
+                    verdict = Some((view.ids[pos], pos));
+                    break;
+                }
             }
         }
-        if let Some(by) = verdict {
+        // A "comparison" is still one stored record examined by the
+        // newest-first scan: everything newer than the covering record
+        // (inclusive), or the whole window when nothing covers — identical
+        // to the scalar loop's count, reconstructed from the stop position.
+        self.metrics.comparisons += match verdict {
+            Some((_, pos)) => (view.len() - pos) as u64,
+            None => view.len() as u64,
+        };
+        if let Some((by, _)) = verdict {
             return Decision::Covered { by };
         }
 

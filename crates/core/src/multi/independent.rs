@@ -29,10 +29,17 @@ impl CompactEngine {
     /// `members` (sorted, deduplicated author ids).
     pub(crate) fn build(
         kind: AlgorithmKind,
-        config: EngineConfig,
+        mut config: EngineConfig,
         global: &UndirectedGraph,
         members: &[AuthorId],
     ) -> Self {
+        // This engine sees only its members' posts: scale the bin-presizing
+        // rate hint to their share of the global stream (assuming uniform
+        // posting). Thresholds and decisions are untouched.
+        if global.node_count() > 0 {
+            config.expected_rate =
+                config.expected_rate * members.len() as f64 / global.node_count() as f64;
+        }
         let local_id: HashMap<AuthorId, u32> = members
             .iter()
             .enumerate()

@@ -73,7 +73,7 @@ pub fn evaluate(
     for (record, &kept) in records.iter().zip(decisions) {
         let covered = window
             .iter_window(record.timestamp, thresholds.lambda_t)
-            .any(|delivered| covers(delivered, record, thresholds, graph));
+            .any(|delivered| covers(&delivered, record, thresholds, graph));
         if kept {
             report.delivered += 1;
             if covered {

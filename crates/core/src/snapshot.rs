@@ -10,9 +10,11 @@
 //! shared artifacts with their own persistence (`firehose_graph::io`); the
 //! caller supplies them on restore, and structural mismatches are rejected.
 //!
-//! Format (little-endian): magic `FHSNAP01`, engine tag, the full
+//! Format (little-endian): magic `FHSNAP02`, engine tag, the full
 //! [`EngineConfig`], the [`EngineMetrics`] counters, then the bins as
-//! record arrays.
+//! record arrays. (`FHSNAP01` lacked `EngineConfig::expected_rate`; the
+//! magic doubles as the format version, so old snapshots are rejected
+//! rather than misparsed.)
 
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -28,7 +30,7 @@ use crate::config::{EngineConfig, Thresholds};
 use crate::engine::{CliqueBin, Diversifier, NeighborBin, UniBin};
 use crate::metrics::EngineMetrics;
 
-const MAGIC: &[u8; 8] = b"FHSNAP01";
+const MAGIC: &[u8; 8] = b"FHSNAP02";
 const TAG_UNIBIN: u8 = 1;
 const TAG_NEIGHBORBIN: u8 = 2;
 const TAG_CLIQUEBIN: u8 = 3;
@@ -124,7 +126,8 @@ fn write_config<W: Write>(w: &mut W, c: &EngineConfig) -> io::Result<()> {
     w_f64(w, weights.hashtag)?;
     w_f64(w, weights.mention)?;
     w_f64(w, weights.url)?;
-    w_u32(w, c.simhash.ngram as u32)
+    w_u32(w, c.simhash.ngram as u32)?;
+    w_f64(w, c.expected_rate)
 }
 
 fn read_config<R: Read>(r: &mut R) -> Result<EngineConfig, SnapshotError> {
@@ -146,6 +149,7 @@ fn read_config<R: Read>(r: &mut R) -> Result<EngineConfig, SnapshotError> {
         url: r_f64(r)?,
     };
     let ngram = r_u32(r)? as usize;
+    let expected_rate = r_f64(r)?;
     Ok(EngineConfig {
         thresholds,
         simhash: SimHashOptions {
@@ -153,6 +157,7 @@ fn read_config<R: Read>(r: &mut R) -> Result<EngineConfig, SnapshotError> {
             weights,
             ngram,
         },
+        expected_rate,
     })
 }
 
@@ -457,6 +462,7 @@ mod tests {
                 },
                 ngram: 2,
             },
+            expected_rate: 12.5,
         };
         let engine = UniBin::new(custom, graph());
         let mut buf = Vec::new();

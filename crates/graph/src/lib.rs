@@ -15,6 +15,8 @@
 //!   similarity-graph construction via an inverted co-follow index, and the
 //!   similarity CCDF of Figure 9;
 //! * [`undirected`] — the adjacency representation of `G` itself;
+//! * [`bitset`] — lazily-built per-node adjacency bitmasks, the O(1)
+//!   similarity probe on the engines' coverage hot path;
 //! * [`components`] — union-find connected components (Section 5's sharing
 //!   criterion for M-SPSD);
 //! * [`clique_cover`] — the greedy clique edge cover heuristic behind
@@ -27,6 +29,7 @@
 //!   events in as they happen (the production alternative to the weekly
 //!   batch job).
 
+pub mod bitset;
 pub mod clique_cover;
 pub mod components;
 pub mod follower;
@@ -36,6 +39,7 @@ pub mod similarity;
 pub mod stats;
 pub mod undirected;
 
+pub use bitset::AdjacencyBitsets;
 pub use clique_cover::{greedy_clique_cover, naive_edge_cover, CliqueCover};
 pub use components::{connected_components, ComponentMap, UnionFind};
 pub use follower::FollowerGraph;

@@ -1,6 +1,13 @@
-//! Hamming distance over 64-bit fingerprints.
+//! Hamming distance over 64-bit fingerprints: the scalar predicate plus the
+//! batched window-scan kernels ([`filter_within`], [`rfind_within`]) that the
+//! SPSD engines run over a bin's contiguous fingerprint column.
 
 use crate::fingerprint::Fingerprint;
+
+/// Lane count of the batched kernels: fingerprints are processed in blocks of
+/// eight so the XOR+POPCNT loop has a fixed trip count the compiler can
+/// unroll/vectorize (AVX2 `vpshufb`-popcount or scalar POPCNT at 8× ILP).
+pub const KERNEL_LANES: usize = 8;
 
 /// Number of differing bits between two fingerprints (0..=64).
 ///
@@ -21,6 +28,106 @@ pub fn hamming_distance(a: Fingerprint, b: Fingerprint) -> u32 {
 #[inline]
 pub fn within_distance(a: Fingerprint, b: Fingerprint, threshold: u32) -> bool {
     hamming_distance(a, b) <= threshold
+}
+
+/// Positions in `fingerprints` whose Hamming distance to `query` is at most
+/// `threshold`, **newest-first** (highest index first), appended to `out`
+/// after clearing it.
+///
+/// The slice is expected to be a λt-window column in arrival order (oldest at
+/// index 0), so newest-first output lets callers take the first candidate
+/// that passes the remaining coverage checks — exactly the record the
+/// paper's scalar newest-first scan would have stopped at.
+///
+/// Work per fingerprint is one XOR, one POPCNT and one compare, identical to
+/// [`within_distance`]; the difference is purely mechanical: blocks of
+/// [`KERNEL_LANES`] contiguous words are distance-checked branch-free into a
+/// bitmask, and the (rare) per-candidate pushes branch once per block instead
+/// of once per record.
+///
+/// Positions are `u32`: a λt window holding ≥ 2³² live posts is out of scope
+/// by orders of magnitude (debug-asserted).
+pub fn filter_within_into(
+    query: Fingerprint,
+    fingerprints: &[Fingerprint],
+    threshold: u32,
+    out: &mut Vec<u32>,
+) {
+    debug_assert!(u32::try_from(fingerprints.len()).is_ok());
+    out.clear();
+    let split = fingerprints.len() - fingerprints.len() % KERNEL_LANES;
+    // The ragged tail holds the newest records: scan it first, scalar.
+    for i in (split..fingerprints.len()).rev() {
+        if within_distance(fingerprints[i], query, threshold) {
+            out.push(i as u32);
+        }
+    }
+    // Full blocks, newest block first.
+    let blocks = fingerprints[..split].chunks_exact(KERNEL_LANES);
+    for (bi, block) in blocks.enumerate().rev() {
+        let mask = block_mask(query, block.try_into().expect("exact chunk"), threshold);
+        if mask != 0 {
+            let base = bi * KERNEL_LANES;
+            for j in (0..KERNEL_LANES).rev() {
+                if mask & (1 << j) != 0 {
+                    out.push((base + j) as u32);
+                }
+            }
+        }
+    }
+}
+
+/// Allocating convenience wrapper around [`filter_within_into`].
+///
+/// ```
+/// use firehose_simhash::hamming::filter_within;
+/// // Distances to 0: [0, 1, 2, 3]; threshold 1 keeps positions 1 and 0,
+/// // newest first.
+/// assert_eq!(filter_within(0, &[0b0, 0b1, 0b11, 0b111], 1), vec![1, 0]);
+/// ```
+pub fn filter_within(query: Fingerprint, fingerprints: &[Fingerprint], threshold: u32) -> Vec<u32> {
+    let mut out = Vec::new();
+    filter_within_into(query, fingerprints, threshold, &mut out);
+    out
+}
+
+/// Position of the **newest** (highest-index) fingerprint within `threshold`
+/// of `query`, or `None`. Equivalent to `filter_within(..).first()` but exits
+/// at the first matching block — the fast path for bins where the Hamming
+/// check is the *only* coverage condition (NeighborBin/CliqueBin bins hold
+/// only similar authors by construction).
+pub fn rfind_within(
+    query: Fingerprint,
+    fingerprints: &[Fingerprint],
+    threshold: u32,
+) -> Option<usize> {
+    let split = fingerprints.len() - fingerprints.len() % KERNEL_LANES;
+    for i in (split..fingerprints.len()).rev() {
+        if within_distance(fingerprints[i], query, threshold) {
+            return Some(i);
+        }
+    }
+    let blocks = fingerprints[..split].chunks_exact(KERNEL_LANES);
+    for (bi, block) in blocks.enumerate().rev() {
+        let mask = block_mask(query, block.try_into().expect("exact chunk"), threshold);
+        if mask != 0 {
+            // Highest set lane = newest record in the block.
+            return Some(bi * KERNEL_LANES + (u32::BITS - 1 - mask.leading_zeros()) as usize);
+        }
+    }
+    None
+}
+
+/// Bit `j` set iff `block[j]` is within `threshold` of `query`. The
+/// fixed-size block and branch-free body let the compiler unroll and
+/// vectorize the XOR + popcount + compare across all lanes.
+#[inline]
+fn block_mask(query: Fingerprint, block: &[Fingerprint; KERNEL_LANES], threshold: u32) -> u32 {
+    let mut mask = 0u32;
+    for (j, &fp) in block.iter().enumerate() {
+        mask |= u32::from((fp ^ query).count_ones() <= threshold) << j;
+    }
+    mask
 }
 
 #[cfg(test)]
@@ -73,6 +180,105 @@ mod tests {
         #[test]
         fn bounded(a: u64, b: u64) {
             prop_assert!(hamming_distance(a, b) <= 64);
+        }
+    }
+
+    /// What the batched kernels must reproduce exactly: the scalar
+    /// newest-first `within_distance` loop.
+    fn scalar_filter(query: u64, fps: &[u64], threshold: u32) -> Vec<u32> {
+        (0..fps.len())
+            .rev()
+            .filter(|&i| within_distance(fps[i], query, threshold))
+            .map(|i| i as u32)
+            .collect()
+    }
+
+    #[test]
+    fn filter_within_empty_slice() {
+        assert!(filter_within(42, &[], 64).is_empty());
+        assert_eq!(rfind_within(42, &[], 64), None);
+    }
+
+    #[test]
+    fn filter_within_is_newest_first() {
+        let fps = vec![7u64; 20];
+        let hits = filter_within(7, &fps, 0);
+        let expected: Vec<u32> = (0..20).rev().collect();
+        assert_eq!(hits, expected);
+        assert_eq!(rfind_within(7, &fps, 0), Some(19));
+    }
+
+    #[test]
+    fn filter_within_into_reuses_buffer() {
+        let mut out = vec![99, 99, 99];
+        filter_within_into(0, &[1, 0], 0, &mut out);
+        assert_eq!(out, vec![1]);
+        filter_within_into(0, &[], 0, &mut out);
+        assert!(out.is_empty());
+    }
+
+    /// All remainder lengths around the 8-wide block size: 0..=2 blocks plus
+    /// one lane, so the scalar tail, a single full block, and the
+    /// multi-block path are each exercised at every tail length.
+    #[test]
+    fn filter_within_all_remainder_lengths() {
+        let pattern: Vec<u64> = (0..(2 * KERNEL_LANES as u64 + 1))
+            .map(|i| i * 0x9E37)
+            .collect();
+        for len in 0..=2 * KERNEL_LANES + 1 {
+            let fps = &pattern[..len];
+            for threshold in [0, 3, 18, 64] {
+                let query = 0x9E37 * 3;
+                assert_eq!(
+                    filter_within(query, fps, threshold),
+                    scalar_filter(query, fps, threshold),
+                    "len={len} threshold={threshold}"
+                );
+                assert_eq!(
+                    rfind_within(query, fps, threshold),
+                    scalar_filter(query, fps, threshold)
+                        .first()
+                        .map(|&p| p as usize),
+                    "len={len} threshold={threshold}"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        /// The batched prefilter returns exactly the positions the scalar
+        /// `within_distance` loop would, newest-first, for any threshold a
+        /// 64-bit fingerprint admits and any slice length (the `0..40` range
+        /// crosses several 8-wide block boundaries and every tail length).
+        #[test]
+        fn filter_within_matches_scalar(
+            query: u64,
+            fps in proptest::collection::vec(any::<u64>(), 0..40),
+            threshold in 0u32..=64,
+        ) {
+            let expected = scalar_filter(query, &fps, threshold);
+            prop_assert_eq!(&filter_within(query, &fps, threshold), &expected);
+            prop_assert_eq!(
+                rfind_within(query, &fps, threshold),
+                expected.first().map(|&p| p as usize)
+            );
+        }
+
+        /// Near-duplicate-heavy slices (fingerprints drawn from a small pool)
+        /// so the dense-match path — many candidates per block — is hit.
+        #[test]
+        fn filter_within_matches_scalar_dense(
+            fps in proptest::collection::vec(
+                proptest::sample::select(vec![0u64, 1, 0b11, 0xFF, u64::MAX]),
+                0..40,
+            ),
+            threshold in 0u32..=64,
+        ) {
+            let query = 1u64;
+            prop_assert_eq!(
+                filter_within(query, &fps, threshold),
+                scalar_filter(query, &fps, threshold)
+            );
         }
     }
 }

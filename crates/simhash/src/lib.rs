@@ -35,5 +35,7 @@ pub mod index;
 pub use fingerprint::{
     empty_text_fingerprint, simhash, simhash_tokens, Fingerprint, SimHashOptions,
 };
-pub use hamming::{hamming_distance, within_distance};
+pub use hamming::{
+    filter_within, filter_within_into, hamming_distance, rfind_within, within_distance,
+};
 pub use index::{HammingIndex, IndexError, IndexPlan};

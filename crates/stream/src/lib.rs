@@ -24,7 +24,7 @@ pub mod window;
 pub use corpus::{read_posts, write_posts, CorpusError};
 pub use post::{AuthorId, Post, PostId, PostRecord, Timestamp};
 pub use time::{days, hours, minutes, seconds};
-pub use window::TimeWindowBin;
+pub use window::{TimeWindowBin, WindowView};
 
 /// Check that `posts` is sorted by timestamp (ties allowed). The SPSD
 /// problem's real-time semantics presuppose arrival order = time order.

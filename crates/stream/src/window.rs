@@ -4,20 +4,74 @@
 //! > memory for checking the coverage of a new post. One possible
 //! > implementation is that we could store the posts in a circular array."
 //!
-//! [`TimeWindowBin`] is that structure: a growable ring buffer (`VecDeque`)
-//! holding [`PostRecord`]s in arrival (= time) order. New records append at
-//! the back; coverage checks iterate back-to-front (most recent first, the
-//! paper's comparison order) and stop at the window edge; expired records are
-//! lazily evicted from the front.
-
-use std::collections::VecDeque;
+//! [`TimeWindowBin`] is that structure, laid out **structure-of-arrays**:
+//! four parallel contiguous columns (ids / authors / timestamps /
+//! fingerprints) in arrival (= time) order, with a `head` offset marking
+//! lazily evicted prefixes. New records append at the back; expired records
+//! are evicted by advancing `head` (the columns compact once the dead prefix
+//! would dominate, so memory stays bounded by ~2× the live window).
+//!
+//! The columnar layout exists for one reason: the engines' inner loop is a
+//! newest-first scan comparing the arriving fingerprint against every stored
+//! fingerprint in the window. [`window`](TimeWindowBin::window) exposes that
+//! window as dense `&[u64]` column slices, so the scan runs as a batched,
+//! autovectorizable kernel (`firehose_simhash::filter_within`) instead of a
+//! pointer-chasing record iteration.
 
 use crate::post::{PostRecord, Timestamp};
 
-/// A time-ordered bin of post records with λt-window eviction.
+/// A dense, positional view of the records inside the λt window of some
+/// arrival time — the in-window *suffix* of a [`TimeWindowBin`], oldest
+/// first. All four slices have identical length; position `i` across them is
+/// one record. Position `len() - 1` is the newest record, so a newest-first
+/// scan walks positions in reverse.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowView<'a> {
+    /// Post ids, arrival order.
+    pub ids: &'a [u64],
+    /// Author ids, arrival order.
+    pub authors: &'a [u32],
+    /// Timestamps (ms), non-decreasing.
+    pub timestamps: &'a [Timestamp],
+    /// 64-bit SimHash fingerprints, arrival order — the column the batched
+    /// Hamming kernel scans.
+    pub fingerprints: &'a [u64],
+}
+
+impl WindowView<'_> {
+    /// Number of in-window records.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the window holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Reassemble the record at position `i` (diagnostics; the hot path
+    /// reads individual columns instead).
+    pub fn record(&self, i: usize) -> PostRecord {
+        PostRecord {
+            id: self.ids[i],
+            author: self.authors[i],
+            timestamp: self.timestamps[i],
+            fingerprint: self.fingerprints[i],
+        }
+    }
+}
+
+/// A time-ordered bin of post records with λt-window eviction, stored as
+/// parallel columns.
 #[derive(Debug, Clone, Default)]
 pub struct TimeWindowBin {
-    records: VecDeque<PostRecord>,
+    ids: Vec<u64>,
+    authors: Vec<u32>,
+    timestamps: Vec<Timestamp>,
+    fingerprints: Vec<u64>,
+    /// Index of the first live record; everything before it is evicted
+    /// garbage awaiting compaction.
+    head: usize,
     /// Lifetime count of evictions (for metrics).
     evicted: u64,
 }
@@ -28,22 +82,27 @@ impl TimeWindowBin {
         Self::default()
     }
 
-    /// An empty bin with pre-reserved capacity.
+    /// An empty bin with pre-reserved capacity (expected λt-window
+    /// occupancy). A hint of 0 allocates nothing.
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
-            records: VecDeque::with_capacity(capacity),
+            ids: Vec::with_capacity(capacity),
+            authors: Vec::with_capacity(capacity),
+            timestamps: Vec::with_capacity(capacity),
+            fingerprints: Vec::with_capacity(capacity),
+            head: 0,
             evicted: 0,
         }
     }
 
     /// Number of records currently held.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.ids.len() - self.head
     }
 
     /// True when the bin holds no records.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.head == self.ids.len()
     }
 
     /// Lifetime number of evicted records.
@@ -58,12 +117,15 @@ impl TimeWindowBin {
     /// record — the stream contract is time order.
     pub fn push(&mut self, record: PostRecord) {
         debug_assert!(
-            self.records
-                .back()
-                .is_none_or(|b| b.timestamp <= record.timestamp),
+            self.timestamps
+                .last()
+                .is_none_or(|&b| b <= record.timestamp),
             "posts must arrive in time order"
         );
-        self.records.push_back(record);
+        self.ids.push(record.id);
+        self.authors.push(record.author);
+        self.timestamps.push(record.timestamp);
+        self.fingerprints.push(record.fingerprint);
     }
 
     /// Drop every record with `timestamp + lambda_t < now`, i.e. records that
@@ -71,46 +133,70 @@ impl TimeWindowBin {
     /// evicted.
     pub fn evict_expired(&mut self, now: Timestamp, lambda_t: Timestamp) -> usize {
         let cutoff = now.saturating_sub(lambda_t);
-        let mut n = 0;
-        while let Some(front) = self.records.front() {
-            if front.timestamp < cutoff {
-                self.records.pop_front();
-                n += 1;
-            } else {
-                break;
-            }
-        }
+        // Timestamps are non-decreasing, so the expired records are exactly
+        // the prefix with timestamp < cutoff.
+        let live = &self.timestamps[self.head..];
+        let n = live.partition_point(|&ts| ts < cutoff);
+        self.head += n;
         self.evicted += n as u64;
+        // Compact once the dead prefix reaches the live length: each record
+        // is moved at most once per doubling, keeping push/evict amortized
+        // O(1) while bounding memory to ~2× the live window.
+        if self.head > 0 && self.head >= self.ids.len() - self.head {
+            self.ids.drain(..self.head);
+            self.authors.drain(..self.head);
+            self.timestamps.drain(..self.head);
+            self.fingerprints.drain(..self.head);
+            self.head = 0;
+        }
         n
     }
 
+    /// The dense columnar view of the records within the λt window of `now`
+    /// (timestamp ≥ `now − λt`), oldest first. Correct even before
+    /// [`evict_expired`](Self::evict_expired) runs — out-of-window prefixes
+    /// are excluded by binary search on the sorted timestamp column.
+    pub fn window(&self, now: Timestamp, lambda_t: Timestamp) -> WindowView<'_> {
+        let cutoff = now.saturating_sub(lambda_t);
+        let live = &self.timestamps[self.head..];
+        let start = self.head + live.partition_point(|&ts| ts < cutoff);
+        WindowView {
+            ids: &self.ids[start..],
+            authors: &self.authors[start..],
+            timestamps: &self.timestamps[start..],
+            fingerprints: &self.fingerprints[start..],
+        }
+    }
+
     /// Iterate records within the λt window of `now`, most recent first —
-    /// the exact scan order of the paper's algorithms (index `b` down to `a`).
-    ///
-    /// The iterator stops early at the first out-of-window record, so it is
-    /// correct even before [`evict_expired`](Self::evict_expired) runs.
+    /// the exact scan order of the paper's algorithms (index `b` down to
+    /// `a`). The scalar sibling of [`window`](Self::window), kept for
+    /// reference implementations and diagnostics.
     pub fn iter_window(
         &self,
         now: Timestamp,
         lambda_t: Timestamp,
-    ) -> impl Iterator<Item = &PostRecord> {
-        let cutoff = now.saturating_sub(lambda_t);
-        self.records
-            .iter()
-            .rev()
-            .take_while(move |r| r.timestamp >= cutoff)
+    ) -> impl Iterator<Item = PostRecord> + '_ {
+        let view = self.window(now, lambda_t);
+        (0..view.len()).rev().map(move |i| view.record(i))
     }
 
-    /// Iterate all stored records oldest-first (diagnostics).
-    pub fn iter(&self) -> impl Iterator<Item = &PostRecord> {
-        self.records.iter()
+    /// Iterate all stored records oldest-first (diagnostics, snapshots).
+    pub fn iter(&self) -> impl Iterator<Item = PostRecord> + '_ {
+        (self.head..self.ids.len()).map(move |i| PostRecord {
+            id: self.ids[i],
+            author: self.authors[i],
+            timestamp: self.timestamps[i],
+            fingerprint: self.fingerprints[i],
+        })
     }
 
     /// Bytes of record payload currently held (RAM accounting for the
     /// Figure 11–16 experiments; excludes container overhead, which is the
-    /// same convention for all three algorithms).
+    /// same convention for all three algorithms — the SoA columns sum to
+    /// exactly [`PostRecord::SIZE_BYTES`] per live record).
     pub fn memory_bytes(&self) -> usize {
-        self.records.len() * PostRecord::SIZE_BYTES
+        self.len() * PostRecord::SIZE_BYTES
     }
 }
 
@@ -197,6 +283,56 @@ mod tests {
         assert_eq!(bin.memory_bytes(), PostRecord::SIZE_BYTES);
     }
 
+    #[test]
+    fn window_view_columns_are_parallel() {
+        let mut bin = TimeWindowBin::new();
+        for (id, ts) in [(7, 10), (8, 20), (9, 30)] {
+            bin.push(rec(id, ts));
+        }
+        let view = bin.window(30, 15);
+        assert_eq!(view.len(), 2); // ts 20, 30
+        assert!(!view.is_empty());
+        assert_eq!(view.ids, &[8, 9]);
+        assert_eq!(view.timestamps, &[20, 30]);
+        assert_eq!(view.fingerprints[0], 8u64.wrapping_mul(0x9E37));
+        assert_eq!(view.record(1), rec(9, 30));
+    }
+
+    #[test]
+    fn eviction_compacts_dead_prefix() {
+        let mut bin = TimeWindowBin::new();
+        for ts in 0..100u64 {
+            bin.push(rec(ts, ts));
+        }
+        // Evict 90 of 100: the dead prefix dominates, so columns compact.
+        assert_eq!(bin.evict_expired(99, 9), 90);
+        assert_eq!(bin.len(), 10);
+        assert_eq!(bin.memory_bytes(), 10 * PostRecord::SIZE_BYTES);
+        let ids: Vec<u64> = bin.iter().map(|r| r.id).collect();
+        assert_eq!(ids, (90..100).collect::<Vec<_>>());
+        // The bin stays fully usable after compaction.
+        bin.push(rec(100, 100));
+        assert_eq!(bin.evict_expired(100, 5), 5);
+        assert_eq!(bin.len(), 6);
+    }
+
+    #[test]
+    fn with_capacity_preserves_behavior() {
+        let mut a = TimeWindowBin::new();
+        let mut b = TimeWindowBin::with_capacity(64);
+        for ts in 0..40u64 {
+            a.push(rec(ts, ts * 7));
+            b.push(rec(ts, ts * 7));
+        }
+        a.evict_expired(273, 100);
+        b.evict_expired(273, 100);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.evicted(), b.evicted());
+        let ia: Vec<PostRecord> = a.iter().collect();
+        let ib: Vec<PostRecord> = b.iter().collect();
+        assert_eq!(ia, ib);
+    }
+
     proptest! {
         /// After eviction at (now, λt), no stored record is outside the
         /// window and no in-window record was lost.
@@ -243,6 +379,41 @@ mod tests {
                 .collect();
             expected.reverse();
             prop_assert_eq!(seen, expected);
+        }
+
+        /// The columnar view and the scalar iterator agree on every
+        /// (eviction, window) interleaving — the SoA layout is invisible.
+        #[test]
+        fn window_view_matches_iterator(
+            mut times in proptest::collection::vec(0u64..1_000, 0..60),
+            lambda_t in 0u64..400,
+            evict_at in proptest::collection::vec(0u64..1_200, 0..6),
+        ) {
+            times.sort_unstable();
+            let now = times.last().copied().unwrap_or(0);
+            let mut bin = TimeWindowBin::new();
+            let mut pushed = 0usize;
+            let mut evictions = evict_at;
+            evictions.sort_unstable();
+            for (i, &ts) in times.iter().enumerate() {
+                bin.push(rec(i as u64, ts));
+                pushed += 1;
+                // Interleave eviction sweeps at earlier times (≤ ts).
+                if let Some(&at) = evictions.first() {
+                    if at <= ts {
+                        bin.evict_expired(ts, lambda_t);
+                        evictions.remove(0);
+                    }
+                }
+            }
+            prop_assert!(bin.len() <= pushed);
+            let view = bin.window(now, lambda_t);
+            let via_iter: Vec<PostRecord> = bin.iter_window(now, lambda_t).collect();
+            prop_assert_eq!(view.len(), via_iter.len());
+            for (k, r) in via_iter.iter().enumerate() {
+                // iter_window is newest-first; the view is oldest-first.
+                prop_assert_eq!(view.record(view.len() - 1 - k), *r);
+            }
         }
     }
 }

@@ -159,11 +159,16 @@ proptest! {
 /// graph, a generated 1k+-post day of traffic with injected near-duplicates,
 /// and fingerprints produced by the real text → SimHash pipeline (rather
 /// than the small hand-picked fingerprint pool of the proptest strategies
-/// above). All three engines must emit the identical sub-stream.
+/// above). All three engines must emit the identical sub-stream, and their
+/// memory/eviction accounting must match a from-first-principles count of
+/// what each index stores: per emitted post still inside the λt window,
+/// UniBin holds 1 copy, NeighborBin `degree+1` copies (self + each graph
+/// neighbor), CliqueBin one copy per clique of the author (or 1 in its self
+/// bin when isolated).
 #[test]
 fn randomized_workloads_emit_identical_substreams() {
     use firehose::datagen::{SocialGenConfig, SyntheticSocialGraph, Workload, WorkloadConfig};
-    use firehose::graph::build_similarity_graph;
+    use firehose::graph::{build_similarity_graph, greedy_clique_cover};
     use firehose::stream::hours;
 
     for seed in [0u64, 0xC0FFEE, 9_2016] {
@@ -183,13 +188,22 @@ fn randomized_workloads_emit_identical_substreams() {
         );
 
         let graph = Arc::new(build_similarity_graph(&social.graph, 0.7));
+        let cover = greedy_clique_cover(&graph);
         let thresholds = Thresholds::new(18, firehose::stream::minutes(30), 0.7).unwrap();
+        // Presize from the true stream rate so the capacity-hint path is
+        // exercised too — hints must not change any decision or counter.
+        let span_s = (workload.posts.last().unwrap().timestamp
+            - workload.posts.first().unwrap().timestamp) as f64
+            / 1_000.0;
+        let config = EngineConfig::new(thresholds)
+            .with_expected_rate(workload.len() as f64 / span_s.max(1e-9));
 
         let mut engines: Vec<_> = AlgorithmKind::ALL
             .into_iter()
-            .map(|kind| build_engine(kind, EngineConfig::new(thresholds), Arc::clone(&graph)))
+            .map(|kind| build_engine(kind, config, Arc::clone(&graph)))
             .collect();
         let mut emitted = [0u64; 3];
+        let mut emitted_posts: Vec<(u32, u64)> = Vec::new(); // (author, ts)
         for post in &workload.posts {
             let decisions: Vec<bool> = engines
                 .iter_mut()
@@ -206,6 +220,9 @@ fn randomized_workloads_emit_identical_substreams() {
             for (count, &d) in emitted.iter_mut().zip(&decisions) {
                 *count += d as u64;
             }
+            if decisions[0] {
+                emitted_posts.push((post.author, post.timestamp));
+            }
         }
         // The run must have exercised both outcomes to mean anything.
         assert!(emitted[0] > 0, "nothing emitted (seed {seed})");
@@ -218,6 +235,53 @@ fn randomized_workloads_emit_identical_substreams() {
                 e.metrics().posts_emitted,
                 emitted[0],
                 "{kind} emitted-counter disagrees with its decisions"
+            );
+        }
+
+        // Memory / eviction accounting. Eviction is lazy (bins not probed
+        // since expiry still hold stale records), so flush everything to the
+        // last timestamp first; the surviving copies are then exactly the
+        // emitted posts whose timestamp is ≥ last − λt, fanned out per index.
+        let last_ts = workload.posts.last().unwrap().timestamp;
+        let cutoff = last_ts.saturating_sub(thresholds.lambda_t);
+        let live: Vec<(u32, u64)> = emitted_posts
+            .iter()
+            .copied()
+            .filter(|&(_, ts)| ts >= cutoff)
+            .collect();
+        let expected_copies = [
+            live.len() as u64,
+            live.iter()
+                .map(|&(a, _)| graph.degree(a) as u64 + 1)
+                .sum::<u64>(),
+            live.iter()
+                .map(|&(a, _)| (cover.cliques_of(a).len() as u64).max(1))
+                .sum::<u64>(),
+        ];
+        for ((e, kind), expected) in engines
+            .iter_mut()
+            .zip(AlgorithmKind::ALL)
+            .zip(expected_copies)
+        {
+            e.evict_expired(last_ts);
+            let m = *e.metrics();
+            assert_eq!(
+                m.copies_stored, expected,
+                "{kind} live-copy count (seed {seed})"
+            );
+            assert_eq!(
+                e.memory_bytes(),
+                expected * PostRecord::SIZE_BYTES as u64,
+                "{kind} memory_bytes (seed {seed})"
+            );
+            assert_eq!(
+                m.evictions,
+                m.insertions - m.copies_stored,
+                "{kind} eviction count must conserve insertions (seed {seed})"
+            );
+            assert!(
+                m.peak_memory_bytes >= e.memory_bytes(),
+                "{kind} peak below live memory (seed {seed})"
             );
         }
     }
