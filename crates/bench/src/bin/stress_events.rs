@@ -14,6 +14,13 @@
 //! derivable from the `_bucket` series alone. `--json <path>` writes the
 //! summary in the `BENCH_hotpath.json` schema, one engine row per
 //! stream × algorithm (`calm/UniBin`, `stormy/CliqueBin`, …).
+//!
+//! Hostile-stream mode: `--chaos-seed <n>` perturbs both streams with the
+//! deterministic fault injector (`--dup-rate`, `--drop-rate`,
+//! `--reorder-ms` tune it) and re-sanitizes them through the ingest guard
+//! before the engines see them. The guard's quarantine counters land in the
+//! `--json` summary (`guard_calm` / `guard_stormy` objects) and in the
+//! metrics exposition (`firehose_guard_*`).
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -22,8 +29,37 @@ use firehose_bench::{
     f1, flag_value, BenchSummary, Dataset, EngineRow, MetricsSink, Report, Scale,
 };
 use firehose_core::engine::{build_engine, AlgorithmKind};
-use firehose_core::{export_engine_metrics, EngineConfig, EngineObs, Thresholds};
+use firehose_core::{
+    export_engine_metrics, export_guard_stats, EngineConfig, EngineObs, Thresholds,
+};
 use firehose_datagen::{Workload, WorkloadConfig};
+use firehose_stream::{guard_stream, GuardConfig, GuardPolicy, Perturbator, Post, QuarantineStats};
+
+fn parsed_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    flag_value(args, flag).map(|v| match v.parse() {
+        Ok(x) => x,
+        Err(_) => {
+            eprintln!("[stress] bad value for {flag}: {v}");
+            std::process::exit(2);
+        }
+    })
+}
+
+fn guard_stats_json(stats: &QuarantineStats) -> String {
+    let mut obj = format!(
+        "{{\"admitted\": {}, \"quarantined_total\": {}, \"clamped_timestamps\": {}, \"truncated_texts\": {}, \"reordered\": {}",
+        stats.admitted,
+        stats.quarantined_total(),
+        stats.clamped_timestamps,
+        stats.truncated_texts,
+        stats.reordered
+    );
+    for (reason, count) in stats.counts() {
+        obj.push_str(&format!(", \"{}\": {count}", reason.as_str()));
+    }
+    obj.push('}');
+    obj
+}
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
@@ -36,6 +72,18 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let json_out = flag_value(&args, "--json");
+    let chaos_seed: Option<u64> = parsed_flag(&args, "--chaos-seed");
+    let dup_rate: Option<f64> = parsed_flag(&args, "--dup-rate");
+    let drop_rate: Option<f64> = parsed_flag(&args, "--drop-rate");
+    let reorder_ms: Option<u64> = parsed_flag(&args, "--reorder-ms");
+    let chaos =
+        chaos_seed.is_some() || dup_rate.is_some() || drop_rate.is_some() || reorder_ms.is_some();
+    let perturbator = chaos.then(|| {
+        Perturbator::new(chaos_seed.unwrap_or(42))
+            .with_dup_rate(dup_rate.unwrap_or(0.05))
+            .with_drop_rate(drop_rate.unwrap_or(0.0))
+            .with_reorder_ms(reorder_ms.unwrap_or(0))
+    });
     let scale = Scale::from_env();
     let data = Dataset::generate(scale);
     let graph = data.similarity_graph(0.7);
@@ -77,15 +125,40 @@ fn main() {
     for (label, workload) in [("calm", &data.workload), ("stormy", &stormy)] {
         // One registry per stream; engines separate themselves by label.
         let mut sink = MetricsSink::from_args(&format!("stress_events_{label}"));
+        // Hostile-stream mode: perturb, then re-sanitize through the guard.
+        let mut guard_stats = None;
+        let guarded = perturbator.as_ref().map(|p| {
+            let perturbed = p.perturb(&workload.posts);
+            let cfg = GuardConfig::new(GuardPolicy::Reorder {
+                bound_ms: reorder_ms.unwrap_or(0),
+            })
+            .with_author_count(graph.node_count() as u32);
+            let offered = perturbed.len();
+            let (admitted, stats) = guard_stream(cfg, perturbed);
+            eprintln!(
+                "[stress] {label}: chaos offered {offered}, admitted {}, quarantined {}",
+                stats.admitted,
+                stats.quarantined_total()
+            );
+            guard_stats = Some(stats);
+            admitted
+        });
+        let posts: &[Post] = guarded.as_deref().unwrap_or(&workload.posts);
+        if let (Some(stats), Some(s)) = (&guard_stats, &sink) {
+            export_guard_stats(s.registry(), label, stats);
+        }
+        if let Some(stats) = &guard_stats {
+            summary.push_raw(&format!("guard_{label}"), guard_stats_json(stats));
+        }
         let mut offered: u64 = 0;
         for kind in AlgorithmKind::ALL {
             let mut engine = build_engine(kind, config, Arc::clone(&graph));
             if let Some(s) = &sink {
                 engine.attach_obs(EngineObs::register(s.registry(), &kind.to_string()));
             }
-            let mut latencies = Vec::with_capacity(workload.len());
+            let mut latencies = Vec::with_capacity(posts.len());
             let t0 = Instant::now();
-            for post in &workload.posts {
+            for post in posts {
                 let p0 = Instant::now();
                 engine.offer(post);
                 latencies.push(p0.elapsed().as_nanos() as u64);
@@ -103,7 +176,7 @@ fn main() {
             summary.push_engine(
                 EngineRow::new(
                     &format!("{label}/{kind}"),
-                    workload.len() as f64 / (elapsed_ms / 1_000.0).max(1e-9),
+                    posts.len() as f64 / (elapsed_ms / 1_000.0).max(1e-9),
                     percentile(&latencies, 0.50),
                     percentile(&latencies, 0.99),
                 )

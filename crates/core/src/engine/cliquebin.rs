@@ -232,6 +232,26 @@ impl Diversifier for CliqueBin {
     fn attach_obs(&mut self, obs: EngineObs) {
         self.obs = Some(obs);
     }
+
+    fn save_state(&self, w: &mut dyn std::io::Write) -> std::io::Result<()> {
+        crate::snapshot::write_state_cliquebin(w, &self.clique_bins, &self.self_bins, &self.metrics)
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut dyn std::io::Read,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        let (clique_bins, self_bins, metrics) =
+            crate::snapshot::read_state_cliquebin(r, self.author_count, &self.cover)?;
+        self.clique_bins = clique_bins;
+        self.self_bins = self_bins;
+        self.metrics = metrics;
+        Ok(())
+    }
+
+    fn snapshot_tag(&self) -> u8 {
+        crate::snapshot::TAG_CLIQUEBIN
+    }
 }
 
 #[cfg(test)]

@@ -77,6 +77,28 @@ pub trait Diversifier {
     fn attach_obs(&mut self, obs: crate::obs::EngineObs) {
         let _ = obs;
     }
+
+    /// Serialize the engine's mutable state — counters and bins, *not* the
+    /// configuration or the graph/cover (large shared artifacts the host
+    /// re-supplies on restore). The bytes round-trip through
+    /// [`load_state`](Self::load_state) on an engine built with the same
+    /// configuration and structure, after which both engines make identical
+    /// future decisions. Checkpoints (`crate::snapshot::checkpoint`) wrap
+    /// these bytes in a CRC-protected section.
+    fn save_state(&self, w: &mut dyn std::io::Write) -> std::io::Result<()>;
+
+    /// Replace this engine's mutable state with bytes previously produced
+    /// by [`save_state`](Self::save_state). Validates the bytes against the
+    /// engine's own graph/cover structure; on error the engine state is
+    /// unspecified and the engine must be discarded.
+    fn load_state(
+        &mut self,
+        r: &mut dyn std::io::Read,
+    ) -> Result<(), crate::snapshot::SnapshotError>;
+
+    /// The engine's tag in the snapshot/checkpoint format (stable across
+    /// versions; used to reject restoring state into the wrong kind).
+    fn snapshot_tag(&self) -> u8;
 }
 
 impl<D: Diversifier + ?Sized> Diversifier for Box<D> {
@@ -106,6 +128,21 @@ impl<D: Diversifier + ?Sized> Diversifier for Box<D> {
 
     fn attach_obs(&mut self, obs: crate::obs::EngineObs) {
         (**self).attach_obs(obs)
+    }
+
+    fn save_state(&self, w: &mut dyn std::io::Write) -> std::io::Result<()> {
+        (**self).save_state(w)
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut dyn std::io::Read,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        (**self).load_state(r)
+    }
+
+    fn snapshot_tag(&self) -> u8 {
+        (**self).snapshot_tag()
     }
 }
 

@@ -179,6 +179,24 @@ impl Diversifier for NeighborBin {
     fn attach_obs(&mut self, obs: EngineObs) {
         self.obs = Some(obs);
     }
+
+    fn save_state(&self, w: &mut dyn std::io::Write) -> std::io::Result<()> {
+        crate::snapshot::write_state_neighborbin(w, &self.bins, &self.metrics)
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut dyn std::io::Read,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        let (bins, metrics) = crate::snapshot::read_state_neighborbin(r, &self.graph)?;
+        self.bins = bins;
+        self.metrics = metrics;
+        Ok(())
+    }
+
+    fn snapshot_tag(&self) -> u8 {
+        crate::snapshot::TAG_NEIGHBORBIN
+    }
 }
 
 #[cfg(test)]

@@ -161,6 +161,24 @@ impl Diversifier for UniBin {
     fn attach_obs(&mut self, obs: EngineObs) {
         self.obs = Some(obs);
     }
+
+    fn save_state(&self, w: &mut dyn std::io::Write) -> std::io::Result<()> {
+        crate::snapshot::write_state_unibin(w, &self.bin, &self.metrics)
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut dyn std::io::Read,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        let (bin, metrics) = crate::snapshot::read_state_unibin(r, &self.graph)?;
+        self.bin = bin;
+        self.metrics = metrics;
+        Ok(())
+    }
+
+    fn snapshot_tag(&self) -> u8 {
+        crate::snapshot::TAG_UNIBIN
+    }
 }
 
 #[cfg(test)]

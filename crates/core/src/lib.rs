@@ -57,6 +57,7 @@
 
 pub mod advisor;
 pub mod baseline;
+pub mod checkpoint;
 pub mod config;
 pub mod costmodel;
 pub mod coverage;
@@ -71,12 +72,16 @@ pub mod stream_ext;
 
 pub use advisor::{recommend, AdvisorInputs, ThroughputClass};
 pub use baseline::MaxMinDiversifier;
+pub use checkpoint::{
+    restore_latest_valid, restore_latest_valid_multi, CheckpointManager, CheckpointPolicy,
+    RestoreError, RestoredEngine,
+};
 pub use config::{ConfigError, EngineConfig, Thresholds};
 pub use costmodel::{CostInputs, CostPrediction};
 pub use coverage::{covers, explain, CoverageExplanation};
 pub use decision::Decision;
 pub use engine::{build_engine, AlgorithmKind, Diversifier};
 pub use metrics::EngineMetrics;
-pub use obs::{export_engine_metrics, EngineObs, MultiObs, ShardObs};
+pub use obs::{export_engine_metrics, export_guard_stats, EngineObs, MultiObs, ShardObs};
 pub use quality::{evaluate, QualityReport};
 pub use stream_ext::{Diversified, DiversifyExt};

@@ -82,6 +82,21 @@ impl CompactEngine {
     pub(crate) fn member_count(&self) -> usize {
         self.local_id.len()
     }
+
+    /// Serialize the wrapped engine's mutable state (see
+    /// [`Diversifier::save_state`]).
+    pub(crate) fn save_state(&self, w: &mut dyn std::io::Write) -> std::io::Result<()> {
+        self.engine.save_state(w)
+    }
+
+    /// Restore the wrapped engine's mutable state (see
+    /// [`Diversifier::load_state`]).
+    pub(crate) fn load_state(
+        &mut self,
+        r: &mut dyn std::io::Read,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        self.engine.load_state(r)
+    }
 }
 
 /// `M_UniBin` / `M_NeighborBin` / `M_CliqueBin`: every user's stream is
@@ -214,9 +229,12 @@ impl MultiDiversifier for IndependentMulti {
             };
             let engine = &mut self.engines[u as usize];
             let before = engine.metrics().copies_stored;
-            let verdict = engine
-                .offer(record)
-                .expect("subscriber's engine must contain the author");
+            // The subscription relation says this user's engine contains the
+            // author; if the maps ever disagree, skip the engine rather than
+            // take down the whole stream.
+            let Some(verdict) = engine.offer(record) else {
+                continue;
+            };
             let after = engine.metrics().copies_stored;
             self.live_copies = (self.live_copies + after).saturating_sub(before);
             if verdict.is_emitted() {
@@ -246,6 +264,29 @@ impl MultiDiversifier for IndependentMulti {
 
     fn name(&self) -> String {
         format!("M_{}", self.kind)
+    }
+
+    fn save_state(&self, w: &mut dyn std::io::Write) -> std::io::Result<()> {
+        let engines: Vec<&CompactEngine> = self.engines.iter().collect();
+        crate::multi::write_multi_state(
+            w,
+            &engines,
+            self.last_sweep,
+            self.live_copies,
+            self.peak_live_copies,
+        )
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut dyn std::io::Read,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        let mut engines: Vec<&mut CompactEngine> = self.engines.iter_mut().collect();
+        let (last_sweep, live, peak) = crate::multi::read_multi_state(r, &mut engines)?;
+        self.last_sweep = last_sweep;
+        self.live_copies = live;
+        self.peak_live_copies = peak;
+        Ok(())
     }
 }
 

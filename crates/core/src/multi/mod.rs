@@ -26,9 +26,13 @@ pub use parallel::ParallelShared;
 pub use shared::SharedMulti;
 pub use subscriptions::{SubscriptionError, Subscriptions, UserId};
 
+use std::io::Read;
+
 use firehose_stream::Post;
 
 use crate::metrics::EngineMetrics;
+use crate::multi::independent::CompactEngine;
+use crate::snapshot::SnapshotError;
 
 /// The verdict of a multi-user engine for one arriving post.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -53,6 +57,87 @@ pub trait MultiDiversifier {
     fn memory_bytes(&self) -> u64 {
         self.metrics().memory_bytes()
     }
+
+    /// Serialize the strategy's mutable state — every internal engine's
+    /// bins and counters plus the sweep/footprint ledger, *not* the graph
+    /// or subscriptions (the host re-supplies those on restore). The bytes
+    /// round-trip through [`load_state`](Self::load_state) on a strategy
+    /// built with the same kind, graph and subscriptions, after which both
+    /// make identical future decisions.
+    fn save_state(&self, w: &mut dyn std::io::Write) -> std::io::Result<()>;
+
+    /// Replace this strategy's mutable state with bytes previously produced
+    /// by [`save_state`](Self::save_state). On error the state is
+    /// unspecified and the strategy must be rebuilt before use.
+    fn load_state(&mut self, r: &mut dyn std::io::Read) -> Result<(), SnapshotError>;
+}
+
+/// Shared state wire format of the multi-user strategies (little-endian):
+/// engine count, then each engine's length-prefixed
+/// [`Diversifier::save_state`](crate::engine::Diversifier::save_state)
+/// bytes in a deterministic order, then the `last_sweep` /
+/// `live_copies` / `peak_live_copies` ledger.
+pub(crate) fn write_multi_state(
+    w: &mut dyn std::io::Write,
+    engines: &[&CompactEngine],
+    last_sweep: u64,
+    live_copies: u64,
+    peak_live_copies: u64,
+) -> std::io::Result<()> {
+    w.write_all(&(engines.len() as u32).to_le_bytes())?;
+    let mut buf = Vec::new();
+    for engine in engines {
+        buf.clear();
+        engine.save_state(&mut buf)?;
+        w.write_all(&(buf.len() as u64).to_le_bytes())?;
+        w.write_all(&buf)?;
+    }
+    for x in [last_sweep, live_copies, peak_live_copies] {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Inverse of [`write_multi_state`]; `engines` must be in the same
+/// deterministic order. Returns the `(last_sweep, live_copies,
+/// peak_live_copies)` ledger.
+pub(crate) fn read_multi_state(
+    r: &mut dyn std::io::Read,
+    engines: &mut [&mut CompactEngine],
+) -> Result<(u64, u64, u64), SnapshotError> {
+    let mut b4 = [0u8; 4];
+    r.read_exact(&mut b4)?;
+    let count = u32::from_le_bytes(b4) as usize;
+    if count != engines.len() {
+        return Err(SnapshotError::StructureMismatch(
+            "engine count does not match this strategy",
+        ));
+    }
+    let mut b8 = [0u8; 8];
+    for engine in engines.iter_mut() {
+        r.read_exact(&mut b8)?;
+        let len = u64::from_le_bytes(b8);
+        // `len` is untrusted: `take` bounds the read, the capacity hint is
+        // capped, and a lying length is caught by the exact-size check.
+        let mut bytes = Vec::with_capacity((len as usize).min(crate::snapshot::MAX_PREALLOC));
+        let got = (&mut *r).take(len).read_to_end(&mut bytes)?;
+        if got as u64 != len {
+            return Err(SnapshotError::Io(std::io::ErrorKind::UnexpectedEof.into()));
+        }
+        let mut slice: &[u8] = &bytes;
+        engine.load_state(&mut slice)?;
+        if !slice.is_empty() {
+            return Err(SnapshotError::StructureMismatch(
+                "embedded engine state has trailing bytes",
+            ));
+        }
+    }
+    let mut ledger = [0u64; 3];
+    for v in &mut ledger {
+        r.read_exact(&mut b8)?;
+        *v = u64::from_le_bytes(b8);
+    }
+    Ok((ledger[0], ledger[1], ledger[2]))
 }
 
 /// Run a multi-user engine over a whole time-ordered stream; returns each

@@ -257,9 +257,14 @@ impl ParallelShared {
                                         let (cid, engine) = &mut shard.engines[eid as usize];
                                         let started = obs.is_some().then(Instant::now);
                                         let before = engine.metrics().copies_stored;
-                                        let verdict = engine
-                                            .offer(record)
-                                            .expect("component engine must contain its author");
+                                        // `author_engines` says this engine
+                                        // owns the author; skip on
+                                        // disagreement rather than panic the
+                                        // worker (a poisoned worker would
+                                        // stall the whole pipeline).
+                                        let Some(verdict) = engine.offer(record) else {
+                                            continue;
+                                        };
                                         let after = engine.metrics().copies_stored;
                                         if let (Some(t0), Some(o)) = (started, &obs) {
                                             o.offer_latency.record_duration(t0.elapsed());
@@ -379,6 +384,50 @@ impl ParallelShared {
     /// Strategy name, e.g. `"P_UniBin(4)"`.
     pub fn name(&self) -> String {
         format!("P_{}({})", self.kind, self.shards.len())
+    }
+
+    /// Serialize the runner's mutable state — byte-compatible with
+    /// [`SharedMulti`](crate::multi::SharedMulti)'s
+    /// [`save_state`](crate::multi::MultiDiversifier::save_state): engines
+    /// are written in global component-id order, which is independent of the
+    /// shard count. A checkpoint taken with one thread count restores into a
+    /// runner (or a sequential `SharedMulti`) with any other.
+    pub fn save_state(&self, w: &mut dyn std::io::Write) -> std::io::Result<()> {
+        let mut by_cid: Vec<(u32, &CompactEngine)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.engines.iter().map(|(cid, e)| (*cid, e)))
+            .collect();
+        by_cid.sort_unstable_by_key(|&(cid, _)| cid);
+        let engines: Vec<&CompactEngine> = by_cid.into_iter().map(|(_, e)| e).collect();
+        crate::multi::write_multi_state(
+            w,
+            &engines,
+            self.last_sweep,
+            self.live_copies,
+            self.peak_live_copies,
+        )
+    }
+
+    /// Restore state previously produced by [`save_state`](Self::save_state)
+    /// (or by `SharedMulti` over the same decomposition). On error the
+    /// runner's state is unspecified and it must be rebuilt before use.
+    pub fn load_state(
+        &mut self,
+        r: &mut dyn std::io::Read,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        let mut by_cid: Vec<(u32, &mut CompactEngine)> = self
+            .shards
+            .iter_mut()
+            .flat_map(|s| s.engines.iter_mut().map(|(cid, e)| (*cid, e)))
+            .collect();
+        by_cid.sort_unstable_by_key(|&(cid, _)| cid);
+        let mut engines: Vec<&mut CompactEngine> = by_cid.into_iter().map(|(_, e)| e).collect();
+        let (last_sweep, live, peak) = crate::multi::read_multi_state(r, &mut engines)?;
+        self.last_sweep = last_sweep;
+        self.live_copies = live;
+        self.peak_live_copies = peak;
+        Ok(())
     }
 }
 

@@ -159,9 +159,12 @@ impl MultiDiversifier for SharedMulti {
         for &cid in &self.author_components[post.author as usize] {
             let engine = &mut self.engines[cid as usize];
             let before = engine.metrics().copies_stored;
-            let verdict = engine
-                .offer(record)
-                .expect("component engine must contain its own author");
+            // `author_components` says this component contains the author;
+            // if the maps ever disagree, skip the component rather than take
+            // down the whole stream.
+            let Some(verdict) = engine.offer(record) else {
+                continue;
+            };
             let after = engine.metrics().copies_stored;
             self.live_copies = (self.live_copies + after).saturating_sub(before);
             if verdict.is_emitted() {
@@ -193,6 +196,29 @@ impl MultiDiversifier for SharedMulti {
 
     fn name(&self) -> String {
         format!("S_{}", self.kind)
+    }
+
+    fn save_state(&self, w: &mut dyn std::io::Write) -> std::io::Result<()> {
+        let engines: Vec<&CompactEngine> = self.engines.iter().collect();
+        crate::multi::write_multi_state(
+            w,
+            &engines,
+            self.last_sweep,
+            self.live_copies,
+            self.peak_live_copies,
+        )
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut dyn std::io::Read,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        let mut engines: Vec<&mut CompactEngine> = self.engines.iter_mut().collect();
+        let (last_sweep, live, peak) = crate::multi::read_multi_state(r, &mut engines)?;
+        self.last_sweep = last_sweep;
+        self.live_copies = live;
+        self.peak_live_copies = peak;
+        Ok(())
     }
 }
 

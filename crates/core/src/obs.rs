@@ -177,6 +177,56 @@ pub fn export_engine_metrics(registry: &Registry, engine: &str, m: &EngineMetric
     }
 }
 
+/// Export an ingest-guard [`QuarantineStats`](firehose_stream::QuarantineStats)
+/// snapshot into `registry` as counters labelled `{stream="<label>"}` (and
+/// `{stream, reason}` for the per-reason quarantine counts). Called at
+/// reporting time, not per post.
+pub fn export_guard_stats(
+    registry: &Registry,
+    stream: &str,
+    stats: &firehose_stream::QuarantineStats,
+) {
+    let l = labels(&[("stream", stream)]);
+    for (name, help, value) in [
+        (
+            "firehose_guard_admitted_total",
+            "Posts the ingest guard released downstream",
+            stats.admitted,
+        ),
+        (
+            "firehose_guard_quarantined_total",
+            "Posts the ingest guard quarantined (all reasons)",
+            stats.quarantined_total(),
+        ),
+        (
+            "firehose_guard_clamped_timestamps_total",
+            "Admitted posts whose timestamp was clamped to the watermark",
+            stats.clamped_timestamps,
+        ),
+        (
+            "firehose_guard_truncated_texts_total",
+            "Admitted posts whose text was truncated to the size limit",
+            stats.truncated_texts,
+        ),
+        (
+            "firehose_guard_reordered_total",
+            "Admitted posts re-sorted by the reorder buffer",
+            stats.reordered,
+        ),
+    ] {
+        registry.counter(name, help, l.clone()).set(value);
+    }
+    for (reason, count) in stats.counts() {
+        registry
+            .counter(
+                "firehose_guard_rejects_total",
+                "Posts quarantined by the ingest guard, by reason",
+                labels(&[("stream", stream), ("reason", reason.as_str())]),
+            )
+            .set(count);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,6 +268,36 @@ mod tests {
         let text = r.render_prometheus();
         assert!(text.contains("firehose_comparisons_total{engine=\"CliqueBin\"} 50"));
         assert!(!text.contains("firehose_comparisons_total{engine=\"CliqueBin\"} 42"));
+    }
+
+    #[test]
+    fn guard_stats_export_renders_per_reason_counters() {
+        use firehose_stream::{guard_stream, GuardConfig, GuardPolicy, Post};
+        let r = Registry::new();
+        let posts = vec![
+            Post::new(1, 0, 1_000, "fine".into()),
+            Post::new(1, 0, 1_500, "duplicate id".into()),
+            Post::new(2, 0, 500, "out of order".into()),
+        ];
+        let (_, stats) = guard_stream(GuardConfig::new(GuardPolicy::Strict), posts);
+        export_guard_stats(&r, "calm", &stats);
+        let text = r.render_prometheus();
+        assert!(
+            text.contains("firehose_guard_admitted_total{stream=\"calm\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("firehose_guard_quarantined_total{stream=\"calm\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "firehose_guard_rejects_total{reason=\"duplicate_id\",stream=\"calm\"} 1"
+            ) || text.contains(
+                "firehose_guard_rejects_total{stream=\"calm\",reason=\"duplicate_id\"} 1"
+            ),
+            "{text}"
+        );
     }
 
     #[test]

@@ -10,11 +10,13 @@
 //! shared artifacts with their own persistence (`firehose_graph::io`); the
 //! caller supplies them on restore, and structural mismatches are rejected.
 //!
-//! Format (little-endian): magic `FHSNAP02`, engine tag, the full
-//! [`EngineConfig`], the [`EngineMetrics`] counters, then the bins as
-//! record arrays. (`FHSNAP01` lacked `EngineConfig::expected_rate`; the
-//! magic doubles as the format version, so old snapshots are rejected
-//! rather than misparsed.)
+//! Format (little-endian): magic `FHSNAP03`, engine tag, the full
+//! [`EngineConfig`], the [`EngineMetrics`] counters, then the bins — a
+//! deduplicated unique-record table plus per-bin index lists for the
+//! multi-bin engines (a record lives in ~`degree` bins, so this shrinks
+//! state by that factor). The magic doubles as the format version
+//! (`FHSNAP01` lacked `expected_rate`, `FHSNAP02` duplicated records per
+//! bin), so old snapshots are rejected rather than misparsed.
 
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -30,10 +32,25 @@ use crate::config::{EngineConfig, Thresholds};
 use crate::engine::{CliqueBin, Diversifier, NeighborBin, UniBin};
 use crate::metrics::EngineMetrics;
 
-const MAGIC: &[u8; 8] = b"FHSNAP02";
-const TAG_UNIBIN: u8 = 1;
-const TAG_NEIGHBORBIN: u8 = 2;
-const TAG_CLIQUEBIN: u8 = 3;
+const MAGIC: &[u8; 8] = b"FHSNAP03";
+pub(crate) const TAG_UNIBIN: u8 = 1;
+pub(crate) const TAG_NEIGHBORBIN: u8 = 2;
+pub(crate) const TAG_CLIQUEBIN: u8 = 3;
+
+/// Snapshot/checkpoint tag identifying an [`AlgorithmKind`].
+pub(crate) fn tag_for(kind: crate::engine::AlgorithmKind) -> u8 {
+    match kind {
+        crate::engine::AlgorithmKind::UniBin => TAG_UNIBIN,
+        crate::engine::AlgorithmKind::NeighborBin => TAG_NEIGHBORBIN,
+        crate::engine::AlgorithmKind::CliqueBin => TAG_CLIQUEBIN,
+    }
+}
+
+/// Cap on length-prefix-driven pre-allocation while deserializing. A corrupt
+/// or hostile length field must cost at most ~tens of MB of reservation, not
+/// an abort inside the allocator; genuine larger collections still load —
+/// they just grow by doubling past the reservation.
+pub(crate) const MAX_PREALLOC: usize = 1 << 20;
 
 /// Errors from the `restore_*` functions.
 #[derive(Debug)]
@@ -53,6 +70,15 @@ pub enum SnapshotError {
     StructureMismatch(&'static str),
     /// The stored configuration fails validation.
     BadConfig(crate::config::ConfigError),
+    /// The bytes are structurally invalid — detected corruption (CRC
+    /// mismatch, impossible length, trailing garbage) rather than a clean
+    /// version/kind mismatch.
+    Corrupt {
+        /// Which section / structure the corruption was found in.
+        section: &'static str,
+        /// Byte offset of the corrupt structure within its container.
+        offset: u64,
+    },
 }
 
 impl From<io::Error> for SnapshotError {
@@ -73,46 +99,49 @@ impl std::fmt::Display for SnapshotError {
                 write!(f, "snapshot does not match supplied structure: {what}")
             }
             SnapshotError::BadConfig(e) => write!(f, "invalid stored config: {e}"),
+            SnapshotError::Corrupt { section, offset } => {
+                write!(f, "corrupt {section} section at byte {offset}")
+            }
         }
     }
 }
 
 impl std::error::Error for SnapshotError {}
 
-fn w_u32<W: Write>(w: &mut W, x: u32) -> io::Result<()> {
+fn w_u32<W: Write + ?Sized>(w: &mut W, x: u32) -> io::Result<()> {
     w.write_all(&x.to_le_bytes())
 }
-fn w_u64<W: Write>(w: &mut W, x: u64) -> io::Result<()> {
+fn w_u64<W: Write + ?Sized>(w: &mut W, x: u64) -> io::Result<()> {
     w.write_all(&x.to_le_bytes())
 }
-fn w_f64<W: Write>(w: &mut W, x: f64) -> io::Result<()> {
+fn w_f64<W: Write + ?Sized>(w: &mut W, x: f64) -> io::Result<()> {
     w.write_all(&x.to_le_bytes())
 }
-fn r_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+fn r_u32<R: Read + ?Sized>(r: &mut R) -> io::Result<u32> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b)?;
     Ok(u32::from_le_bytes(b))
 }
-fn r_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+fn r_u64<R: Read + ?Sized>(r: &mut R) -> io::Result<u64> {
     let mut b = [0u8; 8];
     r.read_exact(&mut b)?;
     Ok(u64::from_le_bytes(b))
 }
-fn r_f64<R: Read>(r: &mut R) -> io::Result<f64> {
+fn r_f64<R: Read + ?Sized>(r: &mut R) -> io::Result<f64> {
     let mut b = [0u8; 8];
     r.read_exact(&mut b)?;
     Ok(f64::from_le_bytes(b))
 }
-fn w_bool<W: Write>(w: &mut W, x: bool) -> io::Result<()> {
+fn w_bool<W: Write + ?Sized>(w: &mut W, x: bool) -> io::Result<()> {
     w.write_all(&[u8::from(x)])
 }
-fn r_bool<R: Read>(r: &mut R) -> io::Result<bool> {
+fn r_bool<R: Read + ?Sized>(r: &mut R) -> io::Result<bool> {
     let mut b = [0u8; 1];
     r.read_exact(&mut b)?;
     Ok(b[0] != 0)
 }
 
-fn write_config<W: Write>(w: &mut W, c: &EngineConfig) -> io::Result<()> {
+pub(crate) fn write_config<W: Write + ?Sized>(w: &mut W, c: &EngineConfig) -> io::Result<()> {
     w_u32(w, c.thresholds.lambda_c)?;
     w_u64(w, c.thresholds.lambda_t)?;
     w_f64(w, c.thresholds.lambda_a)?;
@@ -130,7 +159,7 @@ fn write_config<W: Write>(w: &mut W, c: &EngineConfig) -> io::Result<()> {
     w_f64(w, c.expected_rate)
 }
 
-fn read_config<R: Read>(r: &mut R) -> Result<EngineConfig, SnapshotError> {
+pub(crate) fn read_config<R: Read + ?Sized>(r: &mut R) -> Result<EngineConfig, SnapshotError> {
     let lambda_c = r_u32(r)?;
     let lambda_t = r_u64(r)?;
     let lambda_a = r_f64(r)?;
@@ -161,7 +190,7 @@ fn read_config<R: Read>(r: &mut R) -> Result<EngineConfig, SnapshotError> {
     })
 }
 
-fn write_metrics<W: Write>(w: &mut W, m: &EngineMetrics) -> io::Result<()> {
+fn write_metrics<W: Write + ?Sized>(w: &mut W, m: &EngineMetrics) -> io::Result<()> {
     for x in [
         m.posts_processed,
         m.posts_emitted,
@@ -177,7 +206,7 @@ fn write_metrics<W: Write>(w: &mut W, m: &EngineMetrics) -> io::Result<()> {
     Ok(())
 }
 
-fn read_metrics<R: Read>(r: &mut R) -> io::Result<EngineMetrics> {
+fn read_metrics<R: Read + ?Sized>(r: &mut R) -> io::Result<EngineMetrics> {
     Ok(EngineMetrics {
         posts_processed: r_u64(r)?,
         posts_emitted: r_u64(r)?,
@@ -190,7 +219,7 @@ fn read_metrics<R: Read>(r: &mut R) -> io::Result<EngineMetrics> {
     })
 }
 
-fn write_bin<W: Write>(w: &mut W, bin: &TimeWindowBin) -> io::Result<()> {
+fn write_bin<W: Write + ?Sized>(w: &mut W, bin: &TimeWindowBin) -> io::Result<()> {
     w_u32(w, bin.len() as u32)?;
     for record in bin.iter() {
         w_u64(w, record.id)?;
@@ -201,9 +230,12 @@ fn write_bin<W: Write>(w: &mut W, bin: &TimeWindowBin) -> io::Result<()> {
     Ok(())
 }
 
-fn read_bin<R: Read>(r: &mut R) -> Result<TimeWindowBin, SnapshotError> {
+fn read_bin<R: Read + ?Sized>(r: &mut R) -> Result<TimeWindowBin, SnapshotError> {
     let len = r_u32(r)?;
-    let mut bin = TimeWindowBin::with_capacity(len as usize);
+    // Reserve at most MAX_PREALLOC records up front: `len` is untrusted
+    // (a flipped bit in a length field must not become a multi-GB
+    // allocation); a lying length fails the per-record reads instead.
+    let mut bin = TimeWindowBin::with_capacity((len as usize).min(MAX_PREALLOC));
     let mut prev = 0u64;
     for _ in 0..len {
         let record = PostRecord {
@@ -223,7 +255,90 @@ fn read_bin<R: Read>(r: &mut R) -> Result<TimeWindowBin, SnapshotError> {
     Ok(bin)
 }
 
-fn read_header<R: Read>(r: &mut R, expected_tag: u8) -> Result<EngineConfig, SnapshotError> {
+/// Serialize a family of bins that share record copies (NeighborBin stores
+/// each record once per similar-author bin, CliqueBin once per covering
+/// clique — on average `degree`-many copies). The wire format stores each
+/// unique record once (first-seen order, keyed by post id) followed by one
+/// `u32` index list per bin, shrinking the state by roughly the average
+/// degree — which is what makes the default checkpoint cadence cheap.
+fn write_bins_dedup<W: Write + ?Sized>(w: &mut W, bins: &[&TimeWindowBin]) -> io::Result<()> {
+    let mut index_of: HashMap<u64, u32> = HashMap::new();
+    let mut uniques: Vec<PostRecord> = Vec::new();
+    for bin in bins {
+        for record in bin.iter() {
+            index_of.entry(record.id).or_insert_with(|| {
+                uniques.push(record);
+                (uniques.len() - 1) as u32
+            });
+        }
+    }
+    w_u32(w, uniques.len() as u32)?;
+    for record in &uniques {
+        w_u64(w, record.id)?;
+        w_u32(w, record.author)?;
+        w_u64(w, record.timestamp)?;
+        w_u64(w, record.fingerprint)?;
+    }
+    for bin in bins {
+        w_u32(w, bin.len() as u32)?;
+        for record in bin.iter() {
+            w_u32(w, index_of[&record.id])?;
+        }
+    }
+    Ok(())
+}
+
+/// Inverse of [`write_bins_dedup`]: rebuild `bin_count` bins. Every length,
+/// index and record field is untrusted — out-of-range indices, authors
+/// beyond `author_count` and out-of-time-order bins are rejected.
+fn read_bins_dedup<R: Read + ?Sized>(
+    r: &mut R,
+    bin_count: usize,
+    author_count: usize,
+) -> Result<Vec<TimeWindowBin>, SnapshotError> {
+    let unique_count = r_u32(r)? as usize;
+    let mut uniques = Vec::with_capacity(unique_count.min(MAX_PREALLOC));
+    for _ in 0..unique_count {
+        let record = PostRecord {
+            id: r_u64(r)?,
+            author: r_u32(r)?,
+            timestamp: r_u64(r)?,
+            fingerprint: r_u64(r)?,
+        };
+        if record.author as usize >= author_count {
+            return Err(SnapshotError::StructureMismatch(
+                "record author outside graph",
+            ));
+        }
+        uniques.push(record);
+    }
+    let mut bins = Vec::with_capacity(bin_count.min(MAX_PREALLOC));
+    for _ in 0..bin_count {
+        let len = r_u32(r)? as usize;
+        let mut bin = TimeWindowBin::with_capacity(len.min(MAX_PREALLOC));
+        let mut prev = 0u64;
+        for _ in 0..len {
+            let idx = r_u32(r)? as usize;
+            let record = *uniques.get(idx).ok_or(SnapshotError::StructureMismatch(
+                "bin references a record outside the unique table",
+            ))?;
+            if record.timestamp < prev {
+                return Err(SnapshotError::StructureMismatch(
+                    "bin records out of time order",
+                ));
+            }
+            prev = record.timestamp;
+            bin.push(record);
+        }
+        bins.push(bin);
+    }
+    Ok(bins)
+}
+
+fn read_header<R: Read + ?Sized>(
+    r: &mut R,
+    expected_tag: u8,
+) -> Result<EngineConfig, SnapshotError> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -240,22 +355,25 @@ fn read_header<R: Read>(r: &mut R, expected_tag: u8) -> Result<EngineConfig, Sna
     read_config(r)
 }
 
-/// Snapshot a [`UniBin`].
-pub fn snapshot_unibin<W: Write>(engine: &UniBin, w: &mut W) -> io::Result<()> {
-    w.write_all(MAGIC)?;
-    w.write_all(&[TAG_UNIBIN])?;
-    write_config(w, engine.config())?;
-    let (bin, metrics) = engine.parts();
+// ---------------------------------------------------------------------
+// Engine *state* (metrics + bins, no header/config): the payload shared by
+// whole-file snapshots below and the sectioned checkpoints in
+// `crate::checkpoint`, via `Diversifier::{save_state, load_state}`.
+// ---------------------------------------------------------------------
+
+pub(crate) fn write_state_unibin<W: Write + ?Sized>(
+    w: &mut W,
+    bin: &TimeWindowBin,
+    metrics: &EngineMetrics,
+) -> io::Result<()> {
     write_metrics(w, metrics)?;
     write_bin(w, bin)
 }
 
-/// Restore a [`UniBin`] over the (externally persisted) similarity graph.
-pub fn restore_unibin<R: Read>(
+pub(crate) fn read_state_unibin<R: Read + ?Sized>(
     r: &mut R,
-    graph: Arc<UndirectedGraph>,
-) -> Result<UniBin, SnapshotError> {
-    let config = read_header(r, TAG_UNIBIN)?;
+    graph: &UndirectedGraph,
+) -> Result<(TimeWindowBin, EngineMetrics), SnapshotError> {
     let metrics = read_metrics(r)?;
     let bin = read_bin(r)?;
     for record in bin.iter() {
@@ -265,6 +383,123 @@ pub fn restore_unibin<R: Read>(
             ));
         }
     }
+    Ok((bin, metrics))
+}
+
+pub(crate) fn write_state_neighborbin<W: Write + ?Sized>(
+    w: &mut W,
+    bins: &[TimeWindowBin],
+    metrics: &EngineMetrics,
+) -> io::Result<()> {
+    write_metrics(w, metrics)?;
+    w_u32(w, bins.len() as u32)?;
+    let refs: Vec<&TimeWindowBin> = bins.iter().collect();
+    write_bins_dedup(w, &refs)
+}
+
+pub(crate) fn read_state_neighborbin<R: Read + ?Sized>(
+    r: &mut R,
+    graph: &UndirectedGraph,
+) -> Result<(Vec<TimeWindowBin>, EngineMetrics), SnapshotError> {
+    let metrics = read_metrics(r)?;
+    let count = r_u32(r)? as usize;
+    if count != graph.node_count() {
+        return Err(SnapshotError::StructureMismatch(
+            "bin count != author count",
+        ));
+    }
+    let bins = read_bins_dedup(r, count, graph.node_count())?;
+    Ok((bins, metrics))
+}
+
+#[allow(clippy::type_complexity)]
+pub(crate) fn write_state_cliquebin<W: Write + ?Sized>(
+    w: &mut W,
+    clique_bins: &[TimeWindowBin],
+    self_bins: &HashMap<AuthorId, TimeWindowBin>,
+    metrics: &EngineMetrics,
+) -> io::Result<()> {
+    write_metrics(w, metrics)?;
+    w_u32(w, clique_bins.len() as u32)?;
+    w_u32(w, self_bins.len() as u32)?;
+    let mut authors: Vec<AuthorId> = self_bins.keys().copied().collect();
+    authors.sort_unstable();
+    for &author in &authors {
+        w_u32(w, author)?;
+    }
+    // One unique table shared by clique bins and self bins: a record lives
+    // in every covering clique *and* its author's self bin.
+    let mut refs: Vec<&TimeWindowBin> = clique_bins.iter().collect();
+    refs.extend(authors.iter().map(|a| &self_bins[a]));
+    write_bins_dedup(w, &refs)
+}
+
+#[allow(clippy::type_complexity)]
+pub(crate) fn read_state_cliquebin<R: Read + ?Sized>(
+    r: &mut R,
+    author_count: usize,
+    cover: &CliqueCover,
+) -> Result<
+    (
+        Vec<TimeWindowBin>,
+        HashMap<AuthorId, TimeWindowBin>,
+        EngineMetrics,
+    ),
+    SnapshotError,
+> {
+    let metrics = read_metrics(r)?;
+    let clique_count = r_u32(r)? as usize;
+    if clique_count != cover.count() {
+        return Err(SnapshotError::StructureMismatch(
+            "clique bin count != cover cliques",
+        ));
+    }
+    let self_count = r_u32(r)? as usize;
+    let mut authors = Vec::with_capacity(self_count.min(MAX_PREALLOC));
+    let mut prev: Option<AuthorId> = None;
+    for _ in 0..self_count {
+        let author = r_u32(r)?;
+        if author as usize >= author_count {
+            return Err(SnapshotError::StructureMismatch(
+                "self-bin author outside graph",
+            ));
+        }
+        if prev.is_some_and(|p| p >= author) {
+            return Err(SnapshotError::StructureMismatch(
+                "self-bin authors not strictly ascending",
+            ));
+        }
+        prev = Some(author);
+        authors.push(author);
+    }
+    let mut bins = read_bins_dedup(r, clique_count + self_count, author_count)?;
+    let self_bins: HashMap<AuthorId, TimeWindowBin> = authors
+        .into_iter()
+        .zip(bins.drain(clique_count..))
+        .collect();
+    Ok((bins, self_bins, metrics))
+}
+
+// ---------------------------------------------------------------------
+// Whole-file snapshots: magic + tag + config header, then the state.
+// ---------------------------------------------------------------------
+
+/// Snapshot a [`UniBin`].
+pub fn snapshot_unibin<W: Write>(engine: &UniBin, w: &mut W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&[TAG_UNIBIN])?;
+    write_config(w, engine.config())?;
+    let (bin, metrics) = engine.parts();
+    write_state_unibin(w, bin, metrics)
+}
+
+/// Restore a [`UniBin`] over the (externally persisted) similarity graph.
+pub fn restore_unibin<R: Read>(
+    r: &mut R,
+    graph: Arc<UndirectedGraph>,
+) -> Result<UniBin, SnapshotError> {
+    let config = read_header(r, TAG_UNIBIN)?;
+    let (bin, metrics) = read_state_unibin(r, &graph)?;
     Ok(UniBin::from_parts(config, graph, bin, metrics))
 }
 
@@ -274,12 +509,7 @@ pub fn snapshot_neighborbin<W: Write>(engine: &NeighborBin, w: &mut W) -> io::Re
     w.write_all(&[TAG_NEIGHBORBIN])?;
     write_config(w, engine.config())?;
     let (bins, metrics) = engine.parts();
-    write_metrics(w, metrics)?;
-    w_u32(w, bins.len() as u32)?;
-    for bin in bins {
-        write_bin(w, bin)?;
-    }
-    Ok(())
+    write_state_neighborbin(w, bins, metrics)
 }
 
 /// Restore a [`NeighborBin`]; `graph` must have the same author count the
@@ -289,17 +519,7 @@ pub fn restore_neighborbin<R: Read>(
     graph: Arc<UndirectedGraph>,
 ) -> Result<NeighborBin, SnapshotError> {
     let config = read_header(r, TAG_NEIGHBORBIN)?;
-    let metrics = read_metrics(r)?;
-    let count = r_u32(r)? as usize;
-    if count != graph.node_count() {
-        return Err(SnapshotError::StructureMismatch(
-            "bin count != author count",
-        ));
-    }
-    let mut bins = Vec::with_capacity(count);
-    for _ in 0..count {
-        bins.push(read_bin(r)?);
-    }
+    let (bins, metrics) = read_state_neighborbin(r, &graph)?;
     Ok(NeighborBin::from_parts(config, graph, bins, metrics))
 }
 
@@ -309,19 +529,7 @@ pub fn snapshot_cliquebin<W: Write>(engine: &CliqueBin, w: &mut W) -> io::Result
     w.write_all(&[TAG_CLIQUEBIN])?;
     write_config(w, engine.config())?;
     let (clique_bins, self_bins, metrics) = engine.parts();
-    write_metrics(w, metrics)?;
-    w_u32(w, clique_bins.len() as u32)?;
-    for bin in clique_bins {
-        write_bin(w, bin)?;
-    }
-    w_u32(w, self_bins.len() as u32)?;
-    let mut authors: Vec<&AuthorId> = self_bins.keys().collect();
-    authors.sort_unstable();
-    for &author in authors {
-        w_u32(w, author)?;
-        write_bin(w, &self_bins[&author])?;
-    }
-    Ok(())
+    write_state_cliquebin(w, clique_bins, self_bins, metrics)
 }
 
 /// Restore a [`CliqueBin`]; `graph` and `cover` must structurally match the
@@ -332,28 +540,7 @@ pub fn restore_cliquebin<R: Read>(
     cover: Arc<CliqueCover>,
 ) -> Result<CliqueBin, SnapshotError> {
     let config = read_header(r, TAG_CLIQUEBIN)?;
-    let metrics = read_metrics(r)?;
-    let clique_count = r_u32(r)? as usize;
-    if clique_count != cover.count() {
-        return Err(SnapshotError::StructureMismatch(
-            "clique bin count != cover cliques",
-        ));
-    }
-    let mut clique_bins = Vec::with_capacity(clique_count);
-    for _ in 0..clique_count {
-        clique_bins.push(read_bin(r)?);
-    }
-    let self_count = r_u32(r)? as usize;
-    let mut self_bins = HashMap::with_capacity(self_count);
-    for _ in 0..self_count {
-        let author = r_u32(r)?;
-        if author as usize >= graph.node_count() {
-            return Err(SnapshotError::StructureMismatch(
-                "self-bin author outside graph",
-            ));
-        }
-        self_bins.insert(author, read_bin(r)?);
-    }
+    let (clique_bins, self_bins, metrics) = read_state_cliquebin(r, graph.node_count(), &cover)?;
     Ok(CliqueBin::from_parts(
         config,
         graph,

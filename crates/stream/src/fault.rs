@@ -1,0 +1,408 @@
+//! Deterministic, seeded fault injection.
+//!
+//! Two fault surfaces matter for a long-running stream diversifier, and
+//! this module simulates both reproducibly (same seed ⇒ same faults, so a
+//! failing test names its seed and replays exactly):
+//!
+//! * **Storage** — [`ChaosWriter`] / [`ChaosReader`] wrap any
+//!   `io::Write` / `io::Read` and apply a [`FaultPlan`]: truncation at a
+//!   chosen byte offset (a torn write: the process believed the bytes were
+//!   accepted, the medium never got them) and single-bit flips at chosen
+//!   offsets (media corruption). Tests use these to prove checkpoints are
+//!   either restored byte-identically or rejected with a typed error —
+//!   never misparsed, never a panic.
+//! * **Stream** — [`Perturbator`] rewrites a clean post stream into a
+//!   hostile one: duplicated ids, dropped posts, bounded timestamp jitter
+//!   and clock-skew bursts. The ingest guard's contract tests run every
+//!   policy against these.
+
+use std::io::{self, Read, Write};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::post::{Post, Timestamp};
+
+/// What to break, and where. Offsets are absolute byte positions in the
+/// wrapped stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Stop persisting at this offset: bytes from here on are acknowledged
+    /// but never reach the inner writer (reads: EOF from here on).
+    pub truncate_at: Option<u64>,
+    /// `(byte offset, bit index 0..8)` single-bit corruptions.
+    pub flips: Vec<(u64, u8)>,
+}
+
+impl FaultPlan {
+    /// No faults (the wrapper becomes a transparent pass-through).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Torn write/read at `offset`.
+    pub fn truncated_at(offset: u64) -> Self {
+        Self {
+            truncate_at: Some(offset),
+            flips: Vec::new(),
+        }
+    }
+
+    /// A single flipped bit.
+    pub fn bit_flip(offset: u64, bit: u8) -> Self {
+        Self {
+            truncate_at: None,
+            flips: vec![(offset, bit)],
+        }
+    }
+
+    /// A deterministic pseudo-random plan over a stream of `len` bytes:
+    /// ~half the seeds tear the stream at a random offset, the rest flip
+    /// 1–3 random bits. `len == 0` yields no faults.
+    pub fn seeded(seed: u64, len: u64) -> Self {
+        if len == 0 {
+            return Self::none();
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        if rng.random_bool(0.5) {
+            Self::truncated_at(rng.random_range(0..len))
+        } else {
+            let n = rng.random_range(1..=3usize);
+            let flips = (0..n)
+                .map(|_| (rng.random_range(0..len), rng.random_range(0..8u32) as u8))
+                .collect();
+            Self {
+                truncate_at: None,
+                flips,
+            }
+        }
+    }
+}
+
+/// An `io::Write` that applies a [`FaultPlan`] to everything passing
+/// through. After the truncation point it keeps acknowledging writes (and
+/// `flush`) without forwarding a byte — exactly what a crash between
+/// page-cache acceptance and media persistence looks like.
+#[derive(Debug)]
+pub struct ChaosWriter<W: Write> {
+    inner: W,
+    plan: FaultPlan,
+    pos: u64,
+    torn: bool,
+}
+
+impl<W: Write> ChaosWriter<W> {
+    /// Wrap `inner` with the given plan.
+    pub fn new(inner: W, plan: FaultPlan) -> Self {
+        Self {
+            inner,
+            plan,
+            pos: 0,
+            torn: false,
+        }
+    }
+
+    /// True once the truncation point has been crossed.
+    pub fn torn(&self) -> bool {
+        self.torn
+    }
+
+    /// Bytes the caller believes it wrote (≥ bytes actually forwarded).
+    pub fn acknowledged(&self) -> u64 {
+        self.pos
+    }
+
+    /// Unwrap the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for ChaosWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let start = self.pos;
+        let end = start + buf.len() as u64;
+        self.pos = end;
+        if self.torn {
+            return Ok(buf.len());
+        }
+        let mut data = buf.to_vec();
+        for &(offset, bit) in &self.plan.flips {
+            if (start..end).contains(&offset) {
+                data[(offset - start) as usize] ^= 1 << (bit & 7);
+            }
+        }
+        if let Some(t) = self.plan.truncate_at {
+            if t < end {
+                let keep = t.saturating_sub(start) as usize;
+                self.inner.write_all(&data[..keep])?;
+                self.torn = true;
+                return Ok(buf.len());
+            }
+        }
+        self.inner.write_all(&data)?;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.torn {
+            return Ok(());
+        }
+        self.inner.flush()
+    }
+}
+
+/// An `io::Read` that applies a [`FaultPlan`] to everything passing
+/// through: bit flips corrupt bytes in flight, the truncation point turns
+/// into a hard EOF.
+#[derive(Debug)]
+pub struct ChaosReader<R: Read> {
+    inner: R,
+    plan: FaultPlan,
+    pos: u64,
+}
+
+impl<R: Read> ChaosReader<R> {
+    /// Wrap `inner` with the given plan.
+    pub fn new(inner: R, plan: FaultPlan) -> Self {
+        Self {
+            inner,
+            plan,
+            pos: 0,
+        }
+    }
+}
+
+impl<R: Read> Read for ChaosReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let limit = match self.plan.truncate_at {
+            Some(t) if self.pos >= t => return Ok(0),
+            Some(t) => ((t - self.pos) as usize).min(buf.len()),
+            None => buf.len(),
+        };
+        let n = self.inner.read(&mut buf[..limit])?;
+        let start = self.pos;
+        let end = start + n as u64;
+        for &(offset, bit) in &self.plan.flips {
+            if (start..end).contains(&offset) {
+                buf[(offset - start) as usize] ^= 1 << (bit & 7);
+            }
+        }
+        self.pos = end;
+        Ok(n)
+    }
+}
+
+/// Deterministic stream perturbation: turns a clean, ordered post stream
+/// into the hostile firehose the ingest guard exists for. All rates are
+/// probabilities in `[0, 1]`; zero disables that fault class.
+#[derive(Debug, Clone, Copy)]
+pub struct Perturbator {
+    /// RNG seed; the entire perturbation is a pure function of
+    /// `(seed, input)`.
+    pub seed: u64,
+    /// Probability a post is re-emitted with the same id (producer retry).
+    pub dup_rate: f64,
+    /// Probability a post is silently dropped.
+    pub drop_rate: f64,
+    /// Maximum backwards timestamp jitter in ms (late delivery); each post
+    /// may arrive with its timestamp pushed back by up to this much.
+    pub reorder_ms: Timestamp,
+    /// Clock-skew bursts: when non-zero, short runs of consecutive posts
+    /// have their timestamps shifted back by this many ms (a producer with
+    /// a wrong clock).
+    pub skew_ms: Timestamp,
+}
+
+impl Perturbator {
+    /// A perturbator with the given seed and every fault class disabled.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            dup_rate: 0.0,
+            drop_rate: 0.0,
+            reorder_ms: 0,
+            skew_ms: 0,
+        }
+    }
+
+    /// Set the duplicate rate.
+    pub fn with_dup_rate(mut self, p: f64) -> Self {
+        self.dup_rate = p;
+        self
+    }
+
+    /// Set the drop rate.
+    pub fn with_drop_rate(mut self, p: f64) -> Self {
+        self.drop_rate = p;
+        self
+    }
+
+    /// Set the maximum backwards jitter.
+    pub fn with_reorder_ms(mut self, ms: Timestamp) -> Self {
+        self.reorder_ms = ms;
+        self
+    }
+
+    /// Set the clock-skew burst shift.
+    pub fn with_skew_ms(mut self, ms: Timestamp) -> Self {
+        self.skew_ms = ms;
+        self
+    }
+
+    /// Apply the perturbation. Deterministic: calling twice with the same
+    /// input yields byte-identical output.
+    pub fn perturb(&self, posts: &[Post]) -> Vec<Post> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut out = Vec::with_capacity(posts.len());
+        let mut skew_left = 0u32;
+        for post in posts {
+            if self.drop_rate > 0.0 && rng.random_bool(self.drop_rate) {
+                continue;
+            }
+            let mut p = post.clone();
+            if self.skew_ms > 0 {
+                if skew_left == 0 && rng.random_bool(0.02) {
+                    skew_left = rng.random_range(2..=8u32);
+                }
+                if skew_left > 0 {
+                    skew_left -= 1;
+                    p.timestamp = p.timestamp.saturating_sub(self.skew_ms);
+                }
+            }
+            if self.reorder_ms > 0 {
+                p.timestamp = p
+                    .timestamp
+                    .saturating_sub(rng.random_range(0..=self.reorder_ms));
+            }
+            out.push(p.clone());
+            if self.dup_rate > 0.0 && rng.random_bool(self.dup_rate) {
+                // A retry: same id and content, delivered a moment later.
+                let mut dup = p;
+                dup.timestamp = dup.timestamp.saturating_add(1);
+                out.push(dup);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_writer_truncates_exactly() {
+        let mut sink = Vec::new();
+        {
+            let mut w = ChaosWriter::new(&mut sink, FaultPlan::truncated_at(5));
+            w.write_all(b"hello world").unwrap();
+            w.write_all(b"more").unwrap();
+            w.flush().unwrap();
+            assert!(w.torn());
+            assert_eq!(w.acknowledged(), 15);
+        }
+        assert_eq!(sink, b"hello");
+    }
+
+    #[test]
+    fn chaos_writer_flips_chosen_bit() {
+        let mut sink = Vec::new();
+        {
+            let mut w = ChaosWriter::new(&mut sink, FaultPlan::bit_flip(1, 0));
+            // Split writes so the flip offset straddles a write boundary.
+            w.write_all(b"a").unwrap();
+            w.write_all(b"bc").unwrap();
+        }
+        assert_eq!(sink, [b'a', b'b' ^ 1, b'c']);
+    }
+
+    #[test]
+    fn chaos_writer_no_plan_is_transparent() {
+        let mut sink = Vec::new();
+        ChaosWriter::new(&mut sink, FaultPlan::none())
+            .write_all(b"payload")
+            .unwrap();
+        assert_eq!(sink, b"payload");
+    }
+
+    #[test]
+    fn chaos_reader_mirrors_writer_faults() {
+        let data = b"0123456789".to_vec();
+        let mut r = ChaosReader::new(data.as_slice(), FaultPlan::truncated_at(4));
+        let mut got = Vec::new();
+        r.read_to_end(&mut got).unwrap();
+        assert_eq!(got, b"0123");
+
+        let mut r = ChaosReader::new(data.as_slice(), FaultPlan::bit_flip(9, 7));
+        let mut got = Vec::new();
+        r.read_to_end(&mut got).unwrap();
+        assert_eq!(got[9], b'9' ^ 0x80);
+        assert_eq!(&got[..9], &data[..9]);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_in_range() {
+        for seed in 0..50u64 {
+            let a = FaultPlan::seeded(seed, 1_000);
+            let b = FaultPlan::seeded(seed, 1_000);
+            assert_eq!(a, b);
+            if let Some(t) = a.truncate_at {
+                assert!(t < 1_000);
+            }
+            for (offset, bit) in a.flips {
+                assert!(offset < 1_000 && bit < 8);
+            }
+        }
+        assert_eq!(FaultPlan::seeded(7, 0), FaultPlan::none());
+    }
+
+    #[test]
+    fn perturbator_is_deterministic() {
+        let posts: Vec<Post> = (0..100)
+            .map(|i| Post::new(i, 0, 1_000 + i * 200, format!("body {i}")))
+            .collect();
+        let p = Perturbator::new(42)
+            .with_dup_rate(0.1)
+            .with_drop_rate(0.05)
+            .with_reorder_ms(500)
+            .with_skew_ms(10_000);
+        assert_eq!(p.perturb(&posts), p.perturb(&posts));
+        // Different seeds diverge (overwhelmingly likely for 100 posts).
+        assert_ne!(
+            p.perturb(&posts),
+            Perturbator { seed: 43, ..p }.perturb(&posts)
+        );
+    }
+
+    #[test]
+    fn perturbator_injects_each_fault_class() {
+        let posts: Vec<Post> = (0..500)
+            .map(|i| Post::new(i, 0, 100_000 + i * 100, "steady".into()))
+            .collect();
+        let out = Perturbator::new(7)
+            .with_dup_rate(0.2)
+            .with_drop_rate(0.1)
+            .with_reorder_ms(1_000)
+            .perturb(&posts);
+        let dups = out.len() as i64
+            - out
+                .iter()
+                .map(|p| p.id)
+                .collect::<std::collections::HashSet<_>>()
+                .len() as i64;
+        assert!(dups > 0, "expected duplicated ids");
+        assert!(
+            out.iter()
+                .map(|p| p.id)
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+                < 500,
+            "expected drops"
+        );
+        assert!(
+            !crate::is_time_ordered(&out),
+            "expected out-of-order arrivals"
+        );
+    }
+}

@@ -14,14 +14,26 @@
 //!   scan from the back (most recent first);
 //! * [`time`] — millisecond timestamp helpers;
 //! * [`corpus`] — the TSV interchange format the CLI and generators use to
-//!   exchange post streams.
+//!   exchange post streams;
+//! * [`guard`] — [`IngestGuard`], the hostile-stream admission filter
+//!   (ordering, duplicates, author range, text bounds) with per-reason
+//!   quarantine counters;
+//! * [`fault`] — deterministic fault injection ([`ChaosWriter`] /
+//!   [`ChaosReader`] torn-write and bit-flip wrappers, [`Perturbator`]
+//!   stream corruption) for crash-safety and robustness tests.
 
 pub mod corpus;
+pub mod fault;
+pub mod guard;
 pub mod post;
 pub mod time;
 pub mod window;
 
 pub use corpus::{read_posts, write_posts, CorpusError};
+pub use fault::{ChaosReader, ChaosWriter, FaultPlan, Perturbator};
+pub use guard::{
+    guard_stream, GuardConfig, GuardPolicy, IngestGuard, QuarantineStats, RejectReason,
+};
 pub use post::{AuthorId, Post, PostId, PostRecord, Timestamp};
 pub use time::{days, hours, minutes, seconds};
 pub use window::{TimeWindowBin, WindowView};

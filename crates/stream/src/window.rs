@@ -74,6 +74,9 @@ pub struct TimeWindowBin {
     head: usize,
     /// Lifetime count of evictions (for metrics).
     evicted: u64,
+    /// Lifetime count of out-of-order pushes whose timestamp was clamped to
+    /// the bin watermark (for metrics).
+    disordered: u64,
 }
 
 impl TimeWindowBin {
@@ -92,6 +95,7 @@ impl TimeWindowBin {
             fingerprints: Vec::with_capacity(capacity),
             head: 0,
             evicted: 0,
+            disordered: 0,
         }
     }
 
@@ -110,18 +114,29 @@ impl TimeWindowBin {
         self.evicted
     }
 
+    /// Lifetime number of out-of-order pushes whose timestamp was clamped
+    /// to the bin's watermark (see [`push`](Self::push)).
+    pub fn disordered(&self) -> u64 {
+        self.disordered
+    }
+
     /// Append a record.
     ///
-    /// # Panics
-    /// In debug builds, panics if `record` is older than the newest stored
-    /// record — the stream contract is time order.
+    /// Every binary search in this structure (eviction, window bounds)
+    /// relies on the timestamp column being non-decreasing. A record older
+    /// than the newest stored one — a hostile or clock-skewed stream that
+    /// slipped past the caller's ordering guard — is therefore stored with
+    /// its timestamp clamped to the bin watermark rather than breaking the
+    /// invariant (which would silently mis-evict live records); the clamp
+    /// is counted in [`disordered`](Self::disordered).
     pub fn push(&mut self, record: PostRecord) {
-        debug_assert!(
-            self.timestamps
-                .last()
-                .is_none_or(|&b| b <= record.timestamp),
-            "posts must arrive in time order"
-        );
+        let mut record = record;
+        if let Some(&newest) = self.timestamps.last() {
+            if record.timestamp < newest {
+                record.timestamp = newest;
+                self.disordered += 1;
+            }
+        }
         self.ids.push(record.id);
         self.authors.push(record.author);
         self.timestamps.push(record.timestamp);
@@ -314,6 +329,44 @@ mod tests {
         bin.push(rec(100, 100));
         assert_eq!(bin.evict_expired(100, 5), 5);
         assert_eq!(bin.len(), 6);
+    }
+
+    #[test]
+    fn backwards_jumping_clock_never_underflows_or_misevicts() {
+        // Regression: a post older than the window head used to be stored
+        // raw, breaking the sorted-timestamps invariant — partition_point
+        // could then evict live records or retain expired ones.
+        let mut bin = TimeWindowBin::new();
+        bin.push(rec(1, 1_000));
+        bin.push(rec(2, 2_000));
+        // Clock jumps backwards: record claims ts 100, far behind watermark.
+        bin.push(rec(3, 100));
+        assert_eq!(bin.disordered(), 1);
+        // The stored column is still sorted: the straggler was clamped.
+        let stored: Vec<Timestamp> = bin.iter().map(|r| r.timestamp).collect();
+        assert_eq!(stored, vec![1_000, 2_000, 2_000]);
+        // Eviction at now=2_500, λt=1_000 (cutoff 1_500) drops exactly the
+        // ts-1_000 record; the clamped straggler survives with its peers.
+        assert_eq!(bin.evict_expired(2_500, 1_000), 1);
+        let ids: Vec<u64> = bin.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![2, 3]);
+        // A backwards `now` (evicting "in the past") must not underflow.
+        assert_eq!(bin.evict_expired(0, 1_000), 0);
+        assert_eq!(bin.len(), 2);
+    }
+
+    #[test]
+    fn interleaved_backwards_pushes_keep_window_queries_sane() {
+        let mut bin = TimeWindowBin::new();
+        for (id, ts) in [(1, 500), (2, 50), (3, 700), (4, 10), (5, 900)] {
+            bin.push(rec(id, ts));
+        }
+        assert_eq!(bin.disordered(), 2);
+        // Stored column: ts [500, 500, 700, 700, 900] (ids 2 and 4 clamped).
+        // Window query sees a sorted column; no panic, no phantom records.
+        let view = bin.window(900, 300);
+        assert!(view.timestamps.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(view.ids, &[3, 4, 5]); // cutoff 600 excludes ids 1, 2
     }
 
     #[test]

@@ -18,14 +18,15 @@ use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use firehose::core::checkpoint::{CheckpointManager, CheckpointPolicy};
 use firehose::core::engine::{build_engine, AlgorithmKind, Diversifier};
 use firehose::core::quality;
-use firehose::core::{explain, EngineConfig, Thresholds};
+use firehose::core::{explain, restore_latest_valid, EngineConfig, RestoreError, Thresholds};
 use firehose::datagen::{SocialGenConfig, SyntheticSocialGraph, Workload, WorkloadConfig};
 use firehose::graph::io as graph_io;
 use firehose::graph::{build_similarity_graph_parallel, greedy_clique_cover, UndirectedGraph};
 use firehose::simhash::SimHashOptions;
-use firehose::stream::{corpus, hours, minutes, Post};
+use firehose::stream::{corpus, guard_stream, hours, minutes, GuardConfig, GuardPolicy, Post};
 
 /// Minimal `--flag value` argument map (every flag takes exactly one value).
 struct Args {
@@ -82,6 +83,8 @@ fn usage() -> String {
      cover        --graph FILE --out FILE\n\
      run          --posts FILE --graph FILE [--algorithm unibin|neighborbin|cliquebin]\n\
      \t[--lambda-c N] [--lambda-t-mins N] [--lambda-a F] [--out FILE] [--quiet true]\n\
+     \t[--checkpoint-dir DIR] [--checkpoint-every OFFERS] [--checkpoint-secs S]\n\
+     \t[--guard strict|clamp|reorder] [--reorder-bound-ms N]\n\
      explain      --posts FILE --graph FILE --first POST_ID --second POST_ID\n\
      \t[--lambda-c N] [--lambda-t-mins N] [--lambda-a F]\n\
      quality      --posts FILE --delivered FILE --graph FILE\n\
@@ -213,15 +216,108 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let thresholds = thresholds_from(args)?;
     let quiet: bool = args.parse_or("quiet", false)?;
 
-    let posts = corpus::read_posts(&mut open_reader(posts_path)?).map_err(|e| e.to_string())?;
+    let mut posts = corpus::read_posts(&mut open_reader(posts_path)?).map_err(|e| e.to_string())?;
     let graph = load_graph_for_posts(graph_path, &posts)?;
 
-    let mut engine = build_engine(algorithm, EngineConfig::new(thresholds), graph);
+    // Hostile-input mode: sanitize through the ingest guard first, so the
+    // engine (and any checkpoint/replay) sees the deterministic admitted
+    // stream the algorithms assume (time-ordered, unique ids).
+    if let Some(policy) = args.get("guard") {
+        let bound_ms: u64 = args.parse_or("reorder-bound-ms", 0)?;
+        let policy = match policy {
+            "strict" => GuardPolicy::Strict,
+            "clamp" => GuardPolicy::Clamp,
+            "reorder" => GuardPolicy::Reorder { bound_ms },
+            other => return Err(format!("unknown --guard {other:?}")),
+        };
+        let cfg = GuardConfig::new(policy).with_author_count(graph.node_count() as u32);
+        let (admitted, stats) = guard_stream(cfg, posts);
+        eprintln!(
+            "ingest guard: {} admitted, {} quarantined ({}), {} timestamps clamped, {} reordered",
+            stats.admitted,
+            stats.quarantined_total(),
+            stats
+                .counts()
+                .map(|(reason, n)| format!("{}: {n}", reason.as_str()))
+                .collect::<Vec<_>>()
+                .join(", "),
+            stats.clamped_timestamps,
+            stats.reordered
+        );
+        posts = admitted;
+    }
+
+    // Crash-safe mode: restore the newest intact checkpoint generation (if
+    // any), then auto-checkpoint at the configured cadence while running.
+    let mut manager = None;
+    let mut resume_at = 0usize;
+    let mut engine = match args.get("checkpoint-dir") {
+        None => build_engine(algorithm, EngineConfig::new(thresholds), graph),
+        Some(dir) => {
+            let every_offers: u64 =
+                args.parse_or("checkpoint-every", CheckpointPolicy::default().every_offers)?;
+            let secs: u64 = args.parse_or("checkpoint-secs", 5)?;
+            let policy = CheckpointPolicy {
+                every_offers,
+                every_millis: (secs > 0).then_some(secs * 1_000),
+                keep: 3,
+            };
+            let mut mgr = CheckpointManager::new(dir, policy).map_err(|e| e.to_string())?;
+            let engine = match restore_latest_valid(
+                std::path::Path::new(dir),
+                algorithm,
+                Arc::clone(&graph),
+                None,
+            ) {
+                Ok(restored) => {
+                    for s in &restored.skipped {
+                        eprintln!(
+                            "warning: skipped corrupt checkpoint generation {}: {}",
+                            s.generation, s.error
+                        );
+                    }
+                    resume_at = (restored.manifest.posts_processed as usize).min(posts.len());
+                    mgr.note_restored(&restored.manifest);
+                    eprintln!(
+                        "resumed from checkpoint generation {} ({} posts already processed)",
+                        restored.manifest.generation, restored.manifest.posts_processed
+                    );
+                    restored.engine
+                }
+                Err(RestoreError::NoValidCheckpoint { skipped }) => {
+                    for s in &skipped {
+                        eprintln!(
+                            "warning: skipped corrupt checkpoint generation {}: {}",
+                            s.generation, s.error
+                        );
+                    }
+                    build_engine(algorithm, EngineConfig::new(thresholds), graph)
+                }
+                Err(RestoreError::Io(e)) => {
+                    return Err(format!("cannot read checkpoint directory {dir}: {e}"))
+                }
+            };
+            manager = Some(mgr);
+            engine
+        }
+    };
+
     let started = std::time::Instant::now();
     let mut emitted: Vec<&Post> = Vec::new();
-    for post in &posts {
+    for post in &posts[resume_at..] {
         if engine.offer(post).is_emitted() {
             emitted.push(post);
+        }
+        if let Some(mgr) = &mut manager {
+            mgr.maybe_save(engine.as_ref())
+                .map_err(|e| format!("checkpoint failed: {e}"))?;
+        }
+    }
+    if let Some(mgr) = &mut manager {
+        // Final checkpoint so a re-run resumes at end-of-stream.
+        if posts.len() > resume_at {
+            mgr.save(engine.as_ref())
+                .map_err(|e| format!("checkpoint failed: {e}"))?;
         }
     }
     let elapsed = started.elapsed();
