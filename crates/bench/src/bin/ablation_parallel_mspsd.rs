@@ -53,7 +53,8 @@ fn main() {
     for shards in [1usize, 2, 4, 8] {
         eprintln!("[a4] parallel with {shards} shard(s) ...");
         let mut parallel =
-            ParallelShared::new(AlgorithmKind::UniBin, config, &graph, subs.clone(), shards);
+            ParallelShared::new(AlgorithmKind::UniBin, config, &graph, subs.clone(), shards)
+                .expect("thread count is positive");
         largest = parallel.largest_component_size();
         let t0 = Instant::now();
         let got = parallel.process_stream(&data.workload.posts);

@@ -1,0 +1,322 @@
+//! Subscription-churn throughput: the recorded churn trajectory
+//! (`BENCH_churn.json`).
+//!
+//! Four rows, all over the same generated workload:
+//!
+//! * `churn_ops` — pure churn ops/sec: a seeded, validity-preserving op
+//!   trace (subscribe / unsubscribe / add-user / remove-user at the paper's
+//!   8:4:1:1 mix) replayed against an idle [`FirehoseService`], per-op
+//!   latency distribution included;
+//! * `service_offer_steady` — multi-user offers/sec through the service
+//!   facade with zero churn (the denominator for churn overhead);
+//! * `service_offer_churn_1pct` — the same stream with one churn op
+//!   interleaved per ~100 posts (≈1% per-offer churn), which is what a live
+//!   deployment looks like;
+//! * `engine_offer_steady` — the single-engine UniBin hot path, measured
+//!   with the exact protocol of `hotpath_throughput` so the row is
+//!   comparable to `BENCH_hotpath.json`; when that file is present its
+//!   UniBin baseline and the regression percentage are embedded
+//!   (`regression_pct` < 5 is the acceptance bar — the facade and churn
+//!   plumbing must not tax the steady-state hot path).
+//!
+//! Flags: `--smoke` (tiny workload, CI), `--posts <n>` (single-engine
+//! stream size, default 100 000), `--out <path>` (default
+//! `BENCH_churn.json`), `--baseline <path>` (default `BENCH_hotpath.json`).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use firehose_bench::{flag_value, stream_rate, BenchSummary, EngineRow};
+use firehose_core::prelude::*;
+use firehose_datagen::{
+    generate_churn_trace, generate_subscriptions, ChurnEvent, ChurnGenConfig, ChurnTraceEntry,
+    SocialGenConfig, SubscriptionGenConfig, SyntheticSocialGraph, Workload, WorkloadConfig,
+};
+use firehose_graph::build_similarity_graph_parallel;
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Apply one generated churn event through the service facade. Traces are
+/// validity-preserving when replayed in generation order, so any rejection
+/// is a bench bug worth a loud panic.
+fn apply(service: &mut FirehoseService, event: &ChurnEvent) {
+    match event {
+        ChurnEvent::Subscribe(u, a) => {
+            service.subscribe(*u as u32, *a).expect("valid subscribe");
+        }
+        ChurnEvent::Unsubscribe(u, a) => {
+            service
+                .unsubscribe(*u as u32, *a)
+                .expect("valid unsubscribe");
+        }
+        ChurnEvent::AddUser(authors) => {
+            service
+                .add_user(authors.iter().copied())
+                .expect("valid add-user");
+        }
+        ChurnEvent::RemoveUser(u) => {
+            service.remove_user(*u as u32).expect("valid remove-user");
+        }
+    }
+}
+
+/// Pull the UniBin `offers_per_sec` out of a `BENCH_hotpath.json` without a
+/// JSON parser: find the row named `"UniBin"` and read the number that
+/// follows its `"offers_per_sec"` key.
+fn unibin_baseline(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let row = text.split("\"name\"").find(|s| {
+        s.trim_start()
+            .trim_start_matches(':')
+            .trim_start()
+            .starts_with("\"UniBin\"")
+    })?;
+    let after = row.split("\"offers_per_sec\"").nth(1)?;
+    let num: String = after
+        .trim_start()
+        .trim_start_matches(':')
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        .collect();
+    num.parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_churn.json".to_string());
+    let baseline_path =
+        flag_value(&args, "--baseline").unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+    let target_posts: usize = flag_value(&args, "--posts")
+        .map(|v| v.parse().expect("--posts expects a count"))
+        .unwrap_or(if smoke { 2_000 } else { 100_000 });
+    // Multi-user passes fan every post out across subscriber components, so
+    // they run on a prefix of the stream to keep the bench under a minute.
+    let (users, multi_posts, churn_ops) = if smoke {
+        (40usize, 1_500usize, 300usize)
+    } else {
+        (800, 20_000, 3_000)
+    };
+
+    let social_config = if smoke {
+        SocialGenConfig::test_scale()
+    } else {
+        SocialGenConfig::bench_scale()
+    };
+    let social = SyntheticSocialGraph::generate(social_config);
+    let workload = Workload::generate(
+        &social,
+        WorkloadConfig {
+            posts_per_author_per_day: target_posts as f64 / social.author_count() as f64,
+            ..WorkloadConfig::default()
+        },
+    );
+    eprintln!(
+        "[churn] workload: {} posts from {} authors; {} users, {} churn ops",
+        workload.len(),
+        social.author_count(),
+        users,
+        churn_ops
+    );
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let graph = Arc::new(build_similarity_graph_parallel(&social.graph, 0.7, threads));
+    let config = EngineConfig::new(Thresholds::paper_defaults())
+        .with_expected_rate(stream_rate(&workload.posts));
+    let sets = generate_subscriptions(
+        social.author_count(),
+        users,
+        SubscriptionGenConfig::default(),
+    );
+    let subscriptions = Subscriptions::new(social.author_count(), sets.iter().cloned()).unwrap();
+    let build_service = || {
+        FirehoseService::builder(&graph, subscriptions.clone())
+            .engine_config(config)
+            .build()
+            .expect("build service")
+    };
+    let multi_stream = &workload.posts[..multi_posts.min(workload.len())];
+
+    let mut summary = BenchSummary::new(
+        "churn_bench",
+        if smoke { "smoke" } else { "bench" },
+        workload.len() as u64,
+    );
+
+    // Row 1 — pure churn throughput against an idle service.
+    let trace = generate_churn_trace(
+        social.author_count(),
+        &sets,
+        1,
+        ChurnGenConfig {
+            ops: churn_ops,
+            ..ChurnGenConfig::default()
+        },
+    );
+    let mut service = build_service();
+    let mut latencies: Vec<u64> = Vec::with_capacity(trace.len());
+    let t0 = Instant::now();
+    for entry in &trace {
+        let p0 = Instant::now();
+        apply(&mut service, &entry.event);
+        latencies.push(p0.elapsed().as_nanos() as u64);
+    }
+    let churn_per_sec = trace.len() as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+    latencies.sort_unstable();
+    let stats = service.churn_stats();
+    eprintln!(
+        "[churn] churn_ops: {churn_per_sec:.0} ops/s, p50 {} ns, p99 {} ns ({} spawned, {} retired, {} warm)",
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.99),
+        stats.engines_spawned,
+        stats.engines_retired,
+        stats.warm_starts
+    );
+    summary.push_engine(
+        EngineRow::new(
+            "churn_ops",
+            churn_per_sec,
+            percentile(&latencies, 0.50),
+            percentile(&latencies, 0.99),
+        )
+        .with_u64("ops", stats.ops_total())
+        .with_u64("subscribes", stats.subscribes)
+        .with_u64("unsubscribes", stats.unsubscribes)
+        .with_u64("users_added", stats.users_added)
+        .with_u64("users_removed", stats.users_removed)
+        .with_u64("engines_spawned", stats.engines_spawned)
+        .with_u64("engines_retired", stats.engines_retired)
+        .with_u64("warm_starts", stats.warm_starts),
+    );
+
+    // Row 2 — service offers/sec, no churn (the overhead denominator).
+    let mut service = build_service();
+    let mut latencies: Vec<u64> = Vec::with_capacity(multi_stream.len());
+    let t0 = Instant::now();
+    for post in multi_stream {
+        let p0 = Instant::now();
+        service.process(post.clone(), |_, _| {}).unwrap();
+        latencies.push(p0.elapsed().as_nanos() as u64);
+    }
+    let steady_per_sec = multi_stream.len() as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+    latencies.sort_unstable();
+    eprintln!(
+        "[churn] service_offer_steady: {steady_per_sec:.0} offers/s, p50 {} ns, p99 {} ns",
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.99)
+    );
+    summary.push_engine(
+        EngineRow::new(
+            "service_offer_steady",
+            steady_per_sec,
+            percentile(&latencies, 0.50),
+            percentile(&latencies, 0.99),
+        )
+        .with_u64("posts", multi_stream.len() as u64)
+        .with_u64("posts_emitted", service.metrics().posts_emitted),
+    );
+
+    // Row 3 — the same stream with ~1% per-offer churn interleaved.
+    let interleaved: Vec<ChurnTraceEntry> = generate_churn_trace(
+        social.author_count(),
+        &sets,
+        multi_stream.len() as u64,
+        ChurnGenConfig {
+            ops: multi_stream.len() / 100,
+            ..ChurnGenConfig::default()
+        },
+    );
+    let mut service = build_service();
+    let mut latencies: Vec<u64> = Vec::with_capacity(multi_stream.len());
+    let mut next = 0;
+    let t0 = Instant::now();
+    for (i, post) in multi_stream.iter().enumerate() {
+        while next < interleaved.len() && interleaved[next].after_posts <= i as u64 {
+            apply(&mut service, &interleaved[next].event);
+            next += 1;
+        }
+        let p0 = Instant::now();
+        service.process(post.clone(), |_, _| {}).unwrap();
+        latencies.push(p0.elapsed().as_nanos() as u64);
+    }
+    for entry in &interleaved[next..] {
+        apply(&mut service, &entry.event);
+    }
+    let churned_per_sec = multi_stream.len() as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+    latencies.sort_unstable();
+    eprintln!(
+        "[churn] service_offer_churn_1pct: {churned_per_sec:.0} offers/s ({:.1}% of steady), p50 {} ns, p99 {} ns",
+        100.0 * churned_per_sec / steady_per_sec,
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.99)
+    );
+    summary.push_engine(
+        EngineRow::new(
+            "service_offer_churn_1pct",
+            churned_per_sec,
+            percentile(&latencies, 0.50),
+            percentile(&latencies, 0.99),
+        )
+        .with_u64("posts", multi_stream.len() as u64)
+        .with_u64("churn_ops", service.churn_stats().ops_total())
+        .with_f64("steady_ratio", churned_per_sec / steady_per_sec),
+    );
+
+    // Row 4 — single-engine UniBin steady state, hotpath_throughput's exact
+    // protocol, with the recorded baseline alongside when available.
+    let mut engine = build_engine(AlgorithmKind::UniBin, config, Arc::clone(&graph));
+    let t0 = Instant::now();
+    for post in &workload.posts {
+        engine.offer(post);
+    }
+    let engine_per_sec = workload.len() as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+    let mut engine = build_engine(AlgorithmKind::UniBin, config, Arc::clone(&graph));
+    let mut latencies: Vec<u64> = Vec::with_capacity(workload.len());
+    for post in &workload.posts {
+        let p0 = Instant::now();
+        engine.offer(post);
+        latencies.push(p0.elapsed().as_nanos() as u64);
+    }
+    latencies.sort_unstable();
+    let mut row = EngineRow::new(
+        "engine_offer_steady",
+        engine_per_sec,
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.99),
+    )
+    .with_u64("comparisons", engine.metrics().comparisons)
+    .with_u64("posts_emitted", engine.metrics().posts_emitted);
+    // A smoke run uses a different workload scale than the recorded
+    // baseline, so the comparison would be meaningless noise there.
+    match unibin_baseline(&baseline_path).filter(|_| !smoke) {
+        Some(baseline) => {
+            let regression_pct = 100.0 * (baseline - engine_per_sec) / baseline;
+            eprintln!(
+                "[churn] engine_offer_steady: {engine_per_sec:.0} offers/s vs baseline {baseline:.0} ({regression_pct:+.2}% regression)"
+            );
+            row = row
+                .with_f64("baseline_offers_per_sec", baseline)
+                .with_f64("regression_pct", regression_pct);
+        }
+        None => {
+            eprintln!("[churn] engine_offer_steady: {engine_per_sec:.0} offers/s (no comparable baseline)");
+        }
+    }
+    summary.push_engine(row);
+
+    let path = std::path::Path::new(&out);
+    summary.write(path).expect("write summary");
+    // Self-check so --smoke in CI fails loudly on malformed output.
+    let written = std::fs::read_to_string(path).expect("read summary back");
+    assert!(
+        written.starts_with('{') && written.trim_end().ends_with('}'),
+        "summary is not a JSON object"
+    );
+    println!("{written}");
+}

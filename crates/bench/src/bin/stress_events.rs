@@ -29,10 +29,12 @@ use firehose_bench::{
     f1, flag_value, BenchSummary, Dataset, EngineRow, MetricsSink, Report, Scale,
 };
 use firehose_core::engine::{build_engine, AlgorithmKind};
+use firehose_core::multi::Subscriptions;
+use firehose_core::service::FirehoseService;
 use firehose_core::{
     export_engine_metrics, export_guard_stats, EngineConfig, EngineObs, Thresholds,
 };
-use firehose_datagen::{Workload, WorkloadConfig};
+use firehose_datagen::{generate_subscriptions, SubscriptionGenConfig, Workload, WorkloadConfig};
 use firehose_stream::{guard_stream, GuardConfig, GuardPolicy, Perturbator, Post, QuarantineStats};
 
 fn parsed_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
@@ -196,6 +198,65 @@ fn main() {
         if let Some(s) = &mut sink {
             s.finish(offered);
         }
+
+        // The same burst through the multi-user service facade: a
+        // SharedMulti over generated subscription sets, with the ingest
+        // guard *inside* the service in chaos mode (raw perturbed posts in,
+        // sanitation and fan-out measured as one pipeline).
+        let sets =
+            generate_subscriptions(graph.node_count(), 400, SubscriptionGenConfig::default());
+        let subscriptions = Subscriptions::new(graph.node_count(), sets).unwrap();
+        let mut builder = FirehoseService::builder(&graph, subscriptions).engine_config(config);
+        if chaos {
+            builder = builder.guard(GuardConfig::new(GuardPolicy::Reorder {
+                bound_ms: reorder_ms.unwrap_or(0),
+            }));
+        }
+        let mut service = builder.build().expect("build service");
+        let input: Vec<Post> = match &perturbator {
+            Some(p) => p.perturb(&workload.posts),
+            None => workload.posts.clone(),
+        };
+        let input_len = input.len();
+        let mut deliveries = 0u64;
+        let mut latencies = Vec::with_capacity(input_len);
+        let t0 = Instant::now();
+        for post in input {
+            let p0 = Instant::now();
+            service
+                .process(post, |_, d| deliveries += d.delivered_to.len() as u64)
+                .expect("service has no checkpoint dir");
+            latencies.push(p0.elapsed().as_nanos() as u64);
+        }
+        service
+            .flush(|_, d| deliveries += d.delivered_to.len() as u64)
+            .expect("service has no checkpoint dir");
+        let elapsed_ms = t0.elapsed().as_secs_f64() * 1_000.0;
+        latencies.sort_unstable();
+        let m = service.metrics();
+        let mut row = EngineRow::new(
+            &format!("{label}/service"),
+            input_len as f64 / (elapsed_ms / 1_000.0).max(1e-9),
+            percentile(&latencies, 0.50),
+            percentile(&latencies, 0.99),
+        )
+        .with_f64("time_ms", elapsed_ms)
+        .with_f64("pruned_pct", (1.0 - m.emit_ratio()) * 100.0)
+        .with_u64("comparisons", m.comparisons)
+        .with_u64("users", 400)
+        .with_u64("deliveries", deliveries);
+        if let Some(stats) = service.guard_stats() {
+            row = row.with_u64("quarantined", stats.quarantined_total());
+        }
+        summary.push_engine(row);
+        r.row(&[
+            label.into(),
+            service.name(),
+            f1(elapsed_ms),
+            f1((1.0 - m.emit_ratio()) * 100.0),
+            percentile(&latencies, 0.99).to_string(),
+            m.comparisons.to_string(),
+        ]);
     }
     r.finish();
     if let Some(path) = json_out {

@@ -252,6 +252,37 @@ impl Diversifier for CliqueBin {
     fn snapshot_tag(&self) -> u8 {
         crate::snapshot::TAG_CLIQUEBIN
     }
+
+    fn window_records(&self, out: &mut Vec<PostRecord>) {
+        // An emission is copied into every clique of its author (or her self
+        // bin); collect everything and dedup by post id.
+        let start = out.len();
+        for bin in &self.clique_bins {
+            out.extend(bin.iter());
+        }
+        for bin in self.self_bins.values() {
+            out.extend(bin.iter());
+        }
+        crate::engine::order_window_records_from(out, start);
+    }
+
+    fn seed_record(&mut self, record: PostRecord) {
+        let clique_ids = self.cover.cliques_of(record.author);
+        if clique_ids.is_empty() {
+            let hint = self.self_bin_hint();
+            self.self_bins
+                .entry(record.author)
+                .or_insert_with(|| TimeWindowBin::with_capacity(hint))
+                .push(record);
+            self.metrics.on_insert(1, PostRecord::SIZE_BYTES);
+            return;
+        }
+        for &cid in clique_ids {
+            self.clique_bins[cid as usize].push(record);
+        }
+        self.metrics
+            .on_insert(clique_ids.len() as u64, PostRecord::SIZE_BYTES);
+    }
 }
 
 #[cfg(test)]

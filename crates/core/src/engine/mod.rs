@@ -99,6 +99,22 @@ pub trait Diversifier {
     /// The engine's tag in the snapshot/checkpoint format (stable across
     /// versions; used to reject restoring state into the wrong kind).
     fn snapshot_tag(&self) -> u8;
+
+    /// Append every **distinct** stored record (the emitted posts whose copy
+    /// is still held by some bin) to `out`, in `(timestamp, id)` order.
+    /// Engines that store multiple copies per emission report each post once.
+    /// Used by the multi-user layer to warm-start a re-seeded component
+    /// engine after subscription churn.
+    fn window_records(&self, out: &mut Vec<PostRecord>);
+
+    /// Insert `record` into the engine's bins as if it had been emitted,
+    /// **without** running the coverage check and without counting a
+    /// processed/emitted post (insertion and copy counters do advance).
+    /// Records must be seeded in non-decreasing timestamp order before any
+    /// live post is offered. This is the warm-start primitive: a re-seeded
+    /// component engine inherits its predecessors' window so recently-shown
+    /// posts keep covering near-duplicates across the churn point.
+    fn seed_record(&mut self, record: PostRecord);
 }
 
 impl<D: Diversifier + ?Sized> Diversifier for Box<D> {
@@ -144,6 +160,39 @@ impl<D: Diversifier + ?Sized> Diversifier for Box<D> {
     fn snapshot_tag(&self) -> u8 {
         (**self).snapshot_tag()
     }
+
+    fn window_records(&self, out: &mut Vec<PostRecord>) {
+        (**self).window_records(out)
+    }
+
+    fn seed_record(&mut self, record: PostRecord) {
+        (**self).seed_record(record)
+    }
+}
+
+/// Canonical order for [`Diversifier::window_records`] output: dedup by post
+/// id, then sort by `(timestamp, id)` — the replay order warm-start seeding
+/// expects.
+pub(crate) fn order_window_records(out: &mut Vec<PostRecord>) {
+    order_window_records_from(out, 0);
+}
+
+/// [`order_window_records`] restricted to `out[start..]`. Engines append to
+/// a caller-owned buffer; ordering only their own tail keeps the appended
+/// range contiguous, which multi-engine collectors (translation of local
+/// author ids back to global, cross-engine seed gathering) rely on.
+pub(crate) fn order_window_records_from(out: &mut Vec<PostRecord>, start: usize) {
+    let tail = &mut out[start..];
+    tail.sort_unstable_by_key(|r| r.id);
+    let mut w = start;
+    for i in start..out.len() {
+        if i == start || out[i].id != out[w - 1].id {
+            out[w] = out[i];
+            w += 1;
+        }
+    }
+    out.truncate(w);
+    out[start..].sort_unstable_by_key(|r| (r.timestamp, r.id));
 }
 
 /// Algorithm selector for factory construction and the advisor.
@@ -225,6 +274,25 @@ mod tests {
     use super::*;
     use crate::config::Thresholds;
     use firehose_stream::minutes;
+
+    #[test]
+    fn order_window_records_from_leaves_prefix_untouched() {
+        let rec = |id: u64, author: u32, ts: u64| firehose_stream::PostRecord {
+            id,
+            author,
+            timestamp: ts,
+            fingerprint: 0,
+        };
+        // Prefix records (already translated by an earlier engine) carry
+        // author ids that would be out of range for a later engine; ids
+        // interleave so whole-buffer sorting would shuffle them into the
+        // tail.
+        let mut out = vec![rec(1, 900, 0), rec(5, 901, 10)];
+        out.extend([rec(4, 0, 7), rec(2, 1, 3), rec(4, 0, 7)]);
+        order_window_records_from(&mut out, 2);
+        assert_eq!(&out[..2], &[rec(1, 900, 0), rec(5, 901, 10)]);
+        assert_eq!(&out[2..], &[rec(2, 1, 3), rec(4, 0, 7)]);
+    }
 
     #[test]
     fn display_names() {

@@ -197,6 +197,26 @@ impl Diversifier for NeighborBin {
     fn snapshot_tag(&self) -> u8 {
         crate::snapshot::TAG_NEIGHBORBIN
     }
+
+    fn window_records(&self, out: &mut Vec<PostRecord>) {
+        // A copy lives in the author's own bin and every neighbor's; the
+        // author's bin alone already holds one copy of each emission.
+        let start = out.len();
+        for (a, bin) in self.bins.iter().enumerate() {
+            out.extend(bin.iter().filter(|r| r.author as usize == a));
+        }
+        crate::engine::order_window_records_from(out, start);
+    }
+
+    fn seed_record(&mut self, record: PostRecord) {
+        self.bins[record.author as usize].push(record);
+        let mut inserted = 1u64;
+        for &nb in self.graph.neighbors(record.author) {
+            self.bins[nb as usize].push(record);
+            inserted += 1;
+        }
+        self.metrics.on_insert(inserted, PostRecord::SIZE_BYTES);
+    }
 }
 
 #[cfg(test)]

@@ -179,6 +179,17 @@ impl Diversifier for UniBin {
     fn snapshot_tag(&self) -> u8 {
         crate::snapshot::TAG_UNIBIN
     }
+
+    fn window_records(&self, out: &mut Vec<PostRecord>) {
+        let start = out.len();
+        out.extend(self.bin.iter());
+        crate::engine::order_window_records_from(out, start);
+    }
+
+    fn seed_record(&mut self, record: PostRecord) {
+        self.bin.push(record);
+        self.metrics.on_insert(1, PostRecord::SIZE_BYTES);
+    }
 }
 
 #[cfg(test)]

@@ -67,8 +67,32 @@ pub mod metrics;
 pub mod multi;
 pub mod obs;
 pub mod quality;
+pub mod service;
 pub mod snapshot;
 pub mod stream_ext;
+
+/// One-stop imports for the common engine/strategy/service surface.
+///
+/// ```
+/// use firehose_core::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::checkpoint::{CheckpointManager, CheckpointPolicy};
+    pub use crate::config::{ChurnConfig, EngineConfig, Thresholds};
+    pub use crate::decision::Decision;
+    pub use crate::engine::{
+        build_engine, AlgorithmKind, CliqueBin, Diversifier, NeighborBin, UniBin,
+    };
+    pub use crate::metrics::EngineMetrics;
+    pub use crate::multi::{
+        BuildError, ChurnStats, IndependentBuilder, IndependentMulti, MultiDecision,
+        MultiDiversifier, ParallelBuilder, ParallelShared, SharedBuilder, SharedMulti,
+        SubscriptionError, Subscriptions, UserId,
+    };
+    pub use crate::service::{
+        ChurnOp, FirehoseService, FirehoseServiceBuilder, ServiceError, StrategyKind, TracedOp,
+    };
+}
 
 pub use advisor::{recommend, AdvisorInputs, ThroughputClass};
 pub use baseline::MaxMinDiversifier;
@@ -76,7 +100,7 @@ pub use checkpoint::{
     restore_latest_valid, restore_latest_valid_multi, CheckpointManager, CheckpointPolicy,
     RestoreError, RestoredEngine,
 };
-pub use config::{ConfigError, EngineConfig, Thresholds};
+pub use config::{ChurnConfig, ConfigError, EngineConfig, Thresholds};
 pub use costmodel::{CostInputs, CostPrediction};
 pub use coverage::{covers, explain, CoverageExplanation};
 pub use decision::Decision;
@@ -84,4 +108,5 @@ pub use engine::{build_engine, AlgorithmKind, Diversifier};
 pub use metrics::EngineMetrics;
 pub use obs::{export_engine_metrics, export_guard_stats, EngineObs, MultiObs, ShardObs};
 pub use quality::{evaluate, QualityReport};
+pub use service::{ChurnOp, FirehoseService, ServiceError, StrategyKind};
 pub use stream_ext::{Diversified, DiversifyExt};

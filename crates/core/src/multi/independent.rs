@@ -8,10 +8,13 @@ use firehose_stream::{AuthorId, Post, PostRecord};
 
 use crate::config::EngineConfig;
 use crate::decision::Decision;
-use crate::engine::{build_engine, AlgorithmKind, Diversifier};
+use crate::engine::{build_engine, order_window_records, AlgorithmKind, Diversifier};
 use crate::metrics::EngineMetrics;
-use crate::multi::subscriptions::Subscriptions;
-use crate::multi::{MultiDecision, MultiDiversifier};
+use crate::multi::subscriptions::{SubscriptionError, Subscriptions, UserId};
+use crate::multi::{
+    load_engine_blob, read_multi_state, write_multi_state, BuildError, ChurnStats, MultiDecision,
+    MultiDiversifier, MultiState,
+};
 use crate::obs::MultiObs;
 
 /// A single-user engine over a compact relabeling of a subset of authors.
@@ -22,6 +25,8 @@ use crate::obs::MultiObs;
 pub(crate) struct CompactEngine {
     engine: Box<dyn Diversifier + Send>,
     local_id: HashMap<AuthorId, u32>,
+    /// Sorted member list; `members[local]` reverses `local_id`.
+    members: Vec<AuthorId>,
 }
 
 impl CompactEngine {
@@ -58,6 +63,7 @@ impl CompactEngine {
         Self {
             engine: build_engine(kind, config, Arc::new(g)),
             local_id,
+            members: members.to_vec(),
         }
     }
 
@@ -78,9 +84,26 @@ impl CompactEngine {
         self.engine.evict_expired(now);
     }
 
-    /// Number of authors this engine serves.
-    pub(crate) fn member_count(&self) -> usize {
-        self.local_id.len()
+    /// Append the engine's distinct in-window records to `out` with authors
+    /// translated back to **global** ids — the warm-start handoff format
+    /// (see [`Diversifier::window_records`]).
+    pub(crate) fn window_records_into(&self, out: &mut Vec<PostRecord>) {
+        let start = out.len();
+        self.engine.window_records(out);
+        for r in &mut out[start..] {
+            r.author = self.members[r.author as usize];
+        }
+    }
+
+    /// Seed a record (global author id) into the engine's bins as if it had
+    /// been emitted (see [`Diversifier::seed_record`]). Silently skips
+    /// non-members — callers filter, this is the backstop.
+    pub(crate) fn seed(&mut self, mut record: PostRecord) {
+        let Some(&local) = self.local_id.get(&record.author) else {
+            return;
+        };
+        record.author = local;
+        self.engine.seed_record(record);
     }
 
     /// Serialize the wrapped engine's mutable state (see
@@ -99,16 +122,99 @@ impl CompactEngine {
     }
 }
 
+/// Builder for [`IndependentMulti`]; see
+/// [`IndependentMulti::builder`].
+pub struct IndependentBuilder<'g> {
+    kind: AlgorithmKind,
+    config: EngineConfig,
+    graph: &'g UndirectedGraph,
+    subscriptions: Subscriptions,
+    user_configs: Option<Vec<EngineConfig>>,
+    warm_start: bool,
+}
+
+impl IndependentBuilder<'_> {
+    /// Per-user configurations — the SPSD customization Section 2
+    /// highlights ("in SPSD we can easily support user customized diversity
+    /// thresholds"), which the shared-component strategies necessarily give
+    /// up. Must supply exactly one config per user.
+    ///
+    /// Note: users whose [`SimHashOptions`](firehose_simhash::SimHashOptions)
+    /// differ from other users' cost one extra fingerprint computation per
+    /// (post, distinct option set) — see `offer`.
+    pub fn user_configs(mut self, configs: Vec<EngineConfig>) -> Self {
+        self.user_configs = Some(configs);
+        self
+    }
+
+    /// Whether engines rebuilt by churn inherit their predecessor's
+    /// in-window records (default `true`). Disable to get cold rebuilds
+    /// whose streams match a freshly built strategy immediately instead of
+    /// after λt.
+    pub fn warm_start(mut self, warm_start: bool) -> Self {
+        self.warm_start = warm_start;
+        self
+    }
+
+    /// Build, validating the per-user config count.
+    pub fn build(self) -> Result<IndependentMulti, BuildError> {
+        let users = self.subscriptions.user_count();
+        let configs = self
+            .user_configs
+            .unwrap_or_else(|| vec![self.config; users]);
+        if configs.len() != users {
+            return Err(BuildError::ConfigCountMismatch {
+                configs: configs.len(),
+                users,
+            });
+        }
+        let engines = configs
+            .iter()
+            .enumerate()
+            .map(|(u, &config)| {
+                CompactEngine::build(
+                    self.kind,
+                    config,
+                    self.graph,
+                    self.subscriptions.authors_of(u as UserId),
+                )
+            })
+            .collect();
+        Ok(IndependentMulti {
+            kind: self.kind,
+            config: self.config,
+            graph: Arc::new(self.graph.clone()),
+            subscriptions: self.subscriptions,
+            engines,
+            user_configs: configs,
+            warm_start: self.warm_start,
+            churn: ChurnStats::default(),
+            last_sweep: 0,
+            live_copies: 0,
+            peak_live_copies: 0,
+            obs: None,
+        })
+    }
+}
+
 /// `M_UniBin` / `M_NeighborBin` / `M_CliqueBin`: every user's stream is
 /// diversified independently. Shared subscriptions are re-processed once per
 /// subscriber — the baseline Section 5 improves upon.
 pub struct IndependentMulti {
     kind: AlgorithmKind,
     config: EngineConfig,
+    /// The global similarity graph, retained for churn-time engine rebuilds.
+    graph: Arc<UndirectedGraph>,
     subscriptions: Subscriptions,
+    /// One engine per user id. Tombstoned users keep a (member-less) engine
+    /// so indices stay aligned; it receives no offers.
     engines: Vec<CompactEngine>,
     /// Per-user configurations (used for per-user fingerprinting options).
     user_configs: Vec<EngineConfig>,
+    /// Warm-start churn-rebuilt engines from the predecessor's window.
+    warm_start: bool,
+    /// Churn ledger (persisted in FHSNAP04 state).
+    churn: ChurnStats,
     /// Stream time of the last global eviction sweep. Hosting thousands of
     /// engines, the multi-user engines sweep idle bins every λt/2 of stream
     /// time so memory tracks the live window (a timer in a real deployment).
@@ -132,54 +238,42 @@ impl IndependentMulti {
         graph: &UndirectedGraph,
         subscriptions: Subscriptions,
     ) -> Self {
-        let configs = vec![config; subscriptions.user_count()];
-        Self::with_user_configs(kind, config, configs, graph, subscriptions)
+        Self::builder(kind, config, graph, subscriptions)
+            .build()
+            .expect("default build cannot fail")
     }
 
-    /// Build with **per-user thresholds** — the customization Section 2
-    /// highlights as an SPSD advantage ("in SPSD we can easily support user
-    /// customized diversity thresholds"), which the shared-component `S_*`
-    /// strategy necessarily gives up (engines shared across users must share
-    /// one configuration).
-    ///
-    /// `base_config` drives the shared eviction-sweep schedule.
-    ///
-    /// Note: users whose [`SimHashOptions`](firehose_simhash::SimHashOptions)
-    /// differ from other users' cost one extra fingerprint computation per
-    /// (post, distinct option set) — see `offer`.
-    ///
-    /// # Panics
-    /// Panics if `configs.len() != subscriptions.user_count()`.
+    /// Start building an `M_*` strategy; see [`IndependentBuilder`].
+    pub fn builder(
+        kind: AlgorithmKind,
+        config: EngineConfig,
+        graph: &UndirectedGraph,
+        subscriptions: Subscriptions,
+    ) -> IndependentBuilder<'_> {
+        IndependentBuilder {
+            kind,
+            config,
+            graph,
+            subscriptions,
+            user_configs: None,
+            warm_start: true,
+        }
+    }
+
+    /// Build with **per-user thresholds**; equivalent to
+    /// `builder(..).user_configs(configs).build()`. `base_config` drives the
+    /// shared eviction-sweep schedule and is the config of users added later
+    /// through churn.
     pub fn with_user_configs(
         kind: AlgorithmKind,
         base_config: EngineConfig,
         configs: Vec<EngineConfig>,
         graph: &UndirectedGraph,
         subscriptions: Subscriptions,
-    ) -> Self {
-        assert_eq!(
-            configs.len(),
-            subscriptions.user_count(),
-            "one config per user required"
-        );
-        let engines = configs
-            .iter()
-            .enumerate()
-            .map(|(u, &config)| {
-                CompactEngine::build(kind, config, graph, subscriptions.authors_of(u as u32))
-            })
-            .collect();
-        Self {
-            kind,
-            config: base_config,
-            subscriptions,
-            engines,
-            user_configs: configs,
-            last_sweep: 0,
-            live_copies: 0,
-            peak_live_copies: 0,
-            obs: None,
-        }
+    ) -> Result<Self, BuildError> {
+        Self::builder(kind, base_config, graph, subscriptions)
+            .user_configs(configs)
+            .build()
     }
 
     /// Attach strategy-level instruments (offer-latency histogram, sweep
@@ -187,6 +281,37 @@ impl IndependentMulti {
     /// `registry`.
     pub fn attach_obs(&mut self, registry: &firehose_obs::Registry) {
         self.obs = Some(MultiObs::register(registry, &MultiDiversifier::name(self)));
+    }
+
+    /// Rebuild user `u`'s engine over their current subscription set,
+    /// optionally inheriting the old engine's in-window records (restricted
+    /// to authors still subscribed).
+    fn rebuild_user_engine(&mut self, u: UserId) {
+        let old = &self.engines[u as usize];
+        let mut seeds = Vec::new();
+        if self.warm_start {
+            old.window_records_into(&mut seeds);
+            order_window_records(&mut seeds);
+        }
+        let members = self.subscriptions.authors_of(u);
+        let config = self.user_configs[u as usize];
+        let mut engine = CompactEngine::build(self.kind, config, &self.graph, members);
+        let mut seeded = 0u64;
+        for r in &seeds {
+            if members.binary_search(&r.author).is_ok() {
+                engine.seed(*r);
+                seeded += 1;
+            }
+        }
+        if seeded > 0 {
+            self.churn.warm_starts += 1;
+        }
+        self.live_copies = self.live_copies.saturating_sub(old.metrics().copies_stored)
+            + engine.metrics().copies_stored;
+        self.peak_live_copies = self.peak_live_copies.max(self.live_copies);
+        self.engines[u as usize] = engine;
+        self.churn.engines_spawned += 1;
+        self.churn.engines_retired += 1;
     }
 
     /// The subscription relation.
@@ -197,6 +322,13 @@ impl IndependentMulti {
 
 impl MultiDiversifier for IndependentMulti {
     fn offer(&mut self, post: &Post) -> MultiDecision {
+        let mut out = MultiDecision::default();
+        self.offer_into(post, &mut out);
+        out
+    }
+
+    fn offer_into(&mut self, post: &Post, out: &mut MultiDecision) {
+        out.delivered_to.clear();
         let started = self.obs.is_some().then(std::time::Instant::now);
         // Periodic global eviction sweep (see `last_sweep`).
         let sweep_every = (self.config.thresholds.lambda_t / 2).max(1);
@@ -216,7 +348,6 @@ impl MultiDiversifier for IndependentMulti {
         // subscribers (usually exactly one — the default configuration).
         let mut fingerprints: Vec<(firehose_simhash::SimHashOptions, PostRecord)> =
             Vec::with_capacity(1);
-        let mut delivered_to = Vec::new();
         for &u in self.subscriptions.subscribers_of(post.author) {
             let opts = self.user_configs[u as usize].simhash;
             let record = match fingerprints.iter().find(|(o, _)| *o == opts) {
@@ -238,7 +369,7 @@ impl MultiDiversifier for IndependentMulti {
             let after = engine.metrics().copies_stored;
             self.live_copies = (self.live_copies + after).saturating_sub(before);
             if verdict.is_emitted() {
-                delivered_to.push(u);
+                out.delivered_to.push(u);
             }
         }
         self.peak_live_copies = self.peak_live_copies.max(self.live_copies);
@@ -246,7 +377,56 @@ impl MultiDiversifier for IndependentMulti {
             obs.offer_latency.record_duration(t0.elapsed());
             obs.live_copies.set(self.live_copies as i64);
         }
-        MultiDecision { delivered_to }
+    }
+
+    fn subscribe(&mut self, user: UserId, author: AuthorId) -> Result<bool, SubscriptionError> {
+        if !self.subscriptions.subscribe(user, author)? {
+            return Ok(false);
+        }
+        self.rebuild_user_engine(user);
+        self.churn.subscribes += 1;
+        Ok(true)
+    }
+
+    fn unsubscribe(&mut self, user: UserId, author: AuthorId) -> Result<bool, SubscriptionError> {
+        if !self.subscriptions.unsubscribe(user, author)? {
+            return Ok(false);
+        }
+        self.rebuild_user_engine(user);
+        self.churn.unsubscribes += 1;
+        Ok(true)
+    }
+
+    fn add_user(&mut self, authors: &[AuthorId]) -> Result<UserId, SubscriptionError> {
+        let u = self.subscriptions.add_user(authors)?;
+        self.user_configs.push(self.config);
+        self.engines.push(CompactEngine::build(
+            self.kind,
+            self.config,
+            &self.graph,
+            self.subscriptions.authors_of(u),
+        ));
+        self.churn.users_added += 1;
+        self.churn.engines_spawned += 1;
+        Ok(u)
+    }
+
+    fn remove_user(&mut self, user: UserId) -> Result<(), SubscriptionError> {
+        self.subscriptions.remove_user(user)?;
+        let empty = CompactEngine::build(self.kind, self.config, &self.graph, &[]);
+        let old = std::mem::replace(&mut self.engines[user as usize], empty);
+        self.live_copies = self.live_copies.saturating_sub(old.metrics().copies_stored);
+        self.churn.users_removed += 1;
+        self.churn.engines_retired += 1;
+        Ok(())
+    }
+
+    fn churn_stats(&self) -> ChurnStats {
+        self.churn
+    }
+
+    fn subscriptions(&self) -> &Subscriptions {
+        &self.subscriptions
     }
 
     fn metrics(&self) -> EngineMetrics {
@@ -267,13 +447,24 @@ impl MultiDiversifier for IndependentMulti {
     }
 
     fn save_state(&self, w: &mut dyn std::io::Write) -> std::io::Result<()> {
-        let engines: Vec<&CompactEngine> = self.engines.iter().collect();
-        crate::multi::write_multi_state(
+        // Engines keyed by user id; tombstoned users' (empty) engines are
+        // not written — the restore side rebuilds them member-less.
+        let mut engines: Vec<(u64, Vec<u8>)> =
+            Vec::with_capacity(self.subscriptions.active_user_count());
+        for (u, engine) in self.engines.iter().enumerate() {
+            if !self.subscriptions.is_active(u as UserId) {
+                continue;
+            }
+            let mut blob = Vec::new();
+            engine.save_state(&mut blob)?;
+            engines.push((u as u64, blob));
+        }
+        write_multi_state(
             w,
-            &engines,
-            self.last_sweep,
-            self.live_copies,
-            self.peak_live_copies,
+            &self.churn,
+            &self.subscriptions,
+            [self.last_sweep, self.live_copies, self.peak_live_copies],
+            &mut engines,
         )
     }
 
@@ -281,12 +472,62 @@ impl MultiDiversifier for IndependentMulti {
         &mut self,
         r: &mut dyn std::io::Read,
     ) -> Result<(), crate::snapshot::SnapshotError> {
-        let mut engines: Vec<&mut CompactEngine> = self.engines.iter_mut().collect();
-        let (last_sweep, live, peak) = crate::multi::read_multi_state(r, &mut engines)?;
-        self.last_sweep = last_sweep;
-        self.live_copies = live;
-        self.peak_live_copies = peak;
-        Ok(())
+        match read_multi_state(r)? {
+            MultiState::Legacy(blobs, ledger) => {
+                if blobs.len() != self.engines.len() {
+                    return Err(crate::snapshot::SnapshotError::StructureMismatch(
+                        "legacy engine count does not match user count",
+                    ));
+                }
+                for (engine, blob) in self.engines.iter_mut().zip(&blobs) {
+                    load_engine_blob(engine, blob)?;
+                }
+                [self.last_sweep, self.live_copies, self.peak_live_copies] = ledger;
+                Ok(())
+            }
+            MultiState::V2(state) => {
+                // Rebuild users from the embedded table. Per-user configs are
+                // kept where user ids persist and default to the base config
+                // for users this instance never saw.
+                let users = state.subscriptions.user_count();
+                self.user_configs.resize(users, self.config);
+                self.user_configs.truncate(users);
+                let mut engines = Vec::with_capacity(users);
+                let mut blobs = state.engines;
+                for u in 0..users as UserId {
+                    let members: &[AuthorId] = if state.subscriptions.is_active(u) {
+                        state.subscriptions.authors_of(u)
+                    } else {
+                        &[]
+                    };
+                    let mut engine = CompactEngine::build(
+                        self.kind,
+                        self.user_configs[u as usize],
+                        &self.graph,
+                        members,
+                    );
+                    if state.subscriptions.is_active(u) {
+                        let blob = blobs.remove(&(u as u64)).ok_or(
+                            crate::snapshot::SnapshotError::StructureMismatch(
+                                "missing engine state for a user",
+                            ),
+                        )?;
+                        load_engine_blob(&mut engine, &blob)?;
+                    }
+                    engines.push(engine);
+                }
+                if !blobs.is_empty() {
+                    return Err(crate::snapshot::SnapshotError::StructureMismatch(
+                        "engine state for an unknown user",
+                    ));
+                }
+                self.subscriptions = state.subscriptions;
+                self.engines = engines;
+                self.churn = state.churn;
+                [self.last_sweep, self.live_copies, self.peak_live_copies] = state.ledger;
+                Ok(())
+            }
+        }
     }
 }
 
@@ -372,7 +613,8 @@ mod tests {
             vec![tight, loose],
             &graph,
             subs,
-        );
+        )
+        .unwrap();
         let d = m.offer(&Post::new(1, 0, 0, "same story told twice over".into()));
         assert_eq!(d.delivered_to, vec![0, 1]);
         // 5 minutes later: outside u0's window (shown again), inside u1's
@@ -387,17 +629,66 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "one config per user")]
     fn config_count_must_match_users() {
         let graph = UndirectedGraph::new(1);
         let subs = Subscriptions::new(1, vec![vec![0], vec![0]]).unwrap();
-        IndependentMulti::with_user_configs(
+        let err = IndependentMulti::with_user_configs(
             AlgorithmKind::UniBin,
             EngineConfig::paper_defaults(),
             vec![EngineConfig::paper_defaults()],
             &graph,
             subs,
+        )
+        .err()
+        .unwrap();
+        assert_eq!(
+            err,
+            BuildError::ConfigCountMismatch {
+                configs: 1,
+                users: 2
+            }
         );
+    }
+
+    #[test]
+    fn subscribe_starts_delivering() {
+        let mut m = setup(AlgorithmKind::UniBin);
+        // u1 does not follow author 0 yet.
+        let d = m.offer(&Post::new(1, 0, 0, "a post from author zero".into()));
+        assert_eq!(d.delivered_to, vec![0]);
+        assert!(m.subscribe(1, 0).unwrap());
+        assert!(!m.subscribe(1, 0).unwrap(), "duplicate edge is a no-op");
+        let d = m.offer(&Post::new(2, 0, 1_000, "another author zero story".into()));
+        assert_eq!(d.delivered_to, vec![0, 1]);
+        assert_eq!(m.churn_stats().subscribes, 1);
+    }
+
+    #[test]
+    fn remove_user_stops_delivery() {
+        let mut m = setup(AlgorithmKind::UniBin);
+        m.remove_user(0).unwrap();
+        let d = m.offer(&Post::new(1, 0, 0, "post from author zero".into()));
+        assert!(d.delivered_to.is_empty());
+        assert!(matches!(
+            m.subscribe(0, 2),
+            Err(SubscriptionError::UserRemoved { .. })
+        ));
+    }
+
+    #[test]
+    fn warm_start_preserves_coverage_across_churn() {
+        let graph = UndirectedGraph::from_edges(2, [(0, 1)]);
+        let subs = Subscriptions::new(2, vec![vec![0]]).unwrap();
+        let config = EngineConfig::new(Thresholds::new(18, minutes(30), 0.7).unwrap());
+        let mut m = IndependentMulti::new(AlgorithmKind::UniBin, config, &graph, subs);
+        let d = m.offer(&Post::new(1, 0, 0, "the big ferry announcement".into()));
+        assert_eq!(d.delivered_to, vec![0]);
+        // Subscribe to similar author 1; the rebuilt engine inherits post 1,
+        // so 1's near-duplicate is still covered.
+        m.subscribe(0, 1).unwrap();
+        assert_eq!(m.churn_stats().warm_starts, 1);
+        let d = m.offer(&Post::new(2, 1, 1_000, "the big ferry announcement".into()));
+        assert!(d.delivered_to.is_empty(), "covered by warm-started record");
     }
 
     #[test]
@@ -420,5 +711,10 @@ mod tests {
         assert_eq!(ce.offer(rec(2, 4, 1_000, 1)).unwrap().covered_by(), Some(1));
         // Author 3 is not a member.
         assert!(ce.offer(rec(3, 3, 2_000, 0)).is_none());
+        // Window records come back with global author ids.
+        let mut out = Vec::new();
+        ce.window_records_into(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].author, 2);
     }
 }

@@ -12,14 +12,22 @@
 //! identical to the sequential [`SharedMulti`](crate::multi::SharedMulti).
 //! Eviction sweeps are driven by the *main* thread from post timestamps —
 //! the exact schedule `SharedMulti` uses — and delivered in-band as
-//! [`Item::Sweep`] markers ordered before the triggering post's records, so
+//! `Item::Sweep` markers ordered before the triggering post's records, so
 //! every per-engine counter (including evictions and memory) is also
 //! identical. The true simultaneous copy footprint is reconstructed by
 //! replaying per-post copy deltas reported by the shards in post order
 //! (asserted in `metrics_match_sequential`).
+//!
+//! The component engines live in the same refcounted
+//! `ComponentRegistry` the
+//! sequential strategy uses, so live churn works identically; shards are
+//! re-partitioned (slot id modulo thread count) at the start of every
+//! [`process_stream`](ParallelShared::process_stream) call, which makes the
+//! shard assignment automatically follow component churn.
 
 use std::collections::HashMap;
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::Instant;
 
 use firehose_graph::UndirectedGraph;
@@ -30,9 +38,9 @@ use crate::config::EngineConfig;
 use crate::engine::AlgorithmKind;
 use crate::metrics::EngineMetrics;
 use crate::multi::independent::CompactEngine;
-use crate::multi::shared::user_components;
-use crate::multi::subscriptions::{Subscriptions, UserId};
-use crate::multi::MultiDecision;
+use crate::multi::registry::ComponentRegistry;
+use crate::multi::subscriptions::{SubscriptionError, Subscriptions, UserId};
+use crate::multi::{BuildError, ChurnStats, MultiDecision, MultiDiversifier};
 use crate::obs::ShardObs;
 
 /// One work item in a shard's channel, ordered by post index.
@@ -54,108 +62,88 @@ struct ShardReport {
     copy_deltas: Vec<(u32, i64)>,
 }
 
-/// One worker's slice of the component engines.
-struct Shard {
-    /// `(global component id, engine)`.
-    engines: Vec<(u32, CompactEngine)>,
-    /// Author → indexes into `engines`.
-    author_engines: HashMap<AuthorId, Vec<u32>>,
+/// Builder for [`ParallelShared`]; see [`ParallelShared::builder`].
+pub struct ParallelBuilder<'g> {
+    kind: AlgorithmKind,
+    config: EngineConfig,
+    graph: &'g UndirectedGraph,
+    subscriptions: Subscriptions,
+    threads: usize,
+    warm_start: bool,
 }
 
-impl Shard {
-    fn copies_stored(&self) -> u64 {
-        self.engines
-            .iter()
-            .map(|(_, e)| e.metrics().copies_stored)
-            .sum()
+impl ParallelBuilder<'_> {
+    /// Number of worker threads (shards); must be at least one.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Whether engines spawned by churn inherit their predecessors'
+    /// in-window records (default `true`); see
+    /// [`IndependentBuilder::warm_start`](crate::multi::IndependentBuilder::warm_start).
+    pub fn warm_start(mut self, warm_start: bool) -> Self {
+        self.warm_start = warm_start;
+        self
+    }
+
+    /// Build, validating the thread count.
+    pub fn build(self) -> Result<ParallelShared, BuildError> {
+        if self.threads == 0 {
+            return Err(BuildError::ZeroThreads);
+        }
+        Ok(ParallelShared {
+            registry: ComponentRegistry::new(
+                self.kind,
+                self.config,
+                Arc::new(self.graph.clone()),
+                self.subscriptions,
+                self.warm_start,
+            ),
+            threads: self.threads,
+            shard_obs: None,
+        })
     }
 }
 
 /// Thread-parallel batch runner for the shared-component strategy.
 pub struct ParallelShared {
-    kind: AlgorithmKind,
-    config: EngineConfig,
-    shards: Vec<Shard>,
-    /// Users served by each (global) component id.
-    component_users: Vec<Vec<UserId>>,
-    /// Author → shard ids that own a component containing the author.
-    author_shards: Vec<Vec<u32>>,
-    /// Stream time of the last eviction sweep (same schedule as
-    /// `SharedMulti::last_sweep`).
-    last_sweep: Timestamp,
-    /// Record copies currently stored across all shards' engines.
-    live_copies: u64,
-    /// Peak of `live_copies` — the true simultaneous footprint.
-    peak_live_copies: u64,
+    registry: ComponentRegistry,
+    threads: usize,
     /// Per-shard instruments, when attached.
     shard_obs: Option<Vec<ShardObs>>,
 }
 
 impl ParallelShared {
     /// Build the decomposition of [`SharedMulti`](crate::multi::SharedMulti)
-    /// and distribute the distinct components round-robin over `threads`
-    /// shards.
-    ///
-    /// # Panics
-    /// Panics if `threads == 0`.
+    /// and distribute the distinct components over `threads` shards.
+    /// Fails with [`BuildError::ZeroThreads`] if `threads == 0`.
     pub fn new(
         kind: AlgorithmKind,
         config: EngineConfig,
         graph: &UndirectedGraph,
         subscriptions: Subscriptions,
         threads: usize,
-    ) -> Self {
-        assert!(threads > 0, "at least one worker thread required");
-        let mut key_to_id: HashMap<Vec<AuthorId>, u32> = HashMap::new();
-        let mut component_members: Vec<Vec<AuthorId>> = Vec::new();
-        let mut component_users: Vec<Vec<UserId>> = Vec::new();
+    ) -> Result<Self, BuildError> {
+        Self::builder(kind, config, graph, subscriptions)
+            .threads(threads)
+            .build()
+    }
 
-        for u in 0..subscriptions.user_count() as UserId {
-            for members in user_components(graph, subscriptions.authors_of(u)) {
-                let id = *key_to_id.entry(members.clone()).or_insert_with(|| {
-                    let id = component_members.len() as u32;
-                    component_members.push(members);
-                    component_users.push(Vec::new());
-                    id
-                });
-                component_users[id as usize].push(u);
-            }
-        }
-
-        let mut shards: Vec<Shard> = (0..threads)
-            .map(|_| Shard {
-                engines: Vec::new(),
-                author_engines: HashMap::new(),
-            })
-            .collect();
-        let mut author_shards: Vec<Vec<u32>> = vec![Vec::new(); graph.node_count()];
-        for (cid, members) in component_members.iter().enumerate() {
-            let shard_id = cid % threads;
-            let shard = &mut shards[shard_id];
-            let local = shard.engines.len() as u32;
-            shard.engines.push((
-                cid as u32,
-                CompactEngine::build(kind, config, graph, members),
-            ));
-            for &a in members {
-                shard.author_engines.entry(a).or_default().push(local);
-                let list = &mut author_shards[a as usize];
-                if !list.contains(&(shard_id as u32)) {
-                    list.push(shard_id as u32);
-                }
-            }
-        }
-
-        Self {
+    /// Start building a `P_*` runner; see [`ParallelBuilder`].
+    pub fn builder(
+        kind: AlgorithmKind,
+        config: EngineConfig,
+        graph: &UndirectedGraph,
+        subscriptions: Subscriptions,
+    ) -> ParallelBuilder<'_> {
+        ParallelBuilder {
             kind,
             config,
-            shards,
-            component_users,
-            author_shards,
-            last_sweep: 0,
-            live_copies: 0,
-            peak_live_copies: 0,
-            shard_obs: None,
+            graph,
+            subscriptions,
+            threads: 1,
+            warm_start: true,
         }
     }
 
@@ -164,9 +152,9 @@ impl ParallelShared {
     /// Workers update them lock-free during
     /// [`process_stream`](Self::process_stream).
     pub fn attach_obs(&mut self, registry: &Registry) {
-        let strategy = self.name();
+        let strategy = MultiDiversifier::name(self);
         self.shard_obs = Some(
-            (0..self.shards.len())
+            (0..self.threads)
                 .map(|i| ShardObs::register(registry, &strategy, i))
                 .collect(),
         );
@@ -174,13 +162,13 @@ impl ParallelShared {
 
     /// Number of distinct components across all shards.
     pub fn component_count(&self) -> usize {
-        self.shards.iter().map(|s| s.engines.len()).sum()
+        self.registry.component_count()
     }
 
     /// Number of shards (worker threads used by
     /// [`process_stream`](Self::process_stream)).
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.threads
     }
 
     /// Author count of the largest single component — the parallelism
@@ -188,32 +176,57 @@ impl ParallelShared {
     /// each other), so by Amdahl's law the speedup is bounded by the largest
     /// component's share of the total work.
     pub fn largest_component_size(&self) -> usize {
-        self.shards
-            .iter()
-            .flat_map(|s| s.engines.iter())
-            .map(|(_, e)| e.member_count())
-            .max()
-            .unwrap_or(0)
+        self.registry.largest_component_size()
+    }
+
+    /// The subscription relation.
+    pub fn subscriptions(&self) -> &Subscriptions {
+        &self.registry.subscriptions
     }
 
     /// Diversify a whole time-ordered stream; returns one delivery list per
     /// post, identical to running `SharedMulti` sequentially.
     pub fn process_stream(&mut self, posts: &[Post]) -> Vec<MultiDecision> {
-        let simhash = self.config.simhash;
-        let sweep_every = (self.config.thresholds.lambda_t / 2).max(1);
-        let author_shards = &self.author_shards;
-        let component_users = &self.component_users;
+        let threads = self.threads;
+        let simhash = self.registry.config().simhash;
+        let sweep_every = (self.registry.config().thresholds.lambda_t / 2).max(1);
         let obs: Vec<Option<ShardObs>> = match &self.shard_obs {
             Some(v) => v.iter().cloned().map(Some).collect(),
-            None => vec![None; self.shards.len()],
+            None => vec![None; threads],
         };
         let depth_gauges: Vec<_> = obs
             .iter()
             .map(|o| o.as_ref().map(|o| o.channel_depth.clone()))
             .collect();
-        let shards = &mut self.shards;
-        let mut last_sweep = self.last_sweep;
 
+        // Split the registry borrow: workers take the engines mutably,
+        // the main thread keeps the routing tables immutably.
+        let reg = &mut self.registry;
+        let meta = &reg.meta;
+        let author_components = &reg.author_components;
+        // Partition live engines over shards by slot id. `cid_to_local`
+        // lets a worker find its engine for a component id taken from the
+        // shared `author_components` routing table.
+        struct Shard<'e> {
+            engines: Vec<(u32, &'e mut CompactEngine)>,
+            cid_to_local: HashMap<u32, usize>,
+        }
+        let mut shards: Vec<Shard<'_>> = (0..threads)
+            .map(|_| Shard {
+                engines: Vec::new(),
+                cid_to_local: HashMap::new(),
+            })
+            .collect();
+        for (cid, engine) in reg.engines.iter_mut().enumerate() {
+            let Some(engine) = engine.as_mut() else {
+                continue;
+            };
+            let shard = &mut shards[cid % threads];
+            shard.cid_to_local.insert(cid as u32, shard.engines.len());
+            shard.engines.push((cid as u32, engine));
+        }
+
+        let mut last_sweep = reg.last_sweep;
         let mut reports: Vec<ShardReport> = Vec::new();
 
         std::thread::scope(|scope| {
@@ -221,14 +234,17 @@ impl ParallelShared {
             // dominate the runtime at firehose rates.
             const BATCH: usize = 256;
             let (report_tx, report_rx) = mpsc::channel::<ShardReport>();
-            let mut senders = Vec::with_capacity(shards.len());
-            for (shard, obs) in shards.iter_mut().zip(obs) {
+            let mut senders = Vec::with_capacity(threads);
+            for (mut shard, obs) in shards.into_iter().zip(obs) {
                 let (tx, rx) = mpsc::sync_channel::<Vec<Item>>(16);
                 senders.push(tx);
                 let report_tx = report_tx.clone();
                 scope.spawn(move || {
                     let mut emitted: Vec<(u32, u32)> = Vec::new();
                     let mut copy_deltas: Vec<(u32, i64)> = Vec::new();
+                    let copies_stored = |engines: &[(u32, &mut CompactEngine)]| -> u64 {
+                        engines.iter().map(|(_, e)| e.metrics().copies_stored).sum()
+                    };
                     for batch in rx {
                         if let Some(o) = &obs {
                             o.channel_depth.add(-1);
@@ -236,11 +252,11 @@ impl ParallelShared {
                         for item in batch {
                             match item {
                                 Item::Sweep(idx, now) => {
-                                    let before = shard.copies_stored();
+                                    let before = copies_stored(&shard.engines);
                                     for (_, engine) in shard.engines.iter_mut() {
                                         engine.evict_expired(now);
                                     }
-                                    let after = shard.copies_stored();
+                                    let after = copies_stored(&shard.engines);
                                     if after != before {
                                         copy_deltas.push((idx, after as i64 - before as i64));
                                     }
@@ -249,15 +265,14 @@ impl ParallelShared {
                                     }
                                 }
                                 Item::Record(idx, record) => {
-                                    let Some(engine_ids) = shard.author_engines.get(&record.author)
-                                    else {
-                                        continue;
-                                    };
-                                    for &eid in engine_ids {
-                                        let (cid, engine) = &mut shard.engines[eid as usize];
+                                    for &cid in &author_components[record.author as usize] {
+                                        let Some(&local) = shard.cid_to_local.get(&cid) else {
+                                            continue; // another shard's component
+                                        };
+                                        let (cid, engine) = &mut shard.engines[local];
                                         let started = obs.is_some().then(Instant::now);
                                         let before = engine.metrics().copies_stored;
-                                        // `author_engines` says this engine
+                                        // The routing table says this engine
                                         // owns the author; skip on
                                         // disagreement rather than panic the
                                         // worker (a poisoned worker would
@@ -305,6 +320,7 @@ impl ParallelShared {
                         .expect("worker hung up unexpectedly");
                 }
             };
+            let mut post_shards: Vec<usize> = Vec::with_capacity(4);
             for (idx, post) in posts.iter().enumerate() {
                 if post.timestamp.saturating_sub(last_sweep) >= sweep_every {
                     last_sweep = post.timestamp;
@@ -313,10 +329,17 @@ impl ParallelShared {
                     }
                 }
                 let record = post.to_record(simhash);
-                for &shard_id in &author_shards[post.author as usize] {
-                    buffers[shard_id as usize].push(Item::Record(idx as u32, record));
-                    if buffers[shard_id as usize].len() >= BATCH {
-                        flush(shard_id as usize, &mut buffers);
+                post_shards.clear();
+                for &cid in &author_components[post.author as usize] {
+                    let shard_id = cid as usize % threads;
+                    if !post_shards.contains(&shard_id) {
+                        post_shards.push(shard_id);
+                    }
+                }
+                for &shard_id in &post_shards {
+                    buffers[shard_id].push(Item::Record(idx as u32, record));
+                    if buffers[shard_id].len() >= BATCH {
+                        flush(shard_id, &mut buffers);
                     }
                 }
             }
@@ -329,7 +352,7 @@ impl ParallelShared {
                 reports.push(report);
             }
         });
-        self.last_sweep = last_sweep;
+        reg.last_sweep = last_sweep;
 
         // Replay copy deltas in post order to reconstruct the peak live
         // footprint exactly as `SharedMulti` samples it (once per post,
@@ -340,22 +363,24 @@ impl ParallelShared {
                 delta_per_post[idx as usize] += d;
             }
         }
-        let mut live = self.live_copies as i64;
-        let mut peak = self.peak_live_copies as i64;
+        let mut live = reg.live_copies as i64;
+        let mut peak = reg.peak_live_copies as i64;
         for d in delta_per_post {
             live += d;
             peak = peak.max(live);
         }
         debug_assert!(live >= 0, "copy ledger went negative");
-        self.live_copies = live.max(0) as u64;
-        self.peak_live_copies = peak.max(0) as u64;
+        reg.live_copies = live.max(0) as u64;
+        reg.peak_live_copies = peak.max(0) as u64;
 
         let mut decisions = vec![MultiDecision::default(); posts.len()];
         for report in reports {
             for (idx, cid) in report.emitted {
-                decisions[idx as usize]
-                    .delivered_to
-                    .extend_from_slice(&component_users[cid as usize]);
+                if let Some(meta) = &meta[cid as usize] {
+                    decisions[idx as usize]
+                        .delivered_to
+                        .extend_from_slice(&meta.users);
+                }
             }
         }
         for d in &mut decisions {
@@ -363,71 +388,78 @@ impl ParallelShared {
         }
         decisions
     }
+}
+
+impl MultiDiversifier for ParallelShared {
+    /// Single-post entry point; spins up the worker pipeline for one post,
+    /// so per-post use is slow by construction — feed batches through
+    /// [`offer_batch`](MultiDiversifier::offer_batch) /
+    /// [`process_stream`](Self::process_stream) instead. Decisions are
+    /// identical either way.
+    fn offer(&mut self, post: &Post) -> MultiDecision {
+        self.process_stream(std::slice::from_ref(post))
+            .pop()
+            .expect("one decision per post")
+    }
+
+    fn offer_batch(&mut self, posts: &[Post]) -> Vec<MultiDecision> {
+        self.process_stream(posts)
+    }
+
+    fn subscribe(&mut self, user: UserId, author: AuthorId) -> Result<bool, SubscriptionError> {
+        self.registry.subscribe(user, author)
+    }
+
+    fn unsubscribe(&mut self, user: UserId, author: AuthorId) -> Result<bool, SubscriptionError> {
+        self.registry.unsubscribe(user, author)
+    }
+
+    fn add_user(&mut self, authors: &[AuthorId]) -> Result<UserId, SubscriptionError> {
+        self.registry.add_user(authors)
+    }
+
+    fn remove_user(&mut self, user: UserId) -> Result<(), SubscriptionError> {
+        self.registry.remove_user(user)
+    }
+
+    fn churn_stats(&self) -> ChurnStats {
+        self.registry.churn
+    }
+
+    fn subscriptions(&self) -> &Subscriptions {
+        &self.registry.subscriptions
+    }
 
     /// Aggregated counters across all shards' engines. Equal — field for
     /// field — to a sequential [`SharedMulti`](crate::multi::SharedMulti)
     /// run over the same stream.
-    pub fn metrics(&self) -> EngineMetrics {
-        let mut total = EngineMetrics::default();
-        for shard in &self.shards {
-            for (_, e) in &shard.engines {
-                total.merge(e.metrics());
-            }
-        }
-        // Replace the summed per-engine peaks with the replayed simultaneous
-        // peak (see `peak_live_copies`), exactly as `SharedMulti` does.
-        total.peak_copies = self.peak_live_copies.max(total.copies_stored);
-        total.peak_memory_bytes = total.peak_copies * PostRecord::SIZE_BYTES as u64;
-        total
+    fn metrics(&self) -> EngineMetrics {
+        self.registry.metrics_total()
     }
 
     /// Strategy name, e.g. `"P_UniBin(4)"`.
-    pub fn name(&self) -> String {
-        format!("P_{}({})", self.kind, self.shards.len())
+    fn name(&self) -> String {
+        format!("P_{}({})", self.registry.kind(), self.threads)
     }
 
-    /// Serialize the runner's mutable state — byte-compatible with
+    /// Serialize the runner's mutable state — byte-identical to
     /// [`SharedMulti`](crate::multi::SharedMulti)'s
-    /// [`save_state`](crate::multi::MultiDiversifier::save_state): engines
-    /// are written in global component-id order, which is independent of the
+    /// [`save_state`](crate::multi::MultiDiversifier::save_state): FHSNAP04
+    /// keys engines by component membership, which is independent of the
     /// shard count. A checkpoint taken with one thread count restores into a
     /// runner (or a sequential `SharedMulti`) with any other.
-    pub fn save_state(&self, w: &mut dyn std::io::Write) -> std::io::Result<()> {
-        let mut by_cid: Vec<(u32, &CompactEngine)> = self
-            .shards
-            .iter()
-            .flat_map(|s| s.engines.iter().map(|(cid, e)| (*cid, e)))
-            .collect();
-        by_cid.sort_unstable_by_key(|&(cid, _)| cid);
-        let engines: Vec<&CompactEngine> = by_cid.into_iter().map(|(_, e)| e).collect();
-        crate::multi::write_multi_state(
-            w,
-            &engines,
-            self.last_sweep,
-            self.live_copies,
-            self.peak_live_copies,
-        )
+    fn save_state(&self, w: &mut dyn std::io::Write) -> std::io::Result<()> {
+        self.registry.save_state(w)
     }
 
     /// Restore state previously produced by [`save_state`](Self::save_state)
-    /// (or by `SharedMulti` over the same decomposition). On error the
-    /// runner's state is unspecified and it must be rebuilt before use.
-    pub fn load_state(
+    /// (or by `SharedMulti`). On error the runner's state is unspecified and
+    /// it must be rebuilt before use.
+    fn load_state(
         &mut self,
         r: &mut dyn std::io::Read,
     ) -> Result<(), crate::snapshot::SnapshotError> {
-        let mut by_cid: Vec<(u32, &mut CompactEngine)> = self
-            .shards
-            .iter_mut()
-            .flat_map(|s| s.engines.iter_mut().map(|(cid, e)| (*cid, e)))
-            .collect();
-        by_cid.sort_unstable_by_key(|&(cid, _)| cid);
-        let mut engines: Vec<&mut CompactEngine> = by_cid.into_iter().map(|(_, e)| e).collect();
-        let (last_sweep, live, peak) = crate::multi::read_multi_state(r, &mut engines)?;
-        self.last_sweep = last_sweep;
-        self.live_copies = live;
-        self.peak_live_copies = peak;
-        Ok(())
+        self.registry.load_state(r)
     }
 }
 
@@ -435,7 +467,7 @@ impl ParallelShared {
 mod tests {
     use super::*;
     use crate::config::Thresholds;
-    use crate::multi::{MultiDiversifier, SharedMulti};
+    use crate::multi::SharedMulti;
     use firehose_stream::minutes;
 
     fn setting() -> (UndirectedGraph, Subscriptions, Vec<Post>) {
@@ -463,7 +495,8 @@ mod tests {
             let mut seq = SharedMulti::new(kind, config, &graph, subs.clone());
             let expected: Vec<_> = posts.iter().map(|p| seq.offer(p)).collect();
             for threads in [1, 2, 4] {
-                let mut par = ParallelShared::new(kind, config, &graph, subs.clone(), threads);
+                let mut par =
+                    ParallelShared::new(kind, config, &graph, subs.clone(), threads).unwrap();
                 let got = par.process_stream(&posts);
                 assert_eq!(got, expected, "{kind} with {threads} threads");
             }
@@ -475,7 +508,7 @@ mod tests {
         let (graph, subs, _) = setting();
         let config = EngineConfig::paper_defaults();
         let seq = SharedMulti::new(AlgorithmKind::UniBin, config, &graph, subs.clone());
-        let par = ParallelShared::new(AlgorithmKind::UniBin, config, &graph, subs, 3);
+        let par = ParallelShared::new(AlgorithmKind::UniBin, config, &graph, subs, 3).unwrap();
         assert_eq!(par.component_count(), seq.component_count());
         assert_eq!(par.shard_count(), 3);
     }
@@ -493,7 +526,8 @@ mod tests {
                 seq.offer(p);
             }
             for threads in [1, 2, 4] {
-                let mut par = ParallelShared::new(kind, config, &graph, subs.clone(), threads);
+                let mut par =
+                    ParallelShared::new(kind, config, &graph, subs.clone(), threads).unwrap();
                 par.process_stream(&posts);
                 // Sweeps are driven from post timestamps on the main thread,
                 // so every counter — including evictions, peak copies, and
@@ -518,7 +552,7 @@ mod tests {
         for p in &posts {
             seq.offer(p);
         }
-        let mut par = ParallelShared::new(AlgorithmKind::UniBin, config, &graph, subs, 2);
+        let mut par = ParallelShared::new(AlgorithmKind::UniBin, config, &graph, subs, 2).unwrap();
         let (a, b) = posts.split_at(posts.len() / 2);
         par.process_stream(a);
         par.process_stream(b);
@@ -530,7 +564,7 @@ mod tests {
         let (graph, subs, posts) = setting();
         let config = EngineConfig::new(Thresholds::new(18, minutes(1), 0.7).unwrap());
         let registry = Registry::new();
-        let mut par = ParallelShared::new(AlgorithmKind::UniBin, config, &graph, subs, 2);
+        let mut par = ParallelShared::new(AlgorithmKind::UniBin, config, &graph, subs, 2).unwrap();
         par.attach_obs(&registry);
         par.process_stream(&posts);
 
@@ -560,16 +594,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one worker thread")]
     fn zero_threads_rejected() {
         let (graph, subs, _) = setting();
-        ParallelShared::new(
+        let err = ParallelShared::new(
             AlgorithmKind::UniBin,
             EngineConfig::paper_defaults(),
             &graph,
             subs,
             0,
-        );
+        )
+        .err()
+        .unwrap();
+        assert_eq!(err, BuildError::ZeroThreads);
     }
 
     #[test]
@@ -581,7 +617,29 @@ mod tests {
             &graph,
             subs,
             4,
-        );
-        assert_eq!(par.name(), "P_CliqueBin(4)");
+        )
+        .unwrap();
+        assert_eq!(MultiDiversifier::name(&par), "P_CliqueBin(4)");
+    }
+
+    #[test]
+    fn churn_matches_sequential_after_resharding() {
+        // Churn between two process_stream calls: the re-partitioned shards
+        // must still match the sequential strategy exactly.
+        let (graph, subs, posts) = setting();
+        let config = EngineConfig::new(Thresholds::new(18, minutes(30), 0.7).unwrap());
+        let (a, b) = posts.split_at(posts.len() / 2);
+        let mut seq = SharedMulti::new(AlgorithmKind::UniBin, config, &graph, subs.clone());
+        let mut par = ParallelShared::new(AlgorithmKind::UniBin, config, &graph, subs, 3).unwrap();
+        let expected: Vec<_> = a.iter().map(|p| seq.offer(p)).collect();
+        assert_eq!(par.process_stream(a), expected);
+        seq.unsubscribe(1, 4).unwrap();
+        par.unsubscribe(1, 4).unwrap();
+        seq.add_user(&[2, 4]).unwrap();
+        par.add_user(&[2, 4]).unwrap();
+        let expected: Vec<_> = b.iter().map(|p| seq.offer(p)).collect();
+        assert_eq!(par.process_stream(b), expected);
+        assert_eq!(par.metrics(), seq.metrics());
+        assert_eq!(par.churn_stats(), seq.churn_stats());
     }
 }

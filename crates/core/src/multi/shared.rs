@@ -10,8 +10,13 @@
 //! 2. deduplicates components across users by their (sorted) member list,
 //! 3. runs one single-user engine per distinct component, and
 //! 4. delivers an emitted post of component `g` to every user of `g`.
+//!
+//! The decomposition lives in a refcounted
+//! [`ComponentRegistry`](crate::multi::registry::ComponentRegistry) and is
+//! maintained *incrementally* under subscription churn — see `DESIGN.md` §9.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use firehose_graph::{UndirectedGraph, UnionFind};
 use firehose_stream::{AuthorId, Post};
@@ -19,9 +24,9 @@ use firehose_stream::{AuthorId, Post};
 use crate::config::EngineConfig;
 use crate::engine::AlgorithmKind;
 use crate::metrics::EngineMetrics;
-use crate::multi::independent::CompactEngine;
-use crate::multi::subscriptions::{Subscriptions, UserId};
-use crate::multi::{MultiDecision, MultiDiversifier};
+use crate::multi::registry::ComponentRegistry;
+use crate::multi::subscriptions::{SubscriptionError, Subscriptions, UserId};
+use crate::multi::{BuildError, ChurnStats, MultiDecision, MultiDiversifier};
 use crate::obs::MultiObs;
 
 /// Decompose a user's (sorted) subscription set into connected components of
@@ -53,24 +58,42 @@ pub(crate) fn user_components(graph: &UndirectedGraph, authors: &[AuthorId]) -> 
     comps
 }
 
-/// The shared-component multi-user engine.
-pub struct SharedMulti {
+/// Builder for [`SharedMulti`]; see [`SharedMulti::builder`].
+pub struct SharedBuilder<'g> {
     kind: AlgorithmKind,
     config: EngineConfig,
+    graph: &'g UndirectedGraph,
     subscriptions: Subscriptions,
-    /// One engine per distinct component.
-    engines: Vec<CompactEngine>,
-    /// Users served by each component.
-    component_users: Vec<Vec<UserId>>,
-    /// For each author: the distinct components containing it.
-    author_components: Vec<Vec<u32>>,
-    /// Stream time of the last global eviction sweep (see
-    /// `IndependentMulti::last_sweep`).
-    last_sweep: firehose_stream::Timestamp,
-    /// Record copies currently stored across all component engines.
-    live_copies: u64,
-    /// Peak of `live_copies` — the true simultaneous footprint.
-    peak_live_copies: u64,
+    warm_start: bool,
+}
+
+impl SharedBuilder<'_> {
+    /// Whether engines spawned by churn inherit their predecessors'
+    /// in-window records (default `true`); see
+    /// [`IndependentBuilder::warm_start`](crate::multi::IndependentBuilder::warm_start).
+    pub fn warm_start(mut self, warm_start: bool) -> Self {
+        self.warm_start = warm_start;
+        self
+    }
+
+    /// Build the component decomposition and the per-component engines.
+    pub fn build(self) -> Result<SharedMulti, BuildError> {
+        Ok(SharedMulti {
+            registry: ComponentRegistry::new(
+                self.kind,
+                self.config,
+                Arc::new(self.graph.clone()),
+                self.subscriptions,
+                self.warm_start,
+            ),
+            obs: None,
+        })
+    }
+}
+
+/// The shared-component multi-user engine.
+pub struct SharedMulti {
+    pub(crate) registry: ComponentRegistry,
     /// Strategy-level instruments, when attached.
     obs: Option<MultiObs>,
 }
@@ -83,37 +106,24 @@ impl SharedMulti {
         graph: &UndirectedGraph,
         subscriptions: Subscriptions,
     ) -> Self {
-        let mut key_to_id: HashMap<Vec<AuthorId>, u32> = HashMap::new();
-        let mut engines: Vec<CompactEngine> = Vec::new();
-        let mut component_users: Vec<Vec<UserId>> = Vec::new();
-        let mut author_components: Vec<Vec<u32>> = vec![Vec::new(); graph.node_count()];
+        Self::builder(kind, config, graph, subscriptions)
+            .build()
+            .expect("default build cannot fail")
+    }
 
-        for u in 0..subscriptions.user_count() as UserId {
-            for members in user_components(graph, subscriptions.authors_of(u)) {
-                let id = *key_to_id.entry(members.clone()).or_insert_with(|| {
-                    let id = engines.len() as u32;
-                    engines.push(CompactEngine::build(kind, config, graph, &members));
-                    component_users.push(Vec::new());
-                    for &a in &members {
-                        author_components[a as usize].push(id);
-                    }
-                    id
-                });
-                component_users[id as usize].push(u);
-            }
-        }
-
-        Self {
+    /// Start building an `S_*` strategy; see [`SharedBuilder`].
+    pub fn builder(
+        kind: AlgorithmKind,
+        config: EngineConfig,
+        graph: &UndirectedGraph,
+        subscriptions: Subscriptions,
+    ) -> SharedBuilder<'_> {
+        SharedBuilder {
             kind,
             config,
+            graph,
             subscriptions,
-            engines,
-            component_users,
-            author_components,
-            last_sweep: 0,
-            live_copies: 0,
-            peak_live_copies: 0,
-            obs: None,
+            warm_start: true,
         }
     }
 
@@ -126,99 +136,108 @@ impl SharedMulti {
 
     /// Number of distinct components (= number of engines).
     pub fn component_count(&self) -> usize {
-        self.engines.len()
+        self.registry.component_count()
     }
 
     /// The subscription relation.
     pub fn subscriptions(&self) -> &Subscriptions {
-        &self.subscriptions
+        &self.registry.subscriptions
     }
 }
 
 impl MultiDiversifier for SharedMulti {
     fn offer(&mut self, post: &Post) -> MultiDecision {
+        let mut out = MultiDecision::default();
+        self.offer_into(post, &mut out);
+        out
+    }
+
+    fn offer_into(&mut self, post: &Post, out: &mut MultiDecision) {
+        out.delivered_to.clear();
         let started = self.obs.is_some().then(std::time::Instant::now);
         // Periodic global eviction sweep across all component engines.
-        let sweep_every = (self.config.thresholds.lambda_t / 2).max(1);
-        if post.timestamp.saturating_sub(self.last_sweep) >= sweep_every {
-            self.last_sweep = post.timestamp;
-            for engine in &mut self.engines {
-                engine.evict_expired(post.timestamp);
-            }
-            self.live_copies = self.engines.iter().map(|e| e.metrics().copies_stored).sum();
+        let sweep_every = (self.registry.config().thresholds.lambda_t / 2).max(1);
+        if post.timestamp.saturating_sub(self.registry.last_sweep) >= sweep_every {
+            self.registry.sweep(post.timestamp);
             if let Some(obs) = &self.obs {
                 obs.sweeps.inc();
             }
         }
 
-        let record = post.to_record(self.config.simhash);
-        let mut delivered_to: Vec<UserId> = Vec::new();
+        let record = post.to_record(self.registry.config().simhash);
+        let reg = &mut self.registry;
         // Each component runs once; its verdict fans out to all its users.
         // A user has at most one component containing this author, so the
         // fan-outs are disjoint.
-        for &cid in &self.author_components[post.author as usize] {
-            let engine = &mut self.engines[cid as usize];
+        for &cid in &reg.author_components[post.author as usize] {
+            // `author_components` says this slot is live and contains the
+            // author; if the maps ever disagree, skip the component rather
+            // than take down the whole stream.
+            let Some(engine) = reg.engines[cid as usize].as_mut() else {
+                continue;
+            };
             let before = engine.metrics().copies_stored;
-            // `author_components` says this component contains the author;
-            // if the maps ever disagree, skip the component rather than take
-            // down the whole stream.
             let Some(verdict) = engine.offer(record) else {
                 continue;
             };
             let after = engine.metrics().copies_stored;
-            self.live_copies = (self.live_copies + after).saturating_sub(before);
+            reg.live_copies = (reg.live_copies + after).saturating_sub(before);
             if verdict.is_emitted() {
-                delivered_to.extend_from_slice(&self.component_users[cid as usize]);
+                if let Some(meta) = &reg.meta[cid as usize] {
+                    out.delivered_to.extend_from_slice(&meta.users);
+                }
             }
         }
-        self.peak_live_copies = self.peak_live_copies.max(self.live_copies);
+        reg.peak_live_copies = reg.peak_live_copies.max(reg.live_copies);
         if let (Some(t0), Some(obs)) = (started, &self.obs) {
             obs.offer_latency.record_duration(t0.elapsed());
-            obs.live_copies.set(self.live_copies as i64);
+            obs.live_copies.set(reg.live_copies as i64);
         }
-        delivered_to.sort_unstable();
-        debug_assert!(delivered_to.windows(2).all(|w| w[0] != w[1]));
-        MultiDecision { delivered_to }
+        out.delivered_to.sort_unstable();
+        debug_assert!(out.delivered_to.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    fn subscribe(&mut self, user: UserId, author: AuthorId) -> Result<bool, SubscriptionError> {
+        self.registry.subscribe(user, author)
+    }
+
+    fn unsubscribe(&mut self, user: UserId, author: AuthorId) -> Result<bool, SubscriptionError> {
+        self.registry.unsubscribe(user, author)
+    }
+
+    fn add_user(&mut self, authors: &[AuthorId]) -> Result<UserId, SubscriptionError> {
+        self.registry.add_user(authors)
+    }
+
+    fn remove_user(&mut self, user: UserId) -> Result<(), SubscriptionError> {
+        self.registry.remove_user(user)
+    }
+
+    fn churn_stats(&self) -> ChurnStats {
+        self.registry.churn
+    }
+
+    fn subscriptions(&self) -> &Subscriptions {
+        &self.registry.subscriptions
     }
 
     fn metrics(&self) -> EngineMetrics {
-        let mut total = EngineMetrics::default();
-        for e in &self.engines {
-            total.merge(e.metrics());
-        }
-        // Replace the summed per-engine peaks with the tracked simultaneous
-        // peak (see `peak_live_copies`).
-        total.peak_copies = self.peak_live_copies.max(total.copies_stored);
-        total.peak_memory_bytes =
-            total.peak_copies * firehose_stream::PostRecord::SIZE_BYTES as u64;
-        total
+        self.registry.metrics_total()
     }
 
     fn name(&self) -> String {
-        format!("S_{}", self.kind)
+        format!("S_{}", self.registry.kind())
     }
 
     fn save_state(&self, w: &mut dyn std::io::Write) -> std::io::Result<()> {
-        let engines: Vec<&CompactEngine> = self.engines.iter().collect();
-        crate::multi::write_multi_state(
-            w,
-            &engines,
-            self.last_sweep,
-            self.live_copies,
-            self.peak_live_copies,
-        )
+        self.registry.save_state(w)
     }
 
     fn load_state(
         &mut self,
         r: &mut dyn std::io::Read,
     ) -> Result<(), crate::snapshot::SnapshotError> {
-        let mut engines: Vec<&mut CompactEngine> = self.engines.iter_mut().collect();
-        let (last_sweep, live, peak) = crate::multi::read_multi_state(r, &mut engines)?;
-        self.last_sweep = last_sweep;
-        self.live_copies = live;
-        self.peak_live_copies = peak;
-        Ok(())
+        self.registry.load_state(r)
     }
 }
 
@@ -340,5 +359,21 @@ mod tests {
         }
         assert_eq!(outputs[0], outputs[1], "UniBin vs NeighborBin");
         assert_eq!(outputs[0], outputs[2], "UniBin vs CliqueBin");
+    }
+
+    #[test]
+    fn churned_delivery_matches_fresh_build() {
+        // After u2 unsubscribes author 4, the {3,4} component splits and a4's
+        // posts reach both users independently — same as a fresh build over
+        // the final subscriptions.
+        let (graph, subs) = figure7();
+        let config = EngineConfig::new(Thresholds::new(18, minutes(30), 0.7).unwrap());
+        let mut s = SharedMulti::new(AlgorithmKind::UniBin, config, &graph, subs);
+        assert!(s.unsubscribe(1, 4).unwrap());
+        assert_eq!(s.churn_stats().unsubscribes, 1);
+        let d = s.offer(&Post::new(1, 3, 0, "who will cover this now".into()));
+        assert_eq!(d.delivered_to, vec![0, 1]);
+        // Both users now hold the same {3} component: one engine serves both.
+        assert_eq!(s.component_count(), 2); // {0,1,5} and {3}
     }
 }

@@ -1,0 +1,859 @@
+//! `FirehoseService` — the whole multi-user pipeline behind one object.
+//!
+//! The lower layers are deliberately à la carte: engines, strategies, the
+//! ingest guard, checkpointing and observability each stand alone. A real
+//! deployment always wires the same five pieces together, so this module
+//! packages them behind a builder-constructed facade that owns the author
+//! graph, the subscription table, the chosen M-SPSD strategy, an optional
+//! [`IngestGuard`], an optional [`CheckpointManager`] and optional metric
+//! registration:
+//!
+//! ```
+//! use firehose_core::prelude::*;
+//! use firehose_graph::UndirectedGraph;
+//! use firehose_stream::Post;
+//!
+//! let graph = UndirectedGraph::from_edges(3, [(0, 1)]);
+//! let subs = Subscriptions::new(3, [vec![0, 1]]).unwrap();
+//!
+//! let mut service = FirehoseService::builder(&graph, subs)
+//!     .strategy(StrategyKind::Shared)
+//!     .build()
+//!     .unwrap();
+//!
+//! let mut delivered = Vec::new();
+//! service
+//!     .process(Post::new(1, 0, 0, "hello".into()), |post, decision| {
+//!         if !decision.delivered_to.is_empty() {
+//!             delivered.push(post.id);
+//!         }
+//!     })
+//!     .unwrap();
+//! service.subscribe(0, 2).unwrap(); // live churn: no rebuild, no restart
+//! assert_eq!(delivered, [1]);
+//! ```
+//!
+//! [`process`](FirehoseService::process) is the service entry point: posts
+//! pass through the guard (when configured), every admitted post is offered
+//! to the strategy with a reused decision buffer, and checkpoints are taken
+//! at the configured cadence. The churn operations forward to the strategy's
+//! live [`MultiDiversifier`] churn API, and [`ChurnOp`] gives those
+//! operations a text form so traces can be recorded, replayed
+//! (`firehose run --churn-trace`) and generated (`firehose_datagen::churn`).
+
+use std::io::{self, BufRead, Write};
+use std::path::PathBuf;
+
+use firehose_graph::UndirectedGraph;
+use firehose_stream::{AuthorId, GuardConfig, IngestGuard, Post, QuarantineStats};
+
+use crate::checkpoint::{
+    restore_latest_valid_multi, CheckpointManager, CheckpointPolicy, Manifest, RestoreError,
+};
+use crate::config::{ChurnConfig, EngineConfig};
+use crate::engine::AlgorithmKind;
+use crate::metrics::EngineMetrics;
+use crate::multi::{
+    BuildError, ChurnStats, IndependentMulti, MultiDecision, MultiDiversifier, ParallelShared,
+    SharedMulti, SubscriptionError, Subscriptions, UserId,
+};
+
+// ---------------------------------------------------------------------
+// Strategy selection.
+// ---------------------------------------------------------------------
+
+/// Which M-SPSD strategy the service runs (Section 5's `M_*` / `S_*`, plus
+/// the sharded parallel extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// One engine per user ([`IndependentMulti`], `M_*`).
+    Independent,
+    /// One engine per distinct connected component ([`SharedMulti`], `S_*`).
+    Shared,
+    /// [`SharedMulti`]'s decomposition spread across worker threads
+    /// ([`ParallelShared`], `P_*`).
+    Parallel {
+        /// Worker thread count (must be ≥ 1).
+        threads: usize,
+    },
+}
+
+impl std::fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Independent => f.write_str("independent"),
+            Self::Shared => f.write_str("shared"),
+            Self::Parallel { threads } => write!(f, "parallel({threads})"),
+        }
+    }
+}
+
+impl std::str::FromStr for StrategyKind {
+    type Err = String;
+
+    /// `independent` | `shared` | `parallel` | `parallel:N`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "independent" | "m" => Ok(Self::Independent),
+            "shared" | "s" => Ok(Self::Shared),
+            "parallel" | "p" => Ok(Self::Parallel {
+                threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            }),
+            other => match other.strip_prefix("parallel:") {
+                Some(n) => n
+                    .parse()
+                    .map(|threads| Self::Parallel { threads })
+                    .map_err(|e| format!("bad thread count in {other:?}: {e}")),
+                None => Err(format!(
+                    "unknown strategy {other:?} (want independent|shared|parallel[:N])"
+                )),
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Churn operations and traces.
+// ---------------------------------------------------------------------
+
+/// One live subscription-management operation, with a stable text form for
+/// trace files (`subscribe 3 17`, `add-user 1,5,9`, ...).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChurnOp {
+    /// `subscribe <user> <author>`.
+    Subscribe(UserId, AuthorId),
+    /// `unsubscribe <user> <author>`.
+    Unsubscribe(UserId, AuthorId),
+    /// `add-user <a1,a2,...>` (or `add-user -` for an empty set).
+    AddUser(Vec<AuthorId>),
+    /// `remove-user <user>`.
+    RemoveUser(UserId),
+}
+
+impl std::fmt::Display for ChurnOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Subscribe(u, a) => write!(f, "subscribe\t{u}\t{a}"),
+            Self::Unsubscribe(u, a) => write!(f, "unsubscribe\t{u}\t{a}"),
+            Self::AddUser(authors) if authors.is_empty() => f.write_str("add-user\t-"),
+            Self::AddUser(authors) => {
+                f.write_str("add-user\t")?;
+                for (i, a) in authors.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                Ok(())
+            }
+            Self::RemoveUser(u) => write!(f, "remove-user\t{u}"),
+        }
+    }
+}
+
+impl std::str::FromStr for ChurnOp {
+    type Err = String;
+
+    /// Parse the [`Display`](std::fmt::Display) form; fields split on any
+    /// run of tabs or spaces.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut fields = s.split_ascii_whitespace();
+        let op = fields.next().ok_or("empty churn op")?;
+        let mut arg = |name: &str| {
+            fields
+                .next()
+                .ok_or_else(|| format!("{op}: missing <{name}>"))
+        };
+        let parsed = match op {
+            "subscribe" | "unsubscribe" => {
+                let u = parse_num(arg("user")?, "user")?;
+                let a = parse_num(arg("author")?, "author")?;
+                if op == "subscribe" {
+                    Self::Subscribe(u, a)
+                } else {
+                    Self::Unsubscribe(u, a)
+                }
+            }
+            "add-user" => {
+                let list = arg("authors")?;
+                let authors = if list == "-" {
+                    Vec::new()
+                } else {
+                    list.split(',')
+                        .map(|a| parse_num(a, "author"))
+                        .collect::<Result<_, _>>()?
+                };
+                Self::AddUser(authors)
+            }
+            "remove-user" => Self::RemoveUser(parse_num(arg("user")?, "user")?),
+            other => return Err(format!("unknown churn op {other:?}")),
+        };
+        match fields.next() {
+            Some(extra) => Err(format!("{op}: unexpected trailing field {extra:?}")),
+            None => Ok(parsed),
+        }
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, name: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    s.parse().map_err(|e| format!("bad <{name}> {s:?}: {e}"))
+}
+
+/// A churn operation scheduled at a stream position: apply `op` once
+/// `after_posts` posts have been offered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TracedOp {
+    /// Apply after this many posts of the (admitted) stream.
+    pub after_posts: u64,
+    /// The operation.
+    pub op: ChurnOp,
+}
+
+impl std::fmt::Display for TracedOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}\t{}", self.after_posts, self.op)
+    }
+}
+
+/// Parse a churn-trace file: one [`TracedOp`] per line (`<after_posts>
+/// <op> <args...>`), `#` comments and blank lines ignored. Ops are returned
+/// sorted by position (stable, so same-position ops keep file order).
+pub fn read_churn_trace(reader: impl BufRead) -> Result<Vec<TracedOp>, String> {
+    let mut ops = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parsed = (|| {
+            let (pos, op) = line
+                .split_once(|c: char| c.is_ascii_whitespace())
+                .ok_or("missing churn op after position")?;
+            Ok(TracedOp {
+                after_posts: parse_num(pos, "after_posts")?,
+                op: op.parse()?,
+            })
+        })();
+        ops.push(parsed.map_err(|e: String| format!("line {}: {e}", lineno + 1))?);
+    }
+    ops.sort_by_key(|t| t.after_posts);
+    Ok(ops)
+}
+
+/// Write a churn trace in the format [`read_churn_trace`] parses.
+pub fn write_churn_trace(ops: &[TracedOp], mut w: impl Write) -> io::Result<()> {
+    for op in ops {
+        writeln!(w, "{op}")?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Errors.
+// ---------------------------------------------------------------------
+
+/// Errors constructing or operating a [`FirehoseService`].
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The strategy rejected its configuration.
+    Build(BuildError),
+    /// Checkpoint directory I/O failed.
+    Io(io::Error),
+    /// Restoring from the checkpoint directory failed.
+    Restore(RestoreError),
+    /// A checkpoint/restore operation was requested but the service was
+    /// built without [`checkpoints`](FirehoseServiceBuilder::checkpoints).
+    NoCheckpointDir,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Build(e) => write!(f, "cannot build strategy: {e}"),
+            Self::Io(e) => write!(f, "checkpoint I/O: {e}"),
+            Self::Restore(e) => write!(f, "restore failed: {e}"),
+            Self::NoCheckpointDir => f.write_str("service built without a checkpoint directory"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<BuildError> for ServiceError {
+    fn from(e: BuildError) -> Self {
+        Self::Build(e)
+    }
+}
+
+impl From<io::Error> for ServiceError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<RestoreError> for ServiceError {
+    fn from(e: RestoreError) -> Self {
+        Self::Restore(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Builder.
+// ---------------------------------------------------------------------
+
+/// Builder for [`FirehoseService`]; start from
+/// [`FirehoseService::builder`].
+pub struct FirehoseServiceBuilder<'g> {
+    graph: &'g UndirectedGraph,
+    subscriptions: Subscriptions,
+    strategy: StrategyKind,
+    algorithm: AlgorithmKind,
+    config: EngineConfig,
+    churn: ChurnConfig,
+    guard: Option<GuardConfig>,
+    checkpoints: Option<(PathBuf, CheckpointPolicy)>,
+    obs: Option<&'g firehose_obs::Registry>,
+}
+
+impl<'g> FirehoseServiceBuilder<'g> {
+    /// Pick the multi-user strategy (default [`StrategyKind::Shared`]).
+    pub fn strategy(mut self, strategy: StrategyKind) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Pick the per-component engine algorithm (default
+    /// [`AlgorithmKind::UniBin`]).
+    pub fn algorithm(mut self, algorithm: AlgorithmKind) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Set thresholds/fingerprinting (default
+    /// [`EngineConfig::paper_defaults`]).
+    pub fn engine_config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Set churn behavior (default [`ChurnConfig::default`]: warm starts on).
+    pub fn churn_config(mut self, churn: ChurnConfig) -> Self {
+        self.churn = churn;
+        self
+    }
+
+    /// Screen incoming posts through an [`IngestGuard`] before they reach
+    /// the strategy. The guard's author-universe check is filled in from the
+    /// graph unless the config already set one.
+    pub fn guard(mut self, config: GuardConfig) -> Self {
+        self.guard = Some(config);
+        self
+    }
+
+    /// Enable crash-safe checkpoints in `dir` at the given cadence.
+    pub fn checkpoints(mut self, dir: impl Into<PathBuf>, policy: CheckpointPolicy) -> Self {
+        self.checkpoints = Some((dir.into(), policy));
+        self
+    }
+
+    /// Register latency/throughput metrics with an observability registry.
+    pub fn observability(mut self, registry: &'g firehose_obs::Registry) -> Self {
+        self.obs = Some(registry);
+        self
+    }
+
+    /// Construct the service: builds the strategy, opens the checkpoint
+    /// directory, and arms the guard.
+    pub fn build(self) -> Result<FirehoseService, ServiceError> {
+        let warm = self.churn.warm_start;
+        let multi: Box<dyn MultiDiversifier + Send> = match self.strategy {
+            StrategyKind::Independent => {
+                let mut m = IndependentMulti::builder(
+                    self.algorithm,
+                    self.config,
+                    self.graph,
+                    self.subscriptions,
+                )
+                .warm_start(warm)
+                .build()?;
+                if let Some(reg) = self.obs {
+                    m.attach_obs(reg);
+                }
+                Box::new(m)
+            }
+            StrategyKind::Shared => {
+                let mut m = SharedMulti::builder(
+                    self.algorithm,
+                    self.config,
+                    self.graph,
+                    self.subscriptions,
+                )
+                .warm_start(warm)
+                .build()?;
+                if let Some(reg) = self.obs {
+                    m.attach_obs(reg);
+                }
+                Box::new(m)
+            }
+            StrategyKind::Parallel { threads } => {
+                let mut m = ParallelShared::builder(
+                    self.algorithm,
+                    self.config,
+                    self.graph,
+                    self.subscriptions,
+                )
+                .threads(threads)
+                .warm_start(warm)
+                .build()?;
+                if let Some(reg) = self.obs {
+                    m.attach_obs(reg);
+                }
+                Box::new(m)
+            }
+        };
+        let guard = self.guard.map(|mut config| {
+            if config.author_count.is_none() {
+                config.author_count = Some(self.graph.node_count() as u32);
+            }
+            IngestGuard::new(config)
+        });
+        let manager = match self.checkpoints {
+            Some((dir, policy)) => Some(CheckpointManager::new(dir, policy)?),
+            None => None,
+        };
+        Ok(FirehoseService {
+            multi,
+            guard,
+            manager,
+            strategy: self.strategy,
+            admitted: Vec::new(),
+            decision: MultiDecision::default(),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// The service.
+// ---------------------------------------------------------------------
+
+/// One long-running diversification service: graph + subscriptions +
+/// strategy + guard + checkpoints + metrics behind a single object. See the
+/// [module docs](self) for the lifecycle.
+pub struct FirehoseService {
+    multi: Box<dyn MultiDiversifier + Send>,
+    guard: Option<IngestGuard>,
+    manager: Option<CheckpointManager>,
+    strategy: StrategyKind,
+    /// Guard output scratch, reused across `process` calls.
+    admitted: Vec<Post>,
+    /// Decision scratch, reused across `process` calls (the
+    /// `offer_into` buffer-reuse path).
+    decision: MultiDecision,
+}
+
+impl FirehoseService {
+    /// Start building a service over an author-similarity graph and a
+    /// subscription table.
+    pub fn builder(
+        graph: &UndirectedGraph,
+        subscriptions: Subscriptions,
+    ) -> FirehoseServiceBuilder<'_> {
+        FirehoseServiceBuilder {
+            graph,
+            subscriptions,
+            strategy: StrategyKind::Shared,
+            algorithm: AlgorithmKind::UniBin,
+            config: EngineConfig::paper_defaults(),
+            churn: ChurnConfig::default(),
+            guard: None,
+            checkpoints: None,
+            obs: None,
+        }
+    }
+
+    /// Feed one post through the full pipeline: guard (quarantine /
+    /// clamp / reorder), strategy, checkpoint cadence. `sink` is called for
+    /// every post the guard admits, with the per-user delivery decision —
+    /// possibly zero times (quarantined or buffered for reorder) or several
+    /// (a reorder release). The decision buffer is reused; copy out what you
+    /// keep.
+    pub fn process(
+        &mut self,
+        post: Post,
+        mut sink: impl FnMut(&Post, &MultiDecision),
+    ) -> io::Result<()> {
+        match &mut self.guard {
+            None => {
+                self.multi.offer_into(&post, &mut self.decision);
+                sink(&post, &self.decision);
+            }
+            Some(guard) => {
+                guard.offer_into(post, &mut self.admitted);
+                for post in self.admitted.drain(..) {
+                    self.multi.offer_into(&post, &mut self.decision);
+                    sink(&post, &self.decision);
+                }
+            }
+        }
+        if let Some(mgr) = &mut self.manager {
+            mgr.maybe_save_multi(self.multi.as_ref())?;
+        }
+        Ok(())
+    }
+
+    /// Release any posts still held by the guard's reorder buffer (call at
+    /// end of stream). A no-op without a reorder guard.
+    pub fn flush(&mut self, mut sink: impl FnMut(&Post, &MultiDecision)) -> io::Result<()> {
+        if let Some(guard) = &mut self.guard {
+            guard.flush_into(&mut self.admitted);
+            for post in self.admitted.drain(..) {
+                self.multi.offer_into(&post, &mut self.decision);
+                sink(&post, &self.decision);
+            }
+            if let Some(mgr) = &mut self.manager {
+                mgr.maybe_save_multi(self.multi.as_ref())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Offer a post directly to the strategy, bypassing guard and
+    /// checkpoint cadence. For pre-sanitized streams and tests.
+    pub fn offer(&mut self, post: &Post) -> MultiDecision {
+        self.multi.offer(post)
+    }
+
+    // --- live churn -------------------------------------------------
+
+    /// User `user` starts following `author`; `Ok(false)` if already
+    /// subscribed (a no-op).
+    pub fn subscribe(&mut self, user: UserId, author: AuthorId) -> Result<bool, SubscriptionError> {
+        self.multi.subscribe(user, author)
+    }
+
+    /// User `user` stops following `author`; `Ok(false)` if not subscribed
+    /// (a no-op).
+    pub fn unsubscribe(
+        &mut self,
+        user: UserId,
+        author: AuthorId,
+    ) -> Result<bool, SubscriptionError> {
+        self.multi.unsubscribe(user, author)
+    }
+
+    /// Register a new user with an initial subscription set; returns her id.
+    pub fn add_user(
+        &mut self,
+        authors: impl IntoIterator<Item = AuthorId>,
+    ) -> Result<UserId, SubscriptionError> {
+        self.multi
+            .add_user(&authors.into_iter().collect::<Vec<_>>())
+    }
+
+    /// Deactivate a user: her engines are released, her id never reused.
+    pub fn remove_user(&mut self, user: UserId) -> Result<(), SubscriptionError> {
+        self.multi.remove_user(user)
+    }
+
+    /// Apply a [`ChurnOp`] (trace replay).
+    pub fn apply(&mut self, op: &ChurnOp) -> Result<(), SubscriptionError> {
+        match op {
+            ChurnOp::Subscribe(u, a) => self.subscribe(*u, *a).map(|_| ()),
+            ChurnOp::Unsubscribe(u, a) => self.unsubscribe(*u, *a).map(|_| ()),
+            ChurnOp::AddUser(authors) => self.add_user(authors.iter().copied()).map(|_| ()),
+            ChurnOp::RemoveUser(u) => self.remove_user(*u),
+        }
+    }
+
+    // --- checkpoints ------------------------------------------------
+
+    /// Checkpoint the strategy now; returns the generation written.
+    pub fn checkpoint_now(&mut self) -> Result<u64, ServiceError> {
+        match &mut self.manager {
+            Some(mgr) => Ok(mgr.save_multi(self.multi.as_ref())?),
+            None => Err(ServiceError::NoCheckpointDir),
+        }
+    }
+
+    /// Restore the newest intact checkpoint generation into the strategy.
+    /// Returns the restored manifest (`manifest.posts_processed` is the
+    /// aggregated per-engine offer counter used for integrity
+    /// cross-checking, *not* a stream position). Corrupt generations are
+    /// skipped (and reported via the error only when *no* generation
+    /// restores).
+    pub fn restore_latest(&mut self) -> Result<Manifest, ServiceError> {
+        let Some(mgr) = &mut self.manager else {
+            return Err(ServiceError::NoCheckpointDir);
+        };
+        let dir = mgr.dir().to_path_buf();
+        let (manifest, _skipped) = restore_latest_valid_multi(&dir, self.multi.as_mut())?;
+        mgr.note_restored(&manifest);
+        Ok(manifest)
+    }
+
+    // --- introspection ----------------------------------------------
+
+    /// The configured strategy.
+    pub fn strategy(&self) -> StrategyKind {
+        self.strategy
+    }
+
+    /// Strategy display name (`"S_UniBin"`, `"P_CliqueBin(4)"`, ...).
+    pub fn name(&self) -> String {
+        self.multi.name()
+    }
+
+    /// Aggregated engine metrics across all component engines.
+    pub fn metrics(&self) -> EngineMetrics {
+        self.multi.metrics()
+    }
+
+    /// Lifetime churn-operation counters.
+    pub fn churn_stats(&self) -> ChurnStats {
+        self.multi.churn_stats()
+    }
+
+    /// The live subscription table.
+    pub fn subscriptions(&self) -> &Subscriptions {
+        self.multi.subscriptions()
+    }
+
+    /// Guard counters, when a guard is configured.
+    pub fn guard_stats(&self) -> Option<&QuarantineStats> {
+        self.guard.as_ref().map(|g| g.stats())
+    }
+
+    /// Direct access to the underlying strategy (escape hatch for advanced
+    /// callers: snapshots, per-engine inspection).
+    pub fn multi(&self) -> &dyn MultiDiversifier {
+        self.multi.as_ref()
+    }
+
+    /// Mutable access to the underlying strategy.
+    pub fn multi_mut(&mut self) -> &mut dyn MultiDiversifier {
+        self.multi.as_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firehose_stream::minutes;
+
+    fn graph() -> UndirectedGraph {
+        UndirectedGraph::from_edges(6, [(0, 1), (0, 5), (3, 4)])
+    }
+
+    fn subs() -> Subscriptions {
+        Subscriptions::new(6, [vec![0, 1, 3], vec![2]]).unwrap()
+    }
+
+    fn config() -> EngineConfig {
+        EngineConfig::new(Thresholds::new(18, minutes(30), 0.7).unwrap())
+    }
+
+    use crate::config::Thresholds;
+
+    fn posts(n: u64) -> Vec<Post> {
+        (0..n)
+            .map(|i| {
+                Post::new(
+                    i + 1,
+                    (i % 6) as AuthorId,
+                    i * 10_000,
+                    format!("content group {}", i % 4),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn service_matches_bare_strategy() {
+        for strategy in [
+            StrategyKind::Independent,
+            StrategyKind::Shared,
+            StrategyKind::Parallel { threads: 2 },
+        ] {
+            let mut service = FirehoseService::builder(&graph(), subs())
+                .strategy(strategy)
+                .engine_config(config())
+                .build()
+                .unwrap();
+            let mut bare = SharedMulti::new(AlgorithmKind::UniBin, config(), &graph(), subs());
+            let mut got = Vec::new();
+            for post in posts(40) {
+                let expected = bare.offer(&post);
+                service
+                    .process(post, |_, d| got.push(d.delivered_to.clone()))
+                    .unwrap();
+                assert_eq!(*got.last().unwrap(), expected.delivered_to, "{strategy}");
+            }
+            assert!(service.metrics().posts_processed > 0);
+        }
+    }
+
+    #[test]
+    fn guard_quarantines_before_strategy() {
+        let mut service = FirehoseService::builder(&graph(), subs())
+            .guard(GuardConfig::default())
+            .engine_config(config())
+            .build()
+            .unwrap();
+        let mut seen = 0;
+        // Author 99 is outside the 6-author graph: quarantined, never offered.
+        service
+            .process(Post::new(1, 99, 0, "bad author".into()), |_, _| seen += 1)
+            .unwrap();
+        assert_eq!(seen, 0);
+        assert_eq!(service.guard_stats().unwrap().quarantined_total(), 1);
+        assert_eq!(service.metrics().posts_processed, 0);
+
+        service
+            .process(Post::new(2, 0, 0, "fine".into()), |_, _| seen += 1)
+            .unwrap();
+        assert_eq!(seen, 1);
+        assert_eq!(service.metrics().posts_processed, 1);
+    }
+
+    #[test]
+    fn churn_ops_apply_and_count() {
+        let mut service = FirehoseService::builder(&graph(), subs())
+            .strategy(StrategyKind::Shared)
+            .engine_config(config())
+            .build()
+            .unwrap();
+        let ops = [
+            ChurnOp::Subscribe(1, 4),
+            ChurnOp::AddUser(vec![0, 2]),
+            ChurnOp::Unsubscribe(0, 3),
+            ChurnOp::RemoveUser(1),
+        ];
+        for op in &ops {
+            service.apply(op).unwrap();
+        }
+        assert_eq!(service.churn_stats().ops_total(), 4);
+        assert!(service.subscriptions().is_subscribed(2, 2));
+        assert!(!service.subscriptions().is_active(1));
+        // Bad ops surface the subscription error.
+        assert!(service.apply(&ChurnOp::Subscribe(1, 0)).is_err());
+        assert!(service.apply(&ChurnOp::Subscribe(0, 99)).is_err());
+    }
+
+    #[test]
+    fn checkpoint_and_restore_round_trip() {
+        let dir = std::env::temp_dir().join(format!("fhsvc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let build = || {
+            FirehoseService::builder(&graph(), subs())
+                .strategy(StrategyKind::Shared)
+                .engine_config(config())
+                .checkpoints(&dir, CheckpointPolicy::default())
+                .build()
+                .unwrap()
+        };
+        let stream = posts(60);
+        let mut service = build();
+        let mut first = Vec::new();
+        for post in stream.iter().take(30).cloned() {
+            service
+                .process(post, |_, d| first.push(d.delivered_to.clone()))
+                .unwrap();
+        }
+        service.subscribe(1, 4).unwrap();
+        let generation = service.checkpoint_now().unwrap();
+
+        let mut restored = build();
+        let manifest = restored.restore_latest().unwrap();
+        assert_eq!(manifest.generation, generation);
+        assert_eq!(manifest.posts_processed, service.metrics().posts_processed);
+        // Continuations agree decision-for-decision.
+        for post in stream.iter().skip(30) {
+            assert_eq!(
+                restored.offer(post).delivered_to,
+                service.offer(post).delivered_to
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_without_dir_is_an_error() {
+        let mut service = FirehoseService::builder(&graph(), subs()).build().unwrap();
+        assert!(matches!(
+            service.restore_latest(),
+            Err(ServiceError::NoCheckpointDir)
+        ));
+        assert!(matches!(
+            service.checkpoint_now(),
+            Err(ServiceError::NoCheckpointDir)
+        ));
+    }
+
+    #[test]
+    fn churn_op_text_round_trips() {
+        let ops = [
+            ChurnOp::Subscribe(3, 17),
+            ChurnOp::Unsubscribe(0, 2),
+            ChurnOp::AddUser(vec![1, 5, 9]),
+            ChurnOp::AddUser(vec![]),
+            ChurnOp::RemoveUser(7),
+        ];
+        for op in &ops {
+            let text = op.to_string();
+            assert_eq!(text.parse::<ChurnOp>().unwrap(), *op, "{text}");
+        }
+        assert!("subscribe 1".parse::<ChurnOp>().is_err());
+        assert!("subscribe 1 2 3".parse::<ChurnOp>().is_err());
+        assert!("follow 1 2".parse::<ChurnOp>().is_err());
+        assert!("add-user".parse::<ChurnOp>().is_err());
+        assert!("add-user 1,x".parse::<ChurnOp>().is_err());
+    }
+
+    #[test]
+    fn churn_trace_round_trips_and_sorts() {
+        let trace = "# comment\n\
+                     \n\
+                     200\tremove-user\t1\n\
+                     10 subscribe 0 4\n\
+                     10\tadd-user\t2,3\n";
+        let ops = read_churn_trace(trace.as_bytes()).unwrap();
+        assert_eq!(ops.len(), 3);
+        assert_eq!(ops[0].after_posts, 10);
+        assert_eq!(ops[0].op, ChurnOp::Subscribe(0, 4));
+        assert_eq!(ops[1].op, ChurnOp::AddUser(vec![2, 3]));
+        assert_eq!(ops[2].after_posts, 200);
+
+        let mut buf = Vec::new();
+        write_churn_trace(&ops, &mut buf).unwrap();
+        assert_eq!(read_churn_trace(&buf[..]).unwrap(), ops);
+
+        assert!(read_churn_trace("nonsense".as_bytes()).is_err());
+        assert!(read_churn_trace("5".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn strategy_kind_parses() {
+        assert_eq!(
+            "independent".parse::<StrategyKind>().unwrap(),
+            StrategyKind::Independent
+        );
+        assert_eq!(
+            "shared".parse::<StrategyKind>().unwrap(),
+            StrategyKind::Shared
+        );
+        assert_eq!(
+            "parallel:3".parse::<StrategyKind>().unwrap(),
+            StrategyKind::Parallel { threads: 3 }
+        );
+        assert!(matches!(
+            "parallel".parse::<StrategyKind>().unwrap(),
+            StrategyKind::Parallel { .. }
+        ));
+        assert!("bogus".parse::<StrategyKind>().is_err());
+        assert!("parallel:x".parse::<StrategyKind>().is_err());
+    }
+}

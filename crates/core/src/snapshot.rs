@@ -10,7 +10,7 @@
 //! shared artifacts with their own persistence (`firehose_graph::io`); the
 //! caller supplies them on restore, and structural mismatches are rejected.
 //!
-//! Format (little-endian): magic `FHSNAP03`, engine tag, the full
+//! Format (little-endian): magic `FHSNAP04`, engine tag, the full
 //! [`EngineConfig`], the [`EngineMetrics`] counters, then the bins — a
 //! deduplicated unique-record table plus per-bin index lists for the
 //! multi-bin engines (a record lives in ~`degree` bins, so this shrinks
@@ -32,7 +32,10 @@ use crate::config::{EngineConfig, Thresholds};
 use crate::engine::{CliqueBin, Diversifier, NeighborBin, UniBin};
 use crate::metrics::EngineMetrics;
 
-const MAGIC: &[u8; 8] = b"FHSNAP03";
+const MAGIC: &[u8; 8] = b"FHSNAP04";
+/// The previous single-engine format: identical wire layout, older magic.
+/// Readers accept both so snapshots taken before the churn release restore.
+const MAGIC_V3: &[u8; 8] = b"FHSNAP03";
 pub(crate) const TAG_UNIBIN: u8 = 1;
 pub(crate) const TAG_NEIGHBORBIN: u8 = 2;
 pub(crate) const TAG_CLIQUEBIN: u8 = 3;
@@ -341,7 +344,7 @@ fn read_header<R: Read + ?Sized>(
 ) -> Result<EngineConfig, SnapshotError> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
+    if &magic != MAGIC && &magic != MAGIC_V3 {
         return Err(SnapshotError::BadMagic);
     }
     let mut tag = [0u8; 1];

@@ -318,7 +318,8 @@ fn parallel_state_is_byte_compatible_with_shared() {
             &graph(),
             subscriptions(),
             threads,
-        );
+        )
+        .unwrap();
         par.process_stream(&posts);
         let mut par_bytes = Vec::new();
         par.save_state(&mut par_bytes).unwrap();
@@ -334,7 +335,8 @@ fn parallel_state_is_byte_compatible_with_shared() {
             &graph(),
             subscriptions(),
             threads,
-        );
+        )
+        .unwrap();
         let mut r: &[u8] = &shared_bytes;
         fresh.load_state(&mut r).unwrap();
         assert_eq!(

@@ -1,0 +1,275 @@
+//! Subscription-churn trace generation.
+//!
+//! Real follower graphs churn constantly — the M-SPSD evaluation's fixed
+//! subscription snapshot is the exception, not the rule. This module
+//! generates deterministic churn traces (follow / unfollow / signup /
+//! deactivation events scheduled at stream positions) against an evolving
+//! model of the subscription table, so every generated operation is valid
+//! when replayed in order: subscribes target active users, unsubscribes
+//! remove a subscription the user actually holds, removals hit live users.
+//!
+//! The trace text format is the one `firehose_core::service` replays
+//! (`firehose run --churn-trace`): one `<after_posts>\t<op>\t<args>` line
+//! per event, `#` comments ignored.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use firehose_stream::AuthorId;
+
+/// One subscription-management event. Mirrors
+/// `firehose_core::service::ChurnOp`, kept separate so datagen stays
+/// independent of the engine crates; the [`Display`](std::fmt::Display)
+/// forms are identical.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// `subscribe <user> <author>`: user follows author.
+    Subscribe(usize, AuthorId),
+    /// `unsubscribe <user> <author>`: user unfollows author.
+    Unsubscribe(usize, AuthorId),
+    /// `add-user <a1,a2,...>`: a signup with an initial subscription set.
+    AddUser(Vec<AuthorId>),
+    /// `remove-user <user>`: a deactivation.
+    RemoveUser(usize),
+}
+
+impl std::fmt::Display for ChurnEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Subscribe(u, a) => write!(f, "subscribe\t{u}\t{a}"),
+            Self::Unsubscribe(u, a) => write!(f, "unsubscribe\t{u}\t{a}"),
+            Self::AddUser(authors) if authors.is_empty() => f.write_str("add-user\t-"),
+            Self::AddUser(authors) => {
+                f.write_str("add-user\t")?;
+                for (i, a) in authors.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                Ok(())
+            }
+            Self::RemoveUser(u) => write!(f, "remove-user\t{u}"),
+        }
+    }
+}
+
+/// A [`ChurnEvent`] scheduled after `after_posts` posts of the stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChurnTraceEntry {
+    /// Apply once this many posts have been offered.
+    pub after_posts: u64,
+    /// The event.
+    pub event: ChurnEvent,
+}
+
+impl std::fmt::Display for ChurnTraceEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}\t{}", self.after_posts, self.event)
+    }
+}
+
+/// Parameters for [`generate_churn_trace`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnGenConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Total events to generate.
+    pub ops: usize,
+    /// Relative weights of subscribe / unsubscribe / add-user /
+    /// remove-user. Follows dominate real churn; signups and deactivations
+    /// are rare.
+    pub weights: [u32; 4],
+    /// Size of a signup's initial subscription set.
+    pub signup_subscriptions: usize,
+}
+
+impl Default for ChurnGenConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xC4A2,
+            ops: 100,
+            weights: [8, 4, 1, 1],
+            signup_subscriptions: 5,
+        }
+    }
+}
+
+/// Generate `config.ops` churn events, uniformly scheduled over a stream of
+/// `post_count` posts, valid against `initial` (one subscription set per
+/// existing user) when replayed in order. Deterministic under the seed.
+pub fn generate_churn_trace(
+    author_count: usize,
+    initial: &[Vec<AuthorId>],
+    post_count: u64,
+    config: ChurnGenConfig,
+) -> Vec<ChurnTraceEntry> {
+    assert!(author_count > 0, "need authors to churn against");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Evolving model of the subscription table: `None` = removed user.
+    let mut users: Vec<Option<Vec<AuthorId>>> = initial.iter().map(|s| Some(s.clone())).collect();
+    let mut active: Vec<usize> = (0..users.len()).collect();
+
+    let total_weight: u32 = config.weights.iter().sum();
+    assert!(total_weight > 0, "at least one op kind must have weight");
+
+    let mut entries = Vec::with_capacity(config.ops);
+    let mut positions: Vec<u64> = (0..config.ops)
+        .map(|_| rng.random_range(0..post_count.max(1)))
+        .collect();
+    positions.sort_unstable();
+
+    for after_posts in positions {
+        // Weighted op-kind draw; fall back to signup when an op kind has no
+        // valid target (e.g. unsubscribe with every active set empty).
+        let mut pick = rng.random_range(0..total_weight);
+        let mut kind = 0;
+        for (k, &w) in config.weights.iter().enumerate() {
+            if pick < w {
+                kind = k;
+                break;
+            }
+            pick -= w;
+        }
+        let event = match kind {
+            0 if !active.is_empty() => {
+                let u = active[rng.random_range(0..active.len())];
+                let a = rng.random_range(0..author_count) as AuthorId;
+                let set = users[u].as_mut().expect("active user has a set");
+                if let Err(i) = set.binary_search(&a) {
+                    set.insert(i, a);
+                }
+                ChurnEvent::Subscribe(u, a)
+            }
+            1 if active
+                .iter()
+                .any(|&u| !users[u].as_ref().expect("active user has a set").is_empty()) =>
+            {
+                let candidates: Vec<usize> = active
+                    .iter()
+                    .copied()
+                    .filter(|&u| !users[u].as_ref().unwrap().is_empty())
+                    .collect();
+                let u = candidates[rng.random_range(0..candidates.len())];
+                let set = users[u].as_mut().unwrap();
+                let a = set.remove(rng.random_range(0..set.len()));
+                ChurnEvent::Unsubscribe(u, a)
+            }
+            3 if !active.is_empty() => {
+                let i = rng.random_range(0..active.len());
+                let u = active.swap_remove(i);
+                users[u] = None;
+                ChurnEvent::RemoveUser(u)
+            }
+            _ => {
+                // Signup (also the fallback when the drawn kind has no
+                // valid target).
+                let mut subs: Vec<AuthorId> = (0..config.signup_subscriptions)
+                    .map(|_| rng.random_range(0..author_count) as AuthorId)
+                    .collect();
+                subs.sort_unstable();
+                subs.dedup();
+                active.push(users.len());
+                users.push(Some(subs.clone()));
+                ChurnEvent::AddUser(subs)
+            }
+        };
+        entries.push(ChurnTraceEntry { after_posts, event });
+    }
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn initial() -> Vec<Vec<AuthorId>> {
+        vec![vec![0, 1, 3], vec![2], vec![4, 5]]
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = generate_churn_trace(10, &initial(), 500, ChurnGenConfig::default());
+        let b = generate_churn_trace(10, &initial(), 500, ChurnGenConfig::default());
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        let c = generate_churn_trace(
+            10,
+            &initial(),
+            500,
+            ChurnGenConfig {
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn trace_is_valid_when_replayed_in_order() {
+        let entries = generate_churn_trace(
+            20,
+            &initial(),
+            1_000,
+            ChurnGenConfig {
+                ops: 300,
+                ..Default::default()
+            },
+        );
+        // Replay against an independent model; every op must be legal.
+        let mut users: Vec<Option<Vec<AuthorId>>> = initial().into_iter().map(Some).collect();
+        let mut last = 0;
+        for entry in &entries {
+            assert!(entry.after_posts >= last, "positions sorted");
+            last = entry.after_posts;
+            match &entry.event {
+                ChurnEvent::Subscribe(u, a) => {
+                    assert!((*a as usize) < 20);
+                    let set = users[*u].as_mut().expect("subscribe to active user");
+                    if !set.contains(a) {
+                        set.push(*a);
+                    }
+                }
+                ChurnEvent::Unsubscribe(u, a) => {
+                    let set = users[*u].as_mut().expect("unsubscribe from active user");
+                    let i = set
+                        .iter()
+                        .position(|x| x == a)
+                        .expect("unsubscribe targets a held subscription");
+                    set.remove(i);
+                }
+                ChurnEvent::AddUser(subs) => {
+                    assert!(subs.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+                    users.push(Some(subs.clone()));
+                }
+                ChurnEvent::RemoveUser(u) => {
+                    assert!(users[*u].take().is_some(), "remove an active user");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_matches_trace_format() {
+        let entry = ChurnTraceEntry {
+            after_posts: 42,
+            event: ChurnEvent::Subscribe(3, 17),
+        };
+        assert_eq!(entry.to_string(), "42\tsubscribe\t3\t17");
+        assert_eq!(ChurnEvent::AddUser(vec![1, 5]).to_string(), "add-user\t1,5");
+        assert_eq!(ChurnEvent::AddUser(vec![]).to_string(), "add-user\t-");
+        assert_eq!(ChurnEvent::RemoveUser(7).to_string(), "remove-user\t7");
+        assert_eq!(
+            ChurnEvent::Unsubscribe(0, 2).to_string(),
+            "unsubscribe\t0\t2"
+        );
+    }
+
+    #[test]
+    fn ops_spread_over_the_stream() {
+        let entries = generate_churn_trace(10, &initial(), 10_000, ChurnGenConfig::default());
+        let early = entries.iter().filter(|e| e.after_posts < 5_000).count();
+        assert!(early > 20 && early < 80, "roughly uniform, got {early}/100");
+    }
+}

@@ -28,6 +28,7 @@
 //!
 //! Everything is deterministic under a caller-supplied seed.
 
+pub mod churn;
 pub mod labels;
 pub mod samplers;
 pub mod socialgen;
@@ -36,6 +37,7 @@ pub mod textgen;
 pub mod urls;
 pub mod workload;
 
+pub use churn::{generate_churn_trace, ChurnEvent, ChurnGenConfig, ChurnTraceEntry};
 pub use labels::{LabeledPair, PrecisionRecall, UserStudy, UserStudyConfig};
 pub use samplers::{Exponential, Zipf};
 pub use socialgen::{SocialGenConfig, SyntheticSocialGraph};

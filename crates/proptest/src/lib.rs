@@ -6,7 +6,7 @@
 //!
 //! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
 //!   supporting both `name in strategy` and `name: Type` parameters;
-//! * [`Strategy`] with `prop_map`, integer-range / tuple / `&str`-pattern
+//! * [`strategy::Strategy`] with `prop_map`, integer-range / tuple / `&str`-pattern
 //!   strategies, [`collection::vec`], [`sample::select`], [`arbitrary::any`];
 //! * [`prop_assert!`] / [`prop_assert_eq!`];
 //! * [`test_runner::Config`] (a.k.a. `ProptestConfig`) with `with_cases`.

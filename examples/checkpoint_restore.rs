@@ -13,13 +13,11 @@
 
 use std::sync::Arc;
 
-use firehose::core::engine::{CliqueBin, Diversifier};
 use firehose::core::snapshot::{restore_cliquebin, snapshot_cliquebin};
-use firehose::core::{EngineConfig, Thresholds};
 use firehose::datagen::{SocialGenConfig, SyntheticSocialGraph, Workload, WorkloadConfig};
 use firehose::graph::io::{read_cover, read_undirected, write_cover, write_undirected};
 use firehose::graph::{build_similarity_graph, greedy_clique_cover};
-use firehose::stream::hours;
+use firehose::prelude::*;
 
 fn main() {
     // ---- offline pipeline (weekly) -------------------------------------

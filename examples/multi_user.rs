@@ -12,17 +12,12 @@
 
 use std::time::Instant;
 
-use firehose::core::engine::AlgorithmKind;
-use firehose::core::multi::{
-    IndependentMulti, MultiDiversifier, ParallelShared, SharedMulti, Subscriptions,
-};
-use firehose::core::{EngineConfig, Thresholds};
 use firehose::datagen::{
     generate_subscriptions, SocialGenConfig, SubscriptionGenConfig, SyntheticSocialGraph, Workload,
     WorkloadConfig,
 };
 use firehose::graph::build_similarity_graph;
-use firehose::stream::hours;
+use firehose::prelude::*;
 
 fn main() {
     let social = SyntheticSocialGraph::generate(SocialGenConfig::test_scale().with_authors(600));
@@ -78,7 +73,8 @@ fn main() {
     );
 
     // Strategy 3: the shared strategy across 4 worker threads.
-    let mut parallel = ParallelShared::new(AlgorithmKind::UniBin, config, &graph, subs.clone(), 4);
+    let mut parallel = ParallelShared::new(AlgorithmKind::UniBin, config, &graph, subs.clone(), 4)
+        .expect("thread count is positive");
     let t0 = Instant::now();
     let p_out = parallel.process_stream(&workload.posts);
     let p_time = t0.elapsed();

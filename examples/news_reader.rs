@@ -13,10 +13,7 @@
 use std::sync::Arc;
 
 use firehose::core::advisor::{recommend, AdvisorInputs, ThroughputClass};
-use firehose::core::engine::{Diversifier, UniBin};
-use firehose::core::{EngineConfig, Thresholds};
-use firehose::graph::UndirectedGraph;
-use firehose::stream::{minutes, Post};
+use firehose::prelude::*;
 
 fn main() {
     // Two dense clusters of outlets: {0,1,2} and {3,4}.

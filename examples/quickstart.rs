@@ -10,10 +10,7 @@
 
 use std::sync::Arc;
 
-use firehose::core::engine::{Diversifier, UniBin};
-use firehose::core::{Decision, EngineConfig, Thresholds};
-use firehose::graph::UndirectedGraph;
-use firehose::stream::{minutes, Post};
+use firehose::prelude::*;
 
 fn main() {
     // Authors: 0 = CNN, 1 = CNN Breaking, 2 = Fox News, 3 = a food blogger.

@@ -12,10 +12,8 @@
 use std::sync::Arc;
 
 use firehose::core::advisor::{recommend, AdvisorInputs, ThroughputClass};
-use firehose::core::engine::{Diversifier, UniBin};
-use firehose::core::{EngineConfig, Thresholds};
-use firehose::graph::UndirectedGraph;
-use firehose::stream::{days, hours, Post};
+use firehose::prelude::*;
+use firehose::stream::days;
 
 fn main() {
     // Research groups: 0,1 share most co-authors; 2 is an unrelated lab.

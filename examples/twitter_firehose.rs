@@ -15,11 +15,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use firehose::core::advisor::{recommend, AdvisorInputs, ThroughputClass};
-use firehose::core::engine::{build_engine, AlgorithmKind};
-use firehose::core::{EngineConfig, Thresholds};
 use firehose::datagen::{SocialGenConfig, SyntheticSocialGraph, Workload, WorkloadConfig};
 use firehose::graph::build_similarity_graph;
-use firehose::stream::hours;
+use firehose::prelude::*;
 
 fn main() {
     // A scaled-down firehose so the example finishes in seconds; bump

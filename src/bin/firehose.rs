@@ -20,9 +20,14 @@ use std::sync::Arc;
 
 use firehose::core::checkpoint::{CheckpointManager, CheckpointPolicy};
 use firehose::core::engine::{build_engine, AlgorithmKind, Diversifier};
+use firehose::core::multi::Subscriptions;
 use firehose::core::quality;
+use firehose::core::service::{read_churn_trace, FirehoseService, StrategyKind, TracedOp};
 use firehose::core::{explain, restore_latest_valid, EngineConfig, RestoreError, Thresholds};
-use firehose::datagen::{SocialGenConfig, SyntheticSocialGraph, Workload, WorkloadConfig};
+use firehose::datagen::{
+    generate_churn_trace, generate_subscriptions, ChurnGenConfig, SocialGenConfig,
+    SubscriptionGenConfig, SyntheticSocialGraph, Workload, WorkloadConfig,
+};
 use firehose::graph::io as graph_io;
 use firehose::graph::{build_similarity_graph_parallel, greedy_clique_cover, UndirectedGraph};
 use firehose::simhash::SimHashOptions;
@@ -79,12 +84,14 @@ fn usage() -> String {
     "usage: firehose <generate|build-graph|cover|run|explain|quality> [--flag value]...\n\
      \n\
      generate     --out-posts FILE --out-follower FILE [--authors N] [--hours H] [--seed S]\n\
+     \t[--users N --out-subscriptions FILE] [--churn-ops N --out-churn FILE]\n\
      build-graph  --follower FILE --out FILE [--lambda-a F] [--threads N]\n\
      cover        --graph FILE --out FILE\n\
      run          --posts FILE --graph FILE [--algorithm unibin|neighborbin|cliquebin]\n\
      \t[--lambda-c N] [--lambda-t-mins N] [--lambda-a F] [--out FILE] [--quiet true]\n\
      \t[--checkpoint-dir DIR] [--checkpoint-every OFFERS] [--checkpoint-secs S]\n\
      \t[--guard strict|clamp|reorder] [--reorder-bound-ms N]\n\
+     \t[--subscriptions FILE [--strategy independent|shared|parallel[:N]] [--churn-trace FILE]]\n\
      explain      --posts FILE --graph FILE --first POST_ID --second POST_ID\n\
      \t[--lambda-c N] [--lambda-t-mins N] [--lambda-a F]\n\
      quality      --posts FILE --delivered FILE --graph FILE\n\
@@ -148,7 +155,88 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
         social.author_count(),
         social.graph.edge_count()
     );
+
+    // Optional M-SPSD inputs: a subscription table and a churn trace
+    // replayable with `run --subscriptions ... --churn-trace ...`.
+    if let Some(out_subs) = args.get("out-subscriptions") {
+        let users: usize = args.parse_or("users", authors / 2)?;
+        let sets = generate_subscriptions(
+            authors,
+            users,
+            SubscriptionGenConfig {
+                seed,
+                ..Default::default()
+            },
+        );
+        let mut w = create_writer(out_subs)?;
+        write_subscription_sets(&sets, &mut w).map_err(|e| e.to_string())?;
+        eprintln!("wrote {users} subscription sets to {out_subs}");
+
+        if let Some(out_churn) = args.get("out-churn") {
+            let ops: usize = args.parse_or("churn-ops", 100)?;
+            let trace = generate_churn_trace(
+                authors,
+                &sets,
+                workload.len() as u64,
+                ChurnGenConfig {
+                    seed,
+                    ops,
+                    ..Default::default()
+                },
+            );
+            let mut w = create_writer(out_churn)?;
+            for entry in &trace {
+                writeln!(w, "{entry}").map_err(|e| e.to_string())?;
+            }
+            eprintln!("wrote {ops} churn ops to {out_churn}");
+        }
+    } else if args.get("out-churn").is_some() {
+        return Err("--out-churn requires --out-subscriptions".into());
+    }
     Ok(())
+}
+
+/// Subscription-sets text format: one user per line, comma-separated author
+/// ids (`-` for an empty set); `#` comments and blank lines ignored.
+fn write_subscription_sets(
+    sets: &[Vec<firehose::stream::AuthorId>],
+    w: &mut impl Write,
+) -> std::io::Result<()> {
+    for set in sets {
+        if set.is_empty() {
+            writeln!(w, "-")?;
+        } else {
+            let line: Vec<String> = set.iter().map(|a| a.to_string()).collect();
+            writeln!(w, "{}", line.join(","))?;
+        }
+    }
+    Ok(())
+}
+
+fn read_subscription_sets(path: &str) -> Result<Vec<Vec<firehose::stream::AuthorId>>, String> {
+    use std::io::BufRead;
+    let mut sets = Vec::new();
+    for (lineno, line) in open_reader(path)?.lines().enumerate() {
+        let line = line.map_err(|e| format!("{path} line {}: {e}", lineno + 1))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "-" {
+            sets.push(Vec::new());
+            continue;
+        }
+        let set = line
+            .split(',')
+            .map(|a| {
+                a.trim()
+                    .parse()
+                    .map_err(|e| format!("{path} line {}: bad author {a:?}: {e}", lineno + 1))
+            })
+            .collect::<Result<_, _>>()?;
+        sets.push(set);
+    }
+    Ok(sets)
 }
 
 fn cmd_build_graph(args: &Args) -> Result<(), String> {
@@ -204,15 +292,175 @@ fn load_graph_for_posts(graph_path: &str, posts: &[Post]) -> Result<Arc<Undirect
     Ok(Arc::new(graph))
 }
 
-fn cmd_run(args: &Args) -> Result<(), String> {
+fn algorithm_from(args: &Args) -> Result<AlgorithmKind, String> {
+    match args.get("algorithm").unwrap_or("unibin") {
+        "unibin" => Ok(AlgorithmKind::UniBin),
+        "neighborbin" => Ok(AlgorithmKind::NeighborBin),
+        "cliquebin" => Ok(AlgorithmKind::CliqueBin),
+        other => Err(format!("unknown --algorithm {other:?}")),
+    }
+}
+
+fn guard_config_from(args: &Args) -> Result<Option<GuardConfig>, String> {
+    let Some(policy) = args.get("guard") else {
+        return Ok(None);
+    };
+    let bound_ms: u64 = args.parse_or("reorder-bound-ms", 0)?;
+    let policy = match policy {
+        "strict" => GuardPolicy::Strict,
+        "clamp" => GuardPolicy::Clamp,
+        "reorder" => GuardPolicy::Reorder { bound_ms },
+        other => return Err(format!("unknown --guard {other:?}")),
+    };
+    Ok(Some(GuardConfig::new(policy)))
+}
+
+fn checkpoint_policy_from(args: &Args) -> Result<CheckpointPolicy, String> {
+    let every_offers: u64 =
+        args.parse_or("checkpoint-every", CheckpointPolicy::default().every_offers)?;
+    let secs: u64 = args.parse_or("checkpoint-secs", 5)?;
+    Ok(CheckpointPolicy {
+        every_offers,
+        every_millis: (secs > 0).then_some(secs * 1_000),
+        keep: 3,
+    })
+}
+
+/// `run --subscriptions ...`: the multi-user service path. The whole
+/// pipeline — guard, strategy, checkpoints, live churn — runs behind one
+/// [`FirehoseService`]; `--churn-trace` replays subscription churn at the
+/// recorded stream positions (op positions count *input* posts fed to the
+/// service).
+fn cmd_run_multi(args: &Args) -> Result<(), String> {
     let posts_path = args.require("posts")?;
     let graph_path = args.require("graph")?;
-    let algorithm = match args.get("algorithm").unwrap_or("unibin") {
-        "unibin" => AlgorithmKind::UniBin,
-        "neighborbin" => AlgorithmKind::NeighborBin,
-        "cliquebin" => AlgorithmKind::CliqueBin,
-        other => return Err(format!("unknown --algorithm {other:?}")),
+    let subs_path = args.require("subscriptions")?;
+    let algorithm = algorithm_from(args)?;
+    let thresholds = thresholds_from(args)?;
+    let quiet: bool = args.parse_or("quiet", false)?;
+    let strategy: StrategyKind = args.get("strategy").unwrap_or("shared").parse()?;
+
+    let posts = corpus::read_posts(&mut open_reader(posts_path)?).map_err(|e| e.to_string())?;
+    let graph = load_graph_for_posts(graph_path, &posts)?;
+    let sets = read_subscription_sets(subs_path)?;
+    let user_count = sets.len();
+    let subscriptions =
+        Subscriptions::new(graph.node_count(), sets).map_err(|e| format!("{subs_path}: {e}"))?;
+
+    let mut builder = FirehoseService::builder(&graph, subscriptions)
+        .strategy(strategy)
+        .algorithm(algorithm)
+        .engine_config(EngineConfig::new(thresholds));
+    if let Some(guard) = guard_config_from(args)? {
+        builder = builder.guard(guard);
+    }
+    if let Some(dir) = args.get("checkpoint-dir") {
+        builder = builder.checkpoints(dir, checkpoint_policy_from(args)?);
+    }
+    let mut service = builder.build().map_err(|e| e.to_string())?;
+
+    let trace: Vec<TracedOp> = match args.get("churn-trace") {
+        Some(path) => read_churn_trace(open_reader(path)?).map_err(|e| format!("{path}: {e}"))?,
+        None => Vec::new(),
     };
+    let mut next_op = 0;
+
+    let started = std::time::Instant::now();
+    let mut emitted: Vec<Post> = Vec::new();
+    let mut deliveries: u64 = 0;
+    for (i, post) in posts.iter().enumerate() {
+        while next_op < trace.len() && trace[next_op].after_posts <= i as u64 {
+            let op = &trace[next_op].op;
+            service
+                .apply(op)
+                .map_err(|e| format!("churn trace op {}: {e}", trace[next_op]))?;
+            next_op += 1;
+        }
+        service
+            .process(post.clone(), |post, decision| {
+                if !decision.delivered_to.is_empty() {
+                    deliveries += decision.delivered_to.len() as u64;
+                    emitted.push(post.clone());
+                }
+            })
+            .map_err(|e| format!("checkpoint failed: {e}"))?;
+    }
+    for entry in &trace[next_op..] {
+        service
+            .apply(&entry.op)
+            .map_err(|e| format!("churn trace op {entry}: {e}"))?;
+    }
+    service
+        .flush(|post, decision| {
+            if !decision.delivered_to.is_empty() {
+                deliveries += decision.delivered_to.len() as u64;
+                emitted.push(post.clone());
+            }
+        })
+        .map_err(|e| format!("checkpoint failed: {e}"))?;
+    let elapsed = started.elapsed();
+
+    if let Some(stats) = service.guard_stats() {
+        eprintln!(
+            "ingest guard: {} admitted, {} quarantined, {} timestamps clamped, {} reordered",
+            stats.admitted,
+            stats.quarantined_total(),
+            stats.clamped_timestamps,
+            stats.reordered
+        );
+    }
+    if let Some(out) = args.get("out") {
+        corpus::write_posts(&emitted, &mut create_writer(out)?).map_err(|e| e.to_string())?;
+    } else if !quiet {
+        let stdout = std::io::stdout();
+        let mut lock = BufWriter::new(stdout.lock());
+        for post in &emitted {
+            writeln!(
+                lock,
+                "{}\t{}\t{}\t{}",
+                post.id, post.author, post.timestamp, post.text
+            )
+            .map_err(|e| e.to_string())?;
+        }
+    }
+
+    let c = service.churn_stats();
+    if c.ops_total() > 0 {
+        eprintln!(
+            "churn: {} ops ({} subscribes, {} unsubscribes, {} users added, {} removed); {} engines spawned, {} retired, {} warm starts",
+            c.ops_total(),
+            c.subscribes,
+            c.unsubscribes,
+            c.users_added,
+            c.users_removed,
+            c.engines_spawned,
+            c.engines_retired,
+            c.warm_starts
+        );
+    }
+    let m = service.metrics();
+    eprintln!(
+        "{}: {} posts -> {} unique deliveries to {} users ({} total) in {:.1?}; {} engine offers, {} comparisons, peak {} records",
+        service.name(),
+        posts.len(),
+        emitted.len(),
+        user_count,
+        deliveries,
+        elapsed,
+        m.posts_processed,
+        m.comparisons,
+        m.peak_copies
+    );
+    Ok(())
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    if args.get("subscriptions").is_some() {
+        return cmd_run_multi(args);
+    }
+    let posts_path = args.require("posts")?;
+    let graph_path = args.require("graph")?;
+    let algorithm = algorithm_from(args)?;
     let thresholds = thresholds_from(args)?;
     let quiet: bool = args.parse_or("quiet", false)?;
 
@@ -222,15 +470,8 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     // Hostile-input mode: sanitize through the ingest guard first, so the
     // engine (and any checkpoint/replay) sees the deterministic admitted
     // stream the algorithms assume (time-ordered, unique ids).
-    if let Some(policy) = args.get("guard") {
-        let bound_ms: u64 = args.parse_or("reorder-bound-ms", 0)?;
-        let policy = match policy {
-            "strict" => GuardPolicy::Strict,
-            "clamp" => GuardPolicy::Clamp,
-            "reorder" => GuardPolicy::Reorder { bound_ms },
-            other => return Err(format!("unknown --guard {other:?}")),
-        };
-        let cfg = GuardConfig::new(policy).with_author_count(graph.node_count() as u32);
+    if let Some(cfg) = guard_config_from(args)? {
+        let cfg = cfg.with_author_count(graph.node_count() as u32);
         let (admitted, stats) = guard_stream(cfg, posts);
         eprintln!(
             "ingest guard: {} admitted, {} quarantined ({}), {} timestamps clamped, {} reordered",
@@ -254,14 +495,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let mut engine = match args.get("checkpoint-dir") {
         None => build_engine(algorithm, EngineConfig::new(thresholds), graph),
         Some(dir) => {
-            let every_offers: u64 =
-                args.parse_or("checkpoint-every", CheckpointPolicy::default().every_offers)?;
-            let secs: u64 = args.parse_or("checkpoint-secs", 5)?;
-            let policy = CheckpointPolicy {
-                every_offers,
-                every_millis: (secs > 0).then_some(secs * 1_000),
-                keep: 3,
-            };
+            let policy = checkpoint_policy_from(args)?;
             let mut mgr = CheckpointManager::new(dir, policy).map_err(|e| e.to_string())?;
             let engine = match restore_latest_valid(
                 std::path::Path::new(dir),

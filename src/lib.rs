@@ -48,3 +48,27 @@ pub use firehose_graph as graph;
 pub use firehose_simhash as simhash;
 pub use firehose_stream as stream;
 pub use firehose_text as text;
+
+/// One-import surface for the common pipeline: everything in
+/// [`firehose_core::prelude`] (engines, multi-user strategies, the
+/// [`core::service::FirehoseService`] facade, checkpoints) plus the graph,
+/// post and ingest-guard types they operate on.
+///
+/// ```
+/// use firehose::prelude::*;
+///
+/// let graph = UndirectedGraph::from_edges(2, [(0, 1)]);
+/// let subscriptions = Subscriptions::new(2, [vec![0, 1]]).unwrap();
+/// let mut service = FirehoseService::builder(&graph, subscriptions)
+///     .build()
+///     .unwrap();
+/// let seen = service.offer(&Post::new(1, 0, 0, "hello stream".into()));
+/// assert_eq!(seen.delivered_to, [0]);
+/// ```
+pub mod prelude {
+    pub use firehose_core::prelude::*;
+    pub use firehose_graph::UndirectedGraph;
+    pub use firehose_stream::{
+        hours, minutes, AuthorId, GuardConfig, GuardPolicy, IngestGuard, Post, PostId, Timestamp,
+    };
+}

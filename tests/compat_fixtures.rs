@@ -1,0 +1,158 @@
+//! Backward compatibility against committed binary fixtures.
+//!
+//! `tests/fixtures/` holds snapshots and checkpoints captured from the
+//! pre-churn code (`main` before the FHSNAP04 bump): FHSNAP03 single-engine
+//! snapshots for all three kinds, and FHCKPT01 multi checkpoints whose
+//! state sections use the legacy position-ordered blob layout (no magic, no
+//! subscription table, no churn ledger). The current readers must restore
+//! all of them and continue decision-identically — a format bump must never
+//! orphan deployed checkpoint directories.
+//!
+//! Fixture recipe (frozen; do NOT regenerate with current code): 6-author
+//! graph `[(0,1),(0,5),(3,4)]`, thresholds `(18, 30_000 ms, 0.5)`, posts
+//! `id=i, author=i%6, ts=i*5000, text="content group {i%9}"` for `i in
+//! 0..60`, first 30 offered before capture; subscriptions
+//! `[[0,1,3,5],[0,1,3,4,5],[2]]`; multi checkpoints at generation 5.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use firehose::core::checkpoint::restore_multi_from_slice;
+use firehose::core::engine::{AlgorithmKind, CliqueBin, Diversifier, NeighborBin, UniBin};
+use firehose::core::multi::{IndependentMulti, MultiDiversifier, SharedMulti, Subscriptions};
+use firehose::core::snapshot::{restore_cliquebin, restore_neighborbin, restore_unibin};
+use firehose::core::{EngineConfig, Thresholds};
+use firehose::graph::{greedy_clique_cover, UndirectedGraph};
+use firehose::stream::Post;
+
+type MultiFactory = fn() -> Box<dyn MultiDiversifier>;
+
+fn fixture(name: &str) -> Vec<u8> {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read(&path).unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", path.display()))
+}
+
+fn graph() -> Arc<UndirectedGraph> {
+    Arc::new(UndirectedGraph::from_edges(6, [(0, 1), (0, 5), (3, 4)]))
+}
+
+fn config() -> EngineConfig {
+    EngineConfig::new(Thresholds::new(18, 30_000, 0.5).unwrap())
+}
+
+fn posts() -> Vec<Post> {
+    (0..60u64)
+        .map(|i| {
+            Post::new(
+                i,
+                (i % 6) as u32,
+                i * 5_000,
+                format!("content group {}", i % 9),
+            )
+        })
+        .collect()
+}
+
+fn subscriptions() -> Subscriptions {
+    Subscriptions::new(6, vec![vec![0, 1, 3, 5], vec![0, 1, 3, 4, 5], vec![2]]).unwrap()
+}
+
+/// Every FHSNAP03 engine snapshot restores under the FHSNAP04 reader and
+/// continues exactly where the pre-bump engine left off.
+#[test]
+fn fhsnap03_engine_snapshots_restore_and_continue() {
+    let stream = posts();
+    for kind in AlgorithmKind::ALL {
+        let name = format!("fhsnap03_{}.bin", kind.to_string().to_lowercase());
+        let bytes = fixture(&name);
+        let mut restored: Box<dyn Diversifier> = match kind {
+            AlgorithmKind::UniBin => {
+                Box::new(restore_unibin(&mut &bytes[..], graph()).expect("restore FHSNAP03"))
+            }
+            AlgorithmKind::NeighborBin => {
+                Box::new(restore_neighborbin(&mut &bytes[..], graph()).expect("restore FHSNAP03"))
+            }
+            AlgorithmKind::CliqueBin => {
+                let cover = Arc::new(greedy_clique_cover(&graph()));
+                Box::new(
+                    restore_cliquebin(&mut &bytes[..], graph(), cover).expect("restore FHSNAP03"),
+                )
+            }
+        };
+        assert_eq!(restored.metrics().posts_processed, 30, "{name}");
+
+        let mut fresh: Box<dyn Diversifier> = match kind {
+            AlgorithmKind::UniBin => Box::new(UniBin::new(config(), graph())),
+            AlgorithmKind::NeighborBin => Box::new(NeighborBin::new(config(), graph())),
+            AlgorithmKind::CliqueBin => Box::new(CliqueBin::new(config(), graph())),
+        };
+        for p in &stream[..30] {
+            fresh.offer(p);
+        }
+        for p in &stream[30..] {
+            assert_eq!(
+                restored.offer(p).is_emitted(),
+                fresh.offer(p).is_emitted(),
+                "{name}: decision diverged at post {}",
+                p.id
+            );
+        }
+        assert_eq!(
+            restored.metrics().posts_emitted,
+            fresh.metrics().posts_emitted
+        );
+    }
+}
+
+/// Legacy (pre-FHSNAP04) multi checkpoints — position-ordered engine blobs
+/// with no embedded subscription table — restore into a freshly built
+/// strategy and continue decision-identically.
+#[test]
+fn legacy_multi_checkpoints_restore_and_continue() {
+    let stream = posts();
+    let cases: [(&str, MultiFactory); 2] = [
+        ("fhckpt_legacy_s_unibin.bin", || {
+            Box::new(SharedMulti::new(
+                AlgorithmKind::UniBin,
+                config(),
+                &UndirectedGraph::from_edges(6, [(0, 1), (0, 5), (3, 4)]),
+                subscriptions(),
+            ))
+        }),
+        ("fhckpt_legacy_m_unibin.bin", || {
+            Box::new(IndependentMulti::new(
+                AlgorithmKind::UniBin,
+                config(),
+                &UndirectedGraph::from_edges(6, [(0, 1), (0, 5), (3, 4)]),
+                subscriptions(),
+            ))
+        }),
+    ];
+    for (name, build) in cases {
+        let bytes = fixture(name);
+        let mut restored = build();
+        let manifest = restore_multi_from_slice(&bytes, restored.as_mut())
+            .unwrap_or_else(|e| panic!("{name}: legacy restore failed: {e}"));
+        assert_eq!(manifest.generation, 5, "{name}");
+        // Pre-churn checkpoints carry no ledger: everything starts at zero.
+        assert_eq!(restored.churn_stats().ops_total(), 0, "{name}");
+
+        let mut fresh = build();
+        for p in &stream[..30] {
+            fresh.offer(p);
+        }
+        for p in &stream[30..] {
+            assert_eq!(
+                restored.offer(p).delivered_to,
+                fresh.offer(p).delivered_to,
+                "{name}: delivery diverged at post {}",
+                p.id
+            );
+        }
+        // Churn still works on a legacy-restored strategy.
+        restored.subscribe(2, 4).unwrap();
+        assert_eq!(restored.churn_stats().subscribes, 1, "{name}");
+    }
+}

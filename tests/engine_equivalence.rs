@@ -5,9 +5,8 @@
 
 use std::sync::Arc;
 
-use firehose::core::engine::{build_engine, AlgorithmKind};
-use firehose::core::{covers, EngineConfig, Thresholds};
-use firehose::graph::UndirectedGraph;
+use firehose::core::covers;
+use firehose::prelude::*;
 use firehose::stream::PostRecord;
 use proptest::prelude::*;
 

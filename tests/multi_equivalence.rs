@@ -5,13 +5,7 @@
 
 use std::sync::Arc;
 
-use firehose::core::engine::{build_engine, AlgorithmKind};
-use firehose::core::multi::{
-    IndependentMulti, MultiDiversifier, ParallelShared, SharedMulti, Subscriptions,
-};
-use firehose::core::{EngineConfig, Thresholds};
-use firehose::graph::UndirectedGraph;
-use firehose::stream::Post;
+use firehose::prelude::*;
 use proptest::prelude::*;
 
 fn posts_strategy(m: u32) -> impl Strategy<Value = Vec<Post>> {
@@ -69,7 +63,7 @@ proptest! {
         for kind in AlgorithmKind::ALL {
             let mut independent = IndependentMulti::new(kind, config, &graph, subs.clone());
             let mut shared = SharedMulti::new(kind, config, &graph, subs.clone());
-            let mut parallel = ParallelShared::new(kind, config, &graph, subs.clone(), 3);
+            let mut parallel = ParallelShared::new(kind, config, &graph, subs.clone(), 3).unwrap();
 
             let m_out: Vec<_> = posts.iter().map(|p| independent.offer(p)).collect();
             let s_out: Vec<_> = posts.iter().map(|p| shared.offer(p)).collect();

@@ -4,17 +4,15 @@
 
 use std::sync::Arc;
 
-use firehose::core::engine::{Diversifier, NeighborBin, UniBin};
 use firehose::core::snapshot::{
     restore_neighborbin, restore_unibin, snapshot_neighborbin, snapshot_unibin,
 };
-use firehose::core::{EngineConfig, Thresholds};
 use firehose::datagen::{SocialGenConfig, SyntheticSocialGraph, Workload, WorkloadConfig};
 use firehose::graph::io::{
     read_cover, read_follower, read_undirected, write_cover, write_follower, write_undirected,
 };
 use firehose::graph::{build_similarity_graph, greedy_clique_cover, GraphTopology};
-use firehose::stream::hours;
+use firehose::prelude::*;
 use proptest::prelude::*;
 
 fn pipeline_fixture() -> (SyntheticSocialGraph, Workload) {

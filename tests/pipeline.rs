@@ -4,12 +4,10 @@
 
 use std::sync::Arc;
 
-use firehose::core::engine::{build_engine, AlgorithmKind};
-use firehose::core::{EngineConfig, Thresholds};
 use firehose::datagen::{SocialGenConfig, SyntheticSocialGraph, Workload, WorkloadConfig};
-use firehose::graph::{build_similarity_graph, greedy_clique_cover, UndirectedGraph};
+use firehose::graph::{build_similarity_graph, greedy_clique_cover};
+use firehose::prelude::*;
 use firehose::simhash::{simhash, HammingIndex, SimHashOptions};
-use firehose::stream::{hours, minutes};
 
 struct Setup {
     graph: Arc<UndirectedGraph>,
