@@ -23,7 +23,9 @@ use firehose_core::engine::{build_engine, AlgorithmKind};
 use firehose_core::{EngineConfig, Thresholds};
 use firehose_datagen::{SocialGenConfig, SyntheticSocialGraph, Workload, WorkloadConfig};
 use firehose_graph::build_similarity_graph_parallel;
-use firehose_simhash::{filter_within_into, within_distance, Fingerprint};
+use firehose_simhash::{
+    active_kernel, filter_within_into_using, supported_kernels, within_distance, Fingerprint,
+};
 use firehose_stream::Post;
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
@@ -73,6 +75,11 @@ fn main() {
         if smoke { "smoke" } else { "bench" },
         workload.len() as u64,
     );
+    // Record which Hamming kernel produced this run's numbers, so historical
+    // JSON is comparable across hosts (avx2 vs neon vs scalar fallback).
+    let kernel = active_kernel();
+    eprintln!("[hotpath] hamming kernel: {kernel}");
+    summary.push_raw("hamming_kernel", format!("\"{}\"", kernel.name()));
     for kind in AlgorithmKind::ALL {
         // Pass 1 — throughput: whole-stream wall clock, no per-post timers.
         let mut engine = build_engine(kind, config, Arc::clone(&graph));
@@ -153,34 +160,47 @@ fn kernel_microbench(workload: &Workload, config: &EngineConfig, smoke: bool) ->
     }
     let scalar_ns = t0.elapsed().as_nanos() as f64 / scanned;
 
+    // Every kernel the host supports (best first, scalar always last), each
+    // timed over the identical column + queries and cross-checked against
+    // the AoS walk's match count.
+    let mut per_kernel = Vec::new();
     let mut candidates: Vec<u32> = Vec::new();
-    let mut matches_batched = 0u64;
-    let t0 = Instant::now();
-    for _ in 0..reps {
-        for &q in &queries {
-            filter_within_into(q, &column, lambda_c, &mut candidates);
-            matches_batched += candidates.len() as u64;
+    for kernel in supported_kernels() {
+        let mut matches_batched = 0u64;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            for &q in &queries {
+                filter_within_into_using(kernel, q, &column, lambda_c, &mut candidates);
+                matches_batched += candidates.len() as u64;
+            }
         }
+        let batched_ns = t0.elapsed().as_nanos() as f64 / scanned;
+        assert_eq!(
+            matches_scalar, matches_batched,
+            "{kernel} kernel diverged from the scalar scan"
+        );
+        let speedup = scalar_ns / batched_ns.max(1e-9);
+        eprintln!(
+            "[hotpath] window-scan kernel [{kernel}]: scalar/AoS {scalar_ns:.3} ns/fp, \
+             batched/SoA {batched_ns:.3} ns/fp ({speedup:.2}x, {} fingerprints x {} queries \
+             x {reps} reps)",
+            column.len(),
+            queries.len()
+        );
+        per_kernel.push(format!(
+            "{{\"kernel\": \"{}\", \"ns_per_fingerprint\": {}, \"speedup_vs_scalar_aos\": {}}}",
+            kernel.name(),
+            firehose_bench::json_num(batched_ns),
+            firehose_bench::json_num(speedup)
+        ));
     }
-    let batched_ns = t0.elapsed().as_nanos() as f64 / scanned;
 
-    assert_eq!(
-        matches_scalar, matches_batched,
-        "kernel diverged from the scalar scan"
-    );
-    let speedup = scalar_ns / batched_ns.max(1e-9);
-    eprintln!(
-        "[hotpath] window-scan kernel: scalar/AoS {scalar_ns:.3} ns/fp, batched/SoA \
-         {batched_ns:.3} ns/fp ({speedup:.2}x, {} fingerprints x {} queries x {reps} reps)",
-        column.len(),
-        queries.len()
-    );
+    let active = active_kernel().name();
     format!(
-        "{{\"scalar_aos_ns_per_fingerprint\": {}, \"batched_soa_ns_per_fingerprint\": {}, \
-         \"speedup\": {}, \"column_len\": {}, \"queries\": {}, \"matches\": {}}}",
+        "{{\"scalar_aos_ns_per_fingerprint\": {}, \"active\": \"{active}\", \
+         \"batched\": [{}], \"column_len\": {}, \"queries\": {}, \"matches\": {}}}",
         firehose_bench::json_num(scalar_ns),
-        firehose_bench::json_num(batched_ns),
-        firehose_bench::json_num(speedup),
+        per_kernel.join(", "),
         column.len(),
         queries.len(),
         matches_scalar

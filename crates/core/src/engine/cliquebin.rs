@@ -15,7 +15,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use firehose_graph::{greedy_clique_cover, CliqueCover, UndirectedGraph};
-use firehose_simhash::rfind_within;
+use firehose_simhash::{active_kernel, KernelKind};
 use firehose_stream::{AuthorId, PostRecord, TimeWindowBin};
 
 use crate::config::EngineConfig;
@@ -34,6 +34,8 @@ pub struct CliqueBin {
     self_bins: HashMap<AuthorId, TimeWindowBin>,
     /// Number of authors (for the out-of-range guard).
     author_count: usize,
+    /// Hamming kernel selected once at construction.
+    kernel: KernelKind,
     metrics: EngineMetrics,
     obs: Option<EngineObs>,
 }
@@ -65,6 +67,7 @@ impl CliqueBin {
             clique_bins,
             self_bins: HashMap::new(),
             author_count: graph.node_count(),
+            kernel: active_kernel(),
             metrics: EngineMetrics::default(),
             obs: None,
         }
@@ -111,6 +114,7 @@ impl CliqueBin {
             clique_bins,
             self_bins,
             author_count: graph.node_count(),
+            kernel: active_kernel(),
             metrics,
             obs: None,
         }
@@ -137,7 +141,7 @@ impl CliqueBin {
                 .or_insert_with(|| TimeWindowBin::with_capacity(hint));
             let evicted = bin.evict_expired(record.timestamp, t.lambda_t);
             let view = bin.window(record.timestamp, t.lambda_t);
-            let found = rfind_within(record.fingerprint, view.fingerprints, t.lambda_c);
+            let found = view.rfind_within(self.kernel, record.fingerprint, t.lambda_c);
             let comparisons = match found {
                 Some(pos) => (view.len() - pos) as u64,
                 None => view.len() as u64,
@@ -169,7 +173,7 @@ impl CliqueBin {
             let evicted = bin.evict_expired(record.timestamp, t.lambda_t);
             self.metrics.on_evict(evicted as u64);
             let view = bin.window(record.timestamp, t.lambda_t);
-            let found = rfind_within(record.fingerprint, view.fingerprints, t.lambda_c);
+            let found = view.rfind_within(self.kernel, record.fingerprint, t.lambda_c);
             self.metrics.comparisons += match found {
                 Some(pos) => (view.len() - pos) as u64,
                 None => view.len() as u64,

@@ -9,7 +9,7 @@
 use std::sync::Arc;
 
 use firehose_graph::UndirectedGraph;
-use firehose_simhash::rfind_within;
+use firehose_simhash::{active_kernel, KernelKind};
 use firehose_stream::{PostRecord, TimeWindowBin};
 
 use crate::config::EngineConfig;
@@ -26,6 +26,8 @@ pub struct NeighborBin {
     graph: Arc<UndirectedGraph>,
     /// One bin per author id.
     bins: Vec<TimeWindowBin>,
+    /// Hamming kernel selected once at construction.
+    kernel: KernelKind,
     metrics: EngineMetrics,
     obs: Option<EngineObs>,
 }
@@ -46,6 +48,7 @@ impl NeighborBin {
             config,
             graph,
             bins,
+            kernel: active_kernel(),
             metrics: EngineMetrics::default(),
             obs: None,
         }
@@ -77,6 +80,7 @@ impl NeighborBin {
             config,
             graph,
             bins,
+            kernel: active_kernel(),
             metrics,
             obs: None,
         }
@@ -109,7 +113,7 @@ impl NeighborBin {
                 record.author
             );
         }
-        let found = rfind_within(record.fingerprint, view.fingerprints, t.lambda_c);
+        let found = view.rfind_within(self.kernel, record.fingerprint, t.lambda_c);
         // Comparisons keep the scalar semantics: records examined newest-first
         // down to (and including) the covering one, or the whole window.
         self.metrics.comparisons += match found {

@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use firehose_graph::{AdjacencyBitsets, UndirectedGraph};
-use firehose_simhash::filter_within_into;
+use firehose_simhash::{active_kernel, KernelKind};
 use firehose_stream::{PostRecord, TimeWindowBin};
 
 use crate::config::EngineConfig;
@@ -29,6 +29,9 @@ pub struct UniBin {
     /// Scratch for the Hamming prefilter's candidate positions, reused
     /// across offers so the hot path never allocates.
     candidates: Vec<u32>,
+    /// Hamming kernel selected once at construction (AVX2/NEON when the
+    /// host supports it, batched scalar otherwise).
+    kernel: KernelKind,
     metrics: EngineMetrics,
     obs: Option<EngineObs>,
 }
@@ -44,6 +47,7 @@ impl UniBin {
             bin,
             adjacency,
             candidates: Vec::new(),
+            kernel: active_kernel(),
             metrics: EngineMetrics::default(),
             obs: None,
         }
@@ -73,6 +77,7 @@ impl UniBin {
             bin,
             adjacency,
             candidates: Vec::new(),
+            kernel: active_kernel(),
             metrics,
             obs: None,
         }
@@ -92,10 +97,13 @@ impl UniBin {
         // to the scalar walk: candidates come out newest-first and the first
         // one passing the author check is exactly where the scalar scan
         // would have stopped.
+        // The view scan consults per-sub-bin popcount ranges: sub-bins whose
+        // popcount class cannot reach λc of the query are skipped wholesale,
+        // the rest run the SIMD (or scalar) kernel — output is identical.
         let view = self.bin.window(record.timestamp, t.lambda_t);
-        filter_within_into(
+        view.filter_within_into(
+            self.kernel,
             record.fingerprint,
-            view.fingerprints,
             t.lambda_c,
             &mut self.candidates,
         );

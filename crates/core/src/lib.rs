@@ -106,7 +106,9 @@ pub use coverage::{covers, explain, CoverageExplanation};
 pub use decision::Decision;
 pub use engine::{build_engine, AlgorithmKind, Diversifier};
 pub use metrics::EngineMetrics;
-pub use obs::{export_engine_metrics, export_guard_stats, EngineObs, MultiObs, ShardObs};
+pub use obs::{
+    export_engine_metrics, export_guard_stats, export_kernel_info, EngineObs, MultiObs, ShardObs,
+};
 pub use quality::{evaluate, QualityReport};
 pub use service::{ChurnOp, FirehoseService, ServiceError, StrategyKind};
 pub use stream_ext::{Diversified, DiversifyExt};

@@ -177,6 +177,22 @@ pub fn export_engine_metrics(registry: &Registry, engine: &str, m: &EngineMetric
     }
 }
 
+/// Export the identity of the active Hamming kernel into `registry` as an
+/// info-style gauge `firehose_kernel_info{kernel="avx2|neon|scalar"} 1`, so
+/// bench JSON and scraped metrics both record which code path produced a
+/// run's numbers. One gauge per kernel name; re-export is idempotent.
+pub fn export_kernel_info(registry: &Registry) -> &'static str {
+    let kernel = firehose_simhash::active_kernel().name();
+    registry
+        .gauge(
+            "firehose_kernel_info",
+            "Hamming kernel selected at startup (1 = active)",
+            labels(&[("kernel", kernel)]),
+        )
+        .set(1);
+    kernel
+}
+
 /// Export an ingest-guard [`QuarantineStats`](firehose_stream::QuarantineStats)
 /// snapshot into `registry` as counters labelled `{stream="<label>"}` (and
 /// `{stream, reason}` for the per-reason quarantine counts). Called at
@@ -298,6 +314,20 @@ mod tests {
             ),
             "{text}"
         );
+    }
+
+    #[test]
+    fn kernel_info_exported_once_per_kernel() {
+        let r = Registry::new();
+        let kernel = export_kernel_info(&r);
+        assert!(["avx2", "neon", "scalar"].contains(&kernel));
+        let text = r.render_prometheus();
+        assert!(
+            text.contains(&format!("firehose_kernel_info{{kernel=\"{kernel}\"}} 1")),
+            "{text}"
+        );
+        // Idempotent re-export.
+        assert_eq!(export_kernel_info(&r), kernel);
     }
 
     #[test]

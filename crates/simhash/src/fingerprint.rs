@@ -101,10 +101,176 @@ pub fn empty_text_fingerprint(id: u64) -> Fingerprint {
 /// out upstream, mirroring the paper's removal of sub-two-word tweets.)
 pub fn simhash(text: &str, options: SimHashOptions) -> Fingerprint {
     let normalized = normalize(text, options.normalize);
+    let w = options.weights;
+    if w.word == 1.0 && w.hashtag == 1.0 && w.mention == 1.0 && w.url == 1.0 {
+        // Unit-weight fast path (the paper's setting, and every engine
+        // default): ±1.0 votes accumulate to exact small integers in f64, so
+        // counting set bits per position gives bit-identical fingerprints at
+        // a fraction of the cost of the 64-lane float loop.
+        return simhash_tokens_unit(
+            tokens(&normalized).map(|t| token_hash(t.text)),
+            options.ngram,
+        );
+    }
     simhash_tokens(
         tokens(&normalized).map(|t| (token_hash(t.text), options.weights.weight(t.kind))),
         options.ngram,
     )
+}
+
+/// [`simhash_tokens`] specialized to unit weights: every token votes `±1`,
+/// so the per-bit accumulator is an integer set-bit count and the sign test
+/// `votes[i] > 0.0` becomes `2·ones[i] > n`. Bit-identical to the float
+/// path for weight `1.0` (±1.0 sums are exact in `f64` far beyond any
+/// realistic token count).
+pub fn simhash_tokens_unit<I>(token_hashes: I, ngram: usize) -> Fingerprint
+where
+    I: Iterator<Item = u64>,
+{
+    if ngram <= 1 {
+        return vote_unit(token_hashes);
+    }
+    // Sliding n-gram window over the hashed token sequence.
+    let hs: Vec<u64> = token_hashes.collect();
+    if hs.len() >= ngram {
+        vote_unit(hs.windows(ngram).map(|window| {
+            let mut h = window[0];
+            for &nh in &window[1..] {
+                h = combine(h, nh);
+            }
+            h
+        }))
+    } else if !hs.is_empty() {
+        // Shorter than one n-gram: hash the whole sequence as a unit so
+        // short posts still produce a signal.
+        let mut h = hs[0];
+        for &nh in &hs[1..] {
+            h = combine(h, nh);
+        }
+        vote_unit(std::iter::once(h))
+    } else {
+        0
+    }
+}
+
+/// Integer majority vote over hashed tokens: bit `i` of the result is set
+/// iff more than half the hashes have bit `i` set. Zero hashes yield the
+/// empty-text fingerprint `0`.
+///
+/// On x86_64 with AVX2 (and unless `FIREHOSE_KERNEL=scalar` forces the
+/// portable path, see [`crate::kernels`]), the per-bit counting runs in the
+/// SIMD accumulator below; the counts — and therefore the fingerprint — are
+/// identical to the scalar loop's.
+fn vote_unit<I: Iterator<Item = u64>>(hashes: I) -> Fingerprint {
+    #[cfg(target_arch = "x86_64")]
+    if crate::kernels::active_kernel() == crate::kernels::KernelKind::Avx2 {
+        return vote_unit_x86(hashes);
+    }
+    vote_unit_scalar(hashes)
+}
+
+fn vote_unit_scalar<I: Iterator<Item = u64>>(hashes: I) -> Fingerprint {
+    let mut ones = [0u32; 64];
+    let mut n = 0u64;
+    for h in hashes {
+        n += 1;
+        for (i, c) in ones.iter_mut().enumerate() {
+            *c += ((h >> i) & 1) as u32;
+        }
+    }
+    assemble_majority(&ones, n)
+}
+
+/// Bit `i` set iff `2·ones[i] > n` — the exact sign test of the ±1 float
+/// vote.
+fn assemble_majority(ones: &[u32; 64], n: u64) -> Fingerprint {
+    if n == 0 {
+        return 0;
+    }
+    let mut fp: u64 = 0;
+    for (i, &c) in ones.iter().enumerate() {
+        // votes[i] = ones − (n − ones); positive iff 2·ones > n.
+        fp |= u64::from(2 * u64::from(c) > n) << i;
+    }
+    fp
+}
+
+/// AVX2 vote path: hashes stream through a 64-word stack buffer; each full
+/// buffer is bit-counted by [`x86_vote::accumulate`] into the same `ones`
+/// histogram the scalar loop fills.
+#[cfg(target_arch = "x86_64")]
+fn vote_unit_x86<I: Iterator<Item = u64>>(hashes: I) -> Fingerprint {
+    let mut ones = [0u32; 64];
+    let mut n = 0u64;
+    let mut buf = [0u64; 64];
+    let mut fill = 0usize;
+    for h in hashes {
+        buf[fill] = h;
+        fill += 1;
+        if fill == buf.len() {
+            // SAFETY: only reached when `active_kernel()` is Avx2, which
+            // requires runtime AVX2 support.
+            unsafe { x86_vote::accumulate(&buf[..fill], &mut ones) };
+            n += fill as u64;
+            fill = 0;
+        }
+    }
+    if fill > 0 {
+        // SAFETY: as above.
+        unsafe { x86_vote::accumulate(&buf[..fill], &mut ones) };
+        n += fill as u64;
+    }
+    assemble_majority(&ones, n)
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86_vote {
+    use core::arch::x86_64::*;
+
+    /// Add each hash's per-bit 0/1 votes into `ones`. For every 16-bit
+    /// quarter of a hash, the quarter is broadcast to 16 lanes, ANDed with
+    /// the per-lane bit masks `[1<<0 … 1<<15]`, and compared for equality —
+    /// all-ones lanes (−1) are subtracted from a `u16` counter vector, i.e.
+    /// counted. `hashes.len() ≤ 64` keeps the `u16` counters far from
+    /// overflow (the caller streams through a 64-word buffer).
+    #[target_feature(enable = "avx2")]
+    pub fn accumulate(hashes: &[u64], ones: &mut [u32; 64]) {
+        debug_assert!(hashes.len() <= u16::MAX as usize);
+        let masks = _mm256_setr_epi16(
+            1,
+            1 << 1,
+            1 << 2,
+            1 << 3,
+            1 << 4,
+            1 << 5,
+            1 << 6,
+            1 << 7,
+            1 << 8,
+            1 << 9,
+            1 << 10,
+            1 << 11,
+            1 << 12,
+            1 << 13,
+            1 << 14,
+            i16::MIN, // 1 << 15 as i16
+        );
+        let mut acc = [_mm256_setzero_si256(); 4];
+        for &h in hashes {
+            for (g, a) in acc.iter_mut().enumerate() {
+                let quarter = _mm256_set1_epi16((h >> (16 * g)) as i16);
+                let hit = _mm256_cmpeq_epi16(_mm256_and_si256(quarter, masks), masks);
+                *a = _mm256_sub_epi16(*a, hit);
+            }
+        }
+        for (g, a) in acc.iter().enumerate() {
+            let mut lanes = [0u16; 16];
+            // SAFETY: `lanes` is 32 bytes, matching the unaligned store.
+            unsafe { _mm256_storeu_si256(lanes.as_mut_ptr().cast(), *a) };
+            for (j, &count) in lanes.iter().enumerate() {
+                ones[16 * g + j] += u32::from(count);
+            }
+        }
+    }
 }
 
 /// Compute a SimHash from pre-hashed, pre-weighted tokens.
@@ -293,6 +459,72 @@ mod tests {
             for &b in &fps[i + 1..] {
                 let d = hamming_distance(a, b);
                 assert!(d >= 8, "ids too close: distance {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn unit_fast_path_matches_float_path() {
+        use proptest::prelude::*;
+        proptest! {
+            fn inner(
+                hashes in proptest::collection::vec(any::<u64>(), 0..40),
+                ngram in 1usize..4,
+            ) {
+                let float = simhash_tokens(hashes.iter().map(|&h| (h, 1.0)), ngram);
+                let unit = simhash_tokens_unit(hashes.iter().copied(), ngram);
+                prop_assert_eq!(unit, float, "ngram={}", ngram);
+            }
+        }
+        inner();
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_vote_matches_scalar_vote() {
+        use proptest::prelude::*;
+        if !crate::kernels::KernelKind::Avx2.is_supported() {
+            return;
+        }
+        proptest! {
+            fn inner(
+                // Cross the 64-word buffer boundary so flush + tail both run.
+                hashes in proptest::collection::vec(any::<u64>(), 0..200),
+            ) {
+                prop_assert_eq!(
+                    vote_unit_x86(hashes.iter().copied()),
+                    vote_unit_scalar(hashes.iter().copied())
+                );
+            }
+        }
+        inner();
+    }
+
+    #[test]
+    fn simhash_uses_same_votes_as_generic_path() {
+        // The uniform-weight fast path inside `simhash` must agree with the
+        // generic weighted accumulator on real text, for every ngram size.
+        let texts = [
+            "Over 300 people missing after South Korean ferry sinks Reuters",
+            "breaking #news from @cnn http://t.co/x",
+            "a",
+            "tie tie tie tie", // repeated token: every vote identical
+            "",
+        ];
+        for ngram in 1..4 {
+            for text in texts {
+                let opts = SimHashOptions {
+                    ngram,
+                    ..SimHashOptions::paper()
+                };
+                let via_fast = simhash(text, opts);
+                let normalized = firehose_text::normalize::normalize(text, opts.normalize);
+                let via_float = simhash_tokens(
+                    firehose_text::tokenize::tokens(&normalized)
+                        .map(|t| (token_hash(t.text), opts.weights.weight(t.kind))),
+                    ngram,
+                );
+                assert_eq!(via_fast, via_float, "ngram={ngram} text={text:?}");
             }
         }
     }

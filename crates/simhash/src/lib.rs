@@ -31,11 +31,16 @@
 pub mod fingerprint;
 pub mod hamming;
 pub mod index;
+pub mod kernels;
 
 pub use fingerprint::{
-    empty_text_fingerprint, simhash, simhash_tokens, Fingerprint, SimHashOptions,
+    empty_text_fingerprint, simhash, simhash_tokens, simhash_tokens_unit, Fingerprint,
+    SimHashOptions,
 };
 pub use hamming::{
-    filter_within, filter_within_into, hamming_distance, rfind_within, within_distance,
+    filter_within, filter_within_append_using, filter_within_into, filter_within_into_using,
+    filter_within_pruned_append_using, hamming_distance, rfind_within, rfind_within_pruned_using,
+    rfind_within_using, within_distance,
 };
 pub use index::{HammingIndex, IndexError, IndexPlan};
+pub use kernels::{active_kernel, supported_kernels, KernelKind};

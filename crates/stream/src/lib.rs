@@ -36,7 +36,7 @@ pub use guard::{
 };
 pub use post::{AuthorId, Post, PostId, PostRecord, Timestamp};
 pub use time::{days, hours, minutes, seconds};
-pub use window::{TimeWindowBin, WindowView};
+pub use window::{TimeWindowBin, WindowView, SUBBIN_SPAN};
 
 /// Check that `posts` is sorted by timestamp (ties allowed). The SPSD
 /// problem's real-time semantics presuppose arrival order = time order.

@@ -19,12 +19,32 @@
 //! pointer-chasing record iteration.
 
 use crate::post::{PostRecord, Timestamp};
+use firehose_simhash::{
+    filter_within_append_using, filter_within_pruned_append_using, rfind_within_pruned_using,
+    rfind_within_using, KernelKind,
+};
+
+/// Fixed sub-bin span, in records. The bin's columns are partitioned into
+/// aligned spans of this many consecutive arrivals (= a contiguous timestamp
+/// range, since arrival order is time order); each span carries its min/max
+/// stored popcount so a scan can skip the whole span when the query's
+/// popcount class proves no record in it can match.
+pub const SUBBIN_SPAN: usize = 256;
+
+/// Popcount summary of one aligned [`SUBBIN_SPAN`]-record slice of a bin.
+#[derive(Debug, Clone, Copy)]
+struct SubBin {
+    /// Smallest stored popcount in the span.
+    min_pc: u8,
+    /// Largest stored popcount in the span.
+    max_pc: u8,
+}
 
 /// A dense, positional view of the records inside the λt window of some
 /// arrival time — the in-window *suffix* of a [`TimeWindowBin`], oldest
-/// first. All four slices have identical length; position `i` across them is
-/// one record. Position `len() - 1` is the newest record, so a newest-first
-/// scan walks positions in reverse.
+/// first. All column slices have identical length; position `i` across them
+/// is one record. Position `len() - 1` is the newest record, so a
+/// newest-first scan walks positions in reverse.
 #[derive(Debug, Clone, Copy)]
 pub struct WindowView<'a> {
     /// Post ids, arrival order.
@@ -36,6 +56,15 @@ pub struct WindowView<'a> {
     /// 64-bit SimHash fingerprints, arrival order — the column the batched
     /// Hamming kernel scans.
     pub fingerprints: &'a [u64],
+    /// Fingerprint popcounts, arrival order — the prefilter column
+    /// (`popcounts[i] == fingerprints[i].count_ones()`).
+    pub popcounts: &'a [u8],
+    /// Absolute index of the view's first record within the bin's columns —
+    /// aligns view positions to the bin's [`SUBBIN_SPAN`] boundaries.
+    col_offset: usize,
+    /// The bin's sub-bin summaries (indexed by absolute column position /
+    /// [`SUBBIN_SPAN`]).
+    subbins: &'a [SubBin],
 }
 
 impl WindowView<'_> {
@@ -59,6 +88,122 @@ impl WindowView<'_> {
             fingerprint: self.fingerprints[i],
         }
     }
+
+    /// Positions (into this view) of fingerprints within `threshold` of
+    /// `query`, newest-first, appended to `out` after clearing it — the
+    /// pruned equivalent of running `filter_within_into` over the whole
+    /// fingerprint column.
+    ///
+    /// The scan walks the view's sub-bins newest-first. A sub-bin whose
+    /// stored popcount range misses the query's admissible class
+    /// `[popcount(query) − threshold, popcount(query) + threshold]` is
+    /// skipped wholesale; one fully inside runs the plain kernel (its
+    /// prefilter can reject nothing); only a straddling sub-bin pays for the
+    /// per-record popcount prefilter. Output is identical to the unpruned
+    /// scan — the prefilter is conservative (triangle inequality) and the
+    /// traversal order is the same newest-first order.
+    pub fn filter_within_into(
+        &self,
+        kernel: KernelKind,
+        query: u64,
+        threshold: u32,
+        out: &mut Vec<u32>,
+    ) {
+        out.clear();
+        let (lo, hi) = popcount_class(query, threshold);
+        self.for_each_segment_rev(|s, e, meta| {
+            if meta.max_pc < lo || meta.min_pc > hi {
+                return true; // no record in the span can match
+            }
+            if meta.min_pc >= lo && meta.max_pc <= hi {
+                filter_within_append_using(
+                    kernel,
+                    query,
+                    &self.fingerprints[s..e],
+                    threshold,
+                    s as u32,
+                    out,
+                );
+            } else {
+                filter_within_pruned_append_using(
+                    kernel,
+                    query,
+                    &self.fingerprints[s..e],
+                    &self.popcounts[s..e],
+                    threshold,
+                    s as u32,
+                    out,
+                );
+            }
+            true
+        });
+    }
+
+    /// Position (into this view) of the newest fingerprint within
+    /// `threshold` of `query`, or `None` — the pruned equivalent of
+    /// `rfind_within` over the whole fingerprint column, with the same
+    /// sub-bin skipping as [`filter_within_into`](Self::filter_within_into).
+    pub fn rfind_within(&self, kernel: KernelKind, query: u64, threshold: u32) -> Option<usize> {
+        let (lo, hi) = popcount_class(query, threshold);
+        let mut found = None;
+        self.for_each_segment_rev(|s, e, meta| {
+            if meta.max_pc < lo || meta.min_pc > hi {
+                return true;
+            }
+            let hit = if meta.min_pc >= lo && meta.max_pc <= hi {
+                rfind_within_using(kernel, query, &self.fingerprints[s..e], threshold)
+            } else {
+                rfind_within_pruned_using(
+                    kernel,
+                    query,
+                    &self.fingerprints[s..e],
+                    &self.popcounts[s..e],
+                    threshold,
+                )
+            };
+            if let Some(p) = hit {
+                found = Some(s + p);
+                return false; // newest match found — stop
+            }
+            true
+        });
+        found
+    }
+
+    /// Drive `f` over the view's sub-bin segments, newest segment first.
+    /// Each call gets the segment's view-relative range `[s, e)` and its
+    /// sub-bin summary; returning `false` stops the walk.
+    #[inline]
+    fn for_each_segment_rev(&self, mut f: impl FnMut(usize, usize, SubBin) -> bool) {
+        let n = self.fingerprints.len();
+        if n == 0 {
+            return;
+        }
+        let first = self.col_offset / SUBBIN_SPAN;
+        let last = (self.col_offset + n - 1) / SUBBIN_SPAN;
+        for sb in (first..=last).rev() {
+            let abs_start = (sb * SUBBIN_SPAN).max(self.col_offset);
+            let abs_end = ((sb + 1) * SUBBIN_SPAN).min(self.col_offset + n);
+            if !f(
+                abs_start - self.col_offset,
+                abs_end - self.col_offset,
+                self.subbins[sb],
+            ) {
+                return;
+            }
+        }
+    }
+}
+
+/// The popcount range a match must fall in: `hamming(a, b) ≥
+/// |popcount(a) − popcount(b)|`.
+#[inline]
+fn popcount_class(query: u64, threshold: u32) -> (u8, u8) {
+    let qpc = query.count_ones();
+    (
+        qpc.saturating_sub(threshold) as u8,
+        (qpc + threshold).min(64) as u8,
+    )
 }
 
 /// A time-ordered bin of post records with λt-window eviction, stored as
@@ -69,6 +214,13 @@ pub struct TimeWindowBin {
     authors: Vec<u32>,
     timestamps: Vec<Timestamp>,
     fingerprints: Vec<u64>,
+    /// Fingerprint popcounts, maintained in lockstep with `fingerprints` —
+    /// the prefilter column (derived data: rebuilt for free on snapshot
+    /// restore because restore replays `push`).
+    popcounts: Vec<u8>,
+    /// Per-[`SUBBIN_SPAN`] popcount summaries over the columns (including
+    /// any dead prefix — conservative), rebuilt on compaction.
+    subbins: Vec<SubBin>,
     /// Index of the first live record; everything before it is evicted
     /// garbage awaiting compaction.
     head: usize,
@@ -93,6 +245,8 @@ impl TimeWindowBin {
             authors: Vec::with_capacity(capacity),
             timestamps: Vec::with_capacity(capacity),
             fingerprints: Vec::with_capacity(capacity),
+            popcounts: Vec::with_capacity(capacity),
+            subbins: Vec::with_capacity(capacity.div_ceil(SUBBIN_SPAN)),
             head: 0,
             evicted: 0,
             disordered: 0,
@@ -141,6 +295,18 @@ impl TimeWindowBin {
         self.authors.push(record.author);
         self.timestamps.push(record.timestamp);
         self.fingerprints.push(record.fingerprint);
+        let pc = record.fingerprint.count_ones() as u8;
+        self.popcounts.push(pc);
+        if (self.popcounts.len() - 1).is_multiple_of(SUBBIN_SPAN) {
+            self.subbins.push(SubBin {
+                min_pc: pc,
+                max_pc: pc,
+            });
+        } else {
+            let sb = self.subbins.last_mut().expect("sub-bin exists");
+            sb.min_pc = sb.min_pc.min(pc);
+            sb.max_pc = sb.max_pc.max(pc);
+        }
     }
 
     /// Drop every record with `timestamp + lambda_t < now`, i.e. records that
@@ -162,7 +328,23 @@ impl TimeWindowBin {
             self.authors.drain(..self.head);
             self.timestamps.drain(..self.head);
             self.fingerprints.drain(..self.head);
+            self.popcounts.drain(..self.head);
             self.head = 0;
+            // Compaction shifts every absolute column index, so the aligned
+            // sub-bin summaries are recomputed from the surviving popcounts
+            // (same O(live) cost as the drains above).
+            self.subbins.clear();
+            for chunk in self.popcounts.chunks(SUBBIN_SPAN) {
+                let mut sb = SubBin {
+                    min_pc: u8::MAX,
+                    max_pc: 0,
+                };
+                for &pc in chunk {
+                    sb.min_pc = sb.min_pc.min(pc);
+                    sb.max_pc = sb.max_pc.max(pc);
+                }
+                self.subbins.push(sb);
+            }
         }
         n
     }
@@ -180,6 +362,9 @@ impl TimeWindowBin {
             authors: &self.authors[start..],
             timestamps: &self.timestamps[start..],
             fingerprints: &self.fingerprints[start..],
+            popcounts: &self.popcounts[start..],
+            col_offset: start,
+            subbins: &self.subbins,
         }
     }
 
@@ -386,7 +571,117 @@ mod tests {
         assert_eq!(ia, ib);
     }
 
+    #[test]
+    fn popcount_column_tracks_fingerprints() {
+        let mut bin = TimeWindowBin::new();
+        for (id, ts) in [(0u64, 0u64), (u64::MAX, 1), (0b1011, 2)] {
+            bin.push(PostRecord {
+                id,
+                author: 0,
+                timestamp: ts,
+                fingerprint: id,
+            });
+        }
+        let view = bin.window(2, 100);
+        assert_eq!(view.popcounts, &[0, 64, 3]);
+        assert_eq!(view.popcounts.len(), view.fingerprints.len());
+    }
+
+    /// The scalar reference the view scans must reproduce: newest-first
+    /// positions within threshold.
+    fn reference_scan(view_fps: &[u64], query: u64, threshold: u32) -> Vec<u32> {
+        (0..view_fps.len())
+            .rev()
+            .filter(|&i| (view_fps[i] ^ query).count_ones() <= threshold)
+            .map(|i| i as u32)
+            .collect()
+    }
+
+    #[test]
+    fn view_scans_match_reference_across_subbin_boundaries() {
+        use firehose_simhash::supported_kernels;
+        // Enough records to span several sub-bins, with skewed popcounts so
+        // whole-span skipping actually triggers at small thresholds.
+        let mut bin = TimeWindowBin::new();
+        for i in 0..(3 * SUBBIN_SPAN as u64 + 17) {
+            let fingerprint = match i % 3 {
+                0 => i.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                1 => i & 0xFF,      // low popcount
+                _ => i | !0xFFFu64, // high popcount
+            };
+            bin.push(PostRecord {
+                id: i,
+                author: 0,
+                timestamp: i,
+                fingerprint,
+            });
+        }
+        let now = 3 * SUBBIN_SPAN as u64 + 16;
+        for lambda_t in [10u64, 400, 2_000] {
+            // Mid-stream eviction so head offsets and compaction both occur.
+            bin.evict_expired(now, lambda_t);
+            let view = bin.window(now, lambda_t);
+            for query in [0u64, u64::MAX, 0xFF, 42u64.wrapping_mul(0x9E37)] {
+                for threshold in [0u32, 4, 18, 64] {
+                    let expected = reference_scan(view.fingerprints, query, threshold);
+                    let mut got = vec![99u32];
+                    for kernel in supported_kernels() {
+                        view.filter_within_into(kernel, query, threshold, &mut got);
+                        assert_eq!(
+                            got, expected,
+                            "kernel={kernel} λt={lambda_t} threshold={threshold}"
+                        );
+                        assert_eq!(
+                            view.rfind_within(kernel, query, threshold),
+                            expected.first().map(|&p| p as usize),
+                            "kernel={kernel} λt={lambda_t} threshold={threshold}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     proptest! {
+        /// The pruned sub-bin scan equals the plain newest-first scan over
+        /// the view's fingerprint column for every (eviction, window,
+        /// threshold) interleaving — sub-bin boundaries, dead prefixes and
+        /// compaction are invisible in the output.
+        #[test]
+        fn view_scan_matches_reference(
+            mut times in proptest::collection::vec(0u64..1_000, 0..60),
+            lambda_t in 0u64..400,
+            evict_at in proptest::collection::vec(0u64..1_200, 0..6),
+            threshold in 0u32..=64,
+            query: u64,
+        ) {
+            times.sort_unstable();
+            let now = times.last().copied().unwrap_or(0);
+            let mut bin = TimeWindowBin::new();
+            let mut evictions = evict_at;
+            evictions.sort_unstable();
+            for (i, &ts) in times.iter().enumerate() {
+                bin.push(rec(i as u64, ts));
+                if let Some(&at) = evictions.first() {
+                    if at <= ts {
+                        bin.evict_expired(ts, lambda_t);
+                        evictions.remove(0);
+                    }
+                }
+            }
+            let view = bin.window(now, lambda_t);
+            let expected = reference_scan(view.fingerprints, query, threshold);
+            let mut got = Vec::new();
+            for kernel in firehose_simhash::supported_kernels() {
+                view.filter_within_into(kernel, query, threshold, &mut got);
+                prop_assert_eq!(&got, &expected);
+                prop_assert_eq!(
+                    view.rfind_within(kernel, query, threshold),
+                    expected.first().map(|&p| p as usize)
+                );
+            }
+        }
+
         /// After eviction at (now, λt), no stored record is outside the
         /// window and no in-window record was lost.
         #[test]

@@ -73,44 +73,72 @@ pub fn normalize(text: &str, options: NormalizeOptions) -> String {
     let mut pending_space = false;
     let mut emitted_any = false;
 
-    for ch in text.chars() {
-        if ch.is_whitespace() {
-            if options.collapse_whitespace {
-                pending_space = true;
+    // One shared state machine, fed per-byte for ASCII (the overwhelming
+    // bulk of post text — table-free class checks and the +0x20 case map)
+    // and per-char for everything else. Both feeders apply identical rules,
+    // so the output is byte-for-byte what the all-chars loop produced.
+    macro_rules! step {
+        ($ch:expr, $is_ws:expr, $is_alnum:expr, $push_lower:expr) => {{
+            let ch = $ch;
+            if $is_ws {
+                if options.collapse_whitespace {
+                    pending_space = true;
+                } else {
+                    out.push(ch);
+                }
             } else {
-                out.push(ch);
+                let keep = if options.strip_non_alphanumeric {
+                    $is_alnum || (options.keep_social_sigils && (ch == '#' || ch == '@'))
+                } else {
+                    true
+                };
+                if !keep {
+                    // A stripped character still separates words: "foo-bar"
+                    // must not collapse into the single token "foobar".
+                    if options.collapse_whitespace {
+                        pending_space = true;
+                    } else {
+                        out.push(' ');
+                    }
+                } else {
+                    if pending_space && emitted_any {
+                        out.push(' ');
+                    }
+                    pending_space = false;
+                    emitted_any = true;
+                    if options.lowercase {
+                        $push_lower;
+                    } else {
+                        out.push(ch);
+                    }
+                }
             }
-            continue;
-        }
+        }};
+    }
 
-        let keep = if options.strip_non_alphanumeric {
-            ch.is_alphanumeric() || (options.keep_social_sigils && (ch == '#' || ch == '@'))
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b < 0x80 {
+            i += 1;
+            let ch = b as char;
+            step!(
+                ch,
+                // The ASCII subset of the White_Space property.
+                matches!(b, b'\t'..=b'\r' | b' '),
+                b.is_ascii_alphanumeric(),
+                out.push(ch.to_ascii_lowercase())
+            );
         } else {
-            true
-        };
-        if !keep {
-            // A stripped character still separates words: "foo-bar" must not
-            // collapse into the single token "foobar".
-            if options.collapse_whitespace {
-                pending_space = true;
-            } else {
-                out.push(' ');
-            }
-            continue;
-        }
-
-        if pending_space && emitted_any {
-            out.push(' ');
-        }
-        pending_space = false;
-        emitted_any = true;
-
-        if options.lowercase {
-            for lc in ch.to_lowercase() {
-                out.push(lc);
-            }
-        } else {
-            out.push(ch);
+            // Multi-byte scalar: decode and run the general Unicode rules.
+            let ch = text[i..].chars().next().expect("valid UTF-8 boundary");
+            i += ch.len_utf8();
+            step!(ch, ch.is_whitespace(), ch.is_alphanumeric(), {
+                for lc in ch.to_lowercase() {
+                    out.push(lc);
+                }
+            });
         }
     }
 
@@ -120,6 +148,119 @@ pub fn normalize(text: &str, options: NormalizeOptions) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The pre-optimization all-chars loop, kept as the reference the
+    /// byte-wise fast path must reproduce exactly.
+    fn normalize_reference(text: &str, options: NormalizeOptions) -> String {
+        let mut out = String::with_capacity(text.len());
+        let mut pending_space = false;
+        let mut emitted_any = false;
+        for ch in text.chars() {
+            if ch.is_whitespace() {
+                if options.collapse_whitespace {
+                    pending_space = true;
+                } else {
+                    out.push(ch);
+                }
+                continue;
+            }
+            let keep = if options.strip_non_alphanumeric {
+                ch.is_alphanumeric() || (options.keep_social_sigils && (ch == '#' || ch == '@'))
+            } else {
+                true
+            };
+            if !keep {
+                if options.collapse_whitespace {
+                    pending_space = true;
+                } else {
+                    out.push(' ');
+                }
+                continue;
+            }
+            if pending_space && emitted_any {
+                out.push(' ');
+            }
+            pending_space = false;
+            emitted_any = true;
+            if options.lowercase {
+                for lc in ch.to_lowercase() {
+                    out.push(lc);
+                }
+            } else {
+                out.push(ch);
+            }
+        }
+        out
+    }
+
+    fn all_option_combos() -> Vec<NormalizeOptions> {
+        let mut combos = Vec::new();
+        for lowercase in [false, true] {
+            for collapse_whitespace in [false, true] {
+                for strip_non_alphanumeric in [false, true] {
+                    for keep_social_sigils in [false, true] {
+                        combos.push(NormalizeOptions {
+                            lowercase,
+                            collapse_whitespace,
+                            strip_non_alphanumeric,
+                            keep_social_sigils,
+                        });
+                    }
+                }
+            }
+        }
+        combos
+    }
+
+    #[test]
+    fn fast_path_matches_reference_on_adversarial_inputs() {
+        let inputs = [
+            "",
+            "   ",
+            "plain ascii words",
+            "MiXeD CaSe!! 123",
+            "tabs\tand\nnewlines\r\nhere",
+            "\u{0b}vertical\u{0c}feeds",
+            "Ünïcödé MIXED ascii ÅÄÖ",
+            "İstanbul DŽungla ǅ", // multi-char lowercase expansions
+            "emoji 🔥🔥 and #tags @user",
+            "ends with space ",
+            " starts stripped *hello*",
+            "ß sharp s", // lowercase of ß is itself
+            "\u{00a0}nbsp\u{2028}separators\u{3000}",
+            "ascii-then-ünicode-then-ascii",
+            "#@#@",
+        ];
+        for options in all_option_combos() {
+            for input in inputs {
+                assert_eq!(
+                    normalize(input, options),
+                    normalize_reference(input, options),
+                    "options={options:?} input={input:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_reference_proptest() {
+        use proptest::prelude::*;
+        proptest! {
+            fn inner(text in ".{0,60}") {
+                for options in [
+                    NormalizeOptions::paper(),
+                    NormalizeOptions::raw(),
+                    NormalizeOptions { keep_social_sigils: true, ..NormalizeOptions::paper() },
+                ] {
+                    prop_assert_eq!(
+                        normalize(&text, options),
+                        normalize_reference(&text, options)
+                    );
+                }
+            }
+        }
+        inner();
+    }
 
     #[test]
     fn paper_pipeline_lowercases() {

@@ -321,6 +321,50 @@ fn merge_collects_seeds_from_two_released_engines() {
     }
 }
 
+/// Regression: a merge-inducing subscribe against *live window content*
+/// must register a warm start — on every strategy variant and through the
+/// `FirehoseService` facade. The churn bench reported `warm_starts: 0`
+/// across 1,642 spawns for several releases because it replayed churn
+/// against an idle service (empty windows yield no seeds, so the warm path
+/// never fired); this pins the behavior the bench now measures.
+#[test]
+fn merge_inducing_subscribe_records_warm_start() {
+    let seed_post = || Post::new(1, 0, 1_000, "breaking story everyone reposts".into());
+    for kind in AlgorithmKind::ALL {
+        for variant in VARIANTS {
+            let subscriptions = Subscriptions::new(AUTHORS, [vec![0]]).unwrap();
+            let mut multi = build(kind, variant, subscriptions, true);
+            assert_eq!(multi.offer(&seed_post()).delivered_to, [0]);
+            assert_eq!(multi.churn_stats().warm_starts, 0);
+            // Graph edge (0, 1): adding author 1 merges it into user 0's
+            // populated component, spawning a seeded replacement engine.
+            multi.subscribe(0, 1).unwrap();
+            let stats = multi.churn_stats();
+            assert!(
+                stats.warm_starts > 0,
+                "{kind} {variant:?}: spawned {} engines but warm-started none",
+                stats.engines_spawned
+            );
+        }
+    }
+
+    // Same scenario through the service facade (what churn_bench drives).
+    let mut service = firehose::core::FirehoseService::builder(
+        &graph(),
+        Subscriptions::new(AUTHORS, [vec![0]]).unwrap(),
+    )
+    .engine_config(config())
+    .build()
+    .unwrap();
+    service.process(seed_post(), |_, _| {}).unwrap();
+    assert_eq!(service.churn_stats().warm_starts, 0);
+    service.subscribe(0, 1).unwrap();
+    assert!(
+        service.churn_stats().warm_starts > 0,
+        "service facade must warm-start the merged engine"
+    );
+}
+
 /// Checkpoint-across-churn: a checkpoint taken after posts + churn restores
 /// into a strategy built from the *initial* table (the embedded
 /// subscription table wins) and continues decision-identically.
