@@ -19,11 +19,20 @@
 //!   UniBin baseline and the delta against it are embedded as
 //!   `delta_vs_baseline_pct` — **positive = faster than baseline** — and
 //!   `delta_vs_baseline_pct` > −5 is the acceptance bar: the facade and
-//!   churn plumbing must not tax the steady-state hot path.
+//!   churn plumbing must not tax the steady-state hot path;
+//! * `service_offer_sharded` — one row per shard count (1/2/4 by default,
+//!   plus the core count when larger; `--shards N` restricts the sweep):
+//!   the same stream through a `sharded:N` service's batched entry point,
+//!   decisions asserted identical to the sequential steady run, with
+//!   `shards` and `speedup_vs_1shard` recorded in the row;
+//! * `service_offer_sharded_scale` — a 100 000-user subscription table
+//!   (2 000 under `--smoke`) over a stream prefix, the multi-user fan-out
+//!   stress the paper sizes its user study against.
 //!
 //! Flags: `--smoke` (tiny workload, CI), `--posts <n>` (single-engine
-//! stream size, default 100 000), `--out <path>` (default
-//! `BENCH_churn.json`), `--baseline <path>` (default `BENCH_hotpath.json`).
+//! stream size, default 100 000), `--shards <n>` (run the sharded row at
+//! exactly one shard count), `--out <path>` (default `BENCH_churn.json`),
+//! `--baseline <path>` (default `BENCH_hotpath.json`).
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -99,6 +108,8 @@ fn main() {
     let target_posts: usize = flag_value(&args, "--posts")
         .map(|v| v.parse().expect("--posts expects a count"))
         .unwrap_or(if smoke { 2_000 } else { 100_000 });
+    let shards_override: Option<usize> =
+        flag_value(&args, "--shards").map(|v| v.parse().expect("--shards expects a count"));
     // Multi-user passes fan every post out across subscriber components, so
     // they run on a prefix of the stream to keep the bench under a minute.
     let (users, multi_posts, churn_ops) = if smoke {
@@ -205,19 +216,27 @@ fn main() {
         .with_u64("unsubscribes", stats.unsubscribes)
         .with_u64("users_added", stats.users_added)
         .with_u64("users_removed", stats.users_removed)
+        .with_u64("engines_initial", stats.initial_engines)
         .with_u64("engines_spawned", stats.engines_spawned)
         .with_u64("engines_retired", stats.engines_retired)
         .with_u64("warm_starts", stats.warm_starts)
         .with_u64("warmup_posts", warm_posts.len() as u64),
     );
 
-    // Row 2 — service offers/sec, no churn (the overhead denominator).
+    // Row 2 — service offers/sec, no churn (the overhead denominator). The
+    // delivery vectors double as the equivalence reference for the sharded
+    // rows below.
     let mut service = build_service();
     let mut latencies: Vec<u64> = Vec::with_capacity(multi_stream.len());
+    let mut reference_decisions: Vec<Vec<u32>> = Vec::with_capacity(multi_stream.len());
     let t0 = Instant::now();
     for post in multi_stream {
         let p0 = Instant::now();
-        service.process(post.clone(), |_, _| {}).unwrap();
+        service
+            .process(post.clone(), |_, d| {
+                reference_decisions.push(d.delivered_to.clone());
+            })
+            .unwrap();
         latencies.push(p0.elapsed().as_nanos() as u64);
     }
     let steady_per_sec = multi_stream.len() as f64 / t0.elapsed().as_secs_f64().max(1e-9);
@@ -282,6 +301,113 @@ fn main() {
         .with_u64("posts", multi_stream.len() as u64)
         .with_u64("churn_ops", service.churn_stats().ops_total())
         .with_f64("steady_ratio", churned_per_sec / steady_per_sec),
+    );
+
+    // Sharded rows — the same steady stream through `sharded:N` services,
+    // one row per shard count, fed through the batched entry point so the
+    // ingest thread's fingerprinting pipelines with the shard workers'
+    // coverage scans. Every run is asserted decision-identical to the
+    // sequential reference before its throughput is recorded.
+    let shard_counts: Vec<usize> = match shards_override {
+        Some(n) => vec![n],
+        None => {
+            let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+            let mut counts = vec![1usize, 2, 4];
+            if cores > 4 {
+                counts.push(cores);
+            }
+            counts
+        }
+    };
+    const BATCH: usize = 1_024;
+    let mut one_shard_rate: Option<f64> = None;
+    for &shards in &shard_counts {
+        let mut service = FirehoseService::builder(&graph, subscriptions.clone())
+            .engine_config(config)
+            .shards(shards)
+            .build()
+            .expect("build sharded service");
+        let mut decisions: Vec<Vec<u32>> = Vec::with_capacity(multi_stream.len());
+        // Per-batch wall time, amortized per post, stands in for per-post
+        // latency: the pipelined path has no per-post completion point.
+        let mut latencies: Vec<u64> = Vec::new();
+        let t0 = Instant::now();
+        for chunk in multi_stream.chunks(BATCH) {
+            let c0 = Instant::now();
+            service
+                .process_batch(chunk.iter().cloned(), |_, d| {
+                    decisions.push(d.delivered_to.clone());
+                })
+                .unwrap();
+            latencies.push(c0.elapsed().as_nanos() as u64 / chunk.len() as u64);
+        }
+        let sharded_per_sec = multi_stream.len() as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+        assert_eq!(
+            decisions, reference_decisions,
+            "sharded:{shards} diverged from the sequential service"
+        );
+        latencies.sort_unstable();
+        let speedup = sharded_per_sec / one_shard_rate.unwrap_or(sharded_per_sec);
+        if shards == 1 {
+            one_shard_rate = Some(sharded_per_sec);
+        }
+        eprintln!(
+            "[churn] service_offer_sharded[{shards}]: {sharded_per_sec:.0} offers/s \
+             ({speedup:.2}x vs 1 shard, {:.1}% of sequential steady)",
+            100.0 * sharded_per_sec / steady_per_sec
+        );
+        summary.push_engine(
+            EngineRow::new(
+                "service_offer_sharded",
+                sharded_per_sec,
+                percentile(&latencies, 0.50),
+                percentile(&latencies, 0.99),
+            )
+            .with_u64("shards", shards as u64)
+            .with_u64("posts", multi_stream.len() as u64)
+            .with_f64("speedup_vs_1shard", speedup)
+            .with_f64("steady_ratio", sharded_per_sec / steady_per_sec),
+        );
+    }
+
+    // Scale row — a 100k-user subscription table (the paper's user-study
+    // scale) over a stream prefix, through a sharded service.
+    let scale_users = if smoke { 2_000 } else { 100_000 };
+    let scale_posts = multi_stream.len().min(if smoke { 300 } else { 2_000 });
+    let scale_shards = shards_override
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get().clamp(2, 8)));
+    let scale_sets = generate_subscriptions(
+        social.author_count(),
+        scale_users,
+        SubscriptionGenConfig::default(),
+    );
+    let scale_subs = Subscriptions::new(social.author_count(), scale_sets.iter().cloned()).unwrap();
+    let mut service = FirehoseService::builder(&graph, scale_subs)
+        .engine_config(config)
+        .shards(scale_shards)
+        .build()
+        .expect("build scale service");
+    let scale_stream = &multi_stream[..scale_posts];
+    let mut deliveries: u64 = 0;
+    let t0 = Instant::now();
+    for chunk in scale_stream.chunks(BATCH) {
+        service
+            .process_batch(chunk.iter().cloned(), |_, d| {
+                deliveries += d.delivered_to.len() as u64;
+            })
+            .unwrap();
+    }
+    let scale_per_sec = scale_stream.len() as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+    eprintln!(
+        "[churn] service_offer_sharded_scale: {scale_per_sec:.0} offers/s \
+         ({scale_users} users, {scale_shards} shards, {deliveries} deliveries)"
+    );
+    summary.push_engine(
+        EngineRow::new("service_offer_sharded_scale", scale_per_sec, 0, 0)
+            .with_u64("users", scale_users as u64)
+            .with_u64("shards", scale_shards as u64)
+            .with_u64("posts", scale_stream.len() as u64)
+            .with_u64("deliveries", deliveries),
     );
 
     // Row 4 — single-engine UniBin steady state, hotpath_throughput's exact

@@ -366,9 +366,27 @@ pub fn restore_engine_from_slice(
     Ok((engine, manifest))
 }
 
+/// The restore-compatibility family of a multi-strategy name. The
+/// sequential shared strategy (`S_X`), its batch-parallel runner
+/// (`P_X(n)`), and the persistent sharded runtime (`Sh_X(n)`) all write
+/// identical FHSNAP04 state, so checkpoints move freely between them at any
+/// worker/shard count. `M_X` states are keyed per user and remain their own
+/// family.
+fn strategy_family(name: &str) -> String {
+    for prefix in ["P_", "Sh_"] {
+        if let Some(rest) = name.strip_prefix(prefix) {
+            let base = rest.split('(').next().unwrap_or(rest);
+            return format!("S_{base}");
+        }
+    }
+    name.to_string()
+}
+
 /// Load a multi-strategy checkpoint into an already-constructed strategy of
-/// the same shape (same kind, graph and subscriptions). Cross-checks the
-/// manifest's strategy name and `posts_processed` against the target.
+/// the same shape (same kind, graph and subscriptions — the runner and its
+/// worker count may differ — `S_X`, `P_X(n)` and `Sh_X(n)` share one
+/// restore-compatibility family). Cross-checks the
+/// manifest's strategy family and `posts_processed` against the target.
 ///
 /// On error the strategy's state is unspecified and it must be rebuilt or
 /// re-restored before use.
@@ -384,7 +402,7 @@ pub fn restore_multi_from_slice<M: MultiDiversifier + ?Sized>(
             expected: TAG_MULTI,
         });
     }
-    if manifest.name != multi.name() {
+    if strategy_family(&manifest.name) != strategy_family(&multi.name()) {
         return Err(SnapshotError::StructureMismatch(
             "checkpoint belongs to a different multi strategy",
         ));
@@ -1030,6 +1048,75 @@ mod tests {
 
         // Restoring into a different strategy shape is rejected, not UB.
         let mut wrong = SharedMulti::new(AlgorithmKind::CliqueBin, config(), &g, subs);
+        assert!(matches!(
+            restore_multi_from_slice(&buf, &mut wrong),
+            Err(SnapshotError::StructureMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn strategy_families_group_shared_runners() {
+        assert_eq!(strategy_family("S_UniBin"), "S_UniBin");
+        assert_eq!(strategy_family("P_UniBin(4)"), "S_UniBin");
+        assert_eq!(strategy_family("Sh_UniBin(2)"), "S_UniBin");
+        assert_eq!(strategy_family("Sh_CliqueBin(8)"), "S_CliqueBin");
+        assert_eq!(strategy_family("M_UniBin"), "M_UniBin");
+        assert_ne!(
+            strategy_family("Sh_UniBin(2)"),
+            strategy_family("S_CliqueBin")
+        );
+    }
+
+    /// The sharded↔sequential compatibility matrix: a checkpoint taken by
+    /// any shared-family runner restores into any other, at any shard
+    /// count, and continues byte-identically.
+    #[test]
+    fn multi_checkpoint_crosses_runner_families() {
+        let g = UndirectedGraph::from_edges(6, [(0, 1), (0, 5), (3, 4)]);
+        let subs = Subscriptions::new(6, vec![vec![0, 1, 3, 5], vec![0, 1, 3, 4, 5]]).unwrap();
+        let stream: Vec<Post> = (0..60u64)
+            .map(|i| {
+                Post::new(
+                    i,
+                    (i % 6) as u32,
+                    i * 5_000,
+                    format!("content group {}", i % 9),
+                )
+            })
+            .collect();
+        let mut sharded =
+            crate::multi::ShardedMulti::new(AlgorithmKind::UniBin, config(), &g, subs.clone(), 4)
+                .unwrap();
+        for p in &stream[..30] {
+            sharded.offer(p);
+        }
+        let buf = checkpoint_multi_to_vec(&sharded, 1).unwrap();
+        let expected: Vec<_> = stream[30..].iter().map(|p| sharded.offer(p)).collect();
+
+        // Sharded(4) checkpoint → sequential SharedMulti.
+        let mut seq = SharedMulti::new(AlgorithmKind::UniBin, config(), &g, subs.clone());
+        let manifest = restore_multi_from_slice(&buf, &mut seq).unwrap();
+        assert_eq!(manifest.name, "Sh_UniBin(4)");
+        let got: Vec<_> = stream[30..].iter().map(|p| seq.offer(p)).collect();
+        assert_eq!(got, expected);
+
+        // Sequential checkpoint → sharded(2).
+        let mut seq2 = SharedMulti::new(AlgorithmKind::UniBin, config(), &g, subs.clone());
+        for p in &stream[..30] {
+            seq2.offer(p);
+        }
+        let seq_buf = checkpoint_multi_to_vec(&seq2, 1).unwrap();
+        let mut sharded2 =
+            crate::multi::ShardedMulti::new(AlgorithmKind::UniBin, config(), &g, subs.clone(), 2)
+                .unwrap();
+        restore_multi_from_slice(&seq_buf, &mut sharded2).unwrap();
+        let got: Vec<_> = stream[30..].iter().map(|p| sharded2.offer(p)).collect();
+        assert_eq!(got, expected);
+
+        // A different kind is still rejected across families.
+        let mut wrong =
+            crate::multi::ShardedMulti::new(AlgorithmKind::CliqueBin, config(), &g, subs, 2)
+                .unwrap();
         assert!(matches!(
             restore_multi_from_slice(&buf, &mut wrong),
             Err(SnapshotError::StructureMismatch(_))

@@ -86,8 +86,8 @@ pub mod prelude {
     pub use crate::metrics::EngineMetrics;
     pub use crate::multi::{
         BuildError, ChurnStats, IndependentBuilder, IndependentMulti, MultiDecision,
-        MultiDiversifier, ParallelBuilder, ParallelShared, SharedBuilder, SharedMulti,
-        SubscriptionError, Subscriptions, UserId,
+        MultiDiversifier, ParallelBuilder, ParallelShared, ShardedBuilder, ShardedMulti,
+        SharedBuilder, SharedMulti, SubscriptionError, Subscriptions, UserId,
     };
     pub use crate::service::{
         ChurnOp, FirehoseService, FirehoseServiceBuilder, ServiceError, StrategyKind, TracedOp,

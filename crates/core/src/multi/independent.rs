@@ -188,7 +188,12 @@ impl IndependentBuilder<'_> {
             engines,
             user_configs: configs,
             warm_start: self.warm_start,
-            churn: ChurnStats::default(),
+            churn: ChurnStats {
+                // One engine per user id at construction (tombstoned users
+                // included — their member-less engines exist too).
+                initial_engines: users as u64,
+                ..ChurnStats::default()
+            },
             last_sweep: 0,
             live_copies: 0,
             peak_live_copies: 0,
@@ -524,6 +529,13 @@ impl MultiDiversifier for IndependentMulti {
                 self.subscriptions = state.subscriptions;
                 self.engines = engines;
                 self.churn = state.churn;
+                if !state.has_initial {
+                    // Pre-flags state: the user id space only ever grows via
+                    // `add_user`, so the construction-time engine count is
+                    // exactly `users - users_added`.
+                    self.churn.initial_engines =
+                        (users as u64).saturating_sub(self.churn.users_added);
+                }
                 [self.last_sweep, self.live_copies, self.peak_live_copies] = state.ledger;
                 Ok(())
             }

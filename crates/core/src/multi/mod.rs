@@ -28,11 +28,14 @@
 mod independent;
 pub mod parallel;
 pub(crate) mod registry;
+pub(crate) mod ring;
+pub mod sharded;
 mod shared;
 mod subscriptions;
 
 pub use independent::{IndependentBuilder, IndependentMulti};
 pub use parallel::{ParallelBuilder, ParallelShared};
+pub use sharded::{ShardedBuilder, ShardedMulti};
 pub use shared::{SharedBuilder, SharedMulti};
 pub use subscriptions::{SubscriptionError, Subscriptions, UserId};
 
@@ -54,7 +57,7 @@ pub struct MultiDecision {
 /// Errors constructing a multi-user strategy through its builder.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BuildError {
-    /// `ParallelShared` needs at least one worker thread.
+    /// `ParallelShared` / `ShardedMulti` need at least one worker thread.
     ZeroThreads,
     /// `IndependentMulti` per-user configs must match the user count.
     ConfigCountMismatch {
@@ -105,6 +108,11 @@ pub struct ChurnStats {
     pub engines_retired: u64,
     /// Spawned engines warm-started with at least one surviving record.
     pub warm_starts: u64,
+    /// Component engines built at initial construction, before any churn.
+    /// Together with `engines_spawned` this makes the spawn/retire ledger
+    /// symmetric: every live engine was counted exactly once, so
+    /// `engines_retired <= engines_spawned + initial_engines` always holds.
+    pub initial_engines: u64,
 }
 
 impl ChurnStats {
@@ -122,16 +130,20 @@ impl ChurnStats {
             self.engines_spawned,
             self.engines_retired,
             self.warm_starts,
+            self.initial_engines,
         ] {
             w.write_all(&x.to_le_bytes())?;
         }
         Ok(())
     }
 
-    pub(crate) fn read(r: &mut dyn Read) -> Result<Self, SnapshotError> {
-        let mut vals = [0u64; 7];
+    /// Read a churn ledger. States written before flags bit 0 existed carry
+    /// 7 fields (`with_initial = false`); current states carry 8.
+    pub(crate) fn read(r: &mut dyn Read, with_initial: bool) -> Result<Self, SnapshotError> {
+        let mut vals = [0u64; 8];
+        let n = if with_initial { 8 } else { 7 };
         let mut b8 = [0u8; 8];
-        for v in &mut vals {
+        for v in vals.iter_mut().take(n) {
             r.read_exact(&mut b8)?;
             *v = u64::from_le_bytes(b8);
         }
@@ -143,6 +155,7 @@ impl ChurnStats {
             engines_spawned: vals[4],
             engines_retired: vals[5],
             warm_starts: vals[6],
+            initial_engines: vals[7],
         })
     }
 }
@@ -224,6 +237,11 @@ pub trait MultiDiversifier {
 /// practice.
 pub(crate) const MULTI_STATE_MAGIC: &[u8; 8] = b"FHSNAP04";
 
+/// FHSNAP04 flags bit 0: the churn ledger includes the `initial_engines`
+/// counter (8 fields). States written with flags 0 carry the historical
+/// 7-field ledger and are still readable.
+pub(crate) const MULTI_STATE_FLAG_INITIAL_ENGINES: u32 = 1;
+
 /// FNV-1a-64 over a component's sorted member list — the
 /// construction-order-independent engine key of the FHSNAP04 layout.
 pub(crate) fn component_key(members: &[AuthorId]) -> u64 {
@@ -240,6 +258,10 @@ pub(crate) fn component_key(members: &[AuthorId]) -> u64 {
 /// FHSNAP04 multi-strategy state, parsed. `engines` maps key → state blob.
 pub(crate) struct MultiStateV2 {
     pub churn: ChurnStats,
+    /// Whether the serialized churn ledger carried `initial_engines` (flags
+    /// bit 0). When it did not, loaders adopt the freshly rebuilt count as a
+    /// documented best effort.
+    pub has_initial: bool,
     pub subscriptions: Subscriptions,
     pub ledger: [u64; 3],
     pub engines: std::collections::HashMap<u64, Vec<u8>>,
@@ -265,7 +287,8 @@ pub(crate) fn write_multi_state(
     engines: &mut [(u64, Vec<u8>)],
 ) -> std::io::Result<()> {
     w.write_all(MULTI_STATE_MAGIC)?;
-    w.write_all(&0u32.to_le_bytes())?; // flags, reserved
+    // Flags bit 0: churn ledger carries `initial_engines` (8 fields, not 7).
+    w.write_all(&MULTI_STATE_FLAG_INITIAL_ENGINES.to_le_bytes())?;
     churn.write(w)?;
     subscriptions.write_table(w)?;
     for x in ledger {
@@ -319,12 +342,14 @@ pub(crate) fn read_multi_state(r: &mut dyn Read) -> Result<MultiState, SnapshotE
     if &head == MULTI_STATE_MAGIC {
         let mut b4 = [0u8; 4];
         r.read_exact(&mut b4)?;
-        if u32::from_le_bytes(b4) != 0 {
+        let flags = u32::from_le_bytes(b4);
+        if flags & !MULTI_STATE_FLAG_INITIAL_ENGINES != 0 {
             return Err(SnapshotError::StructureMismatch(
                 "unknown multi-state flags",
             ));
         }
-        let churn = ChurnStats::read(r)?;
+        let has_initial = flags & MULTI_STATE_FLAG_INITIAL_ENGINES != 0;
+        let churn = ChurnStats::read(r, has_initial)?;
         let subscriptions = Subscriptions::read_table(r)?;
         let ledger = read_ledger(r)?;
         r.read_exact(&mut b4)?;
@@ -344,6 +369,7 @@ pub(crate) fn read_multi_state(r: &mut dyn Read) -> Result<MultiState, SnapshotE
         }
         Ok(MultiState::V2(MultiStateV2 {
             churn,
+            has_initial,
             subscriptions,
             ledger,
             engines,
@@ -409,10 +435,37 @@ mod tests {
             engines_spawned: 5,
             engines_retired: 6,
             warm_starts: 7,
+            initial_engines: 8,
         };
         let mut buf = Vec::new();
         stats.write(&mut buf).unwrap();
-        assert_eq!(ChurnStats::read(&mut &buf[..]).unwrap(), stats);
+        assert_eq!(ChurnStats::read(&mut &buf[..], true).unwrap(), stats);
         assert_eq!(stats.ops_total(), 10);
+    }
+
+    #[test]
+    fn churn_stats_reads_legacy_seven_field_ledger() {
+        let stats = ChurnStats {
+            subscribes: 1,
+            unsubscribes: 2,
+            users_added: 3,
+            users_removed: 4,
+            engines_spawned: 5,
+            engines_retired: 6,
+            warm_starts: 7,
+            initial_engines: 8,
+        };
+        let mut buf = Vec::new();
+        stats.write(&mut buf).unwrap();
+        // A legacy reader stops after 7 fields; a legacy writer simply never
+        // produced the 8th, so reading 7 fields must leave it zero.
+        let legacy = ChurnStats::read(&mut &buf[..56], false).unwrap();
+        assert_eq!(
+            legacy,
+            ChurnStats {
+                initial_engines: 0,
+                ..stats
+            }
+        );
     }
 }

@@ -194,7 +194,9 @@ impl ComponentRegistry {
                     self.author_components[a as usize].push(cid);
                 }
                 self.key_to_id.insert(members, cid);
-                if !initial {
+                if initial {
+                    self.churn.initial_engines += 1;
+                } else {
                     self.churn.engines_spawned += 1;
                 }
                 cid
@@ -448,7 +450,15 @@ impl ComponentRegistry {
                         "engine state for an unknown component",
                     ));
                 }
+                let rebuilt_initial = fresh.churn.initial_engines;
                 fresh.churn = state.churn;
+                if !state.has_initial {
+                    // Pre-flags states never recorded the initial engine
+                    // count; adopt the rebuilt decomposition's count (exact
+                    // when no engine-churning ops preceded the save,
+                    // best-effort otherwise).
+                    fresh.churn.initial_engines = rebuilt_initial;
+                }
                 [fresh.last_sweep, fresh.live_copies, fresh.peak_live_copies] = state.ledger;
                 *self = fresh;
                 Ok(())
@@ -480,7 +490,41 @@ mod tests {
         let reg = figure7_registry();
         // {0,1,5} shared, {3} for u0, {3,4} for u1.
         assert_eq!(reg.component_count(), 3);
-        assert_eq!(reg.churn, ChurnStats::default());
+        assert_eq!(
+            reg.churn,
+            ChurnStats {
+                initial_engines: 3,
+                ..ChurnStats::default()
+            }
+        );
+    }
+
+    /// Regression (satellite of ISSUE 7): the churn bench used to report
+    /// `engines_retired > engines_spawned` because construction-time spawns
+    /// were never counted anywhere while their retirements were. With
+    /// `initial_engines` the ledger is symmetric.
+    #[test]
+    fn retire_ledger_never_exceeds_spawn_ledger() {
+        let mut reg = figure7_registry();
+        assert_eq!(reg.churn.initial_engines, 3);
+        // Retire everything churn can reach: both users removed retires all
+        // three initial engines without a single churn spawn.
+        reg.remove_user(0).unwrap();
+        reg.remove_user(1).unwrap();
+        let c = reg.churn;
+        assert_eq!(c.engines_retired, 3);
+        assert_eq!(c.engines_spawned, 0);
+        assert!(c.engines_retired <= c.engines_spawned + c.initial_engines);
+        // And a churny sequence keeps the invariant.
+        let u = reg.add_user(&[0, 1, 3]).unwrap();
+        reg.subscribe(u, 5).unwrap();
+        reg.unsubscribe(u, 0).unwrap();
+        reg.remove_user(u).unwrap();
+        let c = reg.churn;
+        assert!(
+            c.engines_retired <= c.engines_spawned + c.initial_engines,
+            "{c:?}"
+        );
     }
 
     #[test]

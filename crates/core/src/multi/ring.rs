@@ -1,0 +1,407 @@
+//! Bounded lock-free SPSC rings — the shard ingest transport of
+//! [`ShardedMulti`](crate::multi::ShardedMulti).
+//!
+//! A classic Lamport queue with cached counterpart indices: the producer
+//! caches the consumer's head (and vice versa) so the common case touches
+//! only one shared cache line per operation. Capacity is a power of two and
+//! fixed at construction — the ring never allocates after `channel()`, which
+//! is what keeps the per-post ingest path allocation-free.
+//!
+//! The module has **zero external dependencies** (`std` only, no registry
+//! crates). `std::sync::mpsc` remains available as a fallback transport:
+//! set `FIREHOSE_RING=mpsc` to route every shard channel through
+//! [`std::sync::mpsc::sync_channel`] instead (same bounded semantics,
+//! different implementation) — the differential tests run both.
+//!
+//! Blocking is layered *outside* the ring: a [`Doorbell`] parks a consumer
+//! that has seen the ring empty and wakes it from the producer side, so the
+//! ring itself stays wait-free and the doorbell logic is shared by both
+//! transports.
+
+use std::cell::{Cell, UnsafeCell};
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::TrySendError;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Pad to a cache line so the producer's and consumer's indices never
+/// false-share.
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+struct Shared<T> {
+    /// `capacity - 1`; capacity is a power of two.
+    mask: usize,
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Next slot the consumer will pop (monotonic).
+    head: CachePadded<AtomicUsize>,
+    /// Next slot the producer will push (monotonic).
+    tail: CachePadded<AtomicUsize>,
+}
+
+// SAFETY: slots are handed off by the head/tail publication protocol —
+// a slot is written only by the single producer before the Release store of
+// `tail`, and read only by the single consumer after the Acquire load of it
+// (and vice versa for recycled slots).
+unsafe impl<T: Send> Send for Shared<T> {}
+unsafe impl<T: Send> Sync for Shared<T> {}
+
+impl<T> Drop for Shared<T> {
+    fn drop(&mut self) {
+        // Both endpoints are gone: drain the un-popped items.
+        let head = *self.head.0.get_mut();
+        let tail = *self.tail.0.get_mut();
+        for i in head..tail {
+            let slot = self.buf[i & self.mask].get_mut();
+            // SAFETY: slots in [head, tail) were initialized by push and
+            // never popped.
+            unsafe { slot.assume_init_drop() };
+        }
+    }
+}
+
+/// Producer endpoint; single-owner (`!Sync` via the cached [`Cell`]).
+pub(crate) struct SpscSender<T> {
+    ring: Arc<Shared<T>>,
+    /// Producer's view of `head`; refreshed only when the ring looks full.
+    cached_head: Cell<usize>,
+}
+
+/// Consumer endpoint; single-owner (`!Sync` via the cached [`Cell`]).
+pub(crate) struct SpscReceiver<T> {
+    ring: Arc<Shared<T>>,
+    /// Consumer's view of `tail`; refreshed only when the ring looks empty.
+    cached_tail: Cell<usize>,
+}
+
+/// A bounded SPSC ring of at least `capacity` slots (rounded up to a power
+/// of two, minimum 2).
+pub(crate) fn spsc<T>(capacity: usize) -> (SpscSender<T>, SpscReceiver<T>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let buf = (0..cap)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
+    let ring = Arc::new(Shared {
+        mask: cap - 1,
+        buf,
+        head: CachePadded(AtomicUsize::new(0)),
+        tail: CachePadded(AtomicUsize::new(0)),
+    });
+    (
+        SpscSender {
+            ring: Arc::clone(&ring),
+            cached_head: Cell::new(0),
+        },
+        SpscReceiver {
+            ring,
+            cached_tail: Cell::new(0),
+        },
+    )
+}
+
+impl<T> SpscSender<T> {
+    /// Push `v`, or hand it back if the ring is full.
+    pub(crate) fn try_push(&self, v: T) -> Result<(), T> {
+        let ring = &*self.ring;
+        let tail = ring.tail.0.load(Ordering::Relaxed);
+        let cap = ring.mask + 1;
+        if tail.wrapping_sub(self.cached_head.get()) >= cap {
+            self.cached_head.set(ring.head.0.load(Ordering::Acquire));
+            if tail.wrapping_sub(self.cached_head.get()) >= cap {
+                return Err(v);
+            }
+        }
+        // SAFETY: the slot at `tail` is past the consumer's head, so only
+        // this (single) producer touches it until the Release store below
+        // publishes it.
+        unsafe { (*ring.buf[tail & ring.mask].get()).write(v) };
+        ring.tail.0.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+}
+
+impl<T> SpscReceiver<T> {
+    /// Pop the oldest item, or `None` if the ring is empty.
+    pub(crate) fn try_pop(&self) -> Option<T> {
+        let ring = &*self.ring;
+        let head = ring.head.0.load(Ordering::Relaxed);
+        if head == self.cached_tail.get() {
+            self.cached_tail.set(ring.tail.0.load(Ordering::Acquire));
+            if head == self.cached_tail.get() {
+                return None;
+            }
+        }
+        // SAFETY: `head < tail` (Acquire-observed), so the slot was fully
+        // written by the producer; only this (single) consumer reads it.
+        let v = unsafe { (*ring.buf[head & ring.mask].get()).assume_init_read() };
+        ring.head.0.store(head.wrapping_add(1), Ordering::Release);
+        Some(v)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Doorbell: consumer parking, transport-independent.
+// ---------------------------------------------------------------------
+
+/// Wakes a parked ring consumer. The consumer *must* re-check the ring
+/// between [`prepare_park`](Self::prepare_park) and [`park`](Self::park):
+/// the producer only rings after a push when it observes `sleeping`, so the
+/// flag-then-recheck dance is what closes the lost-wakeup window.
+pub(crate) struct Doorbell {
+    sleeping: AtomicBool,
+    mutex: Mutex<()>,
+    condvar: Condvar,
+}
+
+impl Doorbell {
+    pub(crate) fn new() -> Self {
+        Self {
+            sleeping: AtomicBool::new(false),
+            mutex: Mutex::new(()),
+            condvar: Condvar::new(),
+        }
+    }
+
+    /// Producer side: wake the consumer if it is (or is about to start)
+    /// sleeping. Cheap when it is not — one relaxed-ish load.
+    pub(crate) fn ring(&self) {
+        if self.sleeping.load(Ordering::SeqCst) {
+            let _guard = self.mutex.lock().unwrap_or_else(|e| e.into_inner());
+            self.sleeping.store(false, Ordering::SeqCst);
+            self.condvar.notify_all();
+        }
+    }
+
+    /// Consumer side, step 1: announce intent to sleep. Re-check the ring
+    /// after this call.
+    pub(crate) fn prepare_park(&self) {
+        self.sleeping.store(true, Ordering::SeqCst);
+    }
+
+    /// Consumer side, step 2a: the re-check found work — cancel the
+    /// announcement.
+    pub(crate) fn cancel_park(&self) {
+        self.sleeping.store(false, Ordering::SeqCst);
+    }
+
+    /// Consumer side, step 2b: the re-check found nothing — sleep until
+    /// rung. The bounded wait is a belt-and-braces backstop; the protocol
+    /// itself does not rely on it.
+    pub(crate) fn park(&self) {
+        let mut guard = self.mutex.lock().unwrap_or_else(|e| e.into_inner());
+        while self.sleeping.load(Ordering::SeqCst) {
+            let (g, _timeout) = self
+                .condvar
+                .wait_timeout(guard, Duration::from_millis(50))
+                .unwrap_or_else(|e| e.into_inner());
+            guard = g;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Transport selection: SPSC ring (default) or std::sync::mpsc fallback.
+// ---------------------------------------------------------------------
+
+/// Which transport shard channels use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RingMode {
+    /// The in-tree lock-free SPSC ring (default).
+    Spsc,
+    /// [`std::sync::mpsc::sync_channel`] — the portable fallback path.
+    Mpsc,
+}
+
+/// The transport selected by `FIREHOSE_RING` (`spsc` | `mpsc`), cached for
+/// the process lifetime like `FIREHOSE_KERNEL`. Unknown values fall back to
+/// the default ring.
+pub(crate) fn ring_mode() -> RingMode {
+    static MODE: OnceLock<RingMode> = OnceLock::new();
+    *MODE.get_or_init(|| match std::env::var("FIREHOSE_RING").as_deref() {
+        Ok("mpsc") => RingMode::Mpsc,
+        _ => RingMode::Spsc,
+    })
+}
+
+/// Sending half of a shard channel, either transport.
+pub(crate) enum Tx<T> {
+    Spsc(SpscSender<T>),
+    Mpsc(std::sync::mpsc::SyncSender<T>),
+}
+
+/// Receiving half of a shard channel, either transport.
+pub(crate) enum Rx<T> {
+    Spsc(SpscReceiver<T>),
+    Mpsc(std::sync::mpsc::Receiver<T>),
+}
+
+/// A bounded channel of at least `capacity` slots in the given mode.
+pub(crate) fn channel<T>(capacity: usize, mode: RingMode) -> (Tx<T>, Rx<T>) {
+    match mode {
+        RingMode::Spsc => {
+            let (tx, rx) = spsc(capacity);
+            (Tx::Spsc(tx), Rx::Spsc(rx))
+        }
+        RingMode::Mpsc => {
+            let (tx, rx) = std::sync::mpsc::sync_channel(capacity.max(2).next_power_of_two());
+            (Tx::Mpsc(tx), Rx::Mpsc(rx))
+        }
+    }
+}
+
+impl<T> Tx<T> {
+    /// Non-blocking push; hands `v` back when the channel is full (or, for
+    /// the mpsc fallback, disconnected — callers treat both as "retry or
+    /// fail upward").
+    pub(crate) fn try_push(&self, v: T) -> Result<(), T> {
+        match self {
+            Tx::Spsc(tx) => tx.try_push(v),
+            Tx::Mpsc(tx) => tx.try_send(v).map_err(|e| match e {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }),
+        }
+    }
+}
+
+impl<T> Rx<T> {
+    /// Non-blocking pop.
+    pub(crate) fn try_pop(&self) -> Option<T> {
+        match self {
+            Rx::Spsc(rx) => rx.try_pop(),
+            Rx::Mpsc(rx) => rx.try_recv().ok(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let (tx, rx) = spsc::<u32>(4);
+        for i in 0..4 {
+            tx.try_push(i).unwrap();
+        }
+        assert_eq!(tx.try_push(99), Err(99), "ring full");
+        for i in 0..4 {
+            assert_eq!(rx.try_pop(), Some(i));
+        }
+        assert_eq!(rx.try_pop(), None);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        let (tx, rx) = spsc::<u8>(5);
+        for i in 0..8 {
+            tx.try_push(i).unwrap();
+        }
+        assert!(tx.try_push(8).is_err());
+        for i in 0..8 {
+            assert_eq!(rx.try_pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn wraparound_many_times() {
+        let (tx, rx) = spsc::<u64>(8);
+        for round in 0u64..1000 {
+            for i in 0..5 {
+                tx.try_push(round * 5 + i).unwrap();
+            }
+            for i in 0..5 {
+                assert_eq!(rx.try_pop(), Some(round * 5 + i));
+            }
+        }
+    }
+
+    #[test]
+    fn unconsumed_items_are_dropped() {
+        let flag = Arc::new(AtomicUsize::new(0));
+        #[derive(Debug)]
+        struct Probe(Arc<AtomicUsize>);
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let (tx, rx) = spsc::<Probe>(4);
+        for _ in 0..3 {
+            tx.try_push(Probe(Arc::clone(&flag))).unwrap();
+        }
+        drop(rx.try_pop()); // one popped and dropped
+        drop(tx);
+        drop(rx);
+        assert_eq!(flag.load(Ordering::SeqCst), 3, "two drained by Drop");
+    }
+
+    #[test]
+    fn cross_thread_stream_is_ordered_and_complete() {
+        const N: u64 = 200_000;
+        let (tx, rx) = spsc::<u64>(256);
+        let bell = Arc::new(Doorbell::new());
+        let bell2 = Arc::clone(&bell);
+        let consumer = std::thread::spawn(move || {
+            let mut expected = 0u64;
+            let mut sum = 0u64;
+            while expected < N {
+                match rx.try_pop() {
+                    Some(v) => {
+                        assert_eq!(v, expected);
+                        sum += v;
+                        expected += 1;
+                    }
+                    None => {
+                        bell2.prepare_park();
+                        if let Some(v) = rx.try_pop() {
+                            bell2.cancel_park();
+                            assert_eq!(v, expected);
+                            sum += v;
+                            expected += 1;
+                        } else {
+                            bell2.park();
+                        }
+                    }
+                }
+            }
+            sum
+        });
+        let mut i = 0u64;
+        while i < N {
+            match tx.try_push(i) {
+                Ok(()) => {
+                    bell.ring();
+                    i += 1;
+                }
+                Err(_) => std::thread::yield_now(),
+            }
+        }
+        let sum = consumer.join().unwrap();
+        assert_eq!(sum, N * (N - 1) / 2);
+    }
+
+    #[test]
+    fn both_transports_share_semantics() {
+        for mode in [RingMode::Spsc, RingMode::Mpsc] {
+            let (tx, rx) = channel::<u32>(4, mode);
+            for i in 0..4 {
+                tx.try_push(i).unwrap();
+            }
+            assert!(tx.try_push(4).is_err(), "{mode:?} full");
+            for i in 0..4 {
+                assert_eq!(rx.try_pop(), Some(i), "{mode:?}");
+            }
+            assert_eq!(rx.try_pop(), None, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn ring_mode_defaults_to_spsc() {
+        // The env var is unset (or set to spsc) in the test environment;
+        // either way the cached mode must be a valid variant.
+        let mode = ring_mode();
+        assert!(matches!(mode, RingMode::Spsc | RingMode::Mpsc));
+    }
+}

@@ -1,0 +1,1275 @@
+//! `Sh_*`: the persistent sharded runner for the shared-component strategy.
+//!
+//! [`ShardedMulti`] produces decisions, emissions, and counters **identical
+//! to [`SharedMulti`](crate::multi::SharedMulti)** while running component
+//! engines on N long-lived worker threads. Connected components never share
+//! engines (the paper's Section 5 independence argument), so engines
+//! partition by slot id (`cid % shards`) with no cross-shard traffic on the
+//! offer path.
+//!
+//! ## Topology
+//!
+//! The control thread owns the component registry — routing tables,
+//! component metadata, subscriptions, and the churn ledger — while the
+//! engines themselves live in one of two places:
+//!
+//! * **deployed** (steady state): each live engine is owned by the worker
+//!   for shard `cid % shards`, shipped over that shard's bounded SPSC
+//!   request ring (the `ring` module); the registry's engine slots are
+//!   empty.
+//! * **parked** (churn/restore): all engines are recalled into their
+//!   registry slots, the *unchanged* sequential churn machinery runs
+//!   (merge/split re-homing through the existing warm-start path), and the
+//!   surviving engines are redeployed.
+//!
+//! ## Offer protocol
+//!
+//! Per post, the control thread replays `SharedMulti::offer_into` exactly:
+//! the sweep check runs first against the sequential `λt/2` schedule and, if
+//! due, an in-band `Req::Sweep` marker is sent to **every** shard before
+//! the post's records (the `Item::Sweep` discipline of
+//! [`parallel`](crate::multi::parallel)); the post is fingerprinted once on
+//! the control thread (so SimHash pipelines with coverage scans on the
+//! shards); one `Req::Offer` per owning component is routed to its shard;
+//! responses carry exact per-engine counter deltas, which the control thread
+//! folds into an O(1) metrics cache and the sequential live/peak ledger in
+//! post order. [`offer_batch`](crate::multi::MultiDiversifier::offer_batch)
+//! keeps a bounded window of posts in flight, which is where the
+//! multi-core throughput comes from.
+//!
+//! ## Checkpoints
+//!
+//! `save_state` asks every shard to serialize its engines in parallel
+//! (`Req::SaveBlobs`) and stitches the per-shard blob sets into one
+//! FHSNAP04 state keyed by component hash — byte-identical to what
+//! `SharedMulti` writes, so sharded state restores into a sequential
+//! strategy and vice versa (see `checkpoint.rs` strategy families).
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use firehose_graph::UndirectedGraph;
+use firehose_stream::{AuthorId, Post, PostRecord, Timestamp};
+
+use crate::config::EngineConfig;
+use crate::engine::AlgorithmKind;
+use crate::metrics::EngineMetrics;
+use crate::multi::independent::CompactEngine;
+use crate::multi::registry::ComponentRegistry;
+use crate::multi::ring::{self, Doorbell, RingMode, Rx, Tx};
+use crate::multi::subscriptions::{SubscriptionError, Subscriptions, UserId};
+use crate::multi::{
+    component_key, write_multi_state, BuildError, ChurnStats, MultiDecision, MultiDiversifier,
+};
+use crate::obs::{MultiObs, ShardedObs};
+
+/// Request/response ring capacity per shard. Pushes past a full ring drain
+/// responses and retry, so this bounds memory, not correctness.
+const RING_CAPACITY: usize = 1024;
+
+/// Posts in flight at once in `offer_batch` before the control thread
+/// stalls on the oldest.
+const MAX_IN_FLIGHT: usize = 512;
+
+/// Control → worker messages.
+enum Req {
+    /// Offer a fingerprinted record to the engine of component `cid`.
+    Offer {
+        seq: u64,
+        cid: u32,
+        record: PostRecord,
+    },
+    /// In-band eviction sweep marker: evict expired records from every
+    /// engine on this shard, as of stream time `now`.
+    Sweep { seq: u64, now: Timestamp },
+    /// Take ownership of a component engine.
+    Deploy {
+        cid: u32,
+        engine: Box<CompactEngine>,
+    },
+    /// Ship every owned engine back ([`Resp::Engine`] each).
+    Recall,
+    /// Serialize every owned engine ([`Resp::Blob`] each).
+    SaveBlobs,
+    /// Exit the worker loop.
+    Shutdown,
+}
+
+/// Worker → control messages.
+enum Resp {
+    /// One engine consulted for `seq`.
+    Offered {
+        seq: u64,
+        cid: u32,
+        emitted: bool,
+        delta: Delta,
+    },
+    /// The shard-wide sweep for `seq` completed.
+    Swept { seq: u64, delta: Delta },
+    /// A recalled engine.
+    Engine {
+        cid: u32,
+        engine: Box<CompactEngine>,
+    },
+    /// One engine's serialized state.
+    Blob {
+        cid: u32,
+        blob: std::io::Result<Vec<u8>>,
+    },
+}
+
+/// Exact change of one engine's [`EngineMetrics`] across an operation. The
+/// monotone counters are wrapping differences; `copies` is signed because
+/// sweeps evict.
+#[derive(Debug, Clone, Copy, Default)]
+struct Delta {
+    posts_processed: u64,
+    posts_emitted: u64,
+    comparisons: u64,
+    insertions: u64,
+    evictions: u64,
+    copies: i64,
+}
+
+impl Delta {
+    fn diff(before: &EngineMetrics, after: &EngineMetrics) -> Self {
+        Self {
+            posts_processed: after.posts_processed.wrapping_sub(before.posts_processed),
+            posts_emitted: after.posts_emitted.wrapping_sub(before.posts_emitted),
+            comparisons: after.comparisons.wrapping_sub(before.comparisons),
+            insertions: after.insertions.wrapping_sub(before.insertions),
+            evictions: after.evictions.wrapping_sub(before.evictions),
+            copies: after.copies_stored as i64 - before.copies_stored as i64,
+        }
+    }
+
+    fn add(&mut self, other: &Delta) {
+        self.posts_processed += other.posts_processed;
+        self.posts_emitted += other.posts_emitted;
+        self.comparisons += other.comparisons;
+        self.insertions += other.insertions;
+        self.evictions += other.evictions;
+        self.copies += other.copies;
+    }
+}
+
+/// Control-side sum of the deployed engines' non-peak counters: rebuilt
+/// from the engines at every deploy, advanced by response [`Delta`]s while
+/// they are away. Makes [`ShardedMulti::metrics`] O(1) — required because
+/// the checkpoint manager polls it after every post.
+#[derive(Debug, Clone, Copy, Default)]
+struct CounterCache {
+    posts_processed: u64,
+    posts_emitted: u64,
+    comparisons: u64,
+    insertions: u64,
+    evictions: u64,
+    copies_stored: u64,
+}
+
+impl CounterCache {
+    fn absorb(&mut self, m: &EngineMetrics) {
+        self.posts_processed += m.posts_processed;
+        self.posts_emitted += m.posts_emitted;
+        self.comparisons += m.comparisons;
+        self.insertions += m.insertions;
+        self.evictions += m.evictions;
+        self.copies_stored += m.copies_stored;
+    }
+
+    fn apply(&mut self, d: &Delta) {
+        self.posts_processed += d.posts_processed;
+        self.posts_emitted += d.posts_emitted;
+        self.comparisons += d.comparisons;
+        self.insertions += d.insertions;
+        self.evictions += d.evictions;
+        self.copies_stored = add_signed(self.copies_stored, d.copies);
+    }
+}
+
+/// Saturating `u64 + i64`, mirroring the sequential ledger's saturating
+/// arithmetic.
+fn add_signed(base: u64, d: i64) -> u64 {
+    if d >= 0 {
+        base.saturating_add(d as u64)
+    } else {
+        base.saturating_sub(d.unsigned_abs())
+    }
+}
+
+/// One shard's channel pair plus its wakeup doorbell.
+struct ShardLink {
+    req: Tx<Req>,
+    resp: Rx<Resp>,
+    bell: Arc<Doorbell>,
+}
+
+/// One post's in-flight bookkeeping: how many responses are still due, the
+/// ordered live-copies delta, and which components emitted.
+struct PendingPost {
+    seq: u64,
+    expected: usize,
+    delta_copies: i64,
+    emitted_cids: Vec<u32>,
+}
+
+/// Builder for [`ShardedMulti`]; see [`ShardedMulti::builder`].
+pub struct ShardedBuilder<'g> {
+    kind: AlgorithmKind,
+    config: EngineConfig,
+    graph: &'g UndirectedGraph,
+    subscriptions: Subscriptions,
+    warm_start: bool,
+    shards: usize,
+    /// Test override for the channel transport; `None` = `FIREHOSE_RING`.
+    pub(crate) mode: Option<RingMode>,
+}
+
+impl ShardedBuilder<'_> {
+    /// Whether engines spawned by churn inherit their predecessors'
+    /// in-window records (default `true`); see
+    /// [`IndependentBuilder::warm_start`](crate::multi::IndependentBuilder::warm_start).
+    pub fn warm_start(mut self, warm_start: bool) -> Self {
+        self.warm_start = warm_start;
+        self
+    }
+
+    /// Number of worker shards (default 1). Must be at least 1.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Build the registry, spawn the workers, and deploy the engines.
+    pub fn build(self) -> Result<ShardedMulti, BuildError> {
+        if self.shards == 0 {
+            return Err(BuildError::ZeroThreads);
+        }
+        let registry = ComponentRegistry::new(
+            self.kind,
+            self.config,
+            Arc::new(self.graph.clone()),
+            self.subscriptions,
+            self.warm_start,
+        );
+        let mode = self.mode.unwrap_or_else(ring::ring_mode);
+        let dead = Arc::new(AtomicBool::new(false));
+        let mut links = Vec::with_capacity(self.shards);
+        let mut workers = Vec::with_capacity(self.shards);
+        for shard in 0..self.shards {
+            let (req_tx, req_rx) = ring::channel::<Req>(RING_CAPACITY, mode);
+            let (resp_tx, resp_rx) = ring::channel::<Resp>(RING_CAPACITY, mode);
+            let bell = Arc::new(Doorbell::new());
+            let worker_bell = Arc::clone(&bell);
+            let worker_dead = Arc::clone(&dead);
+            let handle = std::thread::Builder::new()
+                .name(format!("firehose-shard-{shard}"))
+                .spawn(move || worker_loop(req_rx, resp_tx, worker_bell, worker_dead))
+                .expect("spawn shard worker");
+            links.push(ShardLink {
+                req: req_tx,
+                resp: resp_rx,
+                bell,
+            });
+            workers.push(handle);
+        }
+        let mut multi = ShardedMulti {
+            registry,
+            links,
+            workers,
+            dead,
+            shards: self.shards,
+            deployed: false,
+            seq: 0,
+            cache: CounterCache::default(),
+            re_homes: 0,
+            obs: None,
+            shard_obs: Vec::new(),
+        };
+        multi.deploy();
+        Ok(multi)
+    }
+}
+
+/// The persistent sharded shared-component engine (`Sh_UniBin(4)` etc.).
+pub struct ShardedMulti {
+    /// Routing, metadata, subscriptions, churn ledger — always
+    /// authoritative. Engine slots are empty while deployed.
+    registry: ComponentRegistry,
+    links: Vec<ShardLink>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    /// Set by a worker's drop guard if it panics; control waits poll it.
+    dead: Arc<AtomicBool>,
+    shards: usize,
+    /// Whether engines currently live on the workers.
+    deployed: bool,
+    /// Post sequence number, shared by offers and sweep markers.
+    seq: u64,
+    /// O(1) metrics cache for the deployed engines.
+    cache: CounterCache,
+    /// Churn-spawned engines whose warm-start seeds came from a retired
+    /// engine on a different shard (approximate — see `count_re_homes`).
+    re_homes: u64,
+    obs: Option<MultiObs>,
+    /// Per-shard instruments; empty when unobserved.
+    shard_obs: Vec<ShardedObs>,
+}
+
+impl ShardedMulti {
+    /// Build with `shards` workers over the given subscriptions.
+    pub fn new(
+        kind: AlgorithmKind,
+        config: EngineConfig,
+        graph: &UndirectedGraph,
+        subscriptions: Subscriptions,
+        shards: usize,
+    ) -> Result<Self, BuildError> {
+        Self::builder(kind, config, graph, subscriptions)
+            .shards(shards)
+            .build()
+    }
+
+    /// Start building a `Sh_*` strategy; see [`ShardedBuilder`].
+    pub fn builder(
+        kind: AlgorithmKind,
+        config: EngineConfig,
+        graph: &UndirectedGraph,
+        subscriptions: Subscriptions,
+    ) -> ShardedBuilder<'_> {
+        ShardedBuilder {
+            kind,
+            config,
+            graph,
+            subscriptions,
+            warm_start: true,
+            shards: 1,
+            mode: None,
+        }
+    }
+
+    /// Attach strategy-level and per-shard instruments (ring depth,
+    /// deployed-engine occupancy, sweep and re-home counters) to `registry`.
+    pub fn attach_obs(&mut self, registry: &firehose_obs::Registry) {
+        let name = MultiDiversifier::name(self);
+        self.obs = Some(MultiObs::register(registry, &name));
+        self.shard_obs = (0..self.shards)
+            .map(|s| ShardedObs::register(registry, &name, s))
+            .collect();
+        // Publish the current occupancy immediately.
+        let mut occupancy = vec![0i64; self.shards];
+        for (cid, meta) in self.registry.meta.iter().enumerate() {
+            if meta.is_some() {
+                occupancy[cid % self.shards] += 1;
+            }
+        }
+        for (o, n) in self.shard_obs.iter().zip(occupancy) {
+            o.engines.set(n);
+        }
+    }
+
+    /// Number of distinct components (= number of engines).
+    pub fn component_count(&self) -> usize {
+        self.registry.component_count()
+    }
+
+    /// Number of worker shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Churn-spawned engines whose warm-start seeds crossed a shard
+    /// boundary (cumulative).
+    pub fn re_homes(&self) -> u64 {
+        self.re_homes
+    }
+
+    fn panic_if_worker_died(&self) {
+        if self.dead.load(Ordering::SeqCst) {
+            panic!("a shard worker thread panicked; the sharded engine is poisoned");
+        }
+    }
+
+    /// Push `req` to `shard`, draining responses into `pending`/`cache`
+    /// while the request ring is full so the worker can always make
+    /// progress.
+    fn push_req(&mut self, shard: usize, mut req: Req, pending: &mut VecDeque<PendingPost>) {
+        loop {
+            match self.links[shard].req.try_push(req) {
+                Ok(()) => break,
+                Err(r) => {
+                    req = r;
+                    self.panic_if_worker_died();
+                    drain_responses(&self.links, &self.shard_obs, pending, &mut self.cache);
+                    std::thread::yield_now();
+                }
+            }
+        }
+        self.links[shard].bell.ring();
+        if let Some(o) = self.shard_obs.get(shard) {
+            o.ring_depth.add(1);
+        }
+    }
+
+    /// Issue one post's sweep marker (if due) and offers; returns its
+    /// pending entry's bookkeeping pushed onto `pending`.
+    fn issue_post(&mut self, post: &Post, pending: &mut VecDeque<PendingPost>) {
+        self.seq += 1;
+        let seq = self.seq;
+        // The pending entry must exist BEFORE any request is pushed:
+        // `push_req` drains responses whenever a ring is full, and a
+        // response to this very post's first request may arrive while its
+        // later requests are still being pushed. `expected` is bumped
+        // ahead of each push for the same reason (it can never underflow:
+        // every response matches an already-counted request).
+        pending.push_back(PendingPost {
+            seq,
+            expected: 0,
+            delta_copies: 0,
+            emitted_cids: Vec::new(),
+        });
+        // Sequential sweep schedule, checked before the post's records and
+        // delivered in-band ahead of them on every shard.
+        let sweep_every = (self.registry.config().thresholds.lambda_t / 2).max(1);
+        if post.timestamp.saturating_sub(self.registry.last_sweep) >= sweep_every {
+            self.registry.last_sweep = post.timestamp;
+            for shard in 0..self.shards {
+                pending.back_mut().expect("just pushed").expected += 1;
+                self.push_req(
+                    shard,
+                    Req::Sweep {
+                        seq,
+                        now: post.timestamp,
+                    },
+                    pending,
+                );
+                if let Some(o) = self.shard_obs.get(shard) {
+                    o.sweeps.inc();
+                }
+            }
+            if let Some(obs) = &self.obs {
+                obs.sweeps.inc();
+            }
+        }
+        // Fingerprint once on the control thread; coverage scans overlap on
+        // the shards.
+        let record = post.to_record(self.registry.config().simhash);
+        let fanout = self.registry.author_components[post.author as usize].len();
+        for i in 0..fanout {
+            let cid = self.registry.author_components[post.author as usize][i];
+            let shard = cid as usize % self.shards;
+            pending.back_mut().expect("just pushed").expected += 1;
+            self.push_req(shard, Req::Offer { seq, cid, record }, pending);
+        }
+    }
+
+    /// Block until the oldest pending post has all its responses.
+    fn wait_front(&mut self, pending: &mut VecDeque<PendingPost>) {
+        let mut idle: u32 = 0;
+        while pending.front().is_some_and(|p| p.expected > 0) {
+            if drain_responses(&self.links, &self.shard_obs, pending, &mut self.cache) {
+                idle = 0;
+            } else {
+                self.panic_if_worker_died();
+                idle += 1;
+                if idle < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    // Never park: on small machines the workers need this
+                    // core.
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Finalize the oldest pending post **in post order**: fold its signed
+    /// copies delta into the sequential live/peak ledger and expand its
+    /// emitting components to user ids.
+    fn finalize_front(&mut self, pending: &mut VecDeque<PendingPost>, out: &mut MultiDecision) {
+        let p = pending.pop_front().expect("front pending post");
+        debug_assert_eq!(p.expected, 0);
+        let reg = &mut self.registry;
+        reg.live_copies = add_signed(reg.live_copies, p.delta_copies);
+        reg.peak_live_copies = reg.peak_live_copies.max(reg.live_copies);
+        out.delivered_to.clear();
+        for cid in p.emitted_cids {
+            if let Some(meta) = reg.meta[cid as usize].as_ref() {
+                out.delivered_to.extend_from_slice(&meta.users);
+            }
+        }
+        out.delivered_to.sort_unstable();
+        debug_assert!(out.delivered_to.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    /// Ship every parked engine to its shard (`cid % shards`) and rebuild
+    /// the O(1) metrics cache from their counters.
+    fn deploy(&mut self) {
+        debug_assert!(!self.deployed);
+        let mut cache = CounterCache::default();
+        let mut occupancy = vec![0i64; self.shards];
+        let mut pending = VecDeque::new(); // no responses expected
+        for cid in 0..self.registry.engines.len() {
+            let Some(engine) = self.registry.engines[cid].take() else {
+                continue;
+            };
+            cache.absorb(engine.metrics());
+            let shard = cid % self.shards;
+            occupancy[shard] += 1;
+            let req = Req::Deploy {
+                cid: cid as u32,
+                engine: Box::new(engine),
+            };
+            self.push_req(shard, req, &mut pending);
+            if let Some(o) = self.shard_obs.get(shard) {
+                // Deploys get no response; undo the in-flight accounting.
+                o.ring_depth.add(-1);
+            }
+        }
+        debug_assert!(pending.is_empty());
+        self.cache = cache;
+        self.deployed = true;
+        for (o, n) in self.shard_obs.iter().zip(occupancy) {
+            o.engines.set(n);
+        }
+    }
+
+    /// Recall every deployed engine into its registry slot. After this the
+    /// registry is fully authoritative (`metrics_total`, churn, restore all
+    /// work unchanged).
+    fn park(&mut self) {
+        if !self.deployed {
+            return;
+        }
+        let away = self.registry.component_count();
+        let mut pending = VecDeque::new();
+        for shard in 0..self.shards {
+            self.push_req(shard, Req::Recall, &mut pending);
+            if let Some(o) = self.shard_obs.get(shard) {
+                o.ring_depth.add(-1);
+            }
+        }
+        debug_assert!(pending.is_empty());
+        let mut received = 0usize;
+        while received < away {
+            let mut progress = false;
+            for link in &self.links {
+                while let Some(resp) = link.resp.try_pop() {
+                    progress = true;
+                    match resp {
+                        Resp::Engine { cid, engine } => {
+                            self.registry.engines[cid as usize] = Some(*engine);
+                            received += 1;
+                        }
+                        _ => unreachable!("only engines may be in flight during a recall"),
+                    }
+                }
+            }
+            if !progress {
+                self.panic_if_worker_died();
+                std::thread::yield_now();
+            }
+        }
+        self.deployed = false;
+        for o in &self.shard_obs {
+            o.engines.set(0);
+        }
+    }
+
+    /// Recover the deployed invariant after a failed restore left the
+    /// engine parked.
+    fn ensure_deployed(&mut self) {
+        if !self.deployed {
+            self.deploy();
+        }
+    }
+
+    /// Park, run a churn operation against the sequential registry
+    /// machinery, count cross-shard re-homes, and redeploy.
+    fn with_parked<R>(&mut self, f: impl FnOnce(&mut ComponentRegistry) -> R) -> R {
+        self.ensure_deployed();
+        self.park();
+        let before: Vec<(u32, AuthorId)> = self
+            .registry
+            .meta
+            .iter()
+            .enumerate()
+            .filter_map(|(cid, m)| m.as_ref().map(|m| (cid as u32, m.members[0])))
+            .collect();
+        let result = f(&mut self.registry);
+        self.count_re_homes(&before);
+        self.deploy();
+        result
+    }
+
+    /// Count engines spawned by the last churn op whose warm-start seeds
+    /// came from a retired engine on a different shard. A merged component
+    /// contains each absorbed component's smallest member (the registry's
+    /// own absorption test), so "retired first member ∈ new members" is the
+    /// seed-provenance signal. Approximate when a freed slot is recycled
+    /// within the same operation.
+    fn count_re_homes(&mut self, before: &[(u32, AuthorId)]) {
+        let retired: Vec<(u32, AuthorId)> = before
+            .iter()
+            .copied()
+            .filter(|&(cid, _)| self.registry.meta[cid as usize].is_none())
+            .collect();
+        if retired.is_empty() {
+            return;
+        }
+        let live_before: HashSet<u32> = before.iter().map(|&(cid, _)| cid).collect();
+        for (cid, meta) in self.registry.meta.iter().enumerate() {
+            let Some(meta) = meta else { continue };
+            if live_before.contains(&(cid as u32)) {
+                continue;
+            }
+            let new_shard = cid % self.shards;
+            let moved = retired.iter().any(|&(old, first)| {
+                old as usize % self.shards != new_shard
+                    && meta.members.binary_search(&first).is_ok()
+            });
+            if moved {
+                self.re_homes += 1;
+                if let Some(o) = self.shard_obs.get(new_shard) {
+                    o.re_homes.inc();
+                }
+            }
+        }
+    }
+}
+
+/// Pop every available response on every link, folding counter deltas into
+/// `cache` and per-post state into `pending`. Returns whether anything
+/// arrived.
+fn drain_responses(
+    links: &[ShardLink],
+    shard_obs: &[ShardedObs],
+    pending: &mut VecDeque<PendingPost>,
+    cache: &mut CounterCache,
+) -> bool {
+    let mut progress = false;
+    for (shard, link) in links.iter().enumerate() {
+        while let Some(resp) = link.resp.try_pop() {
+            progress = true;
+            if let Some(o) = shard_obs.get(shard) {
+                o.ring_depth.add(-1);
+            }
+            let (seq, cid_emitted, delta) = match resp {
+                Resp::Offered {
+                    seq,
+                    cid,
+                    emitted,
+                    delta,
+                } => (seq, emitted.then_some(cid), delta),
+                Resp::Swept { seq, delta } => (seq, None, delta),
+                _ => unreachable!("recall/save responses cannot overlap the offer path"),
+            };
+            cache.apply(&delta);
+            let front_seq = pending.front().expect("pending post for response").seq;
+            let p = &mut pending[(seq - front_seq) as usize];
+            p.delta_copies += delta.copies;
+            p.expected -= 1;
+            if let Some(cid) = cid_emitted {
+                p.emitted_cids.push(cid);
+            }
+        }
+    }
+    progress
+}
+
+/// The worker loop: owns the deployed engines of one shard, parks on its
+/// doorbell when idle.
+fn worker_loop(rx: Rx<Req>, tx: Tx<Resp>, bell: Arc<Doorbell>, dead: Arc<AtomicBool>) {
+    /// Sets the shared poison flag if the worker unwinds.
+    struct PanicGuard(Arc<AtomicBool>);
+    impl Drop for PanicGuard {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                self.0.store(true, Ordering::SeqCst);
+            }
+        }
+    }
+    let _guard = PanicGuard(dead);
+
+    let respond = |mut resp: Resp| loop {
+        match tx.try_push(resp) {
+            Ok(()) => break,
+            Err(r) => {
+                resp = r;
+                std::thread::yield_now();
+            }
+        }
+    };
+
+    let mut engines: std::collections::HashMap<u32, CompactEngine> =
+        std::collections::HashMap::new();
+    loop {
+        let req = next_req(&rx, &bell);
+        match req {
+            Req::Offer { seq, cid, record } => {
+                let (emitted, delta) = match engines.get_mut(&cid) {
+                    Some(engine) => {
+                        let before = *engine.metrics();
+                        let emitted = engine.offer(record).is_some_and(|v| v.is_emitted());
+                        (emitted, Delta::diff(&before, engine.metrics()))
+                    }
+                    // Routing said live but the engine is not here: answer
+                    // (the control thread counts responses) without work.
+                    None => (false, Delta::default()),
+                };
+                respond(Resp::Offered {
+                    seq,
+                    cid,
+                    emitted,
+                    delta,
+                });
+            }
+            Req::Sweep { seq, now } => {
+                let mut delta = Delta::default();
+                for engine in engines.values_mut() {
+                    let before = *engine.metrics();
+                    engine.evict_expired(now);
+                    delta.add(&Delta::diff(&before, engine.metrics()));
+                }
+                respond(Resp::Swept { seq, delta });
+            }
+            Req::Deploy { cid, engine } => {
+                engines.insert(cid, *engine);
+            }
+            Req::Recall => {
+                for (cid, engine) in engines.drain() {
+                    respond(Resp::Engine {
+                        cid,
+                        engine: Box::new(engine),
+                    });
+                }
+            }
+            Req::SaveBlobs => {
+                for (&cid, engine) in engines.iter() {
+                    let mut blob = Vec::new();
+                    let blob = engine.save_state(&mut blob).map(|()| blob);
+                    respond(Resp::Blob { cid, blob });
+                }
+            }
+            Req::Shutdown => break,
+        }
+    }
+}
+
+/// Worker-side blocking pop: spin briefly, yield a while, then park on the
+/// doorbell (with the mandatory re-check between announce and sleep).
+fn next_req(rx: &Rx<Req>, bell: &Doorbell) -> Req {
+    let mut idle: u32 = 0;
+    loop {
+        if let Some(req) = rx.try_pop() {
+            return req;
+        }
+        idle += 1;
+        if idle < 64 {
+            std::hint::spin_loop();
+        } else if idle < 256 {
+            std::thread::yield_now();
+        } else {
+            bell.prepare_park();
+            match rx.try_pop() {
+                Some(req) => {
+                    bell.cancel_park();
+                    return req;
+                }
+                None => bell.park(),
+            }
+            idle = 0;
+        }
+    }
+}
+
+impl MultiDiversifier for ShardedMulti {
+    fn offer(&mut self, post: &Post) -> MultiDecision {
+        let mut out = MultiDecision::default();
+        self.offer_into(post, &mut out);
+        out
+    }
+
+    fn offer_into(&mut self, post: &Post, out: &mut MultiDecision) {
+        self.ensure_deployed();
+        let started = self.obs.is_some().then(Instant::now);
+        let mut pending = VecDeque::with_capacity(1);
+        self.issue_post(post, &mut pending);
+        self.wait_front(&mut pending);
+        self.finalize_front(&mut pending, out);
+        if let (Some(t0), Some(obs)) = (started, &self.obs) {
+            obs.offer_latency.record_duration(t0.elapsed());
+            obs.live_copies.set(self.registry.live_copies as i64);
+        }
+    }
+
+    /// The pipelined throughput path: keeps up to `MAX_IN_FLIGHT` posts
+    /// in flight so fingerprinting, routing, and the shards' coverage scans
+    /// overlap. Decisions, counters, and the sweep schedule are identical
+    /// to offering the posts one at a time.
+    fn offer_batch(&mut self, posts: &[Post]) -> Vec<MultiDecision> {
+        self.ensure_deployed();
+        let mut decisions: Vec<MultiDecision> = Vec::with_capacity(posts.len());
+        let mut pending: VecDeque<PendingPost> = VecDeque::with_capacity(MAX_IN_FLIGHT);
+        let mut out = MultiDecision::default();
+        for post in posts {
+            // Opportunistically retire completed posts, then respect the
+            // in-flight window.
+            drain_responses(&self.links, &self.shard_obs, &mut pending, &mut self.cache);
+            while pending.front().is_some_and(|p| p.expected == 0) {
+                self.finalize_front(&mut pending, &mut out);
+                decisions.push(std::mem::take(&mut out));
+            }
+            while pending.len() >= MAX_IN_FLIGHT {
+                self.wait_front(&mut pending);
+                self.finalize_front(&mut pending, &mut out);
+                decisions.push(std::mem::take(&mut out));
+            }
+            self.issue_post(post, &mut pending);
+        }
+        while !pending.is_empty() {
+            self.wait_front(&mut pending);
+            self.finalize_front(&mut pending, &mut out);
+            decisions.push(std::mem::take(&mut out));
+        }
+        if let Some(obs) = &self.obs {
+            obs.live_copies.set(self.registry.live_copies as i64);
+        }
+        decisions
+    }
+
+    fn subscribe(&mut self, user: UserId, author: AuthorId) -> Result<bool, SubscriptionError> {
+        self.with_parked(|reg| reg.subscribe(user, author))
+    }
+
+    fn unsubscribe(&mut self, user: UserId, author: AuthorId) -> Result<bool, SubscriptionError> {
+        self.with_parked(|reg| reg.unsubscribe(user, author))
+    }
+
+    fn add_user(&mut self, authors: &[AuthorId]) -> Result<UserId, SubscriptionError> {
+        self.with_parked(|reg| reg.add_user(authors))
+    }
+
+    fn remove_user(&mut self, user: UserId) -> Result<(), SubscriptionError> {
+        self.with_parked(|reg| reg.remove_user(user))
+    }
+
+    fn churn_stats(&self) -> ChurnStats {
+        self.registry.churn
+    }
+
+    fn subscriptions(&self) -> &Subscriptions {
+        &self.registry.subscriptions
+    }
+
+    fn metrics(&self) -> EngineMetrics {
+        if !self.deployed {
+            return self.registry.metrics_total();
+        }
+        let c = &self.cache;
+        let mut total = EngineMetrics {
+            posts_processed: c.posts_processed,
+            posts_emitted: c.posts_emitted,
+            comparisons: c.comparisons,
+            insertions: c.insertions,
+            evictions: c.evictions,
+            copies_stored: c.copies_stored,
+            peak_copies: 0,
+            peak_memory_bytes: 0,
+        };
+        total.peak_copies = self.registry.peak_live_copies.max(total.copies_stored);
+        total.peak_memory_bytes = total.peak_copies * PostRecord::SIZE_BYTES as u64;
+        total
+    }
+
+    fn name(&self) -> String {
+        format!("Sh_{}({})", self.registry.kind(), self.shards)
+    }
+
+    /// Stitched sharded checkpoint: every shard serializes its engines in
+    /// parallel and the control thread assembles the `(component key, blob)`
+    /// pairs into the standard FHSNAP04 state — byte-identical to
+    /// `SharedMulti::save_state` over the same engines.
+    fn save_state(&self, w: &mut dyn std::io::Write) -> std::io::Result<()> {
+        if !self.deployed {
+            return self.registry.save_state(w);
+        }
+        for link in &self.links {
+            let mut req = Req::SaveBlobs;
+            loop {
+                match link.req.try_push(req) {
+                    Ok(()) => break,
+                    Err(r) => {
+                        req = r;
+                        if self.dead.load(Ordering::SeqCst) {
+                            return Err(std::io::Error::other("a shard worker thread panicked"));
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            link.bell.ring();
+        }
+        let total = self.registry.component_count();
+        let mut engines: Vec<(u64, Vec<u8>)> = Vec::with_capacity(total);
+        let mut first_err: Option<std::io::Error> = None;
+        let mut received = 0usize;
+        while received < total {
+            let mut progress = false;
+            for link in &self.links {
+                while let Some(resp) = link.resp.try_pop() {
+                    progress = true;
+                    match resp {
+                        Resp::Blob { cid, blob } => {
+                            received += 1;
+                            match blob {
+                                Ok(bytes) => {
+                                    let meta = self.registry.meta[cid as usize]
+                                        .as_ref()
+                                        .expect("deployed engine has meta");
+                                    engines.push((component_key(&meta.members), bytes));
+                                }
+                                Err(e) => {
+                                    if first_err.is_none() {
+                                        first_err = Some(e);
+                                    }
+                                }
+                            }
+                        }
+                        _ => unreachable!("only blobs may be in flight during a save"),
+                    }
+                }
+            }
+            if !progress {
+                if self.dead.load(Ordering::SeqCst) {
+                    return Err(std::io::Error::other("a shard worker thread panicked"));
+                }
+                std::thread::yield_now();
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        write_multi_state(
+            w,
+            &self.registry.churn,
+            &self.registry.subscriptions,
+            [
+                self.registry.last_sweep,
+                self.registry.live_copies,
+                self.registry.peak_live_copies,
+            ],
+            &mut engines,
+        )
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut dyn std::io::Read,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        self.park();
+        let result = self.registry.load_state(r);
+        if result.is_ok() {
+            self.deploy();
+        }
+        // On error we stay parked; the next operation redeploys whatever
+        // state the registry was left with (the trait contract requires a
+        // rebuild anyway).
+        result
+    }
+}
+
+impl Drop for ShardedMulti {
+    fn drop(&mut self) {
+        for link in &self.links {
+            let mut req = Req::Shutdown;
+            loop {
+                match link.req.try_push(req) {
+                    Ok(()) => break,
+                    Err(r) => {
+                        req = r;
+                        if self.dead.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        while link.resp.try_pop().is_some() {}
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            link.bell.ring();
+        }
+        for worker in self.workers.drain(..) {
+            // Keep the response rings drained so a worker mid-push can
+            // always reach its Shutdown message.
+            while !worker.is_finished() {
+                for link in &self.links {
+                    while link.resp.try_pop().is_some() {}
+                }
+                std::thread::yield_now();
+            }
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Thresholds;
+    use crate::multi::SharedMulti;
+    use firehose_stream::minutes;
+
+    fn config() -> EngineConfig {
+        EngineConfig::new(Thresholds::new(18, minutes(30), 0.7).unwrap())
+    }
+
+    /// Figure 7: edges 0-1, 0-5, 3-4; u0 follows {0,1,3,5}, u1 follows
+    /// {0,1,3,4,5}.
+    fn figure7() -> (UndirectedGraph, Subscriptions) {
+        let graph = UndirectedGraph::from_edges(6, [(0, 1), (0, 5), (3, 4)]);
+        let subs = Subscriptions::new(6, vec![vec![0, 1, 3, 5], vec![0, 1, 3, 4, 5]]).unwrap();
+        (graph, subs)
+    }
+
+    fn posts(n: u64) -> Vec<Post> {
+        (0..n)
+            .map(|i| {
+                Post::new(
+                    i,
+                    (i % 6) as u32,
+                    i * 90_000,
+                    format!("body of post {}", i % 11),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_sequential_shared_multi() {
+        let (graph, subs) = figure7();
+        let stream = posts(120);
+        for kind in AlgorithmKind::ALL {
+            let mut seq = SharedMulti::new(kind, config(), &graph, subs.clone());
+            let expected: Vec<_> = stream.iter().map(|p| seq.offer(p)).collect();
+            for shards in [1, 2, 4] {
+                let mut sh =
+                    ShardedMulti::new(kind, config(), &graph, subs.clone(), shards).unwrap();
+                let got: Vec<_> = stream.iter().map(|p| sh.offer(p)).collect();
+                assert_eq!(got, expected, "{kind} at {shards} shards");
+                assert_eq!(sh.metrics(), seq.metrics(), "{kind} at {shards} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn offer_batch_matches_one_at_a_time() {
+        let (graph, subs) = figure7();
+        let stream = posts(200);
+        let mut seq = SharedMulti::new(AlgorithmKind::UniBin, config(), &graph, subs.clone());
+        let expected: Vec<_> = stream.iter().map(|p| seq.offer(p)).collect();
+        for shards in [1, 3] {
+            let mut sh = ShardedMulti::new(
+                AlgorithmKind::UniBin,
+                config(),
+                &graph,
+                subs.clone(),
+                shards,
+            )
+            .unwrap();
+            let got = sh.offer_batch(&stream);
+            assert_eq!(got, expected, "{shards} shards");
+            assert_eq!(sh.metrics(), seq.metrics(), "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn churn_matches_sequential() {
+        let (graph, subs) = figure7();
+        let stream = posts(60);
+        let mut seq = SharedMulti::new(AlgorithmKind::UniBin, config(), &graph, subs.clone());
+        let mut sh =
+            ShardedMulti::new(AlgorithmKind::UniBin, config(), &graph, subs.clone(), 2).unwrap();
+        for (i, post) in stream.iter().enumerate() {
+            match i {
+                10 => {
+                    assert_eq!(seq.subscribe(0, 4).unwrap(), sh.subscribe(0, 4).unwrap());
+                }
+                25 => {
+                    assert_eq!(
+                        seq.unsubscribe(1, 0).unwrap(),
+                        sh.unsubscribe(1, 0).unwrap()
+                    );
+                }
+                40 => {
+                    assert_eq!(
+                        seq.add_user(&[2, 3]).unwrap(),
+                        sh.add_user(&[2, 3]).unwrap()
+                    );
+                }
+                50 => {
+                    seq.remove_user(0).unwrap();
+                    sh.remove_user(0).unwrap();
+                }
+                _ => {}
+            }
+            assert_eq!(seq.offer(post), sh.offer(post), "post {i}");
+        }
+        assert_eq!(seq.churn_stats(), sh.churn_stats());
+        assert_eq!(seq.metrics(), sh.metrics());
+    }
+
+    #[test]
+    fn checkpoint_bytes_identical_to_shared_multi() {
+        let (graph, subs) = figure7();
+        let stream = posts(80);
+        let mut seq = SharedMulti::new(AlgorithmKind::NeighborBin, config(), &graph, subs.clone());
+        let mut sh = ShardedMulti::new(
+            AlgorithmKind::NeighborBin,
+            config(),
+            &graph,
+            subs.clone(),
+            3,
+        )
+        .unwrap();
+        for post in &stream {
+            seq.offer(post);
+            sh.offer(post);
+        }
+        let mut a = Vec::new();
+        seq.save_state(&mut a).unwrap();
+        let mut b = Vec::new();
+        sh.save_state(&mut b).unwrap();
+        assert_eq!(a, b, "stitched sharded state must match sequential bytes");
+    }
+
+    #[test]
+    fn state_round_trips_across_shard_counts_and_strategies() {
+        let (graph, subs) = figure7();
+        let stream = posts(100);
+        let mut sh =
+            ShardedMulti::new(AlgorithmKind::UniBin, config(), &graph, subs.clone(), 4).unwrap();
+        let head = &stream[..60];
+        let tail = &stream[60..];
+        for post in head {
+            sh.offer(post);
+        }
+        let mut state = Vec::new();
+        sh.save_state(&mut state).unwrap();
+        let expected_tail: Vec<_> = {
+            let mut cont = sh;
+            tail.iter().map(|p| cont.offer(p)).collect()
+        };
+        // Sharded → sharded at a different shard count.
+        let mut sh2 =
+            ShardedMulti::new(AlgorithmKind::UniBin, config(), &graph, subs.clone(), 2).unwrap();
+        sh2.load_state(&mut &state[..]).unwrap();
+        let got: Vec<_> = tail.iter().map(|p| sh2.offer(p)).collect();
+        assert_eq!(got, expected_tail, "sharded(4) → sharded(2)");
+        // Sharded → sequential.
+        let mut seq = SharedMulti::new(AlgorithmKind::UniBin, config(), &graph, subs.clone());
+        seq.load_state(&mut &state[..]).unwrap();
+        let got: Vec<_> = tail.iter().map(|p| seq.offer(p)).collect();
+        assert_eq!(got, expected_tail, "sharded → sequential");
+        // Sequential → sharded.
+        let mut seq2 = SharedMulti::new(AlgorithmKind::UniBin, config(), &graph, subs.clone());
+        for post in head {
+            seq2.offer(post);
+        }
+        let mut seq_state = Vec::new();
+        seq2.save_state(&mut seq_state).unwrap();
+        let mut sh3 = ShardedMulti::new(AlgorithmKind::UniBin, config(), &graph, subs, 3).unwrap();
+        sh3.load_state(&mut &seq_state[..]).unwrap();
+        let got: Vec<_> = tail.iter().map(|p| sh3.offer(p)).collect();
+        assert_eq!(got, expected_tail, "sequential → sharded");
+    }
+
+    #[test]
+    fn mpsc_fallback_transport_matches() {
+        let (graph, subs) = figure7();
+        let stream = posts(80);
+        let mut seq = SharedMulti::new(AlgorithmKind::UniBin, config(), &graph, subs.clone());
+        let expected: Vec<_> = stream.iter().map(|p| seq.offer(p)).collect();
+        let mut builder =
+            ShardedMulti::builder(AlgorithmKind::UniBin, config(), &graph, subs).shards(2);
+        builder.mode = Some(RingMode::Mpsc);
+        let mut sh = builder.build().unwrap();
+        let got: Vec<_> = stream.iter().map(|p| sh.offer(p)).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        let (graph, subs) = figure7();
+        let err = ShardedMulti::new(AlgorithmKind::UniBin, config(), &graph, subs, 0)
+            .err()
+            .unwrap();
+        assert_eq!(err, BuildError::ZeroThreads);
+    }
+
+    #[test]
+    fn name_reports_shards() {
+        let (graph, subs) = figure7();
+        let sh = ShardedMulti::new(AlgorithmKind::CliqueBin, config(), &graph, subs, 4).unwrap();
+        assert_eq!(MultiDiversifier::name(&sh), "Sh_CliqueBin(4)");
+    }
+
+    #[test]
+    fn observed_run_counts_and_quiescent_rings() {
+        let registry = firehose_obs::Registry::new();
+        let (graph, subs) = figure7();
+        let mut sh = ShardedMulti::new(AlgorithmKind::UniBin, config(), &graph, subs, 2).unwrap();
+        sh.attach_obs(&registry);
+        let stream = posts(50);
+        for post in &stream {
+            sh.offer(post);
+        }
+        sh.subscribe(0, 4).unwrap();
+        let text = registry.render_prometheus();
+        // Rings fully drained between posts.
+        for shard in 0..2 {
+            assert!(
+                text.contains(&format!(
+                    "firehose_sharded_ring_depth{{shard=\"{shard}\",strategy=\"Sh_UniBin(2)\"}} 0"
+                )) || text.contains(&format!(
+                    "firehose_sharded_ring_depth{{strategy=\"Sh_UniBin(2)\",shard=\"{shard}\"}} 0"
+                )),
+                "{text}"
+            );
+        }
+        // Occupancy gauges account for every live engine.
+        let occupancy: i64 = sh.shard_obs.iter().map(|o| o.engines.get()).sum();
+        assert_eq!(occupancy as usize, sh.component_count());
+        // Offer latency recorded per post.
+        assert_eq!(
+            sh.obs.as_ref().unwrap().offer_latency.count(),
+            stream.len() as u64
+        );
+    }
+
+    #[test]
+    fn re_homes_counted_across_shard_boundaries() {
+        // Line graph 0-1-2-...-7: u0 follows even authors (singleton
+        // components), then subscribes to odd ones, merging everything into
+        // one component whose seeds come from many slots.
+        let graph = UndirectedGraph::from_edges(8, (0..7).map(|i| (i, i + 1)));
+        let subs = Subscriptions::new(8, vec![vec![0, 2, 4, 6]]).unwrap();
+        let mut sh = ShardedMulti::new(AlgorithmKind::UniBin, config(), &graph, subs, 2).unwrap();
+        // Populate windows so merges warm-start.
+        for (i, author) in [0u32, 2, 4, 6].iter().enumerate() {
+            sh.offer(&Post::new(
+                i as u64,
+                *author,
+                i as u64 * 1_000,
+                format!("post from author {author}"),
+            ));
+        }
+        for author in [1u32, 3, 5, 7] {
+            sh.subscribe(0, author).unwrap();
+        }
+        assert!(
+            sh.re_homes() > 0,
+            "merging singletons across slots must cross a shard boundary at 2 shards"
+        );
+    }
+}

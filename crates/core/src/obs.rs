@@ -131,6 +131,51 @@ impl ShardObs {
     }
 }
 
+/// Per-shard instruments for the persistent
+/// [`ShardedMulti`](crate::multi::ShardedMulti) runtime.
+#[derive(Clone)]
+pub struct ShardedObs {
+    /// Requests currently in flight to this shard (ingest-ring depth).
+    pub ring_depth: Gauge,
+    /// Component engines currently deployed on this shard.
+    pub engines: Gauge,
+    /// In-band sweep markers delivered to this shard.
+    pub sweeps: Counter,
+    /// Churn-spawned engines whose warm-start seeds came from a retired
+    /// engine on a different shard.
+    pub re_homes: Counter,
+}
+
+impl ShardedObs {
+    /// Create (or look up) the instruments for shard `shard` of `strategy`
+    /// in `registry`.
+    pub fn register(registry: &Registry, strategy: &str, shard: usize) -> Self {
+        let l = labels(&[("strategy", strategy), ("shard", &shard.to_string())]);
+        Self {
+            ring_depth: registry.gauge(
+                "firehose_sharded_ring_depth",
+                "Requests currently in flight to this shard's ingest ring",
+                l.clone(),
+            ),
+            engines: registry.gauge(
+                "firehose_sharded_engines",
+                "Component engines currently deployed on this shard",
+                l.clone(),
+            ),
+            sweeps: registry.counter(
+                "firehose_sharded_sweeps_total",
+                "In-band eviction sweep markers delivered to this shard",
+                l.clone(),
+            ),
+            re_homes: registry.counter(
+                "firehose_sharded_rehomes_total",
+                "Engines spawned with warm-start seeds from a different shard",
+                l,
+            ),
+        }
+    }
+}
+
 /// Export an [`EngineMetrics`] snapshot into `registry` as counters labelled
 /// `{engine="<name>"}`. Called at snapshot time (not per offer), so the hot
 /// path never touches these.

@@ -55,7 +55,7 @@ use crate::engine::AlgorithmKind;
 use crate::metrics::EngineMetrics;
 use crate::multi::{
     BuildError, ChurnStats, IndependentMulti, MultiDecision, MultiDiversifier, ParallelShared,
-    SharedMulti, SubscriptionError, Subscriptions, UserId,
+    ShardedMulti, SharedMulti, SubscriptionError, Subscriptions, UserId,
 };
 
 // ---------------------------------------------------------------------
@@ -76,6 +76,13 @@ pub enum StrategyKind {
         /// Worker thread count (must be ≥ 1).
         threads: usize,
     },
+    /// Persistent shard workers fed by SPSC ingest rings
+    /// ([`ShardedMulti`], `Sh_*`): engines stay resident on their shard
+    /// between posts, so single-post `process` calls parallelize too.
+    Sharded {
+        /// Shard worker count (must be ≥ 1).
+        shards: usize,
+    },
 }
 
 impl std::fmt::Display for StrategyKind {
@@ -84,6 +91,7 @@ impl std::fmt::Display for StrategyKind {
             Self::Independent => f.write_str("independent"),
             Self::Shared => f.write_str("shared"),
             Self::Parallel { threads } => write!(f, "parallel({threads})"),
+            Self::Sharded { shards } => write!(f, "sharded({shards})"),
         }
     }
 }
@@ -91,23 +99,30 @@ impl std::fmt::Display for StrategyKind {
 impl std::str::FromStr for StrategyKind {
     type Err = String;
 
-    /// `independent` | `shared` | `parallel` | `parallel:N`.
+    /// `independent` | `shared` | `parallel` | `parallel:N` | `sharded` |
+    /// `sharded:N`.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let cores = || std::thread::available_parallelism().map_or(4, |n| n.get());
         match s {
             "independent" | "m" => Ok(Self::Independent),
             "shared" | "s" => Ok(Self::Shared),
-            "parallel" | "p" => Ok(Self::Parallel {
-                threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
-            }),
-            other => match other.strip_prefix("parallel:") {
-                Some(n) => n
-                    .parse()
-                    .map(|threads| Self::Parallel { threads })
-                    .map_err(|e| format!("bad thread count in {other:?}: {e}")),
-                None => Err(format!(
-                    "unknown strategy {other:?} (want independent|shared|parallel[:N])"
-                )),
-            },
+            "parallel" | "p" => Ok(Self::Parallel { threads: cores() }),
+            "sharded" | "sh" => Ok(Self::Sharded { shards: cores() }),
+            other => {
+                if let Some(n) = other.strip_prefix("parallel:") {
+                    n.parse()
+                        .map(|threads| Self::Parallel { threads })
+                        .map_err(|e| format!("bad thread count in {other:?}: {e}"))
+                } else if let Some(n) = other.strip_prefix("sharded:") {
+                    n.parse()
+                        .map(|shards| Self::Sharded { shards })
+                        .map_err(|e| format!("bad shard count in {other:?}: {e}"))
+                } else {
+                    Err(format!(
+                        "unknown strategy {other:?} (want independent|shared|parallel[:N]|sharded[:N])"
+                    ))
+                }
+            }
         }
     }
 }
@@ -326,6 +341,12 @@ impl<'g> FirehoseServiceBuilder<'g> {
         self
     }
 
+    /// Shorthand for [`StrategyKind::Sharded`]: run the decomposition on
+    /// `shards` persistent worker threads.
+    pub fn shards(self, shards: usize) -> Self {
+        self.strategy(StrategyKind::Sharded { shards })
+    }
+
     /// Pick the per-component engine algorithm (default
     /// [`AlgorithmKind::UniBin`]).
     pub fn algorithm(mut self, algorithm: AlgorithmKind) -> Self {
@@ -407,6 +428,21 @@ impl<'g> FirehoseServiceBuilder<'g> {
                     self.subscriptions,
                 )
                 .threads(threads)
+                .warm_start(warm)
+                .build()?;
+                if let Some(reg) = self.obs {
+                    m.attach_obs(reg);
+                }
+                Box::new(m)
+            }
+            StrategyKind::Sharded { shards } => {
+                let mut m = ShardedMulti::builder(
+                    self.algorithm,
+                    self.config,
+                    self.graph,
+                    self.subscriptions,
+                )
+                .shards(shards)
                 .warm_start(warm)
                 .build()?;
                 if let Some(reg) = self.obs {
@@ -499,6 +535,36 @@ impl FirehoseService {
                 }
             }
         }
+        if let Some(mgr) = &mut self.manager {
+            mgr.maybe_save_multi(self.multi.as_ref())?;
+        }
+        Ok(())
+    }
+
+    /// Feed a batch of posts through the pipeline in one call. Semantically
+    /// identical to calling [`process`](Self::process) per post, but the
+    /// admitted posts reach the strategy via
+    /// [`offer_batch`](MultiDiversifier::offer_batch), which pipelined
+    /// strategies ([`StrategyKind::Sharded`]) overlap across shards, and the
+    /// checkpoint cadence is polled once at the end instead of per post.
+    pub fn process_batch(
+        &mut self,
+        posts: impl IntoIterator<Item = Post>,
+        mut sink: impl FnMut(&Post, &MultiDecision),
+    ) -> io::Result<()> {
+        match &mut self.guard {
+            None => self.admitted.extend(posts),
+            Some(guard) => {
+                for post in posts {
+                    guard.offer_into(post, &mut self.admitted);
+                }
+            }
+        }
+        let decisions = self.multi.offer_batch(&self.admitted);
+        for (post, decision) in self.admitted.iter().zip(&decisions) {
+            sink(post, decision);
+        }
+        self.admitted.clear();
         if let Some(mgr) = &mut self.manager {
             mgr.maybe_save_multi(self.multi.as_ref())?;
         }
@@ -677,6 +743,7 @@ mod tests {
             StrategyKind::Independent,
             StrategyKind::Shared,
             StrategyKind::Parallel { threads: 2 },
+            StrategyKind::Sharded { shards: 2 },
         ] {
             let mut service = FirehoseService::builder(&graph(), subs())
                 .strategy(strategy)
@@ -853,7 +920,59 @@ mod tests {
             "parallel".parse::<StrategyKind>().unwrap(),
             StrategyKind::Parallel { .. }
         ));
+        assert_eq!(
+            "sharded:4".parse::<StrategyKind>().unwrap(),
+            StrategyKind::Sharded { shards: 4 }
+        );
+        assert!(matches!(
+            "sharded".parse::<StrategyKind>().unwrap(),
+            StrategyKind::Sharded { .. }
+        ));
+        assert_eq!(
+            StrategyKind::Sharded { shards: 4 }.to_string(),
+            "sharded(4)"
+        );
         assert!("bogus".parse::<StrategyKind>().is_err());
         assert!("parallel:x".parse::<StrategyKind>().is_err());
+        assert!("sharded:x".parse::<StrategyKind>().is_err());
+    }
+
+    #[test]
+    fn process_batch_matches_per_post_process() {
+        let stream = posts(80);
+        for strategy in [
+            StrategyKind::Shared,
+            StrategyKind::Sharded { shards: 2 },
+            StrategyKind::Sharded { shards: 4 },
+        ] {
+            let build = || {
+                FirehoseService::builder(&graph(), subs())
+                    .strategy(strategy)
+                    .engine_config(config())
+                    .guard(GuardConfig::default())
+                    .build()
+                    .unwrap()
+            };
+            let mut per_post = build();
+            let mut expected = Vec::new();
+            for post in stream.iter().cloned() {
+                per_post
+                    .process(post, |p, d| expected.push((p.id, d.delivered_to.clone())))
+                    .unwrap();
+            }
+            let mut batched = build();
+            let mut got = Vec::new();
+            batched
+                .process_batch(stream.iter().cloned(), |p, d| {
+                    got.push((p.id, d.delivered_to.clone()));
+                })
+                .unwrap();
+            assert_eq!(got, expected, "{strategy}");
+            assert_eq!(
+                batched.metrics().posts_processed,
+                per_post.metrics().posts_processed,
+                "{strategy}"
+            );
+        }
     }
 }

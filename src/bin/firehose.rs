@@ -91,7 +91,8 @@ fn usage() -> String {
      \t[--lambda-c N] [--lambda-t-mins N] [--lambda-a F] [--out FILE] [--quiet true]\n\
      \t[--checkpoint-dir DIR] [--checkpoint-every OFFERS] [--checkpoint-secs S]\n\
      \t[--guard strict|clamp|reorder] [--reorder-bound-ms N]\n\
-     \t[--subscriptions FILE [--strategy independent|shared|parallel[:N]] [--churn-trace FILE]]\n\
+     \t[--subscriptions FILE [--strategy independent|shared|parallel[:N]|sharded[:N]]\n\
+     \t[--shards N] [--churn-trace FILE]]\n\
      explain      --posts FILE --graph FILE --first POST_ID --second POST_ID\n\
      \t[--lambda-c N] [--lambda-t-mins N] [--lambda-a F]\n\
      quality      --posts FILE --delivered FILE --graph FILE\n\
@@ -338,7 +339,13 @@ fn cmd_run_multi(args: &Args) -> Result<(), String> {
     let algorithm = algorithm_from(args)?;
     let thresholds = thresholds_from(args)?;
     let quiet: bool = args.parse_or("quiet", false)?;
-    let strategy: StrategyKind = args.get("strategy").unwrap_or("shared").parse()?;
+    let mut strategy: StrategyKind = args.get("strategy").unwrap_or("shared").parse()?;
+    if let Some(n) = args.get("shards") {
+        // `--shards N` is shorthand for `--strategy sharded:N`.
+        strategy = StrategyKind::Sharded {
+            shards: n.parse().map_err(|e| format!("bad --shards {n:?}: {e}"))?,
+        };
+    }
 
     let posts = corpus::read_posts(&mut open_reader(posts_path)?).map_err(|e| e.to_string())?;
     let graph = load_graph_for_posts(graph_path, &posts)?;

@@ -20,12 +20,14 @@
 use firehose::core::checkpoint::{checkpoint_multi_to_vec, restore_multi_from_slice};
 use firehose::core::engine::AlgorithmKind;
 use firehose::core::multi::{
-    IndependentMulti, MultiDecision, MultiDiversifier, ParallelShared, SharedMulti, Subscriptions,
+    IndependentMulti, MultiDecision, MultiDiversifier, ParallelShared, ShardedMulti, SharedMulti,
+    Subscriptions,
 };
 use firehose::core::{EngineConfig, Thresholds};
-use firehose::datagen::{generate_churn_trace, ChurnEvent, ChurnGenConfig};
+use firehose::datagen::{generate_churn_trace, ChurnEvent, ChurnGenConfig, ChurnTraceEntry};
 use firehose::graph::UndirectedGraph;
 use firehose::stream::{AuthorId, Post};
+use proptest::prelude::*;
 
 const AUTHORS: usize = 12;
 const LAMBDA_T: u64 = 30_000;
@@ -73,14 +75,17 @@ enum Variant {
     M,
     S,
     P(usize),
+    Sh(usize),
 }
 
-const VARIANTS: [Variant; 5] = [
+const VARIANTS: [Variant; 7] = [
     Variant::M,
     Variant::S,
     Variant::P(1),
     Variant::P(2),
     Variant::P(4),
+    Variant::Sh(2),
+    Variant::Sh(4),
 ];
 
 fn build(
@@ -106,6 +111,13 @@ fn build(
         Variant::P(threads) => Box::new(
             ParallelShared::builder(kind, config(), &graph, subscriptions)
                 .threads(threads)
+                .warm_start(warm)
+                .build()
+                .unwrap(),
+        ),
+        Variant::Sh(shards) => Box::new(
+            ShardedMulti::builder(kind, config(), &graph, subscriptions)
+                .shards(shards)
                 .warm_start(warm)
                 .build()
                 .unwrap(),
@@ -381,7 +393,7 @@ fn checkpoint_across_churn_restores_identical_decisions() {
             ..Default::default()
         },
     );
-    for variant in [Variant::S, Variant::P(2)] {
+    for variant in [Variant::S, Variant::P(2), Variant::Sh(2)] {
         let mut original = build(AlgorithmKind::UniBin, variant, subs(), true);
         for post in &first_half {
             original.offer(post);
@@ -438,7 +450,7 @@ fn churned_state_restores_across_shard_counts() {
     let mut state = Vec::new();
     original.save_state(&mut state).unwrap();
 
-    for target in [Variant::P(4), Variant::P(1), Variant::S] {
+    for target in [Variant::P(4), Variant::P(1), Variant::S, Variant::Sh(3)] {
         let mut restored = build(AlgorithmKind::UniBin, target, subs(), true);
         let mut r: &[u8] = &state;
         restored.load_state(&mut r).unwrap();
@@ -450,5 +462,90 @@ fn churned_state_restores_across_shard_counts() {
         continued.load_state(&mut r).unwrap();
         let want = offer_all(continued.as_mut(), &second_half);
         assert_eq!(got, want, "{target:?}: cross-shard restore diverged");
+    }
+}
+
+/// Replay `stream` with `trace` ops interleaved at their recorded
+/// positions (trailing ops applied after the stream), collecting every
+/// decision.
+fn run_interleaved(
+    multi: &mut dyn MultiDiversifier,
+    stream: &[Post],
+    trace: &[ChurnTraceEntry],
+) -> Vec<MultiDecision> {
+    let mut decisions = Vec::with_capacity(stream.len());
+    let mut next = 0;
+    for (i, post) in stream.iter().enumerate() {
+        while next < trace.len() && trace[next].after_posts <= i as u64 {
+            apply(multi, &trace[next].event);
+            next += 1;
+        }
+        decisions.push(multi.offer(post));
+    }
+    for entry in &trace[next..] {
+        apply(multi, &entry.event);
+    }
+    decisions
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Sharded equivalence under interleaving: for seeded random churn
+    /// traces woven into the post stream, `ShardedMulti` at 1/2/4 shards
+    /// produces decision-for-decision and ledger-identical runs to
+    /// `SharedMulti` — including when the sharded run is interrupted by a
+    /// mid-stream checkpoint that restores into a *fresh* sharded instance
+    /// (built from the initial table) which then finishes the stream.
+    #[test]
+    fn sharded_interleaved_churn_matches_shared_multi(
+        seed in 0u64..1_000_000,
+        ops in 6usize..24,
+        n_posts in 50u64..110,
+    ) {
+        let stream = posts(n_posts, 1, 0);
+        let trace = generate_churn_trace(
+            AUTHORS,
+            &initial_sets(),
+            n_posts,
+            ChurnGenConfig { seed, ops, ..Default::default() },
+        );
+        let checkpoint_at = (n_posts / 2) as usize;
+
+        let mut reference = build(AlgorithmKind::UniBin, Variant::S, subs(), true);
+        let expected = run_interleaved(reference.as_mut(), &stream, &trace);
+
+        for shards in [1usize, 2, 4] {
+            let mut sh = build(AlgorithmKind::UniBin, Variant::Sh(shards), subs(), true);
+            let mut got = Vec::with_capacity(stream.len());
+            let mut next = 0;
+            for (i, post) in stream.iter().enumerate() {
+                while next < trace.len() && trace[next].after_posts <= i as u64 {
+                    apply(sh.as_mut(), &trace[next].event);
+                    next += 1;
+                }
+                got.push(sh.offer(post));
+                if i + 1 == checkpoint_at {
+                    // Mid-stream handoff: checkpoint, then continue on a
+                    // freshly built instance restored from those bytes.
+                    let buf = checkpoint_multi_to_vec(sh.as_ref(), 1).unwrap();
+                    let mut restored =
+                        build(AlgorithmKind::UniBin, Variant::Sh(shards), subs(), true);
+                    restore_multi_from_slice(&buf, restored.as_mut()).unwrap();
+                    sh = restored;
+                }
+            }
+            for entry in &trace[next..] {
+                apply(sh.as_mut(), &entry.event);
+            }
+            prop_assert_eq!(&got, &expected, "shards={}: decisions diverged", shards);
+            prop_assert_eq!(
+                sh.churn_stats(),
+                reference.churn_stats(),
+                "shards={}: churn ledger diverged",
+                shards
+            );
+            prop_assert_eq!(sh.subscriptions(), reference.subscriptions());
+        }
     }
 }
