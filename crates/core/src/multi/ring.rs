@@ -20,7 +20,7 @@
 
 use std::cell::{Cell, UnsafeCell};
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::TrySendError;
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
@@ -149,6 +149,15 @@ impl<T> SpscReceiver<T> {
 /// between [`prepare_park`](Self::prepare_park) and [`park`](Self::park):
 /// the producer only rings after a push when it observes `sleeping`, so the
 /// flag-then-recheck dance is what closes the lost-wakeup window.
+///
+/// Both sides of that dance are a store followed by a load of the *other*
+/// side's location (producer: publish tail, read `sleeping`; consumer:
+/// write `sleeping`, re-read tail). That is the store-buffering litmus, and
+/// without stronger ordering both threads may read stale values — the
+/// producer skips the wake while the consumer misses the item and parks.
+/// The `SeqCst` fences in [`ring`](Self::ring) and
+/// [`prepare_park`](Self::prepare_park) order each store before the
+/// opposite load, which forbids that outcome.
 pub(crate) struct Doorbell {
     sleeping: AtomicBool,
     mutex: Mutex<()>,
@@ -165,8 +174,15 @@ impl Doorbell {
     }
 
     /// Producer side: wake the consumer if it is (or is about to start)
-    /// sleeping. Cheap when it is not — one relaxed-ish load.
+    /// sleeping. Cheap when it is not — a fence plus one load.
+    ///
+    /// Call *after* publishing to the ring. The fence orders the ring's
+    /// `Release` tail store before the `sleeping` load; paired with the
+    /// fence in [`prepare_park`](Self::prepare_park), either this call sees
+    /// `sleeping` (and wakes the consumer) or the consumer's re-check sees
+    /// the new tail — never neither.
     pub(crate) fn ring(&self) {
+        fence(Ordering::SeqCst);
         if self.sleeping.load(Ordering::SeqCst) {
             let _guard = self.mutex.lock().unwrap_or_else(|e| e.into_inner());
             self.sleeping.store(false, Ordering::SeqCst);
@@ -175,9 +191,11 @@ impl Doorbell {
     }
 
     /// Consumer side, step 1: announce intent to sleep. Re-check the ring
-    /// after this call.
+    /// after this call. The fence orders the `sleeping` store before the
+    /// re-check's tail load (see the type-level ordering note).
     pub(crate) fn prepare_park(&self) {
         self.sleeping.store(true, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
     }
 
     /// Consumer side, step 2a: the re-check found work — cancel the
@@ -187,16 +205,24 @@ impl Doorbell {
     }
 
     /// Consumer side, step 2b: the re-check found nothing — sleep until
-    /// rung. The bounded wait is a belt-and-braces backstop; the protocol
-    /// itself does not rely on it.
+    /// rung, or until the 50 ms backstop expires. A timeout clears
+    /// `sleeping` and returns so the caller re-polls the ring itself:
+    /// re-waiting would turn any missed wakeup into an unbounded hang,
+    /// which is exactly what the backstop exists to bound. The fenced
+    /// protocol makes a missed wakeup impossible in the SPSC pairing, so
+    /// the backstop only matters if a future transport breaks the pairing.
     pub(crate) fn park(&self) {
         let mut guard = self.mutex.lock().unwrap_or_else(|e| e.into_inner());
         while self.sleeping.load(Ordering::SeqCst) {
-            let (g, _timeout) = self
+            let (g, timeout) = self
                 .condvar
                 .wait_timeout(guard, Duration::from_millis(50))
                 .unwrap_or_else(|e| e.into_inner());
             guard = g;
+            if timeout.timed_out() {
+                self.sleeping.store(false, Ordering::SeqCst);
+                return;
+            }
         }
     }
 }
@@ -380,6 +406,24 @@ mod tests {
         }
         let sum = consumer.join().unwrap();
         assert_eq!(sum, N * (N - 1) / 2);
+    }
+
+    #[test]
+    fn park_backstop_returns_without_a_ring() {
+        // Simulates a missed wakeup: the consumer announces sleep and parks
+        // with no producer anywhere. The bounded wait must hand control
+        // back (after ~50 ms) instead of re-waiting forever.
+        let bell = Doorbell::new();
+        bell.prepare_park();
+        let t0 = std::time::Instant::now();
+        bell.park();
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "park must time out, not hang"
+        );
+        // The announcement was cleared, so a fresh park also returns.
+        bell.prepare_park();
+        bell.park();
     }
 
     #[test]

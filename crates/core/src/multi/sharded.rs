@@ -538,43 +538,100 @@ impl ShardedMulti {
     /// Recall every deployed engine into its registry slot. After this the
     /// registry is fully authoritative (`metrics_total`, churn, restore all
     /// work unchanged).
+    ///
+    /// Pushes here use a dedicated retry loop, not [`push_req`]: earlier
+    /// shards may already be streaming [`Resp::Engine`]s back while later
+    /// `Recall`s are still being pushed, and the offer-path
+    /// [`drain_responses`] rejects engine responses by design.
     fn park(&mut self) {
         if !self.deployed {
             return;
         }
         let away = self.registry.component_count();
-        let mut pending = VecDeque::new();
-        for shard in 0..self.shards {
-            self.push_req(shard, Req::Recall, &mut pending);
-            if let Some(o) = self.shard_obs.get(shard) {
-                o.ring_depth.add(-1);
-            }
-        }
-        debug_assert!(pending.is_empty());
         let mut received = 0usize;
-        while received < away {
-            let mut progress = false;
-            for link in &self.links {
-                while let Some(resp) = link.resp.try_pop() {
-                    progress = true;
-                    match resp {
-                        Resp::Engine { cid, engine } => {
-                            self.registry.engines[cid as usize] = Some(*engine);
-                            received += 1;
-                        }
-                        _ => unreachable!("only engines may be in flight during a recall"),
+        for shard in 0..self.shards {
+            let mut req = Req::Recall;
+            loop {
+                match self.links[shard].req.try_push(req) {
+                    Ok(()) => break,
+                    Err(r) => {
+                        req = r;
+                        self.panic_if_worker_died();
+                        received += self.receive_recalled_engines();
+                        std::thread::yield_now();
                     }
                 }
             }
-            if !progress {
+            self.links[shard].bell.ring();
+        }
+        while received < away {
+            let n = self.receive_recalled_engines();
+            if n == 0 {
                 self.panic_if_worker_died();
                 std::thread::yield_now();
             }
+            received += n;
         }
         self.deployed = false;
         for o in &self.shard_obs {
             o.engines.set(0);
         }
+    }
+
+    /// Pop every available recall response into its registry slot; returns
+    /// how many engines arrived. Only valid while a recall is in flight
+    /// (the offer path is quiescent, so engines are the only traffic).
+    fn receive_recalled_engines(&mut self) -> usize {
+        let mut n = 0;
+        for link in &self.links {
+            while let Some(resp) = link.resp.try_pop() {
+                match resp {
+                    Resp::Engine { cid, engine } => {
+                        self.registry.engines[cid as usize] = Some(*engine);
+                        n += 1;
+                    }
+                    _ => unreachable!("only engines may be in flight during a recall"),
+                }
+            }
+        }
+        n
+    }
+
+    /// Pop every available save response, keying each blob by its
+    /// component's member hash; returns how many blobs arrived (including
+    /// failed ones, which land in `first_err`). Only valid while a save is
+    /// in flight (the offer path is quiescent, so blobs are the only
+    /// traffic).
+    fn receive_saved_blobs(
+        &self,
+        engines: &mut Vec<(u64, Vec<u8>)>,
+        first_err: &mut Option<std::io::Error>,
+    ) -> usize {
+        let mut n = 0;
+        for link in &self.links {
+            while let Some(resp) = link.resp.try_pop() {
+                match resp {
+                    Resp::Blob { cid, blob } => {
+                        n += 1;
+                        match blob {
+                            Ok(bytes) => {
+                                let meta = self.registry.meta[cid as usize]
+                                    .as_ref()
+                                    .expect("deployed engine has meta");
+                                engines.push((component_key(&meta.members), bytes));
+                            }
+                            Err(e) => {
+                                if first_err.is_none() {
+                                    *first_err = Some(e);
+                                }
+                            }
+                        }
+                    }
+                    _ => unreachable!("only blobs may be in flight during a save"),
+                }
+            }
+        }
+        n
     }
 
     /// Recover the deployed invariant after a failed restore left the
@@ -895,6 +952,13 @@ impl MultiDiversifier for ShardedMulti {
         if !self.deployed {
             return self.registry.save_state(w);
         }
+        let total = self.registry.component_count();
+        let mut engines: Vec<(u64, Vec<u8>)> = Vec::with_capacity(total);
+        let mut first_err: Option<std::io::Error> = None;
+        let mut received = 0usize;
+        // Like `park`, the push loop drains this path's own responses:
+        // earlier shards may already be streaming blobs back while later
+        // `SaveBlobs` are still being pushed.
         for link in &self.links {
             let mut req = Req::SaveBlobs;
             loop {
@@ -905,48 +969,22 @@ impl MultiDiversifier for ShardedMulti {
                         if self.dead.load(Ordering::SeqCst) {
                             return Err(std::io::Error::other("a shard worker thread panicked"));
                         }
+                        received += self.receive_saved_blobs(&mut engines, &mut first_err);
                         std::thread::yield_now();
                     }
                 }
             }
             link.bell.ring();
         }
-        let total = self.registry.component_count();
-        let mut engines: Vec<(u64, Vec<u8>)> = Vec::with_capacity(total);
-        let mut first_err: Option<std::io::Error> = None;
-        let mut received = 0usize;
         while received < total {
-            let mut progress = false;
-            for link in &self.links {
-                while let Some(resp) = link.resp.try_pop() {
-                    progress = true;
-                    match resp {
-                        Resp::Blob { cid, blob } => {
-                            received += 1;
-                            match blob {
-                                Ok(bytes) => {
-                                    let meta = self.registry.meta[cid as usize]
-                                        .as_ref()
-                                        .expect("deployed engine has meta");
-                                    engines.push((component_key(&meta.members), bytes));
-                                }
-                                Err(e) => {
-                                    if first_err.is_none() {
-                                        first_err = Some(e);
-                                    }
-                                }
-                            }
-                        }
-                        _ => unreachable!("only blobs may be in flight during a save"),
-                    }
-                }
-            }
-            if !progress {
+            let n = self.receive_saved_blobs(&mut engines, &mut first_err);
+            if n == 0 {
                 if self.dead.load(Ordering::SeqCst) {
                     return Err(std::io::Error::other("a shard worker thread panicked"));
                 }
                 std::thread::yield_now();
             }
+            received += n;
         }
         if let Some(e) = first_err {
             return Err(e);
