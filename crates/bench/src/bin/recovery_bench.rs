@@ -15,6 +15,12 @@
 //!    the remaining stream versus the uninterrupted baseline. Restore
 //!    latency is reported.
 //!
+//! A fourth pass covers the sharded runtime: `Sh_*` at 1/2/4 shards runs a
+//! prefix of the stream with tight multi-checkpointing, crashes, restores
+//! via `restore_latest_valid_multi` into a fresh strategy, replays the
+//! tail, and asserts the decisions match an uninterrupted `S_*` run —
+//! reporting multi-checkpoint write and restore latency per shard count.
+//!
 //! Flags: `--smoke` (tiny workload, CI), `--posts <n>`, `--out <path>`
 //! (default `BENCH_recovery.json`).
 
@@ -23,11 +29,16 @@ use std::time::Instant;
 
 use firehose_bench::{flag_value, stream_rate, BenchSummary, EngineRow};
 use firehose_core::checkpoint::{
-    restore_latest_valid, run_with_checkpoints, CheckpointManager, CheckpointPolicy,
+    checkpoint_multi_to_vec, restore_latest_valid, restore_latest_valid_multi,
+    run_with_checkpoints, CheckpointManager, CheckpointPolicy,
 };
 use firehose_core::engine::{build_engine, AlgorithmKind};
+use firehose_core::multi::{MultiDiversifier, ShardedMulti, SharedMulti, Subscriptions};
 use firehose_core::{Decision, EngineConfig, Thresholds};
-use firehose_datagen::{SocialGenConfig, SyntheticSocialGraph, Workload, WorkloadConfig};
+use firehose_datagen::{
+    generate_subscriptions, SocialGenConfig, SubscriptionGenConfig, SyntheticSocialGraph, Workload,
+    WorkloadConfig,
+};
 use firehose_graph::build_similarity_graph_parallel;
 
 fn tempdir(tag: &str) -> std::path::PathBuf {
@@ -175,6 +186,94 @@ fn main() {
                 .with_f64("checkpoint_write_ms", write_ms)
                 .with_f64("restore_ms", restore_ms)
                 .with_u64("resumed_at", resumed_at as u64)
+                .with_u64("decisions_preserved", u64::from(preserved)),
+        );
+    }
+
+    // Pass 5 — the sharded runtime. `Sh_*` at 1/2/4 shards runs ~65% of a
+    // stream prefix with periodic multi-checkpoints plus one explicit save
+    // at the crash point, is dropped, restored into a fresh strategy via
+    // `restore_latest_valid_multi`, and replays the tail — decisions must
+    // match an uninterrupted `S_*` run of the same prefix.
+    let users = if smoke { 40 } else { 400 };
+    let multi_posts = posts.len().min(if smoke { 1_500 } else { 10_000 });
+    let sets = generate_subscriptions(
+        social.author_count(),
+        users,
+        SubscriptionGenConfig::default(),
+    );
+    let subscriptions = Subscriptions::new(social.author_count(), sets).unwrap();
+    let stream = &posts[..multi_posts];
+    let kind = AlgorithmKind::CliqueBin;
+    let mut shared = SharedMulti::builder(kind, config, &graph, subscriptions.clone())
+        .build()
+        .expect("build S_* reference");
+    let multi_reference: Vec<_> = stream.iter().map(|p| shared.offer(p)).collect();
+    drop(shared);
+
+    for shards in [1usize, 2, 4] {
+        let dir = tempdir(&format!("multi-{shards}"));
+        let tight = CheckpointPolicy {
+            every_offers: (multi_posts as u64 / 20).max(1),
+            every_millis: None,
+            keep: 3,
+        };
+        let mut mgr = CheckpointManager::new(&dir, tight).expect("open checkpoint dir");
+        let crash_at = multi_posts * 13 / 20;
+        let mut doomed = ShardedMulti::new(kind, config, &graph, subscriptions.clone(), shards)
+            .expect("build Sh_*");
+        let t0 = Instant::now();
+        for post in &stream[..crash_at] {
+            doomed.offer(post);
+            mgr.maybe_save_multi(&doomed).expect("periodic checkpoint");
+        }
+        let run_ops = crash_at as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+
+        let bytes = checkpoint_multi_to_vec(&doomed, 0).expect("serialize multi checkpoint");
+        let write_reps = if smoke { 3 } else { 10 };
+        let t0 = Instant::now();
+        for _ in 0..write_reps {
+            mgr.save_multi(&doomed).expect("multi checkpoint save");
+        }
+        let write_ms = t0.elapsed().as_secs_f64() * 1_000.0 / write_reps as f64;
+        drop(doomed); // the crash: workers, rings and engines are all gone
+
+        let mut fresh = ShardedMulti::new(kind, config, &graph, subscriptions.clone(), shards)
+            .expect("rebuild Sh_*");
+        let t0 = Instant::now();
+        let (manifest, skipped_gens) =
+            restore_latest_valid_multi(&dir, &mut fresh).expect("restore multi");
+        let restore_ms = t0.elapsed().as_secs_f64() * 1_000.0;
+        assert!(
+            skipped_gens.is_empty(),
+            "sharded:{shards}: restore skipped generations {skipped_gens:?}"
+        );
+        // The newest generation is the explicit save at the crash point, so
+        // the tail replays from exactly `crash_at`.
+        let replayed: Vec<_> = stream[crash_at..].iter().map(|p| fresh.offer(p)).collect();
+        let preserved = replayed == multi_reference[crash_at..];
+        assert!(
+            preserved,
+            "sharded:{shards}: decisions diverged after restore (generation {})",
+            manifest.generation
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+
+        eprintln!(
+            "[recovery] sharded:{shards}: {run_ops:.0} offers/s, write {write_ms:.2} ms \
+             ({} bytes), restore {restore_ms:.2} ms, replayed {} posts — decisions preserved",
+            bytes.len(),
+            multi_posts - crash_at
+        );
+        summary.push_engine(
+            EngineRow::new(&format!("sharded:{shards}"), run_ops, 0, 0)
+                .with_u64("shards", shards as u64)
+                .with_u64("users", users as u64)
+                .with_u64("posts_run", multi_posts as u64)
+                .with_u64("checkpoint_bytes", bytes.len() as u64)
+                .with_f64("checkpoint_write_ms", write_ms)
+                .with_f64("restore_ms", restore_ms)
+                .with_u64("resumed_at", crash_at as u64)
                 .with_u64("decisions_preserved", u64::from(preserved)),
         );
     }

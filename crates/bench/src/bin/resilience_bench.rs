@@ -1,0 +1,314 @@
+//! Resilience bench: seeded shard kills against the supervised sharded
+//! service (`BENCH_resilience.json`).
+//!
+//! Each row runs the full stream through a supervised `Sh_*`
+//! [`FirehoseService`] (checkpoints + replay log) while a seeded
+//! [`ShardFaultPlan`] panics workers mid-stream, then compares every
+//! delivered decision byte-for-byte against an unfaulted `S_*` run of the
+//! same stream. The bench **asserts zero divergence** — a nonzero
+//! `divergent_decisions` is a correctness bug, not a performance result.
+//!
+//! Reported per row: end-to-end throughput under faults, recovery latency
+//! p50/p99 (restore + replay, nanoseconds), shard restarts, offers lost in
+//! flight versus posts replayed from the log. A final row escalates a
+//! *stalled* (not panicked) worker through the watchdog.
+//!
+//! Flags: `--smoke` (tiny workload, CI), `--posts <n>`, `--shards <n>`
+//! (extra shard count on top of 1/2/4), `--out <path>` (default
+//! `BENCH_resilience.json`).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use firehose_bench::{flag_value, stream_rate, BenchSummary, EngineRow};
+use firehose_core::checkpoint::CheckpointPolicy;
+use firehose_core::multi::{MultiDecision, Subscriptions};
+use firehose_core::service::{FirehoseService, StrategyKind};
+use firehose_core::{EngineConfig, Thresholds};
+use firehose_datagen::{
+    generate_subscriptions, SocialGenConfig, SubscriptionGenConfig, SyntheticSocialGraph, Workload,
+    WorkloadConfig,
+};
+use firehose_graph::{build_similarity_graph_parallel, UndirectedGraph};
+use firehose_stream::{Post, ShardFaultKind, ShardFaultPlan};
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("fh-resilience-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create checkpoint dir");
+    dir
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+struct FaultedRun {
+    decisions: Vec<MultiDecision>,
+    elapsed_s: f64,
+    restarts: u64,
+    recoveries: u64,
+    lost_offers: u64,
+    lost_posts: u64,
+    replayed_posts: u64,
+    recovery_p50_ns: u64,
+    recovery_p99_ns: u64,
+}
+
+/// Shared fixture for every faulted row: the similarity graph,
+/// subscription table, engine configuration, post stream, and checkpoint
+/// cadence are identical across rows — only the shard count and fault
+/// plan vary.
+struct Setup<'a> {
+    graph: &'a UndirectedGraph,
+    subscriptions: &'a Subscriptions,
+    config: EngineConfig,
+    posts: &'a [Post],
+    checkpoint_every: u64,
+}
+
+/// Run the whole stream through a supervised sharded service under `plan`.
+fn run_faulted(setup: &Setup, shards: usize, plan: ShardFaultPlan, tag: &str) -> FaultedRun {
+    let dir = tempdir(tag);
+    let mut service = FirehoseService::builder(setup.graph, setup.subscriptions.clone())
+        .strategy(StrategyKind::Sharded { shards })
+        .engine_config(setup.config)
+        .checkpoints(
+            &dir,
+            CheckpointPolicy {
+                every_offers: setup.checkpoint_every,
+                every_millis: None,
+                keep: 3,
+            },
+        )
+        .watchdog(Duration::from_millis(50))
+        .chaos(plan)
+        .build()
+        .expect("build supervised sharded service");
+
+    let mut decisions: Vec<MultiDecision> = Vec::with_capacity(setup.posts.len());
+    let t0 = Instant::now();
+    for post in setup.posts {
+        service
+            .process(post.clone(), |_, decision| decisions.push(decision.clone()))
+            .expect("supervised service must heal, not fail");
+    }
+    let elapsed_s = t0.elapsed().as_secs_f64();
+
+    let stats = service.resilience_stats();
+    let mut latencies = service.recovery_latencies_ns().to_vec();
+    latencies.sort_unstable();
+    drop(service);
+    let _ = std::fs::remove_dir_all(&dir);
+    FaultedRun {
+        decisions,
+        elapsed_s,
+        restarts: stats.restarts,
+        recoveries: stats.recoveries,
+        lost_offers: stats.lost_offers,
+        lost_posts: stats.lost_posts,
+        replayed_posts: stats.replayed_posts,
+        recovery_p50_ns: percentile(&latencies, 0.50),
+        recovery_p99_ns: percentile(&latencies, 0.99),
+    }
+}
+
+fn divergence(reference: &[MultiDecision], faulted: &[MultiDecision]) -> u64 {
+    assert_eq!(
+        reference.len(),
+        faulted.len(),
+        "faulted run delivered a different number of decisions"
+    );
+    reference
+        .iter()
+        .zip(faulted)
+        .filter(|(a, b)| a != b)
+        .count() as u64
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_resilience.json".to_string());
+    let target_posts: usize = flag_value(&args, "--posts")
+        .map(|v| v.parse().expect("--posts expects a count"))
+        .unwrap_or(if smoke { 2_500 } else { 20_000 });
+    let extra_shards: Option<usize> =
+        flag_value(&args, "--shards").map(|v| v.parse().expect("--shards expects a count"));
+    let (users, kills) = if smoke { (40usize, 5) } else { (400, 24) };
+
+    let social_config = if smoke {
+        SocialGenConfig::test_scale()
+    } else {
+        SocialGenConfig::bench_scale()
+    };
+    let social = SyntheticSocialGraph::generate(social_config);
+    let workload = Workload::generate(
+        &social,
+        WorkloadConfig {
+            posts_per_author_per_day: target_posts as f64 / social.author_count() as f64,
+            ..WorkloadConfig::default()
+        },
+    );
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let graph = Arc::new(build_similarity_graph_parallel(&social.graph, 0.7, threads));
+    let config = EngineConfig::new(Thresholds::paper_defaults())
+        .with_expected_rate(stream_rate(&workload.posts));
+    let sets = generate_subscriptions(
+        social.author_count(),
+        users,
+        SubscriptionGenConfig::default(),
+    );
+    let subscriptions = Subscriptions::new(social.author_count(), sets).unwrap();
+    let posts = &workload.posts;
+    let checkpoint_every = (posts.len() as u64 / 40).max(1);
+    eprintln!(
+        "[resilience] workload: {} posts, {} users, {} seeded kills per row (checkpoint every {})",
+        posts.len(),
+        users,
+        kills,
+        checkpoint_every
+    );
+
+    // Unfaulted S_* reference: same stream, same configuration, no shards,
+    // no faults. Every faulted row must reproduce these decisions exactly.
+    let mut reference_service = FirehoseService::builder(&graph, subscriptions.clone())
+        .strategy(StrategyKind::Shared)
+        .engine_config(config)
+        .build()
+        .expect("build reference service");
+    let mut reference: Vec<MultiDecision> = Vec::with_capacity(posts.len());
+    for post in posts {
+        reference_service
+            .process(post.clone(), |_, decision| reference.push(decision.clone()))
+            .expect("reference run");
+    }
+    // Engine deploys count toward a worker's request total; schedule kills
+    // past the deploy wave so they land mid-stream, not during build.
+    let engines = reference_service.churn_stats().initial_engines;
+    let min_after = engines + 10;
+    drop(reference_service);
+
+    let mut summary = BenchSummary::new(
+        "resilience",
+        if smoke { "smoke" } else { "bench" },
+        posts.len() as u64,
+    );
+
+    let setup = Setup {
+        graph: &graph,
+        subscriptions: &subscriptions,
+        config,
+        posts,
+        checkpoint_every,
+    };
+
+    let mut shard_counts = vec![1usize, 2, 4];
+    if let Some(n) = extra_shards {
+        if !shard_counts.contains(&n) {
+            shard_counts.push(n);
+        }
+    }
+    for &shards in &shard_counts {
+        let plan = ShardFaultPlan::seeded_after(
+            0xD1CE + shards as u64,
+            shards,
+            kills,
+            min_after,
+            min_after + checkpoint_every,
+        );
+        let run = run_faulted(&setup, shards, plan, &format!("kill-{shards}"));
+        let divergent = divergence(&reference, &run.decisions);
+        let throughput = posts.len() as f64 / run.elapsed_s.max(1e-9);
+        eprintln!(
+            "[resilience] sharded:{shards}: {throughput:.0} posts/s under {} restarts, {} \
+             recoveries (p50 {} ns, p99 {} ns), {} offers lost, {} posts lost, {} replayed, \
+             {divergent} divergent decisions",
+            run.restarts,
+            run.recoveries,
+            run.recovery_p50_ns,
+            run.recovery_p99_ns,
+            run.lost_offers,
+            run.lost_posts,
+            run.replayed_posts,
+        );
+        assert_eq!(
+            divergent, 0,
+            "sharded:{shards}: decisions diverged from the unfaulted run"
+        );
+        assert!(run.recoveries >= 1, "sharded:{shards}: no recovery ran");
+        if !smoke {
+            assert!(
+                run.restarts >= kills as u64,
+                "sharded:{shards}: only {} of {kills} scheduled kills fired",
+                run.restarts
+            );
+        }
+        summary.push_engine(
+            EngineRow::new(
+                &format!("sharded:{shards}"),
+                throughput,
+                run.recovery_p50_ns,
+                run.recovery_p99_ns,
+            )
+            .with_u64("shards", shards as u64)
+            .with_u64("seeded_kills", kills as u64)
+            .with_u64("restarts", run.restarts)
+            .with_u64("recoveries", run.recoveries)
+            .with_u64("lost_offers", run.lost_offers)
+            .with_u64("lost_posts", run.lost_posts)
+            .with_u64("replayed_posts", run.replayed_posts)
+            .with_u64("divergent_decisions", divergent),
+        );
+    }
+
+    // Watchdog escalation: a shard that *stalls* (hangs without dying) is
+    // detected by the frozen heartbeat, abandoned, and restarted — same
+    // fidelity bar as the panic rows.
+    let stall_after = min_after + checkpoint_every / 2;
+    let plan = ShardFaultPlan::single(1, stall_after, ShardFaultKind::Stall);
+    let run = run_faulted(&setup, 2, plan, "stall");
+    let divergent = divergence(&reference, &run.decisions);
+    let throughput = posts.len() as f64 / run.elapsed_s.max(1e-9);
+    eprintln!(
+        "[resilience] stall_watchdog: {throughput:.0} posts/s, {} restarts, {} recoveries, \
+         {divergent} divergent decisions",
+        run.restarts, run.recoveries,
+    );
+    assert_eq!(divergent, 0, "stall: decisions diverged after escalation");
+    assert!(run.restarts >= 1, "stall: watchdog never escalated");
+    summary.push_engine(
+        EngineRow::new(
+            "stall_watchdog",
+            throughput,
+            run.recovery_p50_ns,
+            run.recovery_p99_ns,
+        )
+        .with_u64("shards", 2)
+        .with_u64("restarts", run.restarts)
+        .with_u64("recoveries", run.recoveries)
+        .with_u64("lost_offers", run.lost_offers)
+        .with_u64("lost_posts", run.lost_posts)
+        .with_u64("replayed_posts", run.replayed_posts)
+        .with_u64("divergent_decisions", divergent),
+    );
+
+    let path = std::path::Path::new(&out);
+    summary.write(path).expect("write summary");
+    // Self-check so --smoke in CI fails loudly on malformed output.
+    let written = std::fs::read_to_string(path).expect("read summary back");
+    assert!(
+        written.starts_with('{') && written.trim_end().ends_with('}'),
+        "summary is not a JSON object"
+    );
+    assert!(
+        !written.contains("\"divergent_decisions\": 1")
+            && written.contains("\"divergent_decisions\": 0"),
+        "decision fidelity missing from summary"
+    );
+    println!("{written}");
+}

@@ -755,23 +755,42 @@ pub fn restore_latest_valid(
 /// A failed attempt may leave `multi` partially written, but a subsequent
 /// successful attempt overwrites every engine's state wholesale, so the
 /// returned state is always exactly the restored checkpoint's.
+///
+/// A sharded target can *itself* fail mid-restore (a worker dies while the
+/// restored engines are redeployed, and self-healing rebuilds them empty,
+/// which trips the cursor cross-check). That is a target-side fault, not
+/// checkpoint corruption, so when the target reports a pending
+/// [`ShardFailure`](crate::multi::ShardFailure) the same generation is
+/// retried — taking the failure heals the runtime — instead of being
+/// skipped for an older one.
 pub fn restore_latest_valid_multi<M: MultiDiversifier + ?Sized>(
     dir: &Path,
     multi: &mut M,
 ) -> Result<(Manifest, Vec<SkippedGeneration>), RestoreError> {
+    const MAX_TARGET_RETRIES: usize = 64;
     let mut skipped = Vec::new();
     for (generation, path) in list_generations(dir)?.into_iter().rev() {
         let file = path.join(CHECKPOINT_FILE);
-        let attempt = fs::read(&file)
-            .map_err(SnapshotError::Io)
-            .and_then(|bytes| restore_multi_from_slice(&bytes, multi));
-        match attempt {
-            Ok(manifest) => return Ok((manifest, skipped)),
-            Err(error) => skipped.push(SkippedGeneration {
-                generation,
-                path: file,
-                error,
-            }),
+        let mut retries = 0;
+        loop {
+            let attempt = fs::read(&file)
+                .map_err(SnapshotError::Io)
+                .and_then(|bytes| restore_multi_from_slice(&bytes, multi));
+            match attempt {
+                Ok(manifest) => return Ok((manifest, skipped)),
+                Err(error) => {
+                    if multi.take_shard_failure().is_some() && retries < MAX_TARGET_RETRIES {
+                        retries += 1;
+                        continue;
+                    }
+                    skipped.push(SkippedGeneration {
+                        generation,
+                        path: file,
+                        error,
+                    });
+                    break;
+                }
+            }
         }
     }
     Err(RestoreError::NoValidCheckpoint { skipped })

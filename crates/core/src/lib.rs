@@ -86,11 +86,12 @@ pub mod prelude {
     pub use crate::metrics::EngineMetrics;
     pub use crate::multi::{
         BuildError, ChurnStats, IndependentBuilder, IndependentMulti, MultiDecision,
-        MultiDiversifier, ParallelBuilder, ParallelShared, ShardedBuilder, ShardedMulti,
-        SharedBuilder, SharedMulti, SubscriptionError, Subscriptions, UserId,
+        MultiDiversifier, ParallelBuilder, ParallelShared, ShardFailure, ShardedBuilder,
+        ShardedMulti, SharedBuilder, SharedMulti, SubscriptionError, Subscriptions, UserId,
     };
     pub use crate::service::{
-        ChurnOp, FirehoseService, FirehoseServiceBuilder, ServiceError, StrategyKind, TracedOp,
+        ChurnOp, FirehoseService, FirehoseServiceBuilder, OverloadConfig, OverloadPolicy,
+        OverloadStats, RateLimitConfig, ResilienceStats, ServiceError, StrategyKind, TracedOp,
     };
 }
 
@@ -110,5 +111,8 @@ pub use obs::{
     export_engine_metrics, export_guard_stats, export_kernel_info, EngineObs, MultiObs, ShardObs,
 };
 pub use quality::{evaluate, QualityReport};
-pub use service::{ChurnOp, FirehoseService, ServiceError, StrategyKind};
+pub use service::{
+    ChurnOp, FirehoseService, OverloadConfig, OverloadPolicy, OverloadStats, RateLimitConfig,
+    ResilienceStats, ServiceError, StrategyKind,
+};
 pub use stream_ext::{Diversified, DiversifyExt};

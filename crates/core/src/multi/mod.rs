@@ -160,6 +160,28 @@ impl ChurnStats {
     }
 }
 
+/// What a supervised strategy lost (and already repaired) when one of its
+/// shard workers died. Returned by
+/// [`MultiDiversifier::take_shard_failure`]: by the time a caller sees
+/// this, the dead worker has been respawned and its engines rebuilt fresh
+/// — the report exists so a facade with a checkpoint can *also* restore
+/// the lost window state and replay the lost posts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardFailure {
+    /// The first shard observed dead in this failure episode.
+    pub shard: usize,
+    /// Total worker restarts over the strategy's lifetime (monotonic).
+    pub restarts: u64,
+    /// Offer/sweep requests that were in flight to dead workers and whose
+    /// responses never arrived, for this episode.
+    pub lost_offers: u64,
+    /// Posts whose decisions were abandoned mid-flight in this episode.
+    pub lost_posts: u64,
+    /// Engines that were deployed to dead workers and had to be rebuilt
+    /// empty (their window contents are gone until a checkpoint restore).
+    pub lost_engines: u64,
+}
+
 /// A multi-user real-time diversifier with live subscription churn.
 pub trait MultiDiversifier {
     /// Offer an arriving post; returns which users receive it. Users not
@@ -229,6 +251,21 @@ pub trait MultiDiversifier {
     /// automatically. On error the state is unspecified and the strategy
     /// must be rebuilt before use.
     fn load_state(&mut self, r: &mut dyn std::io::Read) -> Result<(), SnapshotError>;
+
+    /// Take the pending [`ShardFailure`] report, if the strategy supervises
+    /// worker threads and one died since the last call. Non-supervised
+    /// strategies (everything but `Sh_*`) never report one. Calling this
+    /// also completes any deferred recovery, so after `Some(_)` the strategy
+    /// is live again (with rebuilt-empty engines where state was lost).
+    fn take_shard_failure(&mut self) -> Option<ShardFailure> {
+        None
+    }
+
+    /// Record that the ingest guard quarantined a post by `author` before it
+    /// reached this strategy. Sharded strategies attribute the count to the
+    /// shard that would have owned the post, so a flash-crowd hitting one
+    /// shard is visible per shard; the default is a no-op.
+    fn note_quarantined(&mut self, _author: AuthorId) {}
 }
 
 /// Magic prefix of the FHSNAP04 multi-strategy state layout. The legacy

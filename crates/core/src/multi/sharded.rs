@@ -44,14 +44,33 @@
 //! FHSNAP04 state keyed by component hash — byte-identical to what
 //! `SharedMulti` writes, so sharded state restores into a sequential
 //! strategy and vice versa (see `checkpoint.rs` strategy families).
+//!
+//! ## Supervision
+//!
+//! A worker panic no longer poisons the engine. Each worker runs under
+//! `catch_unwind` with a drop guard that flips its `ShardHealth` `dead`
+//! flag while the stack unwinds; the control thread notices on its next
+//! wait, counts the in-flight offers that died with the worker, respawns
+//! the thread on fresh rings, recalls the surviving shards' engines,
+//! rebuilds the lost ones empty, and redeploys. The episode is reported
+//! through [`MultiDiversifier::take_shard_failure`] so a facade holding a
+//! checkpoint can restore the lost window state and replay the lost posts
+//! (`FirehoseService` does exactly that). An optional watchdog
+//! ([`ShardedBuilder::watchdog`]) escalates *stalled* shards — a frozen
+//! heartbeat with responses outstanding — through the same restart path.
+//! Deterministic chaos schedules ([`ShardedBuilder::chaos`]) inject seeded
+//! panics and stalls mid-request for resilience tests and
+//! `resilience_bench`.
 
 use std::collections::{HashSet, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use firehose_graph::UndirectedGraph;
-use firehose_stream::{AuthorId, Post, PostRecord, Timestamp};
+use firehose_stream::{
+    AuthorId, Post, PostRecord, ShardFault, ShardFaultKind, ShardFaultPlan, Timestamp,
+};
 
 use crate::config::EngineConfig;
 use crate::engine::AlgorithmKind;
@@ -62,6 +81,7 @@ use crate::multi::ring::{self, Doorbell, RingMode, Rx, Tx};
 use crate::multi::subscriptions::{SubscriptionError, Subscriptions, UserId};
 use crate::multi::{
     component_key, write_multi_state, BuildError, ChurnStats, MultiDecision, MultiDiversifier,
+    ShardFailure,
 };
 use crate::obs::{MultiObs, ShardedObs};
 
@@ -72,6 +92,12 @@ const RING_CAPACITY: usize = 1024;
 /// Posts in flight at once in `offer_batch` before the control thread
 /// stalls on the oldest.
 const MAX_IN_FLIGHT: usize = 512;
+
+/// Consecutive failed redeploys before the supervisor gives up. A worker
+/// that cannot survive receiving its own engines is a deterministic crash
+/// loop no amount of respawning fixes; chaos schedules stay far below this
+/// because each respawn consumes one scheduled fault.
+const MAX_RESTART_STORM: usize = 100;
 
 /// Control → worker messages.
 enum Req {
@@ -113,11 +139,33 @@ enum Resp {
         cid: u32,
         engine: Box<CompactEngine>,
     },
+    /// FIFO barrier closing a [`Req::Recall`]: everything this worker sent
+    /// before it — engine shipments, but also offer/sweep responses
+    /// abandoned by a failure — has been received once this arrives.
+    Recalled,
     /// One engine's serialized state.
     Blob {
         cid: u32,
         blob: std::io::Result<Vec<u8>>,
     },
+}
+
+/// Shared health record for one shard worker, written by the worker (or
+/// its drop guard) and polled by the control thread.
+#[derive(Default)]
+struct ShardHealth {
+    /// Set by the worker's drop guard while it unwinds from a panic, or by
+    /// the watchdog when the shard is declared stalled. Once set, the
+    /// control thread stops waiting on this shard and schedules a respawn.
+    dead: AtomicBool,
+    /// Set by the watchdog on a stall escalation: tells a live-but-stuck
+    /// worker to exit instead of responding, and the supervisor to detach
+    /// (never join) the old thread.
+    abandoned: AtomicBool,
+    /// Heartbeat: requests handled by the current worker lifetime, bumped
+    /// after each one. A frozen value with responses outstanding is a
+    /// stall.
+    processed: AtomicU64,
 }
 
 /// Exact change of one engine's [`EngineMetrics`] across an operation. The
@@ -223,6 +271,8 @@ pub struct ShardedBuilder<'g> {
     subscriptions: Subscriptions,
     warm_start: bool,
     shards: usize,
+    watchdog: Option<Duration>,
+    chaos: ShardFaultPlan,
     /// Test override for the channel transport; `None` = `FIREHOSE_RING`.
     pub(crate) mode: Option<RingMode>,
 }
@@ -242,6 +292,26 @@ impl ShardedBuilder<'_> {
         self
     }
 
+    /// Stall-watchdog deadline: when a shard owes responses and its
+    /// heartbeat does not advance for this long, the worker is declared
+    /// stalled, abandoned, and respawned. Unset (the default) disables
+    /// stall detection; panics are always supervised.
+    pub fn watchdog(mut self, deadline: Duration) -> Self {
+        self.watchdog = Some(deadline);
+        self
+    }
+
+    /// Schedule deterministic thread-level chaos faults (seeded worker
+    /// panics and stalls) for resilience testing. Each worker lifetime
+    /// consumes at most one scheduled fault at spawn; once a shard's queue
+    /// drains, its workers run clean. Stall faults need
+    /// [`watchdog`](Self::watchdog) set, or the control thread waits
+    /// forever.
+    pub fn chaos(mut self, plan: ShardFaultPlan) -> Self {
+        self.chaos = plan;
+        self
+    }
+
     /// Build the registry, spawn the workers, and deploy the engines.
     pub fn build(self) -> Result<ShardedMulti, BuildError> {
         if self.shards == 0 {
@@ -255,42 +325,76 @@ impl ShardedBuilder<'_> {
             self.warm_start,
         );
         let mode = self.mode.unwrap_or_else(ring::ring_mode);
-        let dead = Arc::new(AtomicBool::new(false));
+        let mut chaos: Vec<VecDeque<ShardFault>> = vec![VecDeque::new(); self.shards];
+        for fault in self.chaos.faults {
+            if fault.shard < self.shards {
+                chaos[fault.shard].push_back(fault);
+            }
+        }
         let mut links = Vec::with_capacity(self.shards);
         let mut workers = Vec::with_capacity(self.shards);
-        for shard in 0..self.shards {
-            let (req_tx, req_rx) = ring::channel::<Req>(RING_CAPACITY, mode);
-            let (resp_tx, resp_rx) = ring::channel::<Resp>(RING_CAPACITY, mode);
-            let bell = Arc::new(Doorbell::new());
-            let worker_bell = Arc::clone(&bell);
-            let worker_dead = Arc::clone(&dead);
-            let handle = std::thread::Builder::new()
-                .name(format!("firehose-shard-{shard}"))
-                .spawn(move || worker_loop(req_rx, resp_tx, worker_bell, worker_dead))
-                .expect("spawn shard worker");
-            links.push(ShardLink {
-                req: req_tx,
-                resp: resp_rx,
-                bell,
-            });
-            workers.push(handle);
+        let mut health = Vec::with_capacity(self.shards);
+        for (shard, queue) in chaos.iter_mut().enumerate() {
+            let fault = queue.pop_front();
+            let (link, handle, h) = spawn_worker(shard, mode, fault);
+            links.push(link);
+            workers.push(Some(handle));
+            health.push(h);
         }
         let mut multi = ShardedMulti {
             registry,
             links,
             workers,
-            dead,
+            health,
+            mode,
+            chaos,
+            watchdog: self.watchdog,
             shards: self.shards,
             deployed: false,
             seq: 0,
             cache: CounterCache::default(),
             re_homes: 0,
+            restarts: 0,
+            lost_offers: 0,
+            outstanding: vec![0; self.shards],
+            quarantined: vec![0; self.shards],
+            failure: None,
             obs: None,
             shard_obs: Vec::new(),
         };
-        multi.deploy();
+        // `ensure_deployed`, not `deploy`: a chaos fault with a tiny
+        // threshold can kill a worker during this very first deployment.
+        multi.ensure_deployed();
         Ok(multi)
     }
+}
+
+/// Spawn one shard worker on fresh rings, optionally carrying a scheduled
+/// chaos fault for this lifetime.
+fn spawn_worker(
+    shard: usize,
+    mode: RingMode,
+    fault: Option<ShardFault>,
+) -> (ShardLink, std::thread::JoinHandle<()>, Arc<ShardHealth>) {
+    let (req_tx, req_rx) = ring::channel::<Req>(RING_CAPACITY, mode);
+    let (resp_tx, resp_rx) = ring::channel::<Resp>(RING_CAPACITY, mode);
+    let bell = Arc::new(Doorbell::new());
+    let health = Arc::new(ShardHealth::default());
+    let worker_bell = Arc::clone(&bell);
+    let worker_health = Arc::clone(&health);
+    let handle = std::thread::Builder::new()
+        .name(format!("firehose-shard-{shard}"))
+        .spawn(move || worker_loop(req_rx, resp_tx, worker_bell, worker_health, fault))
+        .expect("spawn shard worker");
+    (
+        ShardLink {
+            req: req_tx,
+            resp: resp_rx,
+            bell,
+        },
+        handle,
+        health,
+    )
 }
 
 /// The persistent sharded shared-component engine (`Sh_UniBin(4)` etc.).
@@ -299,9 +403,17 @@ pub struct ShardedMulti {
     /// authoritative. Engine slots are empty while deployed.
     registry: ComponentRegistry,
     links: Vec<ShardLink>,
-    workers: Vec<std::thread::JoinHandle<()>>,
-    /// Set by a worker's drop guard if it panics; control waits poll it.
-    dead: Arc<AtomicBool>,
+    /// Current worker handles; `None` briefly during a respawn.
+    workers: Vec<Option<std::thread::JoinHandle<()>>>,
+    /// Per-shard health records shared with the workers.
+    health: Vec<Arc<ShardHealth>>,
+    /// Ring transport, kept so respawned workers get the same kind.
+    mode: RingMode,
+    /// Remaining scheduled chaos faults per shard; each worker lifetime
+    /// consumes at most one at spawn.
+    chaos: Vec<VecDeque<ShardFault>>,
+    /// Stall-detection deadline; `None` disables the watchdog.
+    watchdog: Option<Duration>,
     shards: usize,
     /// Whether engines currently live on the workers.
     deployed: bool,
@@ -312,6 +424,16 @@ pub struct ShardedMulti {
     /// Churn-spawned engines whose warm-start seeds came from a retired
     /// engine on a different shard (approximate — see `count_re_homes`).
     re_homes: u64,
+    /// Worker respawns over this strategy's lifetime.
+    restarts: u64,
+    /// Offer/sweep responses lost to worker deaths (lifetime total).
+    lost_offers: u64,
+    /// Offer/sweep requests awaiting a response, per shard.
+    outstanding: Vec<u64>,
+    /// Ingest-guard quarantines attributed per shard.
+    quarantined: Vec<u64>,
+    /// Pending failure report for `take_shard_failure`.
+    failure: Option<ShardFailure>,
     obs: Option<MultiObs>,
     /// Per-shard instruments; empty when unobserved.
     shard_obs: Vec<ShardedObs>,
@@ -345,6 +467,8 @@ impl ShardedMulti {
             subscriptions,
             warm_start: true,
             shards: 1,
+            watchdog: None,
+            chaos: ShardFaultPlan::none(),
             mode: None,
         }
     }
@@ -385,36 +509,106 @@ impl ShardedMulti {
         self.re_homes
     }
 
-    fn panic_if_worker_died(&self) {
-        if self.dead.load(Ordering::SeqCst) {
-            panic!("a shard worker thread panicked; the sharded engine is poisoned");
+    /// Worker respawns over this strategy's lifetime.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// Offer/sweep responses lost to worker deaths (lifetime total).
+    pub fn lost_offers(&self) -> u64 {
+        self.lost_offers
+    }
+
+    /// Ingest-guard quarantines attributed per shard (see
+    /// [`MultiDiversifier::note_quarantined`]).
+    pub fn shard_quarantined(&self) -> &[u64] {
+        &self.quarantined
+    }
+
+    fn any_dead(&self) -> bool {
+        self.health.iter().any(|h| h.dead.load(Ordering::SeqCst))
+    }
+
+    fn first_dead(&self) -> Option<usize> {
+        self.health
+            .iter()
+            .position(|h| h.dead.load(Ordering::SeqCst))
+    }
+
+    /// Current per-shard heartbeat counters.
+    fn heartbeats(&self) -> Vec<u64> {
+        self.health
+            .iter()
+            .map(|h| h.processed.load(Ordering::SeqCst))
+            .collect()
+    }
+
+    /// Declare stalled every shard that owes responses and whose heartbeat
+    /// has not moved since `base`: mark it abandoned (the worker, if it
+    /// ever wakes, exits instead of responding) and dead (the supervisor
+    /// respawns it). Returns whether any shard was escalated.
+    fn abandon_stalled(&mut self, base: &[u64]) -> bool {
+        let mut any = false;
+        for (shard, &seen) in base.iter().enumerate().take(self.shards) {
+            if self.outstanding[shard] == 0 {
+                continue;
+            }
+            let h = &self.health[shard];
+            if h.dead.load(Ordering::SeqCst) || h.processed.load(Ordering::SeqCst) != seen {
+                continue;
+            }
+            h.abandoned.store(true, Ordering::SeqCst);
+            h.dead.store(true, Ordering::SeqCst);
+            any = true;
         }
+        any
     }
 
     /// Push `req` to `shard`, draining responses into `pending`/`cache`
     /// while the request ring is full so the worker can always make
-    /// progress.
-    fn push_req(&mut self, shard: usize, mut req: Req, pending: &mut VecDeque<PendingPost>) {
+    /// progress. Returns `false` (dropping the request) once a worker is
+    /// dead — the caller escalates to recovery, which discards `pending`
+    /// anyway.
+    fn push_req(
+        &mut self,
+        shard: usize,
+        mut req: Req,
+        pending: &mut VecDeque<PendingPost>,
+    ) -> bool {
+        let awaits_response = matches!(req, Req::Offer { .. } | Req::Sweep { .. });
         loop {
             match self.links[shard].req.try_push(req) {
                 Ok(()) => break,
                 Err(r) => {
                     req = r;
-                    self.panic_if_worker_died();
-                    drain_responses(&self.links, &self.shard_obs, pending, &mut self.cache);
+                    if self.any_dead() {
+                        return false;
+                    }
+                    drain_responses(
+                        &self.links,
+                        &self.shard_obs,
+                        pending,
+                        &mut self.cache,
+                        &mut self.outstanding,
+                    );
                     std::thread::yield_now();
                 }
             }
+        }
+        if awaits_response {
+            self.outstanding[shard] += 1;
         }
         self.links[shard].bell.ring();
         if let Some(o) = self.shard_obs.get(shard) {
             o.ring_depth.add(1);
         }
+        true
     }
 
-    /// Issue one post's sweep marker (if due) and offers; returns its
-    /// pending entry's bookkeeping pushed onto `pending`.
-    fn issue_post(&mut self, post: &Post, pending: &mut VecDeque<PendingPost>) {
+    /// Issue one post's sweep marker (if due) and offers, pushing its
+    /// bookkeeping onto `pending`. Returns `false` if a worker death cut
+    /// the fan-out short.
+    fn issue_post(&mut self, post: &Post, pending: &mut VecDeque<PendingPost>) -> bool {
         self.seq += 1;
         let seq = self.seq;
         // The pending entry must exist BEFORE any request is pushed:
@@ -436,14 +630,16 @@ impl ShardedMulti {
             self.registry.last_sweep = post.timestamp;
             for shard in 0..self.shards {
                 pending.back_mut().expect("just pushed").expected += 1;
-                self.push_req(
+                if !self.push_req(
                     shard,
                     Req::Sweep {
                         seq,
                         now: post.timestamp,
                     },
                     pending,
-                );
+                ) {
+                    return false;
+                }
                 if let Some(o) = self.shard_obs.get(shard) {
                     o.sweeps.inc();
                 }
@@ -460,18 +656,33 @@ impl ShardedMulti {
             let cid = self.registry.author_components[post.author as usize][i];
             let shard = cid as usize % self.shards;
             pending.back_mut().expect("just pushed").expected += 1;
-            self.push_req(shard, Req::Offer { seq, cid, record }, pending);
+            if !self.push_req(shard, Req::Offer { seq, cid, record }, pending) {
+                return false;
+            }
         }
+        true
     }
 
-    /// Block until the oldest pending post has all its responses.
-    fn wait_front(&mut self, pending: &mut VecDeque<PendingPost>) {
+    /// Block until the oldest pending post has all its responses. Returns
+    /// `false` if a worker died — or was declared stalled by the watchdog —
+    /// while responses were still owed.
+    fn wait_front(&mut self, pending: &mut VecDeque<PendingPost>) -> bool {
         let mut idle: u32 = 0;
+        let mut watch: Option<(Instant, Vec<u64>)> = None;
         while pending.front().is_some_and(|p| p.expected > 0) {
-            if drain_responses(&self.links, &self.shard_obs, pending, &mut self.cache) {
+            if drain_responses(
+                &self.links,
+                &self.shard_obs,
+                pending,
+                &mut self.cache,
+                &mut self.outstanding,
+            ) {
                 idle = 0;
+                watch = None;
             } else {
-                self.panic_if_worker_died();
+                if self.any_dead() {
+                    return false;
+                }
                 idle += 1;
                 if idle < 64 {
                     std::hint::spin_loop();
@@ -479,9 +690,24 @@ impl ShardedMulti {
                     // Never park: on small machines the workers need this
                     // core.
                     std::thread::yield_now();
+                    if let Some(deadline) = self.watchdog {
+                        match &watch {
+                            None => watch = Some((Instant::now(), self.heartbeats())),
+                            Some((t0, base)) if t0.elapsed() >= deadline => {
+                                if self.abandon_stalled(base) {
+                                    return false;
+                                }
+                                // Heartbeats moved: the shards are slow, not
+                                // stalled. Re-arm.
+                                watch = Some((Instant::now(), self.heartbeats()));
+                            }
+                            Some(_) => {}
+                        }
+                    }
                 }
             }
         }
+        true
     }
 
     /// Finalize the oldest pending post **in post order**: fold its signed
@@ -504,12 +730,17 @@ impl ShardedMulti {
     }
 
     /// Ship every parked engine to its shard (`cid % shards`) and rebuild
-    /// the O(1) metrics cache from their counters.
-    fn deploy(&mut self) {
+    /// the O(1) metrics cache from their counters. Returns `false` without
+    /// setting the deployed flag when a worker is (or goes) dead: the
+    /// in-hand engine returns to its slot, already-shipped engines stay out
+    /// and are reclaimed by the next `park`.
+    fn deploy(&mut self) -> bool {
         debug_assert!(!self.deployed);
+        if self.any_dead() {
+            return false;
+        }
         let mut cache = CounterCache::default();
         let mut occupancy = vec![0i64; self.shards];
-        let mut pending = VecDeque::new(); // no responses expected
         for cid in 0..self.registry.engines.len() {
             let Some(engine) = self.registry.engines[cid].take() else {
                 continue;
@@ -517,60 +748,99 @@ impl ShardedMulti {
             cache.absorb(engine.metrics());
             let shard = cid % self.shards;
             occupancy[shard] += 1;
-            let req = Req::Deploy {
+            let mut req = Req::Deploy {
                 cid: cid as u32,
                 engine: Box::new(engine),
             };
-            self.push_req(shard, req, &mut pending);
-            if let Some(o) = self.shard_obs.get(shard) {
-                // Deploys get no response; undo the in-flight accounting.
-                o.ring_depth.add(-1);
-            }
-        }
-        debug_assert!(pending.is_empty());
-        self.cache = cache;
-        self.deployed = true;
-        for (o, n) in self.shard_obs.iter().zip(occupancy) {
-            o.engines.set(n);
-        }
-    }
-
-    /// Recall every deployed engine into its registry slot. After this the
-    /// registry is fully authoritative (`metrics_total`, churn, restore all
-    /// work unchanged).
-    ///
-    /// Pushes here use a dedicated retry loop, not [`push_req`]: earlier
-    /// shards may already be streaming [`Resp::Engine`]s back while later
-    /// `Recall`s are still being pushed, and the offer-path
-    /// [`drain_responses`] rejects engine responses by design.
-    fn park(&mut self) {
-        if !self.deployed {
-            return;
-        }
-        let away = self.registry.component_count();
-        let mut received = 0usize;
-        for shard in 0..self.shards {
-            let mut req = Req::Recall;
             loop {
                 match self.links[shard].req.try_push(req) {
                     Ok(()) => break,
                     Err(r) => {
+                        if self.any_dead() {
+                            let Req::Deploy { engine, .. } = r else {
+                                unreachable!("deploy pushes only Deploy requests")
+                            };
+                            self.registry.engines[cid] = Some(*engine);
+                            return false;
+                        }
                         req = r;
-                        self.panic_if_worker_died();
-                        received += self.receive_recalled_engines();
                         std::thread::yield_now();
                     }
                 }
             }
             self.links[shard].bell.ring();
         }
-        while received < away {
-            let n = self.receive_recalled_engines();
-            if n == 0 {
-                self.panic_if_worker_died();
+        self.cache = cache;
+        self.deployed = true;
+        for (o, n) in self.shard_obs.iter().zip(occupancy) {
+            o.engines.set(n);
+        }
+        true
+    }
+
+    /// Recall every deployed engine on every live shard into its registry
+    /// slot; dead shards are skipped (their engines died with them — the
+    /// supervisor rebuilds them) and stale offer/sweep/blob responses
+    /// abandoned by a failure are dropped. After this the registry is
+    /// authoritative for every engine that survived.
+    ///
+    /// Pushes here use a dedicated retry loop, not [`push_req`]: earlier
+    /// shards may already be streaming [`Resp::Engine`]s back while later
+    /// `Recall`s are still being pushed, and the offer-path
+    /// [`drain_responses`] rejects engine responses by design. Each live
+    /// shard closes its recall with a [`Resp::Recalled`] barrier, so when
+    /// every live shard has answered, nothing of the pre-park era is left
+    /// in any ring.
+    fn park(&mut self) {
+        let mut done = vec![false; self.shards];
+        for shard in 0..self.shards {
+            if self.health[shard].dead.load(Ordering::SeqCst) {
+                continue;
+            }
+            let mut req = Req::Recall;
+            loop {
+                match self.links[shard].req.try_push(req) {
+                    Ok(()) => break,
+                    Err(r) => {
+                        req = r;
+                        if self.health[shard].dead.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        receive_parked_responses(
+                            &self.links,
+                            &self.shard_obs,
+                            &mut self.registry,
+                            &mut self.outstanding,
+                            &mut done,
+                        );
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            self.links[shard].bell.ring();
+        }
+        loop {
+            // Snapshot deaths before draining: a worker's pre-death pushes
+            // are visible once its dead flag is, so a drain that runs after
+            // seeing the flag has popped everything it ever sent.
+            let dead: Vec<bool> = self
+                .health
+                .iter()
+                .map(|h| h.dead.load(Ordering::SeqCst))
+                .collect();
+            let progress = receive_parked_responses(
+                &self.links,
+                &self.shard_obs,
+                &mut self.registry,
+                &mut self.outstanding,
+                &mut done,
+            );
+            if (0..self.shards).all(|s| done[s] || dead[s]) {
+                break;
+            }
+            if !progress {
                 std::thread::yield_now();
             }
-            received += n;
         }
         self.deployed = false;
         for o in &self.shard_obs {
@@ -578,23 +848,156 @@ impl ShardedMulti {
         }
     }
 
-    /// Pop every available recall response into its registry slot; returns
-    /// how many engines arrived. Only valid while a recall is in flight
-    /// (the offer path is quiescent, so engines are the only traffic).
-    fn receive_recalled_engines(&mut self) -> usize {
-        let mut n = 0;
-        for link in &self.links {
-            while let Some(resp) = link.resp.try_pop() {
-                match resp {
-                    Resp::Engine { cid, engine } => {
-                        self.registry.engines[cid as usize] = Some(*engine);
-                        n += 1;
+    /// Park every engine and heal every dead worker: count the offers that
+    /// died with them, respawn their threads (consuming the next scheduled
+    /// chaos fault, if any), rebuild their lost engines empty, and record
+    /// the failure episode for `take_shard_failure`. On return all workers
+    /// are alive and all surviving state is parked. Degenerates to a plain
+    /// park when nothing died.
+    fn heal_parked(&mut self, lost_posts: u64) {
+        let mut episode_shard = self.first_dead();
+        let mut lost_offers = 0u64;
+        let mut lost_engines = 0u64;
+        let mut restarted = 0u64;
+        loop {
+            self.park();
+            if !self.any_dead() {
+                break;
+            }
+            // A death can also first surface *during* the park (a chaos
+            // fault firing on the recall itself), so the episode loops; a
+            // parked worker handles no requests, so the second park is
+            // always clean.
+            episode_shard = episode_shard.or_else(|| self.first_dead());
+            for s in 0..self.shards {
+                if self.health[s].dead.load(Ordering::SeqCst) && self.outstanding[s] > 0 {
+                    lost_offers += self.outstanding[s];
+                    if let Some(o) = self.shard_obs.get(s) {
+                        o.lost_offers.add(self.outstanding[s]);
                     }
-                    _ => unreachable!("only engines may be in flight during a recall"),
+                    self.outstanding[s] = 0;
                 }
             }
+            restarted += self.restart_dead_workers();
+            lost_engines += self.rebuild_missing_engines();
         }
-        n
+        if restarted == 0 {
+            return;
+        }
+        for s in self.outstanding.iter_mut() {
+            *s = 0;
+        }
+        // Requests abandoned in replaced rings make the depth gauges drift;
+        // everything is quiescent now, so reset them.
+        for o in &self.shard_obs {
+            o.ring_depth.set(0);
+        }
+        self.lost_offers += lost_offers;
+        let restarts = self.restarts;
+        let f = self.failure.get_or_insert_with(|| ShardFailure {
+            shard: episode_shard.unwrap_or(0),
+            ..Default::default()
+        });
+        f.restarts = restarts;
+        f.lost_offers += lost_offers;
+        f.lost_posts += lost_posts;
+        f.lost_engines += lost_engines;
+    }
+
+    /// Respawn every dead worker on fresh rings, consuming its next
+    /// scheduled chaos fault. Panicked workers are joined (their threads
+    /// already exited through `catch_unwind`); abandoned (stalled) workers
+    /// are detached — an injected stall exits on the abandoned flag, a real
+    /// runaway thread is leaked rather than waited on forever.
+    fn restart_dead_workers(&mut self) -> u64 {
+        let mut restarted = 0;
+        for shard in 0..self.shards {
+            if !self.health[shard].dead.load(Ordering::SeqCst) {
+                continue;
+            }
+            let abandoned = self.health[shard].abandoned.load(Ordering::SeqCst);
+            if let Some(handle) = self.workers[shard].take() {
+                if abandoned {
+                    drop(handle);
+                } else {
+                    let _ = handle.join();
+                }
+            }
+            let fault = self.chaos[shard].pop_front();
+            // Replacing the link retires the old rings (and whatever stale
+            // requests they still held) once the old worker's ends drop.
+            let (link, handle, health) = spawn_worker(shard, self.mode, fault);
+            self.links[shard] = link;
+            self.workers[shard] = Some(handle);
+            self.health[shard] = health;
+            self.restarts += 1;
+            restarted += 1;
+            if let Some(o) = self.shard_obs.get(shard) {
+                o.restarts.inc();
+            }
+        }
+        restarted
+    }
+
+    /// Rebuild a fresh, empty engine for every live component whose engine
+    /// died with its worker. The lost windows' contents are gone — a facade
+    /// holding a checkpoint restores them via `load_state`; without one the
+    /// engines warm back up from the live stream (graceful degradation).
+    fn rebuild_missing_engines(&mut self) -> u64 {
+        let mut rebuilt = 0u64;
+        for cid in 0..self.registry.engines.len() {
+            if self.registry.engines[cid].is_some() {
+                continue;
+            }
+            let members = match self.registry.meta[cid].as_ref() {
+                Some(meta) => meta.members.clone(),
+                None => continue,
+            };
+            self.registry.engines[cid] = Some(CompactEngine::build(
+                self.registry.kind(),
+                *self.registry.config(),
+                &self.registry.graph,
+                &members,
+            ));
+            rebuilt += 1;
+        }
+        if rebuilt > 0 {
+            // The sequential live-copies ledger counted the lost windows;
+            // re-anchor it to what actually survived. The peak watermark
+            // keeps its history.
+            self.registry.live_copies = self.registry.metrics_total().copies_stored;
+        }
+        rebuilt
+    }
+
+    /// Full failure recovery: park what survived, respawn dead workers,
+    /// rebuild lost engines, redeploy — looping because a scheduled chaos
+    /// fault (or a deterministic crash bug) can kill a fresh worker during
+    /// the redeploy itself. Panics after [`MAX_RESTART_STORM`] consecutive
+    /// failed redeploys: a worker that cannot survive receiving its engines
+    /// is a crash loop no supervisor can fix.
+    fn recover_and_redeploy(&mut self, lost_posts: u64) {
+        let mut lost_posts = lost_posts;
+        for _ in 0..MAX_RESTART_STORM {
+            self.heal_parked(lost_posts);
+            lost_posts = 0; // counted once
+            if self.deploy() {
+                return;
+            }
+        }
+        panic!(
+            "shard worker crash loop: {MAX_RESTART_STORM} consecutive redeploys failed \
+             ({} restarts so far)",
+            self.restarts
+        );
+    }
+
+    /// Offer-path failure handling: everything still pending is lost (a
+    /// dead worker can never answer); clear it and run full recovery.
+    fn recover(&mut self, pending: &mut VecDeque<PendingPost>) {
+        let lost_posts = pending.len() as u64;
+        pending.clear();
+        self.recover_and_redeploy(lost_posts);
     }
 
     /// Pop every available save response, keying each blob by its
@@ -634,19 +1037,33 @@ impl ShardedMulti {
         n
     }
 
-    /// Recover the deployed invariant after a failed restore left the
-    /// engine parked.
+    /// Recover the deployed invariant — after a failed restore left the
+    /// engine parked, or after a worker death that has not yet been healed.
     fn ensure_deployed(&mut self) {
-        if !self.deployed {
-            self.deploy();
+        if self.any_dead() || (!self.deployed && !self.deploy()) {
+            self.recover_and_redeploy(0);
         }
     }
 
-    /// Park, run a churn operation against the sequential registry
-    /// machinery, count cross-shard re-homes, and redeploy.
+    /// Batch-path failure handling: the aborted posts still need aligned
+    /// decisions (empty deliveries — their offers never completed), then
+    /// full recovery.
+    fn abort_pending(
+        &mut self,
+        pending: &mut VecDeque<PendingPost>,
+        decisions: &mut Vec<MultiDecision>,
+    ) {
+        for _ in 0..pending.len() {
+            decisions.push(MultiDecision::default());
+        }
+        self.recover(pending);
+    }
+
+    /// Park (healing any dead workers first), run a churn operation against
+    /// the sequential registry machinery, count cross-shard re-homes, and
+    /// redeploy.
     fn with_parked<R>(&mut self, f: impl FnOnce(&mut ComponentRegistry) -> R) -> R {
-        self.ensure_deployed();
-        self.park();
+        self.heal_parked(0);
         let before: Vec<(u32, AuthorId)> = self
             .registry
             .meta
@@ -656,7 +1073,9 @@ impl ShardedMulti {
             .collect();
         let result = f(&mut self.registry);
         self.count_re_homes(&before);
-        self.deploy();
+        if !self.deploy() {
+            self.recover_and_redeploy(0);
+        }
         result
     }
 
@@ -704,6 +1123,7 @@ fn drain_responses(
     shard_obs: &[ShardedObs],
     pending: &mut VecDeque<PendingPost>,
     cache: &mut CounterCache,
+    outstanding: &mut [u64],
 ) -> bool {
     let mut progress = false;
     for (shard, link) in links.iter().enumerate() {
@@ -712,6 +1132,7 @@ fn drain_responses(
             if let Some(o) = shard_obs.get(shard) {
                 o.ring_depth.add(-1);
             }
+            outstanding[shard] = outstanding[shard].saturating_sub(1);
             let (seq, cid_emitted, delta) = match resp {
                 Resp::Offered {
                     seq,
@@ -735,25 +1156,99 @@ fn drain_responses(
     progress
 }
 
-/// The worker loop: owns the deployed engines of one shard, parks on its
-/// doorbell when idle.
-fn worker_loop(rx: Rx<Req>, tx: Tx<Resp>, bell: Arc<Doorbell>, dead: Arc<AtomicBool>) {
-    /// Sets the shared poison flag if the worker unwinds.
-    struct PanicGuard(Arc<AtomicBool>);
-    impl Drop for PanicGuard {
-        fn drop(&mut self) {
-            if std::thread::panicking() {
-                self.0.store(true, Ordering::SeqCst);
+/// Pop every available response during a park. Engines land in their
+/// registry slots; [`Resp::Recalled`] barriers mark their shard done; stale
+/// offer/sweep/blob responses abandoned by an aborted batch or a failed
+/// save are dropped (the posts they belong to were already written off).
+/// Returns whether anything arrived.
+fn receive_parked_responses(
+    links: &[ShardLink],
+    shard_obs: &[ShardedObs],
+    registry: &mut ComponentRegistry,
+    outstanding: &mut [u64],
+    done: &mut [bool],
+) -> bool {
+    let mut progress = false;
+    for (shard, link) in links.iter().enumerate() {
+        while let Some(resp) = link.resp.try_pop() {
+            progress = true;
+            match resp {
+                Resp::Engine { cid, engine } => {
+                    registry.engines[cid as usize] = Some(*engine);
+                }
+                Resp::Recalled => {
+                    done[shard] = true;
+                }
+                Resp::Offered { .. } | Resp::Swept { .. } => {
+                    // Stale offer-path traffic from before the failure.
+                    if let Some(o) = shard_obs.get(shard) {
+                        o.ring_depth.add(-1);
+                    }
+                    outstanding[shard] = outstanding[shard].saturating_sub(1);
+                }
+                Resp::Blob { .. } => {
+                    // Stale save traffic from a failed checkpoint.
+                }
             }
         }
     }
-    let _guard = PanicGuard(dead);
+    progress
+}
 
+/// The worker entry point: runs the request loop under `catch_unwind` so a
+/// panic (real or injected) flips the shard's `dead` flag and exits the
+/// thread cleanly instead of poisoning the engine. The drop guard covers
+/// the unwind itself; the post-`catch_unwind` store covers the (impossible
+/// today, cheap forever) case of the guard being skipped.
+fn worker_loop(
+    rx: Rx<Req>,
+    tx: Tx<Resp>,
+    bell: Arc<Doorbell>,
+    health: Arc<ShardHealth>,
+    fault: Option<ShardFault>,
+) {
+    /// Reports the worker's death to the supervisor while the stack
+    /// unwinds.
+    struct DeathNotice(Arc<ShardHealth>);
+    impl Drop for DeathNotice {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                self.0.dead.store(true, Ordering::SeqCst);
+            }
+        }
+    }
+    let inner = Arc::clone(&health);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        let _notice = DeathNotice(Arc::clone(&inner));
+        worker_run(rx, tx, bell, &inner, fault);
+    }));
+    if result.is_err() {
+        health.dead.store(true, Ordering::SeqCst);
+    }
+}
+
+/// The worker request loop: owns the deployed engines of one shard, parks
+/// on its doorbell when idle, bumps its heartbeat after every handled
+/// request, and fires its scheduled chaos fault (if any) once enough
+/// requests have been handled.
+fn worker_run(
+    rx: Rx<Req>,
+    tx: Tx<Resp>,
+    bell: Arc<Doorbell>,
+    health: &ShardHealth,
+    fault: Option<ShardFault>,
+) {
+    // Returns `false` when the shard was abandoned while the response ring
+    // was full — the control thread stopped draining, so waiting longer
+    // deadlocks; the worker exits instead.
     let respond = |mut resp: Resp| loop {
         match tx.try_push(resp) {
-            Ok(()) => break,
+            Ok(()) => break true,
             Err(r) => {
                 resp = r;
+                if health.abandoned.load(Ordering::SeqCst) {
+                    break false;
+                }
                 std::thread::yield_now();
             }
         }
@@ -761,8 +1256,31 @@ fn worker_loop(rx: Rx<Req>, tx: Tx<Resp>, bell: Arc<Doorbell>, dead: Arc<AtomicB
 
     let mut engines: std::collections::HashMap<u32, CompactEngine> =
         std::collections::HashMap::new();
+    let mut handled: u64 = 0;
     loop {
-        let req = next_req(&rx, &bell);
+        let Some(req) = next_req(&rx, &bell, health) else {
+            return; // abandoned by the watchdog
+        };
+        if let Some(f) = fault {
+            if handled >= f.after_requests {
+                match f.kind {
+                    // `resume_unwind`, not `panic!`: the drop guard still
+                    // fires (`std::thread::panicking()` is true during the
+                    // unwind) but the global panic hook does not, keeping
+                    // chaos runs quiet.
+                    ShardFaultKind::Panic => {
+                        std::panic::resume_unwind(Box::new("injected shard fault"))
+                    }
+                    // Freeze mid-request until the watchdog abandons us.
+                    ShardFaultKind::Stall => {
+                        while !health.abandoned.load(Ordering::SeqCst) {
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        return;
+                    }
+                }
+            }
+        }
         match req {
             Req::Offer { seq, cid, record } => {
                 let (emitted, delta) = match engines.get_mut(&cid) {
@@ -775,12 +1293,14 @@ fn worker_loop(rx: Rx<Req>, tx: Tx<Resp>, bell: Arc<Doorbell>, dead: Arc<AtomicB
                     // (the control thread counts responses) without work.
                     None => (false, Delta::default()),
                 };
-                respond(Resp::Offered {
+                if !respond(Resp::Offered {
                     seq,
                     cid,
                     emitted,
                     delta,
-                });
+                }) {
+                    return;
+                }
             }
             Req::Sweep { seq, now } => {
                 let mut delta = Delta::default();
@@ -789,38 +1309,58 @@ fn worker_loop(rx: Rx<Req>, tx: Tx<Resp>, bell: Arc<Doorbell>, dead: Arc<AtomicB
                     engine.evict_expired(now);
                     delta.add(&Delta::diff(&before, engine.metrics()));
                 }
-                respond(Resp::Swept { seq, delta });
+                if !respond(Resp::Swept { seq, delta }) {
+                    return;
+                }
             }
             Req::Deploy { cid, engine } => {
                 engines.insert(cid, *engine);
             }
             Req::Recall => {
                 for (cid, engine) in engines.drain() {
-                    respond(Resp::Engine {
+                    if !respond(Resp::Engine {
                         cid,
                         engine: Box::new(engine),
-                    });
+                    }) {
+                        return;
+                    }
+                }
+                // FIFO barrier: once the control thread pops this, every
+                // response this worker ever sent before it is accounted
+                // for.
+                if !respond(Resp::Recalled) {
+                    return;
                 }
             }
             Req::SaveBlobs => {
                 for (&cid, engine) in engines.iter() {
                     let mut blob = Vec::new();
                     let blob = engine.save_state(&mut blob).map(|()| blob);
-                    respond(Resp::Blob { cid, blob });
+                    if !respond(Resp::Blob { cid, blob }) {
+                        return;
+                    }
                 }
             }
             Req::Shutdown => break,
         }
+        handled += 1;
+        health.processed.fetch_add(1, Ordering::SeqCst);
     }
 }
 
 /// Worker-side blocking pop: spin briefly, yield a while, then park on the
 /// doorbell (with the mandatory re-check between announce and sleep).
-fn next_req(rx: &Rx<Req>, bell: &Doorbell) -> Req {
+/// Returns `None` once the watchdog has abandoned this worker — the
+/// doorbell's 50ms park timeout bounds how long an abandoned worker sleeps
+/// before noticing.
+fn next_req(rx: &Rx<Req>, bell: &Doorbell, health: &ShardHealth) -> Option<Req> {
     let mut idle: u32 = 0;
     loop {
         if let Some(req) = rx.try_pop() {
-            return req;
+            return Some(req);
+        }
+        if health.abandoned.load(Ordering::SeqCst) {
+            return None;
         }
         idle += 1;
         if idle < 64 {
@@ -832,7 +1372,7 @@ fn next_req(rx: &Rx<Req>, bell: &Doorbell) -> Req {
             match rx.try_pop() {
                 Some(req) => {
                     bell.cancel_park();
-                    return req;
+                    return Some(req);
                 }
                 None => bell.park(),
             }
@@ -852,9 +1392,16 @@ impl MultiDiversifier for ShardedMulti {
         self.ensure_deployed();
         let started = self.obs.is_some().then(Instant::now);
         let mut pending = VecDeque::with_capacity(1);
-        self.issue_post(post, &mut pending);
-        self.wait_front(&mut pending);
-        self.finalize_front(&mut pending, out);
+        let ok = self.issue_post(post, &mut pending) && self.wait_front(&mut pending);
+        if ok {
+            self.finalize_front(&mut pending, out);
+        } else {
+            // The post died with a worker: report an empty delivery and
+            // heal. The failure episode (including this lost post) is
+            // available via `take_shard_failure`.
+            out.delivered_to.clear();
+            self.recover(&mut pending);
+        }
         if let (Some(t0), Some(obs)) = (started, &self.obs) {
             obs.offer_latency.record_duration(t0.elapsed());
             obs.live_copies.set(self.registry.live_copies as i64);
@@ -873,22 +1420,39 @@ impl MultiDiversifier for ShardedMulti {
         for post in posts {
             // Opportunistically retire completed posts, then respect the
             // in-flight window.
-            drain_responses(&self.links, &self.shard_obs, &mut pending, &mut self.cache);
+            drain_responses(
+                &self.links,
+                &self.shard_obs,
+                &mut pending,
+                &mut self.cache,
+                &mut self.outstanding,
+            );
             while pending.front().is_some_and(|p| p.expected == 0) {
                 self.finalize_front(&mut pending, &mut out);
                 decisions.push(std::mem::take(&mut out));
             }
-            while pending.len() >= MAX_IN_FLIGHT {
-                self.wait_front(&mut pending);
-                self.finalize_front(&mut pending, &mut out);
-                decisions.push(std::mem::take(&mut out));
+            let mut ok = true;
+            while ok && pending.len() >= MAX_IN_FLIGHT {
+                ok = self.wait_front(&mut pending);
+                if ok {
+                    self.finalize_front(&mut pending, &mut out);
+                    decisions.push(std::mem::take(&mut out));
+                }
             }
-            self.issue_post(post, &mut pending);
+            if !ok {
+                self.abort_pending(&mut pending, &mut decisions);
+            }
+            if !self.issue_post(post, &mut pending) {
+                self.abort_pending(&mut pending, &mut decisions);
+            }
         }
         while !pending.is_empty() {
-            self.wait_front(&mut pending);
-            self.finalize_front(&mut pending, &mut out);
-            decisions.push(std::mem::take(&mut out));
+            if self.wait_front(&mut pending) {
+                self.finalize_front(&mut pending, &mut out);
+                decisions.push(std::mem::take(&mut out));
+            } else {
+                self.abort_pending(&mut pending, &mut decisions);
+            }
         }
         if let Some(obs) = &self.obs {
             obs.live_copies.set(self.registry.live_copies as i64);
@@ -952,6 +1516,9 @@ impl MultiDiversifier for ShardedMulti {
         if !self.deployed {
             return self.registry.save_state(w);
         }
+        if self.any_dead() {
+            return Err(shard_failed_error());
+        }
         let total = self.registry.component_count();
         let mut engines: Vec<(u64, Vec<u8>)> = Vec::with_capacity(total);
         let mut first_err: Option<std::io::Error> = None;
@@ -966,8 +1533,8 @@ impl MultiDiversifier for ShardedMulti {
                     Ok(()) => break,
                     Err(r) => {
                         req = r;
-                        if self.dead.load(Ordering::SeqCst) {
-                            return Err(std::io::Error::other("a shard worker thread panicked"));
+                        if self.any_dead() {
+                            return Err(shard_failed_error());
                         }
                         received += self.receive_saved_blobs(&mut engines, &mut first_err);
                         std::thread::yield_now();
@@ -979,8 +1546,8 @@ impl MultiDiversifier for ShardedMulti {
         while received < total {
             let n = self.receive_saved_blobs(&mut engines, &mut first_err);
             if n == 0 {
-                if self.dead.load(Ordering::SeqCst) {
-                    return Err(std::io::Error::other("a shard worker thread panicked"));
+                if self.any_dead() {
+                    return Err(shard_failed_error());
                 }
                 std::thread::yield_now();
             }
@@ -1006,28 +1573,63 @@ impl MultiDiversifier for ShardedMulti {
         &mut self,
         r: &mut dyn std::io::Read,
     ) -> Result<(), crate::snapshot::SnapshotError> {
-        self.park();
+        self.heal_parked(0);
         let result = self.registry.load_state(r);
-        if result.is_ok() {
-            self.deploy();
+        if result.is_ok() && !self.deploy() {
+            self.recover_and_redeploy(0);
         }
         // On error we stay parked; the next operation redeploys whatever
         // state the registry was left with (the trait contract requires a
         // rebuild anyway).
         result
     }
+
+    fn take_shard_failure(&mut self) -> Option<ShardFailure> {
+        // An unhealed death (e.g. detected by a failed `save_state`, which
+        // must not mutate) is healed here so the report is complete.
+        if self.any_dead() {
+            self.recover_and_redeploy(0);
+        }
+        self.failure.take()
+    }
+
+    fn note_quarantined(&mut self, author: AuthorId) {
+        // Attribute the quarantine to the shard that would have processed
+        // the author's first owning component; authors with no subscribers
+        // hash straight to a shard so every quarantine lands somewhere.
+        let shard = self
+            .registry
+            .author_components
+            .get(author as usize)
+            .and_then(|cids| cids.first())
+            .map(|&cid| cid as usize % self.shards)
+            .unwrap_or(author as usize % self.shards);
+        self.quarantined[shard] += 1;
+        if let Some(o) = self.shard_obs.get(shard) {
+            o.quarantined.inc();
+        }
+    }
+}
+
+/// The typed error a failed sharded operation surfaces: the caller should
+/// drain [`MultiDiversifier::take_shard_failure`] and retry.
+fn shard_failed_error() -> std::io::Error {
+    std::io::Error::other("a shard worker failed; recovery pending (take_shard_failure)")
 }
 
 impl Drop for ShardedMulti {
     fn drop(&mut self) {
-        for link in &self.links {
+        for (shard, link) in self.links.iter().enumerate() {
+            if self.health[shard].dead.load(Ordering::SeqCst) {
+                continue; // nobody is listening
+            }
             let mut req = Req::Shutdown;
             loop {
                 match link.req.try_push(req) {
                     Ok(()) => break,
                     Err(r) => {
                         req = r;
-                        if self.dead.load(Ordering::SeqCst) {
+                        if self.health[shard].dead.load(Ordering::SeqCst) {
                             break;
                         }
                         while link.resp.try_pop().is_some() {}
@@ -1037,7 +1639,16 @@ impl Drop for ShardedMulti {
             }
             link.bell.ring();
         }
-        for worker in self.workers.drain(..) {
+        for (shard, worker) in self.workers.iter_mut().enumerate() {
+            let Some(worker) = worker.take() else {
+                continue;
+            };
+            if self.health[shard].abandoned.load(Ordering::SeqCst) {
+                // A stalled worker may never exit; detach instead of
+                // hanging the drop (an injected stall exits on its own).
+                drop(worker);
+                continue;
+            }
             // Keep the response rings drained so a worker mid-push can
             // always reach its Shutdown message.
             while !worker.is_finished() {
@@ -1283,6 +1894,125 @@ mod tests {
             sh.obs.as_ref().unwrap().offer_latency.count(),
             stream.len() as u64
         );
+    }
+
+    /// The headline regression for supervision: a worker panic must not
+    /// terminate the strategy. Offers keep producing aligned decisions, the
+    /// worker respawns, and the episode is reported exactly once.
+    #[test]
+    fn worker_panic_recovers_and_reports() {
+        let (graph, subs) = figure7();
+        let stream = posts(60);
+        let mut sh = ShardedMulti::builder(AlgorithmKind::UniBin, config(), &graph, subs)
+            .shards(2)
+            .chaos(ShardFaultPlan::single(0, 8, ShardFaultKind::Panic))
+            .build()
+            .unwrap();
+        let mut decisions = Vec::new();
+        for post in &stream {
+            decisions.push(sh.offer(post));
+        }
+        assert_eq!(decisions.len(), stream.len(), "every post gets a decision");
+        assert!(sh.restarts() >= 1, "the dead worker must have respawned");
+        let failure = sh.take_shard_failure().expect("episode must be reported");
+        assert_eq!(failure.shard, 0);
+        assert!(failure.restarts >= 1);
+        assert!(
+            failure.lost_posts >= 1,
+            "the in-flight post died with the worker"
+        );
+        assert!(
+            sh.take_shard_failure().is_none(),
+            "an episode is reported exactly once"
+        );
+        // The survivor keeps working: more posts, a churn op, a checkpoint.
+        for post in posts(80).iter().skip(60) {
+            sh.offer(post);
+        }
+        sh.subscribe(0, 4).unwrap();
+        let mut state = Vec::new();
+        sh.save_state(&mut state).unwrap();
+        assert!(!state.is_empty());
+    }
+
+    #[test]
+    fn batch_stays_aligned_under_seeded_kills() {
+        let (graph, subs) = figure7();
+        let stream = posts(300);
+        for seed in [7u64, 99] {
+            // `max_after` stays below either shard's total request count so
+            // the first scheduled kill always fires.
+            let plan = ShardFaultPlan::seeded(seed, 2, 3, 100);
+            let mut sh =
+                ShardedMulti::builder(AlgorithmKind::UniBin, config(), &graph, subs.clone())
+                    .shards(2)
+                    .chaos(plan)
+                    .build()
+                    .unwrap();
+            let decisions = sh.offer_batch(&stream);
+            assert_eq!(
+                decisions.len(),
+                stream.len(),
+                "seed {seed}: decisions must stay aligned with posts"
+            );
+            assert!(sh.restarts() >= 1, "seed {seed}: at least one kill fired");
+        }
+    }
+
+    #[test]
+    fn watchdog_escalates_stalled_shard() {
+        let (graph, subs) = figure7();
+        let stream = posts(40);
+        let mut sh = ShardedMulti::builder(AlgorithmKind::UniBin, config(), &graph, subs)
+            .shards(2)
+            .watchdog(Duration::from_millis(50))
+            .chaos(ShardFaultPlan::single(1, 6, ShardFaultKind::Stall))
+            .build()
+            .unwrap();
+        for post in &stream {
+            sh.offer(post);
+        }
+        assert!(sh.restarts() >= 1, "the stalled worker must be respawned");
+        let failure = sh.take_shard_failure().expect("stall episode reported");
+        assert_eq!(failure.shard, 1);
+    }
+
+    #[test]
+    fn save_fails_typed_then_heals() {
+        // One author, one component, one shard: request counts are fully
+        // deterministic (no sweeps: all timestamps < λt/2). Deploy is
+        // request 0; p offers are 1..=p; the fault at `1 + p` fires on the
+        // SaveBlobs request itself.
+        let graph = UndirectedGraph::from_edges(1, std::iter::empty::<(u32, u32)>());
+        let subs = Subscriptions::new(1, vec![vec![0]]).unwrap();
+        let p = 4u64;
+        let mut sh = ShardedMulti::builder(AlgorithmKind::UniBin, config(), &graph, subs)
+            .shards(1)
+            .chaos(ShardFaultPlan::single(0, 1 + p, ShardFaultKind::Panic))
+            .build()
+            .unwrap();
+        for i in 0..p {
+            sh.offer(&Post::new(i, 0, i, format!("post {i}")));
+        }
+        let err = sh.save_state(&mut Vec::new()).expect_err("save must fail");
+        assert_eq!(err.kind(), std::io::ErrorKind::Other);
+        let failure = sh.take_shard_failure().expect("failure surfaced via save");
+        assert!(failure.restarts >= 1);
+        // Healed: the retried save succeeds.
+        let mut state = Vec::new();
+        sh.save_state(&mut state).unwrap();
+        assert!(!state.is_empty());
+    }
+
+    #[test]
+    fn quarantines_attributed_to_owning_shard() {
+        let (graph, subs) = figure7();
+        let mut sh = ShardedMulti::new(AlgorithmKind::UniBin, config(), &graph, subs, 2).unwrap();
+        sh.note_quarantined(0);
+        sh.note_quarantined(0);
+        sh.note_quarantined(3);
+        let total: u64 = sh.shard_quarantined().iter().sum();
+        assert_eq!(total, 3);
     }
 
     #[test]

@@ -144,6 +144,14 @@ pub struct ShardedObs {
     /// Churn-spawned engines whose warm-start seeds came from a retired
     /// engine on a different shard.
     pub re_homes: Counter,
+    /// Times this shard's worker thread was respawned after a panic or a
+    /// watchdog-detected stall.
+    pub restarts: Counter,
+    /// Offer/sweep requests whose responses were lost to a worker death.
+    pub lost_offers: Counter,
+    /// Ingest-guard quarantines attributed to this shard (by the author's
+    /// owning component).
+    pub quarantined: Counter,
 }
 
 impl ShardedObs {
@@ -170,6 +178,21 @@ impl ShardedObs {
             re_homes: registry.counter(
                 "firehose_sharded_rehomes_total",
                 "Engines spawned with warm-start seeds from a different shard",
+                l.clone(),
+            ),
+            restarts: registry.counter(
+                "firehose_shard_restarts",
+                "Worker-thread respawns after a panic or watchdog-detected stall",
+                l.clone(),
+            ),
+            lost_offers: registry.counter(
+                "firehose_shard_lost_offers",
+                "Offer/sweep requests whose responses were lost to a worker death",
+                l.clone(),
+            ),
+            quarantined: registry.counter(
+                "firehose_sharded_quarantined_total",
+                "Ingest-guard quarantines attributed to this shard",
                 l,
             ),
         }

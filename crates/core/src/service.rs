@@ -41,11 +41,15 @@
 //! operations a text form so traces can be recorded, replayed
 //! (`firehose run --churn-trace`) and generated (`firehose_datagen::churn`).
 
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufRead, Write};
 use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 use firehose_graph::UndirectedGraph;
-use firehose_stream::{AuthorId, GuardConfig, IngestGuard, Post, QuarantineStats};
+use firehose_stream::{
+    AuthorId, GuardConfig, IngestGuard, Post, QuarantineStats, ShardFaultPlan, Timestamp,
+};
 
 use crate::checkpoint::{
     restore_latest_valid_multi, CheckpointManager, CheckpointPolicy, Manifest, RestoreError,
@@ -55,8 +59,13 @@ use crate::engine::AlgorithmKind;
 use crate::metrics::EngineMetrics;
 use crate::multi::{
     BuildError, ChurnStats, IndependentMulti, MultiDecision, MultiDiversifier, ParallelShared,
-    ShardedMulti, SharedMulti, SubscriptionError, Subscriptions, UserId,
+    ShardFailure, ShardedMulti, SharedMulti, SubscriptionError, Subscriptions, UserId,
 };
+
+/// Consecutive restore+replay attempts before a heal gives up. Each failed
+/// attempt consumes at least one worker fault, so only a continuous crash
+/// storm exhausts this.
+const MAX_HEAL_ATTEMPTS: usize = 64;
 
 // ---------------------------------------------------------------------
 // Strategy selection.
@@ -125,6 +134,172 @@ impl std::str::FromStr for StrategyKind {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Overload control and rate limiting.
+// ---------------------------------------------------------------------
+
+/// What the service does when an ingest burst overflows the admission
+/// queue (see [`OverloadConfig`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Admit everything; the call simply takes as long as it takes, so
+    /// backpressure falls on the caller. The default.
+    #[default]
+    Block,
+    /// Drop the **oldest** queued post to make room for the new one:
+    /// freshness wins, which matches the diversification model (an old
+    /// uncovered post is less valuable than a fresh one). Shed posts are
+    /// counted in [`OverloadStats::shed`].
+    ShedOldest,
+    /// Refuse the new post with [`ServiceError::Overloaded`]; the caller
+    /// decides whether to retry, buffer, or drop.
+    Reject,
+}
+
+impl std::fmt::Display for OverloadPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Block => f.write_str("block"),
+            Self::ShedOldest => f.write_str("shed"),
+            Self::Reject => f.write_str("reject"),
+        }
+    }
+}
+
+impl std::str::FromStr for OverloadPolicy {
+    type Err = String;
+
+    /// `block` | `shed` (or `shed-oldest`) | `reject`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "block" => Ok(Self::Block),
+            "shed" | "shed-oldest" => Ok(Self::ShedOldest),
+            "reject" => Ok(Self::Reject),
+            other => Err(format!(
+                "unknown overload policy {other:?} (want block|shed|reject)"
+            )),
+        }
+    }
+}
+
+/// Admission-queue configuration: every post entering
+/// [`FirehoseService::process`] / [`process_batch`](FirehoseService::process_batch)
+/// passes through a bounded queue ahead of the strategy; `policy` decides
+/// what happens when one call's burst exceeds `capacity`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverloadConfig {
+    /// Ring-full behavior.
+    pub policy: OverloadPolicy,
+    /// Maximum queued posts per ingest burst.
+    pub capacity: usize,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        Self {
+            policy: OverloadPolicy::Block,
+            capacity: 4096,
+        }
+    }
+}
+
+/// Per-author token-bucket rate limit, measured in **stream time** (post
+/// timestamps), so admission decisions are deterministic and replayable —
+/// the same stream always sheds the same posts regardless of wall-clock
+/// speed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimitConfig {
+    /// Sustained tokens-per-second refill rate.
+    pub posts_per_sec: f64,
+    /// Bucket depth: the largest instantaneous burst admitted.
+    pub burst: f64,
+}
+
+impl RateLimitConfig {
+    /// A limit of `posts_per_sec` sustained with a 2-second burst
+    /// allowance (at least one post).
+    pub fn per_author(posts_per_sec: f64) -> Self {
+        Self {
+            posts_per_sec,
+            burst: (2.0 * posts_per_sec).max(1.0),
+        }
+    }
+}
+
+/// Counters for posts the service refused to hand to the strategy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverloadStats {
+    /// Queued posts dropped by [`OverloadPolicy::ShedOldest`].
+    pub shed: u64,
+    /// Posts refused by [`OverloadPolicy::Reject`].
+    pub rejected: u64,
+    /// Posts dropped by the per-author rate limiter.
+    pub rate_limited: u64,
+}
+
+/// Deterministic stream-time token bucket per author.
+struct RateLimiter {
+    config: RateLimitConfig,
+    buckets: HashMap<AuthorId, Bucket>,
+}
+
+struct Bucket {
+    tokens: f64,
+    last: Timestamp,
+}
+
+impl RateLimiter {
+    fn new(config: RateLimitConfig) -> Self {
+        Self {
+            config,
+            buckets: HashMap::new(),
+        }
+    }
+
+    /// Spend one token for `author` at stream time `now`; `false` means the
+    /// post is over the limit. Out-of-order timestamps refill nothing but
+    /// never panic (the guard, when configured, enforces ordering anyway).
+    fn admit(&mut self, author: AuthorId, now: Timestamp) -> bool {
+        let bucket = self.buckets.entry(author).or_insert(Bucket {
+            tokens: self.config.burst,
+            last: now,
+        });
+        let elapsed_ms = now.saturating_sub(bucket.last);
+        bucket.tokens = (bucket.tokens + elapsed_ms as f64 / 1000.0 * self.config.posts_per_sec)
+            .min(self.config.burst);
+        bucket.last = bucket.last.max(now);
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Cumulative failure-recovery counters for a supervised service; see
+/// [`FirehoseService::resilience_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Shard-worker respawns (the strategy's lifetime total).
+    pub restarts: u64,
+    /// Completed restore+replay recovery episodes.
+    pub recoveries: u64,
+    /// In-flight offer/sweep requests that died with workers.
+    pub lost_offers: u64,
+    /// Posts whose original offers were cut short by a failure (all were
+    /// subsequently replayed when supervision is on).
+    pub lost_posts: u64,
+    /// Posts re-offered from the replay log during recoveries.
+    pub replayed_posts: u64,
+}
+
+/// One entry of the since-last-checkpoint replay log.
+enum ReplayEntry {
+    Post(Post),
+    Churn(ChurnOp),
 }
 
 // ---------------------------------------------------------------------
@@ -283,6 +458,22 @@ pub enum ServiceError {
     /// A checkpoint/restore operation was requested but the service was
     /// built without [`checkpoints`](FirehoseServiceBuilder::checkpoints).
     NoCheckpointDir,
+    /// A shard worker died (panic or watchdog-detected stall) and the
+    /// service could not transparently recover — either it runs without
+    /// checkpoints (nothing to replay from) or the heal loop exhausted
+    /// its retry budget. The worker itself was already respawned.
+    ShardFailed {
+        /// The shard whose worker died first in the episode.
+        shard: usize,
+        /// The strategy's lifetime worker-respawn count.
+        restarts: u64,
+    },
+    /// The admission queue is full and the overload policy is
+    /// [`OverloadPolicy::Reject`].
+    Overloaded {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
@@ -292,6 +483,17 @@ impl std::fmt::Display for ServiceError {
             Self::Io(e) => write!(f, "checkpoint I/O: {e}"),
             Self::Restore(e) => write!(f, "restore failed: {e}"),
             Self::NoCheckpointDir => f.write_str("service built without a checkpoint directory"),
+            Self::ShardFailed { shard, restarts } => write!(
+                f,
+                "shard {shard} worker failed (respawned; {restarts} lifetime restarts); \
+                 state replay unavailable"
+            ),
+            Self::Overloaded { capacity } => {
+                write!(
+                    f,
+                    "admission queue full ({capacity} posts) and policy is reject"
+                )
+            }
         }
     }
 }
@@ -332,6 +534,10 @@ pub struct FirehoseServiceBuilder<'g> {
     guard: Option<GuardConfig>,
     checkpoints: Option<(PathBuf, CheckpointPolicy)>,
     obs: Option<&'g firehose_obs::Registry>,
+    overload: OverloadConfig,
+    rate_limit: Option<RateLimitConfig>,
+    watchdog: Option<Duration>,
+    chaos: ShardFaultPlan,
 }
 
 impl<'g> FirehoseServiceBuilder<'g> {
@@ -387,11 +593,41 @@ impl<'g> FirehoseServiceBuilder<'g> {
         self
     }
 
+    /// Configure the admission queue's overload behavior (default:
+    /// [`OverloadPolicy::Block`] at 4096 posts).
+    pub fn overload(mut self, config: OverloadConfig) -> Self {
+        self.overload = config;
+        self
+    }
+
+    /// Enable the deterministic per-author token-bucket rate limiter.
+    pub fn rate_limit(mut self, config: RateLimitConfig) -> Self {
+        self.rate_limit = Some(config);
+        self
+    }
+
+    /// Stall-watchdog deadline for [`StrategyKind::Sharded`] (forwarded to
+    /// [`ShardedBuilder::watchdog`](crate::multi::ShardedBuilder::watchdog));
+    /// ignored by other strategies.
+    pub fn watchdog(mut self, deadline: Duration) -> Self {
+        self.watchdog = Some(deadline);
+        self
+    }
+
+    /// Schedule deterministic shard-worker chaos faults for
+    /// [`StrategyKind::Sharded`] (forwarded to
+    /// [`ShardedBuilder::chaos`](crate::multi::ShardedBuilder::chaos));
+    /// ignored by other strategies. For resilience tests and benches.
+    pub fn chaos(mut self, plan: ShardFaultPlan) -> Self {
+        self.chaos = plan;
+        self
+    }
+
     /// Construct the service: builds the strategy, opens the checkpoint
     /// directory, and arms the guard.
     pub fn build(self) -> Result<FirehoseService, ServiceError> {
         let warm = self.churn.warm_start;
-        let multi: Box<dyn MultiDiversifier + Send> = match self.strategy {
+        let mut multi: Box<dyn MultiDiversifier + Send> = match self.strategy {
             StrategyKind::Independent => {
                 let mut m = IndependentMulti::builder(
                     self.algorithm,
@@ -436,7 +672,7 @@ impl<'g> FirehoseServiceBuilder<'g> {
                 Box::new(m)
             }
             StrategyKind::Sharded { shards } => {
-                let mut m = ShardedMulti::builder(
+                let mut b = ShardedMulti::builder(
                     self.algorithm,
                     self.config,
                     self.graph,
@@ -444,7 +680,11 @@ impl<'g> FirehoseServiceBuilder<'g> {
                 )
                 .shards(shards)
                 .warm_start(warm)
-                .build()?;
+                .chaos(self.chaos);
+                if let Some(deadline) = self.watchdog {
+                    b = b.watchdog(deadline);
+                }
+                let mut m = b.build()?;
                 if let Some(reg) = self.obs {
                     m.attach_obs(reg);
                 }
@@ -457,10 +697,30 @@ impl<'g> FirehoseServiceBuilder<'g> {
             }
             IngestGuard::new(config)
         });
-        let manager = match self.checkpoints {
+        let mut manager = match self.checkpoints {
             Some((dir, policy)) => Some(CheckpointManager::new(dir, policy)?),
             None => None,
         };
+        // Sharded + checkpoints = supervised: shard failures are healed by
+        // restoring the last checkpoint and replaying everything since.
+        // Write the baseline immediately so a failure before the first
+        // cadence-driven checkpoint still has something to restore.
+        let supervise = matches!(self.strategy, StrategyKind::Sharded { .. }) && manager.is_some();
+        if supervise {
+            if let Some(mgr) = &mut manager {
+                // A chaos fault can kill a worker during the initial
+                // deploys or this very save; heal (restart + rebuild from
+                // the registry — no posts precede the baseline) and retry.
+                let mut baseline = mgr.save_multi(multi.as_ref());
+                for _ in 0..MAX_HEAL_ATTEMPTS {
+                    if baseline.is_ok() || multi.take_shard_failure().is_none() {
+                        break;
+                    }
+                    baseline = mgr.save_multi(multi.as_ref());
+                }
+                baseline?;
+            }
+        }
         Ok(FirehoseService {
             multi,
             guard,
@@ -468,6 +728,15 @@ impl<'g> FirehoseServiceBuilder<'g> {
             strategy: self.strategy,
             admitted: Vec::new(),
             decision: MultiDecision::default(),
+            overload: self.overload,
+            limiter: self.rate_limit.map(RateLimiter::new),
+            overload_stats: OverloadStats::default(),
+            queue: VecDeque::new(),
+            supervise,
+            replay: Vec::new(),
+            delivered: 0,
+            resilience: ResilienceStats::default(),
+            recovery_ns: Vec::new(),
         })
     }
 }
@@ -489,6 +758,28 @@ pub struct FirehoseService {
     /// Decision scratch, reused across `process` calls (the
     /// `offer_into` buffer-reuse path).
     decision: MultiDecision,
+    /// Admission-queue overload configuration.
+    overload: OverloadConfig,
+    /// Optional per-author token-bucket rate limiter.
+    limiter: Option<RateLimiter>,
+    /// Shed / rejected / rate-limited counters.
+    overload_stats: OverloadStats,
+    /// Bounded admission queue between ingest and the strategy.
+    queue: VecDeque<Post>,
+    /// Whether shard failures are healed by checkpoint restore + replay
+    /// (sharded strategy with a checkpoint directory).
+    supervise: bool,
+    /// Every post offered and churn op applied since the last durable
+    /// checkpoint, in order; cleared when a checkpoint lands.
+    replay: Vec<ReplayEntry>,
+    /// How many [`ReplayEntry::Post`] entries have had their decisions
+    /// delivered to a sink (replays skip these to keep exactly-once
+    /// delivery).
+    delivered: usize,
+    /// Cumulative recovery counters.
+    resilience: ResilienceStats,
+    /// Wall-clock latency of each completed recovery episode.
+    recovery_ns: Vec<u64>,
 }
 
 impl FirehoseService {
@@ -508,37 +799,33 @@ impl FirehoseService {
             guard: None,
             checkpoints: None,
             obs: None,
+            overload: OverloadConfig::default(),
+            rate_limit: None,
+            watchdog: None,
+            chaos: ShardFaultPlan::none(),
         }
     }
 
-    /// Feed one post through the full pipeline: guard (quarantine /
-    /// clamp / reorder), strategy, checkpoint cadence. `sink` is called for
-    /// every post the guard admits, with the per-user delivery decision —
-    /// possibly zero times (quarantined or buffered for reorder) or several
-    /// (a reorder release). The decision buffer is reused; copy out what you
-    /// keep.
+    /// Feed one post through the full pipeline: rate limiter, admission
+    /// queue, guard (quarantine / clamp / reorder), strategy, checkpoint
+    /// cadence. `sink` is called for every post the guard admits, with the
+    /// per-user delivery decision — possibly zero times (rate-limited,
+    /// quarantined or buffered for reorder) or several (a reorder release).
+    /// The decision buffer is reused; copy out what you keep.
+    ///
+    /// On a supervised service (sharded strategy + checkpoints), a shard
+    /// failure inside this call is healed transparently: the last
+    /// checkpoint is restored and every post/churn op since is replayed,
+    /// with exactly-once sink delivery. Unsupervised sharded services
+    /// surface [`ServiceError::ShardFailed`] instead (the workers were
+    /// still respawned; processing can continue on the degraded state).
     pub fn process(
         &mut self,
         post: Post,
         mut sink: impl FnMut(&Post, &MultiDecision),
-    ) -> io::Result<()> {
-        match &mut self.guard {
-            None => {
-                self.multi.offer_into(&post, &mut self.decision);
-                sink(&post, &self.decision);
-            }
-            Some(guard) => {
-                guard.offer_into(post, &mut self.admitted);
-                for post in self.admitted.drain(..) {
-                    self.multi.offer_into(&post, &mut self.decision);
-                    sink(&post, &self.decision);
-                }
-            }
-        }
-        if let Some(mgr) = &mut self.manager {
-            mgr.maybe_save_multi(self.multi.as_ref())?;
-        }
-        Ok(())
+    ) -> Result<(), ServiceError> {
+        self.admit(post)?;
+        self.run_queue(false, &mut sink)
     }
 
     /// Feed a batch of posts through the pipeline in one call. Semantically
@@ -547,44 +834,295 @@ impl FirehoseService {
     /// [`offer_batch`](MultiDiversifier::offer_batch), which pipelined
     /// strategies ([`StrategyKind::Sharded`]) overlap across shards, and the
     /// checkpoint cadence is polled once at the end instead of per post.
+    /// The admission queue's overload policy applies across the whole
+    /// burst; with [`OverloadPolicy::Reject`] the posts up to the first
+    /// refusal are still processed.
     pub fn process_batch(
         &mut self,
         posts: impl IntoIterator<Item = Post>,
         mut sink: impl FnMut(&Post, &MultiDecision),
-    ) -> io::Result<()> {
-        match &mut self.guard {
-            None => self.admitted.extend(posts),
-            Some(guard) => {
-                for post in posts {
-                    guard.offer_into(post, &mut self.admitted);
-                }
+    ) -> Result<(), ServiceError> {
+        let mut refused = None;
+        for post in posts {
+            if let Err(e) = self.admit(post) {
+                refused = Some(e);
+                break;
             }
         }
-        let decisions = self.multi.offer_batch(&self.admitted);
-        for (post, decision) in self.admitted.iter().zip(&decisions) {
-            sink(post, decision);
+        self.run_queue(true, &mut sink)?;
+        match refused {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
-        self.admitted.clear();
-        if let Some(mgr) = &mut self.manager {
-            mgr.maybe_save_multi(self.multi.as_ref())?;
-        }
-        Ok(())
     }
 
     /// Release any posts still held by the guard's reorder buffer (call at
     /// end of stream). A no-op without a reorder guard.
-    pub fn flush(&mut self, mut sink: impl FnMut(&Post, &MultiDecision)) -> io::Result<()> {
+    pub fn flush(
+        &mut self,
+        mut sink: impl FnMut(&Post, &MultiDecision),
+    ) -> Result<(), ServiceError> {
+        if self.guard.is_none() {
+            return Ok(());
+        }
+        let mut admitted = std::mem::take(&mut self.admitted);
+        admitted.clear();
         if let Some(guard) = &mut self.guard {
-            guard.flush_into(&mut self.admitted);
-            for post in self.admitted.drain(..) {
-                self.multi.offer_into(&post, &mut self.decision);
-                sink(&post, &self.decision);
+            guard.flush_into(&mut admitted);
+        }
+        let result = self.offer_admitted(&mut admitted, false, &mut sink);
+        self.admitted = admitted;
+        result?;
+        self.maybe_checkpoint()
+    }
+
+    /// Rate-limit and enqueue one post under the overload policy.
+    fn admit(&mut self, post: Post) -> Result<(), ServiceError> {
+        if let Some(limiter) = &mut self.limiter {
+            if !limiter.admit(post.author, post.timestamp) {
+                self.overload_stats.rate_limited += 1;
+                return Ok(());
             }
-            if let Some(mgr) = &mut self.manager {
-                mgr.maybe_save_multi(self.multi.as_ref())?;
+        }
+        if self.queue.len() >= self.overload.capacity {
+            match self.overload.policy {
+                // Backpressure falls on the caller: the synchronous drain
+                // in `run_queue` is the "block".
+                OverloadPolicy::Block => {}
+                OverloadPolicy::ShedOldest => {
+                    self.queue.pop_front();
+                    self.overload_stats.shed += 1;
+                }
+                OverloadPolicy::Reject => {
+                    self.overload_stats.rejected += 1;
+                    return Err(ServiceError::Overloaded {
+                        capacity: self.overload.capacity,
+                    });
+                }
+            }
+        }
+        self.queue.push_back(post);
+        Ok(())
+    }
+
+    /// Drain the admission queue through the guard and offer everything
+    /// admitted, then poll the checkpoint cadence.
+    fn run_queue(
+        &mut self,
+        batch: bool,
+        sink: &mut dyn FnMut(&Post, &MultiDecision),
+    ) -> Result<(), ServiceError> {
+        let mut admitted = std::mem::take(&mut self.admitted);
+        admitted.clear();
+        while let Some(post) = self.queue.pop_front() {
+            match &mut self.guard {
+                None => admitted.push(post),
+                Some(guard) => {
+                    let author = post.author;
+                    if guard.offer_into(post, &mut admitted).is_some() {
+                        // Attribute the quarantine to the shard that owns
+                        // the author (a per-shard gauge on sharded runs).
+                        self.multi.note_quarantined(author);
+                    }
+                }
+            }
+        }
+        let result = self.offer_admitted(&mut admitted, batch, sink);
+        self.admitted = admitted;
+        result?;
+        self.maybe_checkpoint()
+    }
+
+    /// Offer admitted posts to the strategy — per post (`batch == false`,
+    /// the reused-buffer latency path) or via `offer_batch` — recording the
+    /// replay log and healing any shard failure before its fallout reaches
+    /// the sink.
+    fn offer_admitted(
+        &mut self,
+        admitted: &mut Vec<Post>,
+        batch: bool,
+        sink: &mut dyn FnMut(&Post, &MultiDecision),
+    ) -> Result<(), ServiceError> {
+        if self.supervise {
+            for post in admitted.iter() {
+                self.replay.push(ReplayEntry::Post(post.clone()));
+            }
+        }
+        if batch {
+            let decisions = self.multi.offer_batch(admitted);
+            if let Some(failure) = self.multi.take_shard_failure() {
+                // Some of the batch's decisions are empty placeholders for
+                // posts that died mid-flight; discard them all and let the
+                // replay recompute and deliver every undelivered decision.
+                admitted.clear();
+                return self.heal(failure, sink);
+            }
+            for (post, decision) in admitted.iter().zip(&decisions) {
+                sink(post, decision);
+            }
+            if self.supervise {
+                self.delivered += admitted.len();
+            }
+            admitted.clear();
+        } else {
+            for post in admitted.drain(..) {
+                self.multi.offer_into(&post, &mut self.decision);
+                if let Some(failure) = self.multi.take_shard_failure() {
+                    // The failure may predate this post (e.g. died during
+                    // churn); either way the replay recomputes and delivers
+                    // this post's decision from restored state.
+                    self.heal(failure, sink)?;
+                    continue;
+                }
+                sink(&post, &self.decision);
+                if self.supervise {
+                    self.delivered += 1;
+                }
             }
         }
         Ok(())
+    }
+
+    /// Fold one failure episode into the stats and — when supervised —
+    /// restore the last checkpoint and replay everything since, delivering
+    /// only decisions the sink has not yet seen. Unsupervised services get
+    /// the typed error instead.
+    fn heal(
+        &mut self,
+        failure: ShardFailure,
+        sink: &mut dyn FnMut(&Post, &MultiDecision),
+    ) -> Result<(), ServiceError> {
+        let shard = failure.shard;
+        let mut last_restarts = failure.restarts;
+        self.note_failure(&failure);
+        if !self.supervise {
+            return Err(ServiceError::ShardFailed {
+                shard,
+                restarts: last_restarts,
+            });
+        }
+        let t0 = Instant::now();
+        for _ in 0..MAX_HEAL_ATTEMPTS {
+            self.restore_latest()?;
+            // A scheduled fault can fire during the restore's own
+            // redeploy, leaving freshly rebuilt (empty) engines behind the
+            // restored registry — retry from the checkpoint.
+            if let Some(f) = self.multi.take_shard_failure() {
+                last_restarts = f.restarts;
+                self.note_failure(&f);
+                continue;
+            }
+            match self.replay_log(sink)? {
+                Some(f) => {
+                    // Another worker died mid-replay; loop back to a fresh
+                    // restore (the replay log is intact, `delivered` kept
+                    // everything exactly-once).
+                    last_restarts = f.restarts;
+                    self.note_failure(&f);
+                }
+                None => {
+                    self.resilience.recoveries += 1;
+                    self.recovery_ns.push(t0.elapsed().as_nanos() as u64);
+                    return Ok(());
+                }
+            }
+        }
+        Err(ServiceError::ShardFailed {
+            shard,
+            restarts: last_restarts,
+        })
+    }
+
+    fn note_failure(&mut self, f: &ShardFailure) {
+        self.resilience.restarts = self.resilience.restarts.max(f.restarts);
+        self.resilience.lost_offers += f.lost_offers;
+        self.resilience.lost_posts += f.lost_posts;
+    }
+
+    /// Re-run the replay log against freshly restored state. Returns
+    /// `Ok(None)` on a clean replay, `Ok(Some(failure))` if a worker died
+    /// mid-replay (caller restores and retries).
+    fn replay_log(
+        &mut self,
+        sink: &mut dyn FnMut(&Post, &MultiDecision),
+    ) -> Result<Option<ShardFailure>, ServiceError> {
+        let entries = std::mem::take(&mut self.replay);
+        let mut post_idx = 0usize;
+        let mut interrupted = None;
+        for entry in &entries {
+            match entry {
+                ReplayEntry::Churn(op) => {
+                    // The op succeeded against this same state the first
+                    // time; a re-application error would mean checkpoint
+                    // divergence, which load_state already validates.
+                    let _ = match op {
+                        ChurnOp::Subscribe(u, a) => self.multi.subscribe(*u, *a).map(|_| ()),
+                        ChurnOp::Unsubscribe(u, a) => self.multi.unsubscribe(*u, *a).map(|_| ()),
+                        ChurnOp::AddUser(authors) => self.multi.add_user(authors).map(|_| ()),
+                        ChurnOp::RemoveUser(u) => self.multi.remove_user(*u),
+                    };
+                }
+                ReplayEntry::Post(post) => {
+                    self.multi.offer_into(post, &mut self.decision);
+                    self.resilience.replayed_posts += 1;
+                    if let Some(f) = self.multi.take_shard_failure() {
+                        interrupted = Some(f);
+                        break;
+                    }
+                    if post_idx >= self.delivered {
+                        sink(post, &self.decision);
+                        self.delivered += 1;
+                    }
+                    post_idx += 1;
+                }
+            }
+        }
+        self.replay = entries;
+        Ok(interrupted)
+    }
+
+    /// Poll the checkpoint cadence; a completed checkpoint makes the
+    /// replay log obsolete. A save refused by a shard failure heals and
+    /// retries once.
+    fn maybe_checkpoint(&mut self) -> Result<(), ServiceError> {
+        if self.manager.is_none() {
+            return Ok(());
+        }
+        // A shard kill can land on the checkpoint's own save requests, so
+        // heal and retry until a save goes through (or the error is not a
+        // shard death).
+        let mut last = ShardFailure::default();
+        for _ in 0..MAX_HEAL_ATTEMPTS {
+            let mgr = self.manager.as_mut().expect("checked above");
+            match mgr.maybe_save_multi(self.multi.as_ref()) {
+                Ok(saved) => {
+                    if saved.is_some() {
+                        self.note_checkpointed();
+                    }
+                    return Ok(());
+                }
+                Err(e) => {
+                    let Some(failure) = self.multi.take_shard_failure() else {
+                        return Err(e.into());
+                    };
+                    last = failure;
+                    // Every replay entry is already delivered at this
+                    // point, so the heal's replay never re-sinks.
+                    self.heal(failure, &mut |_, _| {})?;
+                }
+            }
+        }
+        Err(ServiceError::ShardFailed {
+            shard: last.shard,
+            restarts: self.resilience.restarts,
+        })
+    }
+
+    fn note_checkpointed(&mut self) {
+        if self.supervise {
+            self.replay.clear();
+            self.delivered = 0;
+        }
     }
 
     /// Offer a post directly to the strategy, bypassing guard and
@@ -598,7 +1136,11 @@ impl FirehoseService {
     /// User `user` starts following `author`; `Ok(false)` if already
     /// subscribed (a no-op).
     pub fn subscribe(&mut self, user: UserId, author: AuthorId) -> Result<bool, SubscriptionError> {
-        self.multi.subscribe(user, author)
+        let result = self.multi.subscribe(user, author);
+        if result.is_ok() {
+            self.record_churn(ChurnOp::Subscribe(user, author));
+        }
+        result
     }
 
     /// User `user` stops following `author`; `Ok(false)` if not subscribed
@@ -608,7 +1150,11 @@ impl FirehoseService {
         user: UserId,
         author: AuthorId,
     ) -> Result<bool, SubscriptionError> {
-        self.multi.unsubscribe(user, author)
+        let result = self.multi.unsubscribe(user, author);
+        if result.is_ok() {
+            self.record_churn(ChurnOp::Unsubscribe(user, author));
+        }
+        result
     }
 
     /// Register a new user with an initial subscription set; returns her id.
@@ -616,13 +1162,31 @@ impl FirehoseService {
         &mut self,
         authors: impl IntoIterator<Item = AuthorId>,
     ) -> Result<UserId, SubscriptionError> {
-        self.multi
-            .add_user(&authors.into_iter().collect::<Vec<_>>())
+        let authors: Vec<AuthorId> = authors.into_iter().collect();
+        let result = self.multi.add_user(&authors);
+        if result.is_ok() {
+            self.record_churn(ChurnOp::AddUser(authors));
+        }
+        result
     }
 
     /// Deactivate a user: her engines are released, her id never reused.
     pub fn remove_user(&mut self, user: UserId) -> Result<(), SubscriptionError> {
-        self.multi.remove_user(user)
+        let result = self.multi.remove_user(user);
+        if result.is_ok() {
+            self.record_churn(ChurnOp::RemoveUser(user));
+        }
+        result
+    }
+
+    /// Append a successful churn op to the supervised replay log. A shard
+    /// death during the op already healed the topology inside the
+    /// strategy; the (still pending) failure episode is picked up — and
+    /// the lost window state restored — by the next `process` call.
+    fn record_churn(&mut self, op: ChurnOp) {
+        if self.supervise {
+            self.replay.push(ReplayEntry::Churn(op));
+        }
     }
 
     /// Apply a [`ChurnOp`] (trace replay).
@@ -640,7 +1204,11 @@ impl FirehoseService {
     /// Checkpoint the strategy now; returns the generation written.
     pub fn checkpoint_now(&mut self) -> Result<u64, ServiceError> {
         match &mut self.manager {
-            Some(mgr) => Ok(mgr.save_multi(self.multi.as_ref())?),
+            Some(mgr) => {
+                let generation = mgr.save_multi(self.multi.as_ref())?;
+                self.note_checkpointed();
+                Ok(generation)
+            }
             None => Err(ServiceError::NoCheckpointDir),
         }
     }
@@ -691,6 +1259,22 @@ impl FirehoseService {
     /// Guard counters, when a guard is configured.
     pub fn guard_stats(&self) -> Option<&QuarantineStats> {
         self.guard.as_ref().map(|g| g.stats())
+    }
+
+    /// Shed / rejected / rate-limited admission counters.
+    pub fn overload_stats(&self) -> OverloadStats {
+        self.overload_stats
+    }
+
+    /// Cumulative failure-recovery counters (all zero for non-sharded
+    /// strategies and unfaulted runs).
+    pub fn resilience_stats(&self) -> ResilienceStats {
+        self.resilience
+    }
+
+    /// Wall-clock latency of each completed recovery episode, in order.
+    pub fn recovery_latencies_ns(&self) -> &[u64] {
+        &self.recovery_ns
     }
 
     /// Direct access to the underlying strategy (escape hatch for advanced
@@ -935,6 +1519,248 @@ mod tests {
         assert!("bogus".parse::<StrategyKind>().is_err());
         assert!("parallel:x".parse::<StrategyKind>().is_err());
         assert!("sharded:x".parse::<StrategyKind>().is_err());
+    }
+
+    #[test]
+    fn overload_policies_shed_and_reject() {
+        let stream = posts(40);
+        // Shed-oldest: a 40-post burst through a 10-slot queue keeps the
+        // newest 10 and counts 30 shed.
+        let mut shed = FirehoseService::builder(&graph(), subs())
+            .engine_config(config())
+            .overload(OverloadConfig {
+                policy: OverloadPolicy::ShedOldest,
+                capacity: 10,
+            })
+            .build()
+            .unwrap();
+        let mut seen = Vec::new();
+        shed.process_batch(stream.iter().cloned(), |p, _| seen.push(p.id))
+            .unwrap();
+        assert_eq!(seen.len(), 10);
+        assert_eq!(seen, (31..=40).collect::<Vec<_>>(), "newest posts kept");
+        assert_eq!(shed.overload_stats().shed, 30);
+
+        // Reject: the burst errors at the first refusal but the admitted
+        // prefix is still processed.
+        let mut reject = FirehoseService::builder(&graph(), subs())
+            .engine_config(config())
+            .overload(OverloadConfig {
+                policy: OverloadPolicy::Reject,
+                capacity: 10,
+            })
+            .build()
+            .unwrap();
+        let mut seen = 0u64;
+        let err = reject
+            .process_batch(stream.iter().cloned(), |_, _| seen += 1)
+            .expect_err("burst past capacity must be rejected");
+        assert!(matches!(err, ServiceError::Overloaded { capacity: 10 }));
+        assert_eq!(seen, 10);
+        assert_eq!(reject.overload_stats().rejected, 1);
+
+        // Block admits everything.
+        let mut block = FirehoseService::builder(&graph(), subs())
+            .engine_config(config())
+            .overload(OverloadConfig {
+                policy: OverloadPolicy::Block,
+                capacity: 10,
+            })
+            .build()
+            .unwrap();
+        let mut seen = 0u64;
+        block
+            .process_batch(stream.iter().cloned(), |_, _| seen += 1)
+            .unwrap();
+        assert_eq!(seen, 40);
+        assert_eq!(block.overload_stats(), OverloadStats::default());
+    }
+
+    #[test]
+    fn rate_limiter_is_deterministic_in_stream_time() {
+        // Author 0 posts every 100ms; at 2 posts/sec with burst 2, the
+        // bucket admits the first two then one per 500ms.
+        let build = || {
+            FirehoseService::builder(&graph(), subs())
+                .engine_config(config())
+                .rate_limit(RateLimitConfig {
+                    posts_per_sec: 2.0,
+                    burst: 2.0,
+                })
+                .build()
+                .unwrap()
+        };
+        let stream: Vec<Post> = (0..20)
+            .map(|i| Post::new(i + 1, 0, i * 100, format!("burst {i}")))
+            .collect();
+        let run = || {
+            let mut service = build();
+            let mut admitted = Vec::new();
+            for post in stream.iter().cloned() {
+                service.process(post, |p, _| admitted.push(p.id)).unwrap();
+            }
+            (admitted, service.overload_stats().rate_limited)
+        };
+        let (first, limited) = run();
+        assert!(limited > 0, "a 10x-over-limit burst must be throttled");
+        assert_eq!(first.len() as u64 + limited, 20);
+        let (second, limited2) = run();
+        assert_eq!(first, second, "stream-time limiting is deterministic");
+        assert_eq!(limited, limited2);
+        assert!(
+            first.contains(&1) && first.contains(&2),
+            "the burst allowance admits the head of the stream"
+        );
+    }
+
+    #[test]
+    fn overload_policy_parses() {
+        assert_eq!("block".parse::<OverloadPolicy>(), Ok(OverloadPolicy::Block));
+        assert_eq!(
+            "shed".parse::<OverloadPolicy>(),
+            Ok(OverloadPolicy::ShedOldest)
+        );
+        assert_eq!(
+            "shed-oldest".parse::<OverloadPolicy>(),
+            Ok(OverloadPolicy::ShedOldest)
+        );
+        assert_eq!(
+            "reject".parse::<OverloadPolicy>(),
+            Ok(OverloadPolicy::Reject)
+        );
+        assert!("drop".parse::<OverloadPolicy>().is_err());
+        assert_eq!(OverloadPolicy::ShedOldest.to_string(), "shed");
+    }
+
+    #[test]
+    fn supervised_service_heals_and_matches_unfaulted_run() {
+        use firehose_stream::{ShardFaultKind, ShardFaultPlan};
+        let dir = std::env::temp_dir().join(format!("fhsvc-heal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let stream = posts(120);
+
+        // Ground truth: unfaulted sequential run.
+        let mut bare = SharedMulti::new(AlgorithmKind::UniBin, config(), &graph(), subs());
+        let expected: Vec<Vec<UserId>> = stream
+            .iter()
+            .map(|p| bare.offer(p).delivered_to.clone())
+            .collect();
+
+        // Faulted sharded run under supervision: checkpoints every 20
+        // offers, three seeded kills.
+        let mut service = FirehoseService::builder(&graph(), subs())
+            .strategy(StrategyKind::Sharded { shards: 2 })
+            .engine_config(config())
+            .checkpoints(
+                &dir,
+                CheckpointPolicy {
+                    every_offers: 20,
+                    every_millis: None,
+                    keep: 3,
+                },
+            )
+            .chaos(
+                ShardFaultPlan::single(0, 30, ShardFaultKind::Panic)
+                    .then(1, 45, ShardFaultKind::Panic)
+                    .then(0, 60, ShardFaultKind::Panic),
+            )
+            .build()
+            .unwrap();
+        let mut got = Vec::new();
+        for post in stream.iter().cloned() {
+            service
+                .process(post, |_, d| got.push(d.delivered_to.clone()))
+                .unwrap();
+        }
+        assert_eq!(got.len(), expected.len(), "exactly-once delivery");
+        assert_eq!(got, expected, "healed decisions match the unfaulted run");
+        let stats = service.resilience_stats();
+        assert!(
+            stats.recoveries >= 1,
+            "at least one heal episode: {stats:?}"
+        );
+        assert!(stats.restarts >= 1);
+        assert!(stats.replayed_posts >= 1);
+        assert_eq!(
+            service.recovery_latencies_ns().len() as u64,
+            stats.recoveries
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unsupervised_sharded_failure_is_typed() {
+        use firehose_stream::{ShardFaultKind, ShardFaultPlan};
+        let mut service = FirehoseService::builder(&graph(), subs())
+            .strategy(StrategyKind::Sharded { shards: 2 })
+            .engine_config(config())
+            .chaos(ShardFaultPlan::single(0, 5, ShardFaultKind::Panic))
+            .build()
+            .unwrap();
+        let mut failed = None;
+        for post in posts(60) {
+            if let Err(e) = service.process(post, |_, _| {}) {
+                failed = Some(e);
+                break;
+            }
+        }
+        match failed {
+            Some(ServiceError::ShardFailed { shard, restarts }) => {
+                assert_eq!(shard, 0);
+                assert!(restarts >= 1);
+            }
+            other => panic!("expected ShardFailed, got {other:?}"),
+        }
+        // The strategy respawned its worker: the service keeps going on
+        // the degraded (empty-engine) state.
+        for post in posts(80).into_iter().skip(60) {
+            service.process(post, |_, _| {}).unwrap();
+        }
+    }
+
+    #[test]
+    fn supervised_churn_survives_kills() {
+        use firehose_stream::ShardFaultPlan;
+        let dir = std::env::temp_dir().join(format!("fhsvc-churnheal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let stream = posts(80);
+        let mut bare = SharedMulti::new(AlgorithmKind::UniBin, config(), &graph(), subs());
+        let mut service = FirehoseService::builder(&graph(), subs())
+            .strategy(StrategyKind::Sharded { shards: 2 })
+            .engine_config(config())
+            .checkpoints(
+                &dir,
+                CheckpointPolicy {
+                    every_offers: 15,
+                    every_millis: None,
+                    keep: 3,
+                },
+            )
+            .chaos(ShardFaultPlan::seeded(42, 2, 4, 60))
+            .build()
+            .unwrap();
+        let mut got = Vec::new();
+        let mut expected = Vec::new();
+        for (i, post) in stream.iter().enumerate() {
+            if i == 20 {
+                assert_eq!(
+                    bare.subscribe(1, 4).unwrap(),
+                    service.subscribe(1, 4).unwrap()
+                );
+            }
+            if i == 50 {
+                assert_eq!(
+                    bare.add_user(&[2, 3]).unwrap(),
+                    service.add_user([2, 3]).unwrap()
+                );
+            }
+            expected.push(bare.offer(post).delivered_to.clone());
+            service
+                .process(post.clone(), |_, d| got.push(d.delivered_to.clone()))
+                .unwrap();
+        }
+        assert_eq!(got, expected, "churn + kills still match unfaulted run");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -30,7 +30,9 @@ pub mod time;
 pub mod window;
 
 pub use corpus::{read_posts, write_posts, CorpusError};
-pub use fault::{ChaosReader, ChaosWriter, FaultPlan, Perturbator};
+pub use fault::{
+    ChaosReader, ChaosWriter, FaultPlan, Perturbator, ShardFault, ShardFaultKind, ShardFaultPlan,
+};
 pub use guard::{
     guard_stream, GuardConfig, GuardPolicy, IngestGuard, QuarantineStats, RejectReason,
 };

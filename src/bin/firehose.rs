@@ -22,7 +22,10 @@ use firehose::core::checkpoint::{CheckpointManager, CheckpointPolicy};
 use firehose::core::engine::{build_engine, AlgorithmKind, Diversifier};
 use firehose::core::multi::Subscriptions;
 use firehose::core::quality;
-use firehose::core::service::{read_churn_trace, FirehoseService, StrategyKind, TracedOp};
+use firehose::core::service::{
+    read_churn_trace, FirehoseService, OverloadConfig, OverloadPolicy, RateLimitConfig,
+    StrategyKind, TracedOp,
+};
 use firehose::core::{explain, restore_latest_valid, EngineConfig, RestoreError, Thresholds};
 use firehose::datagen::{
     generate_churn_trace, generate_subscriptions, ChurnGenConfig, SocialGenConfig,
@@ -92,7 +95,8 @@ fn usage() -> String {
      \t[--checkpoint-dir DIR] [--checkpoint-every OFFERS] [--checkpoint-secs S]\n\
      \t[--guard strict|clamp|reorder] [--reorder-bound-ms N]\n\
      \t[--subscriptions FILE [--strategy independent|shared|parallel[:N]|sharded[:N]]\n\
-     \t[--shards N] [--churn-trace FILE]]\n\
+     \t[--shards N] [--churn-trace FILE]\n\
+     \t[--overload block|shed|reject[:CAPACITY]] [--rate-limit POSTS_PER_SEC]]\n\
      explain      --posts FILE --graph FILE --first POST_ID --second POST_ID\n\
      \t[--lambda-c N] [--lambda-t-mins N] [--lambda-a F]\n\
      quality      --posts FILE --delivered FILE --graph FILE\n\
@@ -316,6 +320,30 @@ fn guard_config_from(args: &Args) -> Result<Option<GuardConfig>, String> {
     Ok(Some(GuardConfig::new(policy)))
 }
 
+/// `--overload block|shed|reject[:CAPACITY]` — admission policy for the
+/// service ingest queue, with an optional queue capacity suffix.
+fn overload_config_from(args: &Args) -> Result<Option<OverloadConfig>, String> {
+    let Some(spec) = args.get("overload") else {
+        return Ok(None);
+    };
+    let (policy, capacity) = match spec.split_once(':') {
+        Some((p, cap)) => {
+            let capacity: usize = cap
+                .parse()
+                .map_err(|e| format!("bad --overload capacity {cap:?}: {e}"))?;
+            if capacity == 0 {
+                return Err("--overload capacity must be at least 1".into());
+            }
+            (p, capacity)
+        }
+        None => (spec, OverloadConfig::default().capacity),
+    };
+    let policy: OverloadPolicy = policy
+        .parse()
+        .map_err(|e| format!("bad --overload {spec:?}: {e}"))?;
+    Ok(Some(OverloadConfig { policy, capacity }))
+}
+
 fn checkpoint_policy_from(args: &Args) -> Result<CheckpointPolicy, String> {
     let every_offers: u64 =
         args.parse_or("checkpoint-every", CheckpointPolicy::default().every_offers)?;
@@ -361,6 +389,18 @@ fn cmd_run_multi(args: &Args) -> Result<(), String> {
     if let Some(guard) = guard_config_from(args)? {
         builder = builder.guard(guard);
     }
+    if let Some(overload) = overload_config_from(args)? {
+        builder = builder.overload(overload);
+    }
+    if let Some(pps) = args.get("rate-limit") {
+        let pps: f64 = pps
+            .parse()
+            .map_err(|e| format!("bad --rate-limit {pps:?}: {e}"))?;
+        if !pps.is_finite() || pps <= 0.0 {
+            return Err("--rate-limit must be a positive posts-per-second rate".into());
+        }
+        builder = builder.rate_limit(RateLimitConfig::per_author(pps));
+    }
     if let Some(dir) = args.get("checkpoint-dir") {
         builder = builder.checkpoints(dir, checkpoint_policy_from(args)?);
     }
@@ -390,7 +430,7 @@ fn cmd_run_multi(args: &Args) -> Result<(), String> {
                     emitted.push(post.clone());
                 }
             })
-            .map_err(|e| format!("checkpoint failed: {e}"))?;
+            .map_err(|e| format!("service error: {e}"))?;
     }
     for entry in &trace[next_op..] {
         service
@@ -404,7 +444,7 @@ fn cmd_run_multi(args: &Args) -> Result<(), String> {
                 emitted.push(post.clone());
             }
         })
-        .map_err(|e| format!("checkpoint failed: {e}"))?;
+        .map_err(|e| format!("service error: {e}"))?;
     let elapsed = started.elapsed();
 
     if let Some(stats) = service.guard_stats() {
@@ -414,6 +454,20 @@ fn cmd_run_multi(args: &Args) -> Result<(), String> {
             stats.quarantined_total(),
             stats.clamped_timestamps,
             stats.reordered
+        );
+    }
+    let o = service.overload_stats();
+    if o.shed + o.rejected + o.rate_limited > 0 {
+        eprintln!(
+            "overload: {} shed, {} rejected, {} rate limited",
+            o.shed, o.rejected, o.rate_limited
+        );
+    }
+    let r = service.resilience_stats();
+    if r.restarts > 0 || r.recoveries > 0 {
+        eprintln!(
+            "resilience: {} shard restarts, {} recoveries, {} offers lost in flight, {} posts lost, {} posts replayed",
+            r.restarts, r.recoveries, r.lost_offers, r.lost_posts, r.replayed_posts
         );
     }
     if let Some(out) = args.get("out") {

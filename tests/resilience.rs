@@ -1,0 +1,189 @@
+//! Self-healing equivalence: a supervised sharded [`FirehoseService`]
+//! (checkpoints + replay log) whose workers are killed mid-stream must
+//! deliver **byte-identical decisions** to an unfaulted `S_*` run of the
+//! same posts and churn ops.
+//!
+//! The proptest interleaves seeded churn traces into the post stream,
+//! checkpoints on a cadence, and schedules deterministic shard kills (one
+//! guaranteed to land mid-stream on shard 0, plus seed-derived extras) at
+//! 1, 2 and 4 shards. Whatever the interleaving, the healed run and the
+//! unfaulted run must agree post for post — recovery is allowed to cost
+//! time, never fidelity.
+
+use firehose::core::engine::AlgorithmKind;
+use firehose::core::multi::{MultiDecision, Subscriptions};
+use firehose::core::{CheckpointPolicy, EngineConfig, FirehoseService, StrategyKind, Thresholds};
+use firehose::datagen::{generate_churn_trace, ChurnEvent, ChurnGenConfig, ChurnTraceEntry};
+use firehose::graph::UndirectedGraph;
+use firehose::stream::{AuthorId, Post, ShardFaultKind, ShardFaultPlan};
+use proptest::prelude::*;
+
+const AUTHORS: usize = 12;
+const LAMBDA_T: u64 = 30_000;
+
+fn graph() -> UndirectedGraph {
+    UndirectedGraph::from_edges(AUTHORS, [(0, 1), (1, 2), (3, 4), (5, 6), (6, 7), (8, 9)])
+}
+
+fn config() -> EngineConfig {
+    EngineConfig::new(Thresholds::new(18, LAMBDA_T, 0.7).unwrap())
+}
+
+fn initial_sets() -> Vec<Vec<AuthorId>> {
+    vec![
+        vec![0, 1, 3],
+        vec![2, 5],
+        vec![4, 8, 9],
+        vec![10],
+        vec![0, 7, 11],
+        vec![6],
+    ]
+}
+
+fn subs() -> Subscriptions {
+    Subscriptions::new(AUTHORS, initial_sets()).unwrap()
+}
+
+/// Deterministic stream segment: `n` posts cycling authors, five
+/// near-duplicate text groups.
+fn posts(n: u64) -> Vec<Post> {
+    (0..n)
+        .map(|i| {
+            Post::new(
+                1 + i,
+                ((i * 5 + 3) % AUTHORS as u64) as AuthorId,
+                i * 997,
+                format!("breaking news item in content group {}", i % 5),
+            )
+        })
+        .collect()
+}
+
+fn apply(service: &mut FirehoseService, event: &ChurnEvent) {
+    match event {
+        ChurnEvent::Subscribe(u, a) => {
+            service.subscribe(*u as u32, *a).unwrap();
+        }
+        ChurnEvent::Unsubscribe(u, a) => {
+            service.unsubscribe(*u as u32, *a).unwrap();
+        }
+        ChurnEvent::AddUser(authors) => {
+            service.add_user(authors.iter().copied()).unwrap();
+        }
+        ChurnEvent::RemoveUser(u) => {
+            service.remove_user(*u as u32).unwrap();
+        }
+    }
+}
+
+/// Feed `stream` with `trace` ops interleaved at their recorded positions,
+/// collecting every delivered decision in order.
+fn run_interleaved(
+    service: &mut FirehoseService,
+    stream: &[Post],
+    trace: &[ChurnTraceEntry],
+) -> Vec<MultiDecision> {
+    let mut decisions = Vec::with_capacity(stream.len());
+    let mut next = 0;
+    for (i, post) in stream.iter().enumerate() {
+        while next < trace.len() && trace[next].after_posts <= i as u64 {
+            apply(service, &trace[next].event);
+            next += 1;
+        }
+        service
+            .process(post.clone(), |_, decision| decisions.push(decision.clone()))
+            .expect("supervised service must heal, not fail");
+    }
+    for entry in &trace[next..] {
+        apply(service, &entry.event);
+    }
+    decisions
+}
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("fh-resilience-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For seeded random churn traces woven into the stream, a supervised
+    /// sharded service at 1/2/4 shards — checkpointing on a cadence and
+    /// killed by a deterministic fault schedule — delivers exactly the
+    /// decisions of an unfaulted `S_*` service, and converges to the same
+    /// subscription table.
+    #[test]
+    fn killed_sharded_service_matches_unfaulted_run(
+        seed in 0u64..1_000_000,
+        ops in 5usize..16,
+        n_posts in 40u64..90,
+    ) {
+        let graph = graph();
+        let stream = posts(n_posts);
+        let trace = generate_churn_trace(
+            AUTHORS,
+            &initial_sets(),
+            n_posts,
+            ChurnGenConfig { seed, ops, ..Default::default() },
+        );
+
+        let mut reference = FirehoseService::builder(&graph, subs())
+            .strategy(StrategyKind::Shared)
+            .algorithm(AlgorithmKind::UniBin)
+            .engine_config(config())
+            .build()
+            .unwrap();
+        let expected = run_interleaved(&mut reference, &stream, &trace);
+        // Deploys count toward a worker's request total; the guaranteed
+        // kill must land past shard 0's deploy wave to hit the stream.
+        let engines = reference.churn_stats().initial_engines;
+
+        for shards in [1usize, 2, 4] {
+            let deploys = engines.div_ceil(shards as u64);
+            let plan = ShardFaultPlan::single(0, deploys + 5, ShardFaultKind::Panic)
+                .then(seed as usize % shards, deploys + 10 + seed % 30, ShardFaultKind::Panic)
+                .then(
+                    (seed / 3) as usize % shards,
+                    deploys + 15 + (seed / 7) % 40,
+                    ShardFaultKind::Panic,
+                );
+            let dir = tempdir(&format!("{seed}-{shards}"));
+            let mut faulted = FirehoseService::builder(&graph, subs())
+                .strategy(StrategyKind::Sharded { shards })
+                .algorithm(AlgorithmKind::UniBin)
+                .engine_config(config())
+                .checkpoints(
+                    &dir,
+                    CheckpointPolicy {
+                        every_offers: (n_posts / 4).max(1),
+                        every_millis: None,
+                        keep: 3,
+                    },
+                )
+                .chaos(plan)
+                .build()
+                .unwrap();
+            let got = run_interleaved(&mut faulted, &stream, &trace);
+
+            prop_assert_eq!(&got, &expected, "shards={}: decisions diverged", shards);
+            prop_assert_eq!(
+                faulted.subscriptions(),
+                reference.subscriptions(),
+                "shards={}: subscription tables diverged",
+                shards
+            );
+            let r = faulted.resilience_stats();
+            prop_assert!(
+                r.restarts >= 1,
+                "shards={}: the scheduled kill never fired mid-stream",
+                shards
+            );
+            prop_assert!(r.recoveries >= 1, "shards={}: no heal ran", shards);
+            drop(faulted);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
