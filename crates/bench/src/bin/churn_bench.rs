@@ -389,25 +389,39 @@ fn main() {
         .expect("build scale service");
     let scale_stream = &multi_stream[..scale_posts];
     let mut deliveries: u64 = 0;
+    // Same per-batch amortized latency protocol as the sharded rows above;
+    // this row used to publish a hardcoded zero for both percentiles.
+    let mut latencies: Vec<u64> = Vec::new();
     let t0 = Instant::now();
     for chunk in scale_stream.chunks(BATCH) {
+        let c0 = Instant::now();
         service
             .process_batch(chunk.iter().cloned(), |_, d| {
                 deliveries += d.delivered_to.len() as u64;
             })
             .unwrap();
+        latencies.push(c0.elapsed().as_nanos() as u64 / chunk.len() as u64);
     }
     let scale_per_sec = scale_stream.len() as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+    latencies.sort_unstable();
     eprintln!(
         "[churn] service_offer_sharded_scale: {scale_per_sec:.0} offers/s \
-         ({scale_users} users, {scale_shards} shards, {deliveries} deliveries)"
+         ({scale_users} users, {scale_shards} shards, {deliveries} deliveries, \
+         p50 {} ns, p99 {} ns)",
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.99)
     );
     summary.push_engine(
-        EngineRow::new("service_offer_sharded_scale", scale_per_sec, 0, 0)
-            .with_u64("users", scale_users as u64)
-            .with_u64("shards", scale_shards as u64)
-            .with_u64("posts", scale_stream.len() as u64)
-            .with_u64("deliveries", deliveries),
+        EngineRow::new(
+            "service_offer_sharded_scale",
+            scale_per_sec,
+            percentile(&latencies, 0.50),
+            percentile(&latencies, 0.99),
+        )
+        .with_u64("users", scale_users as u64)
+        .with_u64("shards", scale_shards as u64)
+        .with_u64("posts", scale_stream.len() as u64)
+        .with_u64("deliveries", deliveries),
     );
 
     // Row 4 — single-engine UniBin steady state, hotpath_throughput's exact

@@ -1,0 +1,497 @@
+//! Serving-layer load generator: the recorded wire trajectory
+//! (`BENCH_serving.json`).
+//!
+//! Boots a [`firehose_net::Server`] on an ephemeral loopback port (in a
+//! thread — the server, the service and the bench share one process, so no
+//! orchestration is needed) and drives a generated workload over **real
+//! sockets**:
+//!
+//! * `serving_ingest_sustained` — batched `POST /ingest` offers/sec over the
+//!   wire, p50/p99 per-post amortized request round-trip;
+//! * `serving_e2e_delivery` — end-to-end delivery latency: nanoseconds from
+//!   just before the ingest request is written to the moment a long-poll
+//!   `/stream/<user>` reader receives the delivery line (same-process
+//!   clock), measured by concurrent chunked-stream readers;
+//! * `serving_connection_churn` — connect + `GET /healthz` + close cycles
+//!   per second, with round-trip percentiles, plus an over-capacity probe
+//!   counting connection-level 503 rejections;
+//!
+//! plus top-level counters: `divergent_decisions` (wire decision lines
+//! versus an identically-configured in-process [`FirehoseService`] replay
+//! of the same trace — **must be 0**), shed/rejected/rate-limited admission
+//! counts scraped from `/healthz`, and the server's own
+//! [`ServeReport`](firehose_net::ServeReport).
+//!
+//! Churn ops from a generated trace are replayed over `POST /churn` at the
+//! same stream positions on both sides, so subscription state evolves
+//! identically.
+//!
+//! Flags: `--smoke` (tiny workload, CI), `--posts <n>`, `--shards <n>`
+//! (default 2 — the server must hold byte-identity even against the
+//! pipelined sharded strategy), `--out <path>` (default
+//! `BENCH_serving.json`).
+
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use firehose_bench::{flag_value, stream_rate, BenchSummary, EngineRow};
+use firehose_core::prelude::*;
+use firehose_core::service::ChurnOp;
+use firehose_datagen::{
+    generate_churn_trace, generate_subscriptions, ChurnGenConfig, ChurnTraceEntry, SocialGenConfig,
+    SubscriptionGenConfig, SyntheticSocialGraph, Workload, WorkloadConfig,
+};
+use firehose_graph::build_similarity_graph_parallel;
+use firehose_net::server::decision_line;
+use firehose_net::{HttpClient, Server, ServerConfig};
+use firehose_obs::Registry;
+use firehose_stream::corpus;
+
+const BATCH: usize = 256;
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Apply every trace entry due at `offset` posts to the in-process
+/// reference service (mirrors what the wire side sends to `POST /churn`).
+fn apply_due_reference(
+    service: &mut FirehoseService,
+    trace: &[ChurnTraceEntry],
+    next_op: &mut usize,
+    offset: u64,
+) {
+    while *next_op < trace.len() && trace[*next_op].after_posts <= offset {
+        let op: ChurnOp = trace[*next_op]
+            .event
+            .to_string()
+            .parse()
+            .expect("trace event text is a valid churn op");
+        service.apply(&op).expect("valid trace op");
+        *next_op += 1;
+    }
+}
+
+/// Render every trace entry due at `offset` as `/churn` body lines.
+fn due_churn_body(trace: &[ChurnTraceEntry], next_op: &mut usize, offset: u64) -> String {
+    let mut body = String::new();
+    while *next_op < trace.len() && trace[*next_op].after_posts <= offset {
+        body.push_str(&trace[*next_op].event.to_string());
+        body.push('\n');
+        *next_op += 1;
+    }
+    body
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_serving.json".to_string());
+    let shards: usize = flag_value(&args, "--shards")
+        .map(|v| v.parse().expect("--shards expects a count"))
+        .unwrap_or(2);
+    let target_posts: usize = flag_value(&args, "--posts")
+        .map(|v| v.parse().expect("--posts expects a count"))
+        .unwrap_or(if smoke { 1_500 } else { 12_000 });
+    let (users, churn_ops, churn_conns, readers) = if smoke {
+        (40usize, 60usize, 100usize, 3usize)
+    } else {
+        (300, 400, 500, 4)
+    };
+
+    // ---- Workload ----------------------------------------------------
+    let social_config = if smoke {
+        SocialGenConfig::test_scale()
+    } else {
+        SocialGenConfig::bench_scale()
+    };
+    let social = SyntheticSocialGraph::generate(social_config);
+    let workload = Workload::generate(
+        &social,
+        WorkloadConfig {
+            posts_per_author_per_day: target_posts as f64 / social.author_count() as f64,
+            ..WorkloadConfig::default()
+        },
+    );
+    let posts = &workload.posts[..target_posts.min(workload.len())];
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let graph = Arc::new(build_similarity_graph_parallel(&social.graph, 0.7, threads));
+    let config = EngineConfig::new(Thresholds::paper_defaults())
+        .with_expected_rate(stream_rate(&workload.posts));
+    let sets = generate_subscriptions(
+        social.author_count(),
+        users,
+        SubscriptionGenConfig::default(),
+    );
+    let subscriptions = Subscriptions::new(social.author_count(), sets.iter().cloned()).unwrap();
+    let trace = generate_churn_trace(
+        social.author_count(),
+        &sets,
+        posts.len() as u64,
+        ChurnGenConfig {
+            ops: churn_ops,
+            ..ChurnGenConfig::default()
+        },
+    );
+    eprintln!(
+        "[serving] workload: {} posts from {} authors; {} users, {} churn ops, sharded:{shards}",
+        posts.len(),
+        social.author_count(),
+        users,
+        trace.len()
+    );
+
+    // ---- In-process reference: same service config, same batch/churn
+    // schedule, decisions rendered with the same wire formatter. ---------
+    let mut reference = FirehoseService::builder(&graph, subscriptions.clone())
+        .engine_config(config)
+        .shards(shards)
+        .build()
+        .expect("build reference service");
+    let mut expected = String::new();
+    let mut expected_observed: u64 = 0; // deliveries to the streamed users
+    let mut next_ref_op = 0usize;
+    for (i, chunk) in posts.chunks(BATCH).enumerate() {
+        apply_due_reference(&mut reference, &trace, &mut next_ref_op, (i * BATCH) as u64);
+        reference
+            .process_batch(chunk.iter().cloned(), |post, d| {
+                expected.push_str(&decision_line(post.id, &d.delivered_to));
+                expected_observed += d
+                    .delivered_to
+                    .iter()
+                    .filter(|&&u| (u as usize) < readers)
+                    .count() as u64;
+            })
+            .expect("reference batch");
+    }
+
+    // ---- Boot the server ---------------------------------------------
+    let service = FirehoseService::builder(&graph, subscriptions.clone())
+        .engine_config(config)
+        .shards(shards)
+        .build()
+        .expect("build served service");
+    let max_connections = 32 + readers + 4;
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            max_connections,
+            stream_buffer: posts.len().max(1024),
+            allow_shutdown: true,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback server");
+    let addr = server.local_addr();
+    let shutdown = server.shutdown_handle();
+    let registry = Arc::new(Registry::new());
+    let server_thread = std::thread::spawn(move || server.serve(service, registry));
+    eprintln!("[serving] server on {addr}");
+
+    // ---- Streaming readers (end-to-end latency observers) -------------
+    let send_times: Arc<Mutex<HashMap<u64, Instant>>> = Arc::new(Mutex::new(HashMap::new()));
+    let e2e: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader_threads: Vec<_> = (0..readers as u32)
+        .map(|user| {
+            let send_times = Arc::clone(&send_times);
+            let e2e = Arc::clone(&e2e);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut client = match HttpClient::connect(addr) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("[serving] reader {user}: connect failed: {e}");
+                        return 0u64;
+                    }
+                };
+                let mut next_seq: u64 = 0;
+                let mut received: u64 = 0;
+                while !stop.load(Ordering::Acquire) {
+                    let target = format!("/stream/{user}?from={next_seq}&max=500&wait_ms=100");
+                    let result = client.stream_chunks(&target, &mut |chunk| {
+                        let now = Instant::now();
+                        // One chunk is one `seq\tid\t...` delivery line.
+                        let text = String::from_utf8_lossy(chunk);
+                        let mut fields = text.splitn(3, '\t');
+                        let seq = fields.next().and_then(|s| s.parse::<u64>().ok());
+                        let id = fields.next().and_then(|s| s.parse::<u64>().ok());
+                        if let Some(seq) = seq {
+                            next_seq = seq + 1;
+                        }
+                        if let Some(id) = id {
+                            if let Some(t0) = send_times.lock().unwrap().get(&id) {
+                                e2e.lock()
+                                    .unwrap()
+                                    .push(now.duration_since(*t0).as_nanos() as u64);
+                            }
+                            received += 1;
+                        }
+                    });
+                    match result {
+                        Ok(resp) if resp.status == 200 => {}
+                        // 404 after remove-user churn, or shutdown races.
+                        Ok(_) | Err(_) => break,
+                    }
+                }
+                received
+            })
+        })
+        .collect();
+
+    // ---- Ingest phase: batched posts + interleaved churn over the wire.
+    let mut ingest = HttpClient::connect(addr).expect("connect ingest client");
+    let mut wire = String::new();
+    let mut next_wire_op = 0usize;
+    let mut batch_lat: Vec<u64> = Vec::new();
+    let mut ingest_errors: u64 = 0;
+    let t0 = Instant::now();
+    for (i, chunk) in posts.chunks(BATCH).enumerate() {
+        let churn_body = due_churn_body(&trace, &mut next_wire_op, (i * BATCH) as u64);
+        if !churn_body.is_empty() {
+            let resp = ingest
+                .request("POST", "/churn", churn_body.as_bytes())
+                .expect("churn request");
+            assert_eq!(resp.status, 200, "churn failed: {}", resp.text());
+        }
+        let mut body = Vec::new();
+        corpus::write_posts(chunk, &mut body).expect("render batch");
+        {
+            let mut times = send_times.lock().unwrap();
+            let now = Instant::now();
+            for post in chunk {
+                times.insert(post.id, now);
+            }
+        }
+        let c0 = Instant::now();
+        match ingest.request("POST", "/ingest", &body) {
+            Ok(resp) if resp.status == 200 => wire.push_str(&resp.text()),
+            Ok(resp) => {
+                ingest_errors += 1;
+                eprintln!("[serving] ingest batch {i}: HTTP {}", resp.status);
+                wire.push_str(&resp.text());
+            }
+            Err(e) => {
+                ingest_errors += 1;
+                eprintln!("[serving] ingest batch {i}: {e}");
+            }
+        }
+        batch_lat.push(c0.elapsed().as_nanos() as u64 / chunk.len().max(1) as u64);
+    }
+    let wire_per_sec = posts.len() as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+
+    // ---- Wait for the readers to drain their streams -------------------
+    let drain_deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let got = e2e.lock().unwrap().len() as u64;
+        if got >= expected_observed || Instant::now() >= drain_deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    stop.store(true, Ordering::Release);
+    let mut streamed_by_readers: u64 = 0;
+    for t in reader_threads {
+        streamed_by_readers += t.join().expect("reader thread");
+    }
+
+    // ---- Decision-identity check ---------------------------------------
+    let divergent = {
+        let wire_lines: Vec<&str> = wire.lines().collect();
+        let expected_lines: Vec<&str> = expected.lines().collect();
+        let mut divergent = (wire_lines.len() as i64 - expected_lines.len() as i64).unsigned_abs();
+        divergent += wire_lines
+            .iter()
+            .zip(&expected_lines)
+            .filter(|(w, e)| w != e)
+            .count() as u64;
+        divergent
+    };
+    eprintln!(
+        "[serving] serving_ingest_sustained: {wire_per_sec:.0} offers/s over the wire \
+         ({} decision lines, {divergent} divergent, {ingest_errors} errored batches)",
+        wire.lines().count()
+    );
+
+    // ---- Connection churn + over-capacity probe ------------------------
+    let mut conn_lat: Vec<u64> = Vec::new();
+    let t0 = Instant::now();
+    for _ in 0..churn_conns {
+        let c0 = Instant::now();
+        let mut c = HttpClient::connect(addr).expect("churn connect");
+        let resp = c.request("GET", "/healthz", b"").expect("healthz");
+        assert!(
+            resp.status == 200 || resp.status == 503,
+            "unexpected /healthz status {}",
+            resp.status
+        );
+        conn_lat.push(c0.elapsed().as_nanos() as u64);
+    }
+    let conns_per_sec = churn_conns as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+
+    // Hold sockets up to the connection cap, then count 503s on the excess.
+    let idle: Vec<TcpStream> = (0..max_connections)
+        .filter_map(|_| TcpStream::connect(addr).ok())
+        .collect();
+    std::thread::sleep(Duration::from_millis(150)); // let the acceptor see them
+    let mut rejected_conns: u64 = 0;
+    for _ in 0..8 {
+        if let Ok(mut c) = HttpClient::connect(addr) {
+            match c.request("GET", "/healthz", b"") {
+                Ok(resp) if resp.status == 503 => rejected_conns += 1,
+                Ok(_) => {}
+                Err(_) => rejected_conns += 1, // dropped before/while answering
+            }
+        }
+    }
+    drop(idle);
+    eprintln!(
+        "[serving] serving_connection_churn: {conns_per_sec:.0} conns/s, \
+         {rejected_conns}/8 over-capacity probes rejected"
+    );
+
+    // ---- Scrape /healthz + /metrics for admission counters -------------
+    // The dropped idle sockets are reaped lazily, so the first scrape
+    // attempts can still bounce off the connection cap; retry on a fresh
+    // connection until the health document (not a capacity 503) comes back.
+    let (mut scrape, health) = (0..50)
+        .find_map(|_| {
+            let mut c = HttpClient::connect(addr).ok()?;
+            match c.request("GET", "/healthz", b"") {
+                Ok(resp) if resp.text().starts_with('{') => Some((c, resp.text())),
+                _ => {
+                    std::thread::sleep(Duration::from_millis(50));
+                    None
+                }
+            }
+        })
+        .expect("scrape the health document");
+    let metrics_text = scrape
+        .request("GET", "/metrics", b"")
+        .expect("metrics scrape")
+        .text();
+    assert!(
+        metrics_text.contains("firehose_net_connections_total"),
+        "metrics exposition is missing serving instruments"
+    );
+    let health_count = |key: &str| -> u64 {
+        health
+            .split(&format!("\"{key}\":"))
+            .nth(1)
+            .and_then(|s| {
+                s.chars()
+                    .take_while(|c| c.is_ascii_digit())
+                    .collect::<String>()
+                    .parse()
+                    .ok()
+            })
+            .unwrap_or(0)
+    };
+
+    // ---- Shut down and collect the server-side report ------------------
+    shutdown.shutdown();
+    let report = server_thread
+        .join()
+        .expect("server thread")
+        .expect("server run");
+
+    // ---- Summary --------------------------------------------------------
+    batch_lat.sort_unstable();
+    conn_lat.sort_unstable();
+    let mut e2e = Arc::try_unwrap(e2e)
+        .map(|m| m.into_inner().unwrap())
+        .unwrap_or_default();
+    e2e.sort_unstable();
+    let e2e_per_sec = if e2e.is_empty() {
+        0.0
+    } else {
+        streamed_by_readers as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+    };
+    eprintln!(
+        "[serving] serving_e2e_delivery: {} samples, p50 {} ns, p99 {} ns",
+        e2e.len(),
+        percentile(&e2e, 0.50),
+        percentile(&e2e, 0.99)
+    );
+
+    let mut summary = BenchSummary::new(
+        "serving_bench",
+        if smoke { "smoke" } else { "bench" },
+        posts.len() as u64,
+    );
+    summary.push_engine(
+        EngineRow::new(
+            "serving_ingest_sustained",
+            wire_per_sec,
+            percentile(&batch_lat, 0.50),
+            percentile(&batch_lat, 0.99),
+        )
+        .with_u64("batch", BATCH as u64)
+        .with_u64("users", users as u64)
+        .with_u64("shards", shards as u64)
+        .with_u64("churn_ops", trace.len() as u64)
+        .with_u64("errored_batches", ingest_errors),
+    );
+    summary.push_engine(
+        EngineRow::new(
+            "serving_e2e_delivery",
+            e2e_per_sec,
+            percentile(&e2e, 0.50),
+            percentile(&e2e, 0.99),
+        )
+        .with_u64("samples", e2e.len() as u64)
+        .with_u64("readers", readers as u64)
+        .with_u64("deliveries_streamed", streamed_by_readers)
+        .with_u64("expected_observed", expected_observed),
+    );
+    summary.push_engine(
+        EngineRow::new(
+            "serving_connection_churn",
+            conns_per_sec,
+            percentile(&conn_lat, 0.50),
+            percentile(&conn_lat, 0.99),
+        )
+        .with_u64("connections", churn_conns as u64)
+        .with_u64("over_capacity_rejected", rejected_conns),
+    );
+    summary.push_raw("divergent_decisions", divergent.to_string());
+    summary.push_raw("shed", health_count("shed").to_string());
+    summary.push_raw("rejected", health_count("rejected").to_string());
+    summary.push_raw("rate_limited", health_count("rate_limited").to_string());
+    summary.push_raw(
+        "server",
+        format!(
+            "{{\"requests\": {}, \"connections\": {}, \"connections_rejected\": {}, \
+             \"posts_ingested\": {}, \"deliveries_streamed\": {}, \"deliveries_dropped\": {}, \
+             \"protocol_errors\": {}}}",
+            report.requests,
+            report.connections_accepted,
+            report.connections_rejected,
+            report.posts_ingested,
+            report.deliveries_streamed,
+            report.deliveries_dropped,
+            report.protocol_errors
+        ),
+    );
+
+    let path = std::path::Path::new(&out);
+    summary.write(path).expect("write summary");
+    let written = std::fs::read_to_string(path).expect("read summary back");
+    assert!(
+        written.starts_with('{') && written.trim_end().ends_with('}'),
+        "summary is not a JSON object"
+    );
+    println!("{written}");
+
+    assert_eq!(
+        divergent, 0,
+        "wire decisions diverged from the in-process facade"
+    );
+}

@@ -1,0 +1,218 @@
+//! A minimal blocking HTTP/1.1 client for the firehose wire protocol.
+//!
+//! Just enough client to drive the server from tests and the load
+//! generator: keep-alive request/response over one [`TcpStream`], with
+//! `Content-Length` and chunked response bodies. Chunked responses can be
+//! consumed incrementally ([`HttpClient::stream_chunks`]) so a long-poll
+//! reader observes each delivery as it arrives rather than at stream end.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client-side failures. `Io` covers connect/read/write errors (including
+/// read timeouts); `Protocol` covers responses this client cannot parse.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The server's response did not parse.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "io: {e}"),
+            Self::Protocol(m) => write!(f, "protocol: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// One parsed response.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Header pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The full (de-chunked) body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// First header value for `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A keep-alive connection to one firehose server.
+pub struct HttpClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl HttpClient {
+    /// Connect to `addr` with a 10-second read timeout.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Change the read timeout (e.g. for long polls longer than 10 s).
+    pub fn set_read_timeout(&mut self, timeout: Duration) -> io::Result<()> {
+        self.stream.set_read_timeout(Some(timeout))
+    }
+
+    /// Issue one request and read the whole response (chunked responses are
+    /// de-chunked into `body`).
+    pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+    ) -> Result<Response, ClientError> {
+        self.send(method, target, body)?;
+        self.read_response(&mut |_| {})
+    }
+
+    /// `GET target` expecting a chunked response; `on_chunk` observes each
+    /// chunk's payload as it arrives (long-poll streaming). The returned
+    /// [`Response`] still carries the concatenated body.
+    pub fn stream_chunks(
+        &mut self,
+        target: &str,
+        on_chunk: &mut dyn FnMut(&[u8]),
+    ) -> Result<Response, ClientError> {
+        self.send("GET", target, b"")?;
+        self.read_response(on_chunk)
+    }
+
+    fn send(&mut self, method: &str, target: &str, body: &[u8]) -> io::Result<()> {
+        let head = format!(
+            "{method} {target} HTTP/1.1\r\nHost: firehose\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body)
+    }
+
+    fn read_response(&mut self, on_chunk: &mut dyn FnMut(&[u8])) -> Result<Response, ClientError> {
+        // Read until the header terminator.
+        let header_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            self.fill()?;
+        };
+        let head = String::from_utf8_lossy(&self.buf[..header_end]).into_owned();
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or_default();
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("bad status line {status_line:?}")))?;
+        let mut headers = Vec::new();
+        let mut content_length: Option<usize> = None;
+        let mut chunked = false;
+        for line in lines {
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(ClientError::Protocol(format!("bad header {line:?}")));
+            };
+            let name = name.to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length =
+                    Some(value.parse().map_err(|_| {
+                        ClientError::Protocol(format!("bad content-length {value:?}"))
+                    })?);
+            } else if name == "transfer-encoding" && value.eq_ignore_ascii_case("chunked") {
+                chunked = true;
+            }
+            headers.push((name, value));
+        }
+        self.buf.drain(..header_end + 4);
+
+        let body = if chunked {
+            self.read_chunked(on_chunk)?
+        } else {
+            let len = content_length.unwrap_or(0);
+            while self.buf.len() < len {
+                self.fill()?;
+            }
+            self.buf.drain(..len).collect()
+        };
+        Ok(Response {
+            status,
+            headers,
+            body,
+        })
+    }
+
+    fn read_chunked(&mut self, on_chunk: &mut dyn FnMut(&[u8])) -> Result<Vec<u8>, ClientError> {
+        let mut body = Vec::new();
+        loop {
+            // Chunk-size line.
+            let line_end = loop {
+                if let Some(pos) = self.buf.windows(2).position(|w| w == b"\r\n") {
+                    break pos;
+                }
+                self.fill()?;
+            };
+            let size_line = String::from_utf8_lossy(&self.buf[..line_end]).into_owned();
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| ClientError::Protocol(format!("bad chunk size {size_line:?}")))?;
+            self.buf.drain(..line_end + 2);
+            if size == 0 {
+                // Trailing CRLF after the terminal chunk.
+                while self.buf.len() < 2 {
+                    self.fill()?;
+                }
+                self.buf.drain(..2);
+                return Ok(body);
+            }
+            while self.buf.len() < size + 2 {
+                self.fill()?;
+            }
+            on_chunk(&self.buf[..size]);
+            body.extend_from_slice(&self.buf[..size]);
+            self.buf.drain(..size + 2);
+        }
+    }
+
+    fn fill(&mut self) -> Result<(), ClientError> {
+        let mut chunk = [0u8; 16 * 1024];
+        let n = self.stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(ClientError::Protocol(
+                "connection closed mid-response".to_string(),
+            ));
+        }
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(())
+    }
+}

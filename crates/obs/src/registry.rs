@@ -62,6 +62,18 @@ impl Gauge {
         self.0.fetch_add(delta, Ordering::Relaxed);
     }
 
+    /// Increment by one (e.g. a connection opened).
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Decrement by one (e.g. a connection closed).
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
     /// Record a high-water mark: keeps the maximum of the current value
     /// and `v`.
     #[inline]

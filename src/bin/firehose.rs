@@ -33,6 +33,8 @@ use firehose::datagen::{
 };
 use firehose::graph::io as graph_io;
 use firehose::graph::{build_similarity_graph_parallel, greedy_clique_cover, UndirectedGraph};
+use firehose::net::{Server, ServerConfig};
+use firehose::obs::Registry;
 use firehose::simhash::SimHashOptions;
 use firehose::stream::{corpus, guard_stream, hours, minutes, GuardConfig, GuardPolicy, Post};
 
@@ -84,7 +86,7 @@ impl Args {
 }
 
 fn usage() -> String {
-    "usage: firehose <generate|build-graph|cover|run|explain|quality> [--flag value]...\n\
+    "usage: firehose <generate|build-graph|cover|run|serve|explain|quality> [--flag value]...\n\
      \n\
      generate     --out-posts FILE --out-follower FILE [--authors N] [--hours H] [--seed S]\n\
      \t[--users N --out-subscriptions FILE] [--churn-ops N --out-churn FILE]\n\
@@ -97,6 +99,13 @@ fn usage() -> String {
      \t[--subscriptions FILE [--strategy independent|shared|parallel[:N]|sharded[:N]]\n\
      \t[--shards N] [--churn-trace FILE]\n\
      \t[--overload block|shed|reject[:CAPACITY]] [--rate-limit POSTS_PER_SEC]]\n\
+     serve        --graph FILE --subscriptions FILE [--listen ADDR:PORT]\n\
+     \t[--algorithm ...] [--lambda-c N] [--lambda-t-mins N] [--lambda-a F]\n\
+     \t[--strategy independent|shared|parallel[:N]|sharded[:N]] [--shards N]\n\
+     \t[--guard strict|clamp|reorder] [--reorder-bound-ms N]\n\
+     \t[--overload block|shed|reject[:CAPACITY]] [--rate-limit POSTS_PER_SEC]\n\
+     \t[--checkpoint-dir DIR] [--max-conns N] [--stream-buffer N]\n\
+     \t[--idle-secs S] [--allow-shutdown true]\n\
      explain      --posts FILE --graph FILE --first POST_ID --second POST_ID\n\
      \t[--lambda-c N] [--lambda-t-mins N] [--lambda-a F]\n\
      quality      --posts FILE --delivered FILE --graph FILE\n\
@@ -648,6 +657,83 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `serve`: put the multi-user service behind the TCP/HTTP front end. The
+/// service is configured exactly like `run --subscriptions ...` (same
+/// strategy/guard/overload/checkpoint flags), so decisions over the wire are
+/// byte-identical to the in-process path on the same trace.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let graph_path = args.require("graph")?;
+    let subs_path = args.require("subscriptions")?;
+    let listen = args.get("listen").unwrap_or("127.0.0.1:7878");
+    let algorithm = algorithm_from(args)?;
+    let thresholds = thresholds_from(args)?;
+    let mut strategy: StrategyKind = args.get("strategy").unwrap_or("shared").parse()?;
+    if let Some(n) = args.get("shards") {
+        strategy = StrategyKind::Sharded {
+            shards: n.parse().map_err(|e| format!("bad --shards {n:?}: {e}"))?,
+        };
+    }
+
+    let graph =
+        graph_io::read_undirected(&mut open_reader(graph_path)?).map_err(|e| e.to_string())?;
+    let graph = Arc::new(graph);
+    let sets = read_subscription_sets(subs_path)?;
+    let subscriptions =
+        Subscriptions::new(graph.node_count(), sets).map_err(|e| format!("{subs_path}: {e}"))?;
+
+    let registry = Arc::new(Registry::new());
+    let mut builder = FirehoseService::builder(&graph, subscriptions)
+        .strategy(strategy)
+        .algorithm(algorithm)
+        .engine_config(EngineConfig::new(thresholds));
+    if let Some(guard) = guard_config_from(args)? {
+        builder = builder.guard(guard);
+    }
+    if let Some(overload) = overload_config_from(args)? {
+        builder = builder.overload(overload);
+    }
+    if let Some(pps) = args.get("rate-limit") {
+        let pps: f64 = pps
+            .parse()
+            .map_err(|e| format!("bad --rate-limit {pps:?}: {e}"))?;
+        if !pps.is_finite() || pps <= 0.0 {
+            return Err("--rate-limit must be a positive posts-per-second rate".into());
+        }
+        builder = builder.rate_limit(RateLimitConfig::per_author(pps));
+    }
+    if let Some(dir) = args.get("checkpoint-dir") {
+        builder = builder.checkpoints(dir, checkpoint_policy_from(args)?);
+    }
+    let service = builder.build().map_err(|e| e.to_string())?;
+
+    let config = ServerConfig {
+        max_connections: args.parse_or("max-conns", ServerConfig::default().max_connections)?,
+        stream_buffer: args.parse_or("stream-buffer", ServerConfig::default().stream_buffer)?,
+        idle_timeout: std::time::Duration::from_secs(args.parse_or("idle-secs", 60u64)?),
+        allow_shutdown: args.parse_or("allow-shutdown", false)?,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(listen, config).map_err(|e| e.to_string())?;
+    eprintln!(
+        "serving {} ({} users) on http://{}  endpoints: POST /ingest /churn [/shutdown], GET /stream/<user> /metrics /healthz",
+        service.name(),
+        service.subscriptions().user_count(),
+        server.local_addr()
+    );
+    let report = server.serve(service, registry).map_err(|e| e.to_string())?;
+    eprintln!(
+        "served {} requests over {} connections ({} rejected); {} posts in, {} deliveries streamed ({} dropped), {} protocol errors",
+        report.requests,
+        report.connections_accepted,
+        report.connections_rejected,
+        report.posts_ingested,
+        report.deliveries_streamed,
+        report.deliveries_dropped,
+        report.protocol_errors
+    );
+    Ok(())
+}
+
 fn cmd_quality(args: &Args) -> Result<(), String> {
     let posts_path = args.require("posts")?;
     let delivered_path = args.require("delivered")?;
@@ -768,6 +854,7 @@ fn main() -> ExitCode {
         "build-graph" => cmd_build_graph(&args),
         "cover" => cmd_cover(&args),
         "run" => cmd_run(&args),
+        "serve" => cmd_serve(&args),
         "explain" => cmd_explain(&args),
         "quality" => cmd_quality(&args),
         "help" | "--help" | "-h" => {

@@ -20,7 +20,11 @@
 //!   greedy clique edge covers;
 //! * [`stream`] — the post model and λt-window bins;
 //! * [`datagen`] — synthetic Twitter-like workloads and the surrogate user
-//!   study.
+//!   study;
+//! * [`net`] — the zero-dependency TCP/HTTP front end serving ingest,
+//!   per-user streams, churn, `/metrics` and `/healthz` over real sockets
+//!   (`firehose serve`);
+//! * [`obs`] — the dependency-free metrics registry behind `/metrics`.
 //!
 //! See `README.md` for a walkthrough, `DESIGN.md` for the system inventory
 //! and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -45,6 +49,8 @@
 pub use firehose_core as core;
 pub use firehose_datagen as datagen;
 pub use firehose_graph as graph;
+pub use firehose_net as net;
+pub use firehose_obs as obs;
 pub use firehose_simhash as simhash;
 pub use firehose_stream as stream;
 pub use firehose_text as text;
