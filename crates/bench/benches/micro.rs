@@ -146,10 +146,12 @@ fn bench_manku_index(c: &mut Criterion) {
     let mut group = c.benchmark_group("near_duplicate_lookup_k3");
     group.throughput(Throughput::Elements(queries.len() as u64));
     group.bench_function("manku_index", |b| {
+        let mut matches = Vec::new();
         b.iter(|| {
             let mut acc = 0usize;
             for &q in queries {
-                acc += index.query(black_box(q)).len();
+                index.query_into(black_box(q), &mut matches);
+                acc += matches.len();
             }
             acc
         })

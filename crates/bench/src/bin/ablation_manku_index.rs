@@ -45,9 +45,9 @@ fn main() {
         }
         let mut probed_total = 0usize;
         let mut recall_ok = true;
+        let mut matches = Vec::new();
         for &q in queries {
-            let (matches, probed) = index.query_with_stats(q);
-            probed_total += probed;
+            probed_total += index.query_into(q, &mut matches);
             // Verify against the linear scan.
             let expected = fingerprints
                 .iter()

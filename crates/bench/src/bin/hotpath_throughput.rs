@@ -68,7 +68,9 @@ fn main() {
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
     let graph = Arc::new(build_similarity_graph_parallel(&social.graph, 0.7, threads));
     let thresholds = Thresholds::paper_defaults();
-    let config = EngineConfig::new(thresholds).with_expected_rate(stream_rate(&workload.posts));
+    let config = EngineConfig::builder(thresholds)
+        .expected_rate(stream_rate(&workload.posts))
+        .build();
 
     let mut summary = BenchSummary::new(
         "hotpath_throughput",

@@ -1,0 +1,352 @@
+//! Exact vs approximate coverage memory: the tiered-memory trade-off
+//! (`BENCH_memory.json`).
+//!
+//! One paired row per algorithm (UniBin / NeighborBin / CliqueBin): the
+//! same generated stream is run once with the exact coverage store and once
+//! with [`MemoryMode::Approx`], and the two runs are compared on
+//!
+//! * **RAM** — `ram_reduction = exact_peak_bytes / approx_peak_bytes`, both
+//!   sides the repo-wide payload convention (live records ×
+//!   `PostRecord::SIZE_BYTES`); the approx side additionally reports
+//!   `approx_estimated_peak_bytes`, which folds in the prefix-table and
+//!   bucket-index overhead, so the reduction claim cannot hide the index;
+//! * **quality** — both decision vectors are scored with
+//!   [`quality::evaluate`] and the deltas are pushed through
+//!   [`QualityGate`] against [`DeltaBounds::declared`]; the verdict is
+//!   printed in full (`QUALITY GATE: PASS` / `FAIL` — CI greps for it) and
+//!   a failed gate aborts the bench.
+//!
+//! The closing `service_memory_scale` row re-runs the comparison at the
+//! paper's user-study scale: a 100 000-user subscription table (2 000 under
+//! `--smoke`) over the full one-day stream through the shared-strategy
+//! service facade, asserting
+//! `ram_reduction ≥ DeltaBounds::declared().min_ram_reduction` (≥ 10×) —
+//! the headline claim of the approximate mode.
+//!
+//! The bench runs the near-duplicate regime the approximate mode is
+//! declared for: λc = 12 over a 24-hour window. At that radius covers are
+//! true near-duplicates, and the workload's duplicate lag (mean 8 min, max
+//! 45 min) keeps ~96 % of cover relationships inside the active bucket's
+//! full-fidelity span, so the recency-skewed retention can shed the long
+//! tail of the window (where exact stores grow with rate × λt) without
+//! losing the covers that matter. Wider radii over short windows — e.g.
+//! λc = 18 / λt = 6 h, where incidental SimHash collisions spread covers
+//! uniformly over the window — are exactly what the quality gate exists to
+//! reject; see EXPERIMENTS.md for the measured negative example.
+//!
+//! Flags: `--smoke` (tiny workload, CI), `--posts <n>` (single-engine
+//! stream size, default 60 000), `--out <path>` (default
+//! `BENCH_memory.json`).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use firehose_bench::{flag_value, stream_rate, BenchSummary, EngineRow};
+use firehose_core::prelude::*;
+use firehose_core::{quality, DeltaBounds, QualityGate};
+use firehose_datagen::{
+    generate_subscriptions, SocialGenConfig, SubscriptionGenConfig, SyntheticSocialGraph, Workload,
+    WorkloadConfig,
+};
+use firehose_graph::{build_similarity_graph_parallel, UndirectedGraph};
+use firehose_stream::{hours, Post, PostRecord};
+
+/// Full-recall probe count for λc = 12: `probes − 1 ≥ λc` makes the prefix
+/// layout's pigeonhole guarantee cover the whole verification distance.
+const PROBES: u32 = 13;
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// One measured single-engine pass: decisions plus the RAM / throughput
+/// facts the row needs.
+struct EngineRun {
+    decisions: Vec<bool>,
+    offers_per_sec: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    peak_bytes: u64,
+    /// Running max of `estimated_memory_bytes` (payload + index overhead),
+    /// sampled every 1 024 offers and at the end.
+    estimated_peak_bytes: u64,
+    stats: Option<firehose_stream::ApproxStats>,
+}
+
+fn run_engine(
+    kind: AlgorithmKind,
+    config: EngineConfig,
+    graph: &Arc<UndirectedGraph>,
+    posts: &[Post],
+) -> EngineRun {
+    let mut engine = build_engine(kind, config, Arc::clone(graph));
+    let mut decisions = Vec::with_capacity(posts.len());
+    let mut latencies = Vec::with_capacity(posts.len());
+    let mut estimated_peak_bytes = 0u64;
+    let t0 = Instant::now();
+    for (i, post) in posts.iter().enumerate() {
+        let p0 = Instant::now();
+        let decision = engine.offer(post);
+        latencies.push(p0.elapsed().as_nanos() as u64);
+        decisions.push(decision.is_emitted());
+        if i % 1_024 == 0 {
+            estimated_peak_bytes = estimated_peak_bytes.max(engine.estimated_memory_bytes());
+        }
+    }
+    let offers_per_sec = posts.len() as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+    estimated_peak_bytes = estimated_peak_bytes.max(engine.estimated_memory_bytes());
+    latencies.sort_unstable();
+    EngineRun {
+        decisions,
+        offers_per_sec,
+        p50_ns: percentile(&latencies, 0.50),
+        p99_ns: percentile(&latencies, 0.99),
+        peak_bytes: engine.metrics().peak_memory_bytes,
+        estimated_peak_bytes,
+        stats: engine.approx_stats(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_memory.json".to_string());
+    let target_posts: usize = flag_value(&args, "--posts")
+        .map(|v| v.parse().expect("--posts expects a count"))
+        .unwrap_or(if smoke { 4_000 } else { 60_000 });
+
+    let social_config = if smoke {
+        SocialGenConfig::test_scale()
+    } else {
+        SocialGenConfig::bench_scale()
+    };
+    let social = SyntheticSocialGraph::generate(social_config);
+    let workload = Workload::generate(
+        &social,
+        WorkloadConfig {
+            posts_per_author_per_day: target_posts as f64 / social.author_count() as f64,
+            ..WorkloadConfig::default()
+        },
+    );
+    // The memory-pressure regime the approximate mode targets: a tight
+    // content threshold (λc = 12 — covers are true near-duplicates trailing
+    // their source by minutes) under a day-long dedup horizon (λt = 24 h —
+    // exact windows never shrink, growing with rate × λt). Wider λc over
+    // the synthetic text makes coverage dominated by incidental SimHash
+    // collisions spread uniformly over the window, which no sublinear store
+    // can answer — the gate fails there by design (see EXPERIMENTS.md).
+    let thresholds = Thresholds::new(12, hours(24), 0.7).expect("valid thresholds");
+    let bounds = DeltaBounds::declared();
+    eprintln!(
+        "[memory] workload: {} posts from {} authors; λc = 12, λt = 24 h, {} probes",
+        workload.len(),
+        social.author_count(),
+        PROBES,
+    );
+
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let graph = Arc::new(build_similarity_graph_parallel(&social.graph, 0.7, threads));
+    let rate = stream_rate(&workload.posts);
+    let exact_config = EngineConfig::builder(thresholds)
+        .expected_rate(rate)
+        .build();
+    let approx_engine_config = |approx: ApproxConfig| {
+        EngineConfig::builder(thresholds)
+            .expected_rate(rate)
+            .memory(MemoryMode::Approx(approx))
+            .build()
+    };
+    let records: Vec<PostRecord> = workload
+        .posts
+        .iter()
+        .map(|p| p.to_record(exact_config.simhash))
+        .collect();
+
+    let mut summary = BenchSummary::new(
+        "memory_bench",
+        if smoke { "smoke" } else { "bench" },
+        workload.len() as u64,
+    );
+
+    // Paired per-algorithm rows: exact vs approx over the identical stream,
+    // quality-gated against the declared bounds. The retention budget is
+    // *per bin*, so it scales with each algorithm's bin shape: UniBin keeps
+    // one engine-wide bin (the declared 10x row); NeighborBin / CliqueBin
+    // shard the window across thousands of per-author / per-clique bins
+    // that are individually small, so their budgets — and declared RAM
+    // floors — are lower (the declared deltas stay identical).
+    let unibin_budget = if smoke { 8 } else { 120 };
+    let cases = [
+        (
+            AlgorithmKind::UniBin,
+            "UniBin",
+            ApproxConfig::new(PROBES, unibin_budget, 16).unwrap(),
+            bounds.min_ram_reduction,
+        ),
+        (
+            AlgorithmKind::NeighborBin,
+            "NeighborBin",
+            ApproxConfig::new(PROBES, 4, 16).unwrap(),
+            2.0,
+        ),
+        (
+            AlgorithmKind::CliqueBin,
+            "CliqueBin",
+            ApproxConfig::new(PROBES, 4, 16).unwrap(),
+            2.0,
+        ),
+    ];
+    for (kind, name, approx, min_ram) in cases {
+        let gate = QualityGate::new(DeltaBounds {
+            min_ram_reduction: min_ram,
+            ..bounds
+        });
+        let exact = run_engine(kind, exact_config, &graph, &workload.posts);
+        let approx_run = run_engine(kind, approx_engine_config(approx), &graph, &workload.posts);
+        let exact_report = quality::evaluate(&records, &exact.decisions, &thresholds, &graph);
+        let approx_report = quality::evaluate(&records, &approx_run.decisions, &thresholds, &graph);
+        let verdict = gate.verdict(
+            &exact_report,
+            &approx_report,
+            exact.peak_bytes,
+            approx_run.peak_bytes,
+        );
+        eprintln!(
+            "[memory] {name}: exact {:.0} offers/s @ {} B peak; approx {:.0} offers/s @ {} B peak \
+             ({} B with index overhead) — {:.1}x reduction",
+            exact.offers_per_sec,
+            exact.peak_bytes,
+            approx_run.offers_per_sec,
+            approx_run.peak_bytes,
+            approx_run.estimated_peak_bytes,
+            verdict.ram_reduction,
+        );
+        eprintln!("{verdict}");
+        assert!(
+            verdict.pass,
+            "{name}: approximate mode fell outside the declared quality bounds"
+        );
+        let mut row = EngineRow::new(
+            name,
+            approx_run.offers_per_sec,
+            approx_run.p50_ns,
+            approx_run.p99_ns,
+        )
+        .with_f64("exact_offers_per_sec", exact.offers_per_sec)
+        .with_u64("exact_p50_ns", exact.p50_ns)
+        .with_u64("exact_p99_ns", exact.p99_ns)
+        .with_u64("exact_peak_bytes", exact.peak_bytes)
+        .with_u64("approx_peak_bytes", approx_run.peak_bytes)
+        .with_u64(
+            "approx_estimated_peak_bytes",
+            approx_run.estimated_peak_bytes,
+        )
+        .with_f64("ram_reduction", verdict.ram_reduction)
+        .with_f64("exact_delivery_ratio", exact_report.delivery_ratio())
+        .with_f64("approx_delivery_ratio", approx_report.delivery_ratio())
+        .with_u64(
+            "approx_coverage_violations",
+            approx_report.coverage_violations as u64,
+        )
+        .with_u64(
+            "approx_residual_redundancy",
+            approx_report.residual_redundancy as u64,
+        )
+        .with_u64("gate_passed", u64::from(verdict.pass));
+        if let Some(stats) = approx_run.stats {
+            row = row
+                .with_u64("approx_probes_run", stats.probes_run)
+                .with_u64("approx_candidates_probed", stats.candidates_probed)
+                .with_u64("approx_displaced", stats.displaced)
+                .with_u64("approx_retained_records", stats.retained);
+        }
+        summary.push_engine(row);
+    }
+
+    // Scale row — the paper's user-study scale: a 100k-user subscription
+    // table over a stream prefix through the (sequential, shared-strategy)
+    // service facade. This is the headline RAM claim: the exact service
+    // carries every component engine's full window, the approximate one is
+    // capped per bin, and the reduction must clear the declared ≥ 10x bar.
+    let scale_users = if smoke { 2_000 } else { 100_000 };
+    let scale_posts = workload.len();
+    let scale_stream = &workload.posts[..scale_posts];
+    // Shared-strategy engines are per user-component: thousands of thin
+    // per-engine streams (~300 records/day each), so the per-bin budget is
+    // the tightest of all rows — the active bucket still spans the ~45 min
+    // duplicate-lag horizon of each component's stream.
+    let scale_approx = ApproxConfig::new(PROBES, 1, 16).unwrap();
+    let sets = generate_subscriptions(
+        social.author_count(),
+        scale_users,
+        SubscriptionGenConfig::default(),
+    );
+    let subscriptions = Subscriptions::new(social.author_count(), sets.iter().cloned()).unwrap();
+    let scale = |config: EngineConfig| {
+        let mut service = FirehoseService::builder(&graph, subscriptions.clone())
+            .engine_config(config)
+            .build()
+            .expect("build scale service");
+        let mut deliveries = 0u64;
+        let t0 = Instant::now();
+        for post in scale_stream {
+            service
+                .process(post.clone(), |_, d| {
+                    deliveries += d.delivered_to.len() as u64;
+                })
+                .unwrap();
+        }
+        let per_sec = scale_stream.len() as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+        (per_sec, deliveries, service.metrics().peak_memory_bytes)
+    };
+    let (exact_per_sec, exact_deliveries, exact_peak) = scale(exact_config);
+    let (approx_per_sec, approx_deliveries, approx_peak) =
+        scale(approx_engine_config(scale_approx));
+    let ram_reduction = if approx_peak == 0 {
+        f64::INFINITY
+    } else {
+        exact_peak as f64 / approx_peak as f64
+    };
+    let delivery_delta = (approx_deliveries as f64 - exact_deliveries as f64).abs()
+        / (exact_deliveries as f64).max(1.0);
+    eprintln!(
+        "[memory] service_memory_scale: {scale_users} users, {scale_posts} posts; exact {exact_peak} B peak \
+         vs approx {approx_peak} B peak — {ram_reduction:.1}x reduction, delivery delta {:.3}%",
+        100.0 * delivery_delta
+    );
+    assert!(
+        ram_reduction >= bounds.min_ram_reduction,
+        "scale row: {ram_reduction:.2}x RAM reduction is under the declared {:.0}x floor",
+        bounds.min_ram_reduction
+    );
+    summary.push_engine(
+        EngineRow::new("service_memory_scale", approx_per_sec, 0, 0)
+            .with_u64("users", scale_users as u64)
+            .with_u64("posts", scale_posts as u64)
+            .with_f64("exact_offers_per_sec", exact_per_sec)
+            .with_u64("exact_peak_bytes", exact_peak)
+            .with_u64("approx_peak_bytes", approx_peak)
+            .with_f64("ram_reduction", ram_reduction)
+            .with_u64("exact_deliveries", exact_deliveries)
+            .with_u64("approx_deliveries", approx_deliveries)
+            .with_f64("delivery_delta", delivery_delta)
+            .with_u64(
+                "gate_passed",
+                u64::from(ram_reduction >= bounds.min_ram_reduction),
+            ),
+    );
+
+    let path = std::path::Path::new(&out);
+    summary.write(path).expect("write summary");
+    // Self-check so --smoke in CI fails loudly on malformed output.
+    let written = std::fs::read_to_string(path).expect("read summary back");
+    assert!(
+        written.starts_with('{') && written.trim_end().ends_with('}'),
+        "summary is not a JSON object"
+    );
+    println!("{written}");
+}

@@ -156,8 +156,9 @@ fn main() {
     );
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
     let graph = Arc::new(build_similarity_graph_parallel(&social.graph, 0.7, threads));
-    let config = EngineConfig::new(Thresholds::paper_defaults())
-        .with_expected_rate(stream_rate(&workload.posts));
+    let config = EngineConfig::builder(Thresholds::paper_defaults())
+        .expected_rate(stream_rate(&workload.posts))
+        .build();
     let sets = generate_subscriptions(
         social.author_count(),
         users,

@@ -89,8 +89,9 @@ fn main() {
     let scale = Scale::from_env();
     let data = Dataset::generate(scale);
     let graph = data.similarity_graph(0.7);
-    let config = EngineConfig::new(Thresholds::paper_defaults())
-        .with_expected_rate(firehose_bench::stream_rate(&data.workload.posts));
+    let config = EngineConfig::builder(Thresholds::paper_defaults())
+        .expected_rate(firehose_bench::stream_rate(&data.workload.posts))
+        .build();
 
     let stormy = Workload::generate(
         &data.social,

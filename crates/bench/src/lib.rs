@@ -178,7 +178,9 @@ pub fn run_spsd(
     graph: Arc<UndirectedGraph>,
     posts: &[Post],
 ) -> RunStats {
-    let config = EngineConfig::new(thresholds).with_expected_rate(stream_rate(posts));
+    let config = EngineConfig::builder(thresholds)
+        .expected_rate(stream_rate(posts))
+        .build();
     let mut engine = build_engine(kind, config, graph);
     let t0 = Instant::now();
     for post in posts {

@@ -18,7 +18,8 @@ pub struct Thresholds {
     pub lambda_a: f64,
 }
 
-/// Validation errors for [`Thresholds`].
+/// Validation errors for [`Thresholds`], [`ApproxConfig`] and
+/// [`MemoryMode`] parsing.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ConfigError {
     /// `λc` exceeds the fingerprint width.
@@ -31,6 +32,30 @@ pub enum ConfigError {
         /// The rejected author threshold.
         lambda_a: f64,
     },
+    /// Approx-mode probe count outside `1..=16` (tables = probes; key width
+    /// `64 / probes` must stay ≥ 4 bits for the prefix buckets to select).
+    ApproxProbesOutOfRange {
+        /// The rejected probe count.
+        probes: u32,
+    },
+    /// Approx-mode per-bucket retention budget outside
+    /// `1..=`[`ApproxConfig::MAX_BUCKET_BUDGET`].
+    ApproxBudgetOutOfRange {
+        /// The rejected bucket budget.
+        bucket_budget: u32,
+    },
+    /// Approx-mode sketch granularity (buckets per λt window) outside
+    /// `1..=`[`ApproxConfig::MAX_GRANULARITY`].
+    ApproxGranularityOutOfRange {
+        /// The rejected granularity.
+        granularity: u32,
+    },
+    /// A `--memory` style mode string that is neither `exact` nor
+    /// `approx[:budget]`.
+    BadMemoryMode {
+        /// The rejected input.
+        input: String,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -41,6 +66,26 @@ impl std::fmt::Display for ConfigError {
             }
             Self::AuthorThresholdOutOfRange { lambda_a } => {
                 write!(f, "λa = {lambda_a} outside [0, 1]")
+            }
+            Self::ApproxProbesOutOfRange { probes } => {
+                write!(f, "approx probes = {probes} outside 1..=16")
+            }
+            Self::ApproxBudgetOutOfRange { bucket_budget } => {
+                write!(
+                    f,
+                    "approx bucket budget = {bucket_budget} outside 1..={}",
+                    ApproxConfig::MAX_BUCKET_BUDGET
+                )
+            }
+            Self::ApproxGranularityOutOfRange { granularity } => {
+                write!(
+                    f,
+                    "approx granularity = {granularity} outside 1..={}",
+                    ApproxConfig::MAX_GRANULARITY
+                )
+            }
+            Self::BadMemoryMode { input } => {
+                write!(f, "memory mode '{input}' is not exact | approx[:budget]")
             }
         }
     }
@@ -87,6 +132,160 @@ impl Default for Thresholds {
     }
 }
 
+/// Shape of the approximate coverage backend: how many prefix tables a
+/// lookup probes, and how aggressively the sliding-window sketch caps
+/// retention. Construct through [`ApproxConfig::new`] (validated) or take
+/// [`Default`]; the fields are read-only so an out-of-range shape can never
+/// reach an engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApproxConfig {
+    probes: u32,
+    bucket_budget: u32,
+    granularity: u32,
+}
+
+impl ApproxConfig {
+    /// Default permuted prefix tables per lookup (index distance
+    /// `min(probes − 1, λc)` = 7 at the paper's `λc = 18`).
+    pub const DEFAULT_PROBES: u32 = 8;
+    /// Default records retained per time bucket.
+    pub const DEFAULT_BUCKET_BUDGET: u32 = 8;
+    /// Default time buckets per λt window.
+    pub const DEFAULT_GRANULARITY: u32 = 8;
+    /// Upper bound on the per-bucket budget — beyond this the "approximate"
+    /// mode retains more than any realistic exact window.
+    pub const MAX_BUCKET_BUDGET: u32 = 1 << 20;
+    /// Upper bound on buckets per window.
+    pub const MAX_GRANULARITY: u32 = 1 << 16;
+
+    /// Validated constructor. `probes ∈ 1..=16`, `bucket_budget ≥ 1`,
+    /// `granularity ≥ 1` (see the per-variant bounds on [`ConfigError`]).
+    pub fn new(probes: u32, bucket_budget: u32, granularity: u32) -> Result<Self, ConfigError> {
+        if !(1..=16).contains(&probes) {
+            return Err(ConfigError::ApproxProbesOutOfRange { probes });
+        }
+        if !(1..=Self::MAX_BUCKET_BUDGET).contains(&bucket_budget) {
+            return Err(ConfigError::ApproxBudgetOutOfRange { bucket_budget });
+        }
+        if !(1..=Self::MAX_GRANULARITY).contains(&granularity) {
+            return Err(ConfigError::ApproxGranularityOutOfRange { granularity });
+        }
+        Ok(Self {
+            probes,
+            bucket_budget,
+            granularity,
+        })
+    }
+
+    /// Defaults with a custom per-bucket budget — the `approx:<budget>`
+    /// CLI form.
+    pub fn with_budget(bucket_budget: u32) -> Result<Self, ConfigError> {
+        Self::new(
+            Self::DEFAULT_PROBES,
+            bucket_budget,
+            Self::DEFAULT_GRANULARITY,
+        )
+    }
+
+    /// Prefix tables probed per lookup.
+    pub fn probes(&self) -> u32 {
+        self.probes
+    }
+
+    /// Records retained per time bucket.
+    pub fn bucket_budget(&self) -> u32 {
+        self.bucket_budget
+    }
+
+    /// Time buckets per λt window.
+    pub fn granularity(&self) -> u32 {
+        self.granularity
+    }
+
+    /// Hard cap on records one approximate bin can retain: the active
+    /// bucket holds up to `granularity × bucket_budget` at full fidelity,
+    /// closed in-window buckets (up to `granularity`, plus one
+    /// partially-expired boundary bucket) hold `bucket_budget` each —
+    /// `(2 × granularity + 1) × bucket_budget` in total.
+    pub fn retention_cap(&self) -> u64 {
+        u64::from(2 * self.granularity + 1) * u64::from(self.bucket_budget)
+    }
+}
+
+impl Default for ApproxConfig {
+    fn default() -> Self {
+        Self {
+            probes: Self::DEFAULT_PROBES,
+            bucket_budget: Self::DEFAULT_BUCKET_BUDGET,
+            granularity: Self::DEFAULT_GRANULARITY,
+        }
+    }
+}
+
+/// Which coverage backend the engines run: the exact SoA window scan, or
+/// the tiered approximate backend (bounded retention + prefix-probe
+/// lookup). Exact mode is the default and keeps decisions byte-identical
+/// to every prior release; approx mode trades a measured redundancy delta
+/// for ≥10x less window RAM (see the quality gate).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum MemoryMode {
+    /// Exact sliding windows — the paper's semantics, bit for bit.
+    #[default]
+    Exact,
+    /// Tiered approximate windows with the given shape.
+    Approx(ApproxConfig),
+}
+
+impl MemoryMode {
+    /// True for the approximate backend.
+    pub fn is_approx(&self) -> bool {
+        matches!(self, Self::Approx(_))
+    }
+
+    /// Stable lowercase label (`exact` / `approx`) for gauges and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Exact => "exact",
+            Self::Approx(_) => "approx",
+        }
+    }
+}
+
+impl std::fmt::Display for MemoryMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Exact => f.write_str("exact"),
+            Self::Approx(cfg) => write!(f, "approx:{}", cfg.bucket_budget()),
+        }
+    }
+}
+
+impl std::str::FromStr for MemoryMode {
+    type Err = ConfigError;
+
+    /// Parse the CLI surface: `exact`, `approx`, or `approx:<budget>`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "exact" => Ok(Self::Exact),
+            "approx" => Ok(Self::Approx(ApproxConfig::default())),
+            _ => match s.strip_prefix("approx:") {
+                Some(budget) => {
+                    let bucket_budget =
+                        budget
+                            .parse::<u32>()
+                            .map_err(|_| ConfigError::BadMemoryMode {
+                                input: s.to_string(),
+                            })?;
+                    Ok(Self::Approx(ApproxConfig::with_budget(bucket_budget)?))
+                }
+                None => Err(ConfigError::BadMemoryMode {
+                    input: s.to_string(),
+                }),
+            },
+        }
+    }
+}
+
 /// Full engine configuration: thresholds plus fingerprinting options.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EngineConfig {
@@ -101,6 +300,11 @@ pub struct EngineConfig {
     ///
     /// [`window_capacity_hint`]: Self::window_capacity_hint
     pub expected_rate: f64,
+    /// Which coverage backend the engine runs ([`MemoryMode::Exact`] by
+    /// default). Unlike `expected_rate`, this *does* affect decisions in
+    /// approx mode — the measured divergence is published by the quality
+    /// gate.
+    pub memory: MemoryMode,
 }
 
 impl EngineConfig {
@@ -116,6 +320,7 @@ impl EngineConfig {
             thresholds,
             simhash: SimHashOptions::paper(),
             expected_rate: 0.0,
+            memory: MemoryMode::Exact,
         }
     }
 
@@ -124,10 +329,13 @@ impl EngineConfig {
         Self::new(Thresholds::paper_defaults())
     }
 
-    /// Set the expected stream rate (posts/second) for bin pre-sizing.
-    pub fn with_expected_rate(mut self, posts_per_sec: f64) -> Self {
-        self.expected_rate = posts_per_sec;
-        self
+    /// Start a builder from the given thresholds — the typed construction
+    /// path for everything beyond the thresholds (rate hint, memory mode,
+    /// SimHash options).
+    pub fn builder(thresholds: Thresholds) -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            config: Self::new(thresholds),
+        }
     }
 
     /// Expected λt-window occupancy: `expected_rate × λt`, the steady-state
@@ -144,6 +352,41 @@ impl EngineConfig {
         } else {
             expected.ceil() as usize
         }
+    }
+}
+
+/// Builder for [`EngineConfig`] — the one sanctioned way to set the
+/// non-threshold knobs. Every value that needs validation is validated
+/// *before* it can reach the builder ([`Thresholds::new`],
+/// [`ApproxConfig::new`], the `FromStr` impl on [`MemoryMode`]), so
+/// [`build`](Self::build) is infallible.
+#[derive(Debug, Clone)]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Set the expected stream rate (posts/second) for bin pre-sizing.
+    pub fn expected_rate(mut self, posts_per_sec: f64) -> Self {
+        self.config.expected_rate = posts_per_sec;
+        self
+    }
+
+    /// Select the coverage backend.
+    pub fn memory(mut self, memory: MemoryMode) -> Self {
+        self.config.memory = memory;
+        self
+    }
+
+    /// Override the fingerprinting options.
+    pub fn simhash(mut self, simhash: SimHashOptions) -> Self {
+        self.config.simhash = simhash;
+        self
+    }
+
+    /// Finish the configuration.
+    pub fn build(self) -> EngineConfig {
+        self.config
     }
 }
 
@@ -203,27 +446,97 @@ mod tests {
 
     #[test]
     fn capacity_hint_is_rate_times_window() {
-        let config = EngineConfig::new(Thresholds::new(18, minutes(30), 0.7).unwrap());
+        let thresholds = Thresholds::new(18, minutes(30), 0.7).unwrap();
+        let config = EngineConfig::new(thresholds);
         assert_eq!(config.window_capacity_hint(), 0, "no rate ⇒ no hint");
         // 10 posts/sec × 1800 s window = 18 000 expected live posts.
-        assert_eq!(
-            config.with_expected_rate(10.0).window_capacity_hint(),
-            18_000
-        );
+        let config = EngineConfig::builder(thresholds)
+            .expected_rate(10.0)
+            .build();
+        assert_eq!(config.window_capacity_hint(), 18_000);
     }
 
     #[test]
     fn capacity_hint_is_clamped_and_total() {
-        let infinite_window = EngineConfig::new(Thresholds::new(18, u64::MAX, 0.7).unwrap());
+        let infinite = Thresholds::new(18, u64::MAX, 0.7).unwrap();
+        let config = EngineConfig::builder(infinite).expected_rate(1.0).build();
         assert_eq!(
-            infinite_window
-                .with_expected_rate(1.0)
-                .window_capacity_hint(),
+            config.window_capacity_hint(),
             EngineConfig::MAX_CAPACITY_HINT
         );
-        let config = EngineConfig::paper_defaults();
         for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0, 0.0] {
-            assert_eq!(config.with_expected_rate(bad).window_capacity_hint(), 0);
+            let config = EngineConfig::builder(Thresholds::paper_defaults())
+                .expected_rate(bad)
+                .build();
+            assert_eq!(config.window_capacity_hint(), 0);
+        }
+    }
+
+    #[test]
+    fn builder_sets_all_knobs() {
+        let approx = ApproxConfig::new(4, 16, 2).unwrap();
+        let config = EngineConfig::builder(Thresholds::paper_defaults())
+            .expected_rate(5.0)
+            .memory(MemoryMode::Approx(approx))
+            .build();
+        assert_eq!(config.expected_rate, 5.0);
+        assert_eq!(config.memory, MemoryMode::Approx(approx));
+        assert_eq!(config.thresholds, Thresholds::paper_defaults());
+        // The plain constructor defaults to exact mode.
+        assert_eq!(EngineConfig::paper_defaults().memory, MemoryMode::Exact);
+    }
+
+    #[test]
+    fn approx_config_validates() {
+        assert!(ApproxConfig::new(8, 8, 8).is_ok());
+        assert!(matches!(
+            ApproxConfig::new(0, 8, 8),
+            Err(ConfigError::ApproxProbesOutOfRange { probes: 0 })
+        ));
+        assert!(matches!(
+            ApproxConfig::new(17, 8, 8),
+            Err(ConfigError::ApproxProbesOutOfRange { probes: 17 })
+        ));
+        assert!(matches!(
+            ApproxConfig::new(8, 0, 8),
+            Err(ConfigError::ApproxBudgetOutOfRange { .. })
+        ));
+        assert!(matches!(
+            ApproxConfig::new(8, 8, 0),
+            Err(ConfigError::ApproxGranularityOutOfRange { .. })
+        ));
+        assert!(ApproxConfig::new(8, ApproxConfig::MAX_BUCKET_BUDGET + 1, 8).is_err());
+        let cfg = ApproxConfig::new(8, 8, 8).unwrap();
+        assert_eq!(cfg.retention_cap(), 17 * 8);
+    }
+
+    #[test]
+    fn memory_mode_parses_cli_forms() {
+        use std::str::FromStr;
+        assert_eq!(MemoryMode::from_str("exact").unwrap(), MemoryMode::Exact);
+        assert_eq!(
+            MemoryMode::from_str("approx").unwrap(),
+            MemoryMode::Approx(ApproxConfig::default())
+        );
+        assert_eq!(
+            MemoryMode::from_str("approx:64").unwrap(),
+            MemoryMode::Approx(ApproxConfig::with_budget(64).unwrap())
+        );
+        assert!(matches!(
+            MemoryMode::from_str("approx:zillions"),
+            Err(ConfigError::BadMemoryMode { .. })
+        ));
+        assert!(matches!(
+            MemoryMode::from_str("approx:0"),
+            Err(ConfigError::ApproxBudgetOutOfRange { .. })
+        ));
+        assert!(matches!(
+            MemoryMode::from_str("fuzzy"),
+            Err(ConfigError::BadMemoryMode { .. })
+        ));
+        // Display round-trips through FromStr.
+        for s in ["exact", "approx:8", "approx:512"] {
+            assert_eq!(MemoryMode::from_str(s).unwrap().to_string(), s);
         }
     }
 
@@ -233,5 +546,9 @@ mod tests {
         assert!(e.to_string().contains("99"));
         let e = Thresholds::new(18, 0, 2.0).unwrap_err();
         assert!(e.to_string().contains('2'));
+        let e = ApproxConfig::new(0, 8, 8).unwrap_err();
+        assert!(e.to_string().contains("probes"));
+        let e = "nope".parse::<MemoryMode>().unwrap_err();
+        assert!(e.to_string().contains("nope"));
     }
 }

@@ -16,8 +16,9 @@ use std::sync::Arc;
 
 use firehose_graph::{greedy_clique_cover, CliqueCover, UndirectedGraph};
 use firehose_simhash::{active_kernel, KernelKind};
-use firehose_stream::{AuthorId, PostRecord, TimeWindowBin};
+use firehose_stream::{ApproxCandidate, AuthorId, PostRecord};
 
+use crate::backend::CoverageBackend;
 use crate::config::EngineConfig;
 use crate::decision::Decision;
 use crate::engine::Diversifier;
@@ -29,11 +30,13 @@ pub struct CliqueBin {
     config: EngineConfig,
     cover: Arc<CliqueCover>,
     /// One bin per clique id.
-    clique_bins: Vec<TimeWindowBin>,
+    clique_bins: Vec<CoverageBackend>,
     /// Lazily-created bins for authors belonging to no clique.
-    self_bins: HashMap<AuthorId, TimeWindowBin>,
+    self_bins: HashMap<AuthorId, CoverageBackend>,
     /// Number of authors (for the out-of-range guard).
     author_count: usize,
+    /// Reusable candidate buffer for approximate-backend probes.
+    scratch: Vec<ApproxCandidate>,
     /// Hamming kernel selected once at construction.
     kernel: KernelKind,
     metrics: EngineMetrics,
@@ -59,7 +62,9 @@ impl CliqueBin {
         let m = graph.node_count().max(1);
         let hint = config.window_capacity_hint();
         let clique_bins = (0..cover.count())
-            .map(|cid| TimeWindowBin::with_capacity(hint * cover.members(cid as u32).len() / m))
+            .map(|cid| {
+                CoverageBackend::for_config(&config, hint * cover.members(cid as u32).len() / m)
+            })
             .collect();
         Self {
             config,
@@ -67,6 +72,7 @@ impl CliqueBin {
             clique_bins,
             self_bins: HashMap::new(),
             author_count: graph.node_count(),
+            scratch: Vec::new(),
             kernel: active_kernel(),
             metrics: EngineMetrics::default(),
             obs: None,
@@ -87,8 +93,8 @@ impl CliqueBin {
     pub(crate) fn parts(
         &self,
     ) -> (
-        &[TimeWindowBin],
-        &HashMap<AuthorId, TimeWindowBin>,
+        &[CoverageBackend],
+        &HashMap<AuthorId, CoverageBackend>,
         &EngineMetrics,
     ) {
         (&self.clique_bins, &self.self_bins, &self.metrics)
@@ -99,8 +105,8 @@ impl CliqueBin {
         config: EngineConfig,
         graph: Arc<UndirectedGraph>,
         cover: Arc<CliqueCover>,
-        clique_bins: Vec<TimeWindowBin>,
-        self_bins: HashMap<AuthorId, TimeWindowBin>,
+        clique_bins: Vec<CoverageBackend>,
+        self_bins: HashMap<AuthorId, CoverageBackend>,
         metrics: EngineMetrics,
     ) -> Self {
         assert_eq!(
@@ -114,6 +120,7 @@ impl CliqueBin {
             clique_bins,
             self_bins,
             author_count: graph.node_count(),
+            scratch: Vec::new(),
             kernel: active_kernel(),
             metrics,
             obs: None,
@@ -135,22 +142,20 @@ impl CliqueBin {
         if clique_ids.is_empty() {
             // Isolated author: only her own posts can cover.
             let hint = self.self_bin_hint();
+            let config = &self.config;
+            let kernel = self.kernel;
             let bin = self
                 .self_bins
                 .entry(record.author)
-                .or_insert_with(|| TimeWindowBin::with_capacity(hint));
+                .or_insert_with(|| CoverageBackend::for_config(config, hint));
             let evicted = bin.evict_expired(record.timestamp, t.lambda_t);
-            let view = bin.window(record.timestamp, t.lambda_t);
-            let found = view.rfind_within(self.kernel, record.fingerprint, t.lambda_c);
-            let comparisons = match found {
-                Some(pos) => (view.len() - pos) as u64,
-                None => view.len() as u64,
-            };
-            let verdict = found.map(|pos| view.ids[pos]);
+            let (verdict, comparisons) =
+                bin.find_newest_within(kernel, &record, &t, &mut self.scratch);
+            let mut displaced = 0u64;
             if verdict.is_none() {
-                bin.push(record);
+                displaced = bin.push(record);
             }
-            self.metrics.on_evict(evicted as u64);
+            self.metrics.on_evict(evicted as u64 + displaced);
             self.metrics.comparisons += comparisons;
             return if let Some(by) = verdict {
                 Decision::Covered { by }
@@ -163,23 +168,21 @@ impl CliqueBin {
 
         // Probe every clique containing the author. Copies of the same post
         // in different shared cliques are compared once per probe — the
-        // paper's accounting (its P7 example counts P6 twice). Each bin scan
-        // is one batched Hamming pass; comparisons keep the scalar
-        // newest-first semantics (records down to and including the covering
-        // one, or the whole bin window on a miss).
+        // paper's accounting (its P7 example counts P6 twice). Each bin
+        // lookup keeps the scalar newest-first comparison semantics on the
+        // exact backend (records down to and including the covering one, or
+        // the whole bin window on a miss) and charges probe verifications on
+        // the approximate backend.
         let mut verdict = None;
         for &cid in clique_ids {
             let bin = &mut self.clique_bins[cid as usize];
             let evicted = bin.evict_expired(record.timestamp, t.lambda_t);
             self.metrics.on_evict(evicted as u64);
-            let view = bin.window(record.timestamp, t.lambda_t);
-            let found = view.rfind_within(self.kernel, record.fingerprint, t.lambda_c);
-            self.metrics.comparisons += match found {
-                Some(pos) => (view.len() - pos) as u64,
-                None => view.len() as u64,
-            };
-            if let Some(pos) = found {
-                verdict = Some(view.ids[pos]);
+            let (found, comparisons) =
+                bin.find_newest_within(self.kernel, &record, &t, &mut self.scratch);
+            self.metrics.comparisons += comparisons;
+            if let Some(by) = found {
+                verdict = Some(by);
                 break;
             }
         }
@@ -188,8 +191,12 @@ impl CliqueBin {
         }
 
         // Emit: one copy per containing clique.
+        let mut displaced = 0u64;
         for &cid in clique_ids {
-            self.clique_bins[cid as usize].push(record);
+            displaced += self.clique_bins[cid as usize].push(record);
+        }
+        if displaced > 0 {
+            self.metrics.on_evict(displaced);
         }
         self.metrics
             .on_insert(clique_ids.len() as u64, PostRecord::SIZE_BYTES);
@@ -246,7 +253,7 @@ impl Diversifier for CliqueBin {
         r: &mut dyn std::io::Read,
     ) -> Result<(), crate::snapshot::SnapshotError> {
         let (clique_bins, self_bins, metrics) =
-            crate::snapshot::read_state_cliquebin(r, self.author_count, &self.cover)?;
+            crate::snapshot::read_state_cliquebin(r, &self.config, self.author_count, &self.cover)?;
         self.clique_bins = clique_bins;
         self.self_bins = self_bins;
         self.metrics = metrics;
@@ -262,10 +269,10 @@ impl Diversifier for CliqueBin {
         // bin); collect everything and dedup by post id.
         let start = out.len();
         for bin in &self.clique_bins {
-            out.extend(bin.iter());
+            bin.for_each_record(|r| out.push(r));
         }
         for bin in self.self_bins.values() {
-            out.extend(bin.iter());
+            bin.for_each_record(|r| out.push(r));
         }
         crate::engine::order_window_records_from(out, start);
     }
@@ -274,18 +281,55 @@ impl Diversifier for CliqueBin {
         let clique_ids = self.cover.cliques_of(record.author);
         if clique_ids.is_empty() {
             let hint = self.self_bin_hint();
-            self.self_bins
+            let config = &self.config;
+            let displaced = self
+                .self_bins
                 .entry(record.author)
-                .or_insert_with(|| TimeWindowBin::with_capacity(hint))
+                .or_insert_with(|| CoverageBackend::for_config(config, hint))
                 .push(record);
+            if displaced > 0 {
+                self.metrics.on_evict(displaced);
+            }
             self.metrics.on_insert(1, PostRecord::SIZE_BYTES);
             return;
         }
+        let mut displaced = 0u64;
         for &cid in clique_ids {
-            self.clique_bins[cid as usize].push(record);
+            displaced += self.clique_bins[cid as usize].push(record);
+        }
+        if displaced > 0 {
+            self.metrics.on_evict(displaced);
         }
         self.metrics
             .on_insert(clique_ids.len() as u64, PostRecord::SIZE_BYTES);
+    }
+
+    fn approx_stats(&self) -> Option<firehose_stream::ApproxStats> {
+        if !self.config.memory.is_approx() {
+            return None;
+        }
+        let mut acc = firehose_stream::ApproxStats::default();
+        for bin in &self.clique_bins {
+            acc.merge(&bin.approx_stats()?);
+        }
+        for bin in self.self_bins.values() {
+            acc.merge(&bin.approx_stats()?);
+        }
+        Some(acc)
+    }
+
+    fn estimated_memory_bytes(&self) -> u64 {
+        let cliques: u64 = self
+            .clique_bins
+            .iter()
+            .map(|b| b.estimated_total_bytes() as u64)
+            .sum();
+        let selfs: u64 = self
+            .self_bins
+            .values()
+            .map(|b| b.estimated_total_bytes() as u64)
+            .sum();
+        cliques + selfs
     }
 }
 

@@ -70,6 +70,20 @@ pub trait Diversifier {
         self.metrics().memory_bytes()
     }
 
+    /// Total estimated heap across all bins including any approximate-index
+    /// overhead (tables, metadata); equals [`memory_bytes`](Self::memory_bytes)
+    /// for exact engines. Benchmarks report this so approximate-mode savings
+    /// are not overstated.
+    fn estimated_memory_bytes(&self) -> u64 {
+        self.memory_bytes()
+    }
+
+    /// Lifetime counters of the approximate coverage backend, merged across
+    /// this engine's bins; `None` when the engine runs exact.
+    fn approx_stats(&self) -> Option<firehose_stream::ApproxStats> {
+        None
+    }
+
     /// Attach hot-path instruments: every subsequent
     /// [`offer_record`](Self::offer_record) records its wall-clock latency
     /// and comparison count into the histograms of `obs`. Unattached engines
@@ -140,6 +154,18 @@ impl<D: Diversifier + ?Sized> Diversifier for Box<D> {
 
     fn evict_expired(&mut self, now: firehose_stream::Timestamp) {
         (**self).evict_expired(now)
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        (**self).memory_bytes()
+    }
+
+    fn estimated_memory_bytes(&self) -> u64 {
+        (**self).estimated_memory_bytes()
+    }
+
+    fn approx_stats(&self) -> Option<firehose_stream::ApproxStats> {
+        (**self).approx_stats()
     }
 
     fn attach_obs(&mut self, obs: crate::obs::EngineObs) {

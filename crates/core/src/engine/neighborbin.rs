@@ -10,8 +10,9 @@ use std::sync::Arc;
 
 use firehose_graph::UndirectedGraph;
 use firehose_simhash::{active_kernel, KernelKind};
-use firehose_stream::{PostRecord, TimeWindowBin};
+use firehose_stream::{ApproxCandidate, PostRecord};
 
+use crate::backend::CoverageBackend;
 use crate::config::EngineConfig;
 #[cfg(debug_assertions)]
 use crate::coverage::authors_similar;
@@ -25,7 +26,9 @@ pub struct NeighborBin {
     config: EngineConfig,
     graph: Arc<UndirectedGraph>,
     /// One bin per author id.
-    bins: Vec<TimeWindowBin>,
+    bins: Vec<CoverageBackend>,
+    /// Reusable candidate buffer for approximate-backend probes.
+    scratch: Vec<ApproxCandidate>,
     /// Hamming kernel selected once at construction.
     kernel: KernelKind,
     metrics: EngineMetrics,
@@ -42,12 +45,15 @@ impl NeighborBin {
         let m = graph.node_count();
         let hint = config.window_capacity_hint();
         let bins = (0..m)
-            .map(|a| TimeWindowBin::with_capacity(hint * (graph.degree(a as u32) + 1) / m.max(1)))
+            .map(|a| {
+                CoverageBackend::for_config(&config, hint * (graph.degree(a as u32) + 1) / m.max(1))
+            })
             .collect();
         Self {
             config,
             graph,
             bins,
+            scratch: Vec::new(),
             kernel: active_kernel(),
             metrics: EngineMetrics::default(),
             obs: None,
@@ -60,7 +66,7 @@ impl NeighborBin {
     }
 
     /// Snapshot internals (see `crate::snapshot`).
-    pub(crate) fn parts(&self) -> (&[TimeWindowBin], &EngineMetrics) {
+    pub(crate) fn parts(&self) -> (&[CoverageBackend], &EngineMetrics) {
         (&self.bins, &self.metrics)
     }
 
@@ -68,7 +74,7 @@ impl NeighborBin {
     pub(crate) fn from_parts(
         config: EngineConfig,
         graph: Arc<UndirectedGraph>,
-        bins: Vec<TimeWindowBin>,
+        bins: Vec<CoverageBackend>,
         metrics: EngineMetrics,
     ) -> Self {
         assert_eq!(
@@ -80,6 +86,7 @@ impl NeighborBin {
             config,
             graph,
             bins,
+            scratch: Vec::new(),
             kernel: active_kernel(),
             metrics,
             obs: None,
@@ -102,26 +109,23 @@ impl NeighborBin {
         self.metrics.on_evict(evicted as u64);
 
         // All candidates in the bin are author-similar by construction, so
-        // coverage reduces to the batched Hamming scan: the newest in-window
+        // coverage reduces to the content+time lookup: the newest in-window
         // fingerprint within λc is the post the scalar walk would stop at.
-        let view = bin.window(record.timestamp, t.lambda_t);
         #[cfg(debug_assertions)]
-        for &author in view.authors {
-            debug_assert!(
-                authors_similar(&self.graph, author, record.author),
-                "bin invariant violated: non-similar author {author} in bin {}",
-                record.author
-            );
+        if let Some(exact) = bin.as_exact() {
+            let view = exact.window(record.timestamp, t.lambda_t);
+            for &author in view.authors {
+                debug_assert!(
+                    authors_similar(&self.graph, author, record.author),
+                    "bin invariant violated: non-similar author {author} in bin {}",
+                    record.author
+                );
+            }
         }
-        let found = view.rfind_within(self.kernel, record.fingerprint, t.lambda_c);
-        // Comparisons keep the scalar semantics: records examined newest-first
-        // down to (and including) the covering one, or the whole window.
-        self.metrics.comparisons += match found {
-            Some(pos) => (view.len() - pos) as u64,
-            None => view.len() as u64,
-        };
-        if let Some(pos) = found {
-            let by = view.ids[pos];
+        let (found, comparisons) =
+            bin.find_newest_within(self.kernel, &record, &t, &mut self.scratch);
+        self.metrics.comparisons += comparisons;
+        if let Some(by) = found {
             return Decision::Covered { by };
         }
 
@@ -132,13 +136,13 @@ impl NeighborBin {
         let mut lazily_evicted = 0u64;
         {
             let bin = &mut self.bins[record.author as usize];
-            bin.push(record);
+            lazily_evicted += bin.push(record);
             inserted += 1;
         }
         for &nb in self.graph.neighbors(record.author) {
             let bin = &mut self.bins[nb as usize];
             lazily_evicted += bin.evict_expired(record.timestamp, t.lambda_t) as u64;
-            bin.push(record);
+            lazily_evicted += bin.push(record);
             inserted += 1;
         }
         self.metrics.on_evict(lazily_evicted);
@@ -192,7 +196,8 @@ impl Diversifier for NeighborBin {
         &mut self,
         r: &mut dyn std::io::Read,
     ) -> Result<(), crate::snapshot::SnapshotError> {
-        let (bins, metrics) = crate::snapshot::read_state_neighborbin(r, &self.graph)?;
+        let (bins, metrics) =
+            crate::snapshot::read_state_neighborbin(r, &self.config, &self.graph)?;
         self.bins = bins;
         self.metrics = metrics;
         Ok(())
@@ -207,19 +212,44 @@ impl Diversifier for NeighborBin {
         // author's bin alone already holds one copy of each emission.
         let start = out.len();
         for (a, bin) in self.bins.iter().enumerate() {
-            out.extend(bin.iter().filter(|r| r.author as usize == a));
+            bin.for_each_record(|r| {
+                if r.author as usize == a {
+                    out.push(r);
+                }
+            });
         }
         crate::engine::order_window_records_from(out, start);
     }
 
     fn seed_record(&mut self, record: PostRecord) {
-        self.bins[record.author as usize].push(record);
+        let mut displaced = self.bins[record.author as usize].push(record);
         let mut inserted = 1u64;
         for &nb in self.graph.neighbors(record.author) {
-            self.bins[nb as usize].push(record);
+            displaced += self.bins[nb as usize].push(record);
             inserted += 1;
         }
+        if displaced > 0 {
+            self.metrics.on_evict(displaced);
+        }
         self.metrics.on_insert(inserted, PostRecord::SIZE_BYTES);
+    }
+
+    fn approx_stats(&self) -> Option<firehose_stream::ApproxStats> {
+        if !self.config.memory.is_approx() {
+            return None;
+        }
+        let mut acc = firehose_stream::ApproxStats::default();
+        for bin in &self.bins {
+            acc.merge(&bin.approx_stats()?);
+        }
+        Some(acc)
+    }
+
+    fn estimated_memory_bytes(&self) -> u64 {
+        self.bins
+            .iter()
+            .map(|b| b.estimated_total_bytes() as u64)
+            .sum()
     }
 }
 

@@ -4,8 +4,9 @@ use std::sync::Arc;
 
 use firehose_graph::{AdjacencyBitsets, UndirectedGraph};
 use firehose_simhash::{active_kernel, KernelKind};
-use firehose_stream::{PostRecord, TimeWindowBin};
+use firehose_stream::PostRecord;
 
+use crate::backend::{CoverageBackend, ScanBuffer};
 use crate::config::EngineConfig;
 use crate::decision::Decision;
 use crate::engine::Diversifier;
@@ -23,12 +24,11 @@ use crate::obs::EngineObs;
 pub struct UniBin {
     config: EngineConfig,
     graph: Arc<UndirectedGraph>,
-    bin: TimeWindowBin,
+    bin: CoverageBackend,
     /// O(1) author-similarity rows, built lazily per probed author.
     adjacency: AdjacencyBitsets,
-    /// Scratch for the Hamming prefilter's candidate positions, reused
-    /// across offers so the hot path never allocates.
-    candidates: Vec<u32>,
+    /// Reusable lookup-result buffer, so the hot path never allocates.
+    scan: ScanBuffer,
     /// Hamming kernel selected once at construction (AVX2/NEON when the
     /// host supports it, batched scalar otherwise).
     kernel: KernelKind,
@@ -39,14 +39,14 @@ pub struct UniBin {
 impl UniBin {
     /// New engine over the author similarity graph `G`.
     pub fn new(config: EngineConfig, graph: Arc<UndirectedGraph>) -> Self {
-        let bin = TimeWindowBin::with_capacity(config.window_capacity_hint());
+        let bin = CoverageBackend::for_config(&config, config.window_capacity_hint());
         let adjacency = AdjacencyBitsets::new(graph.node_count());
         Self {
             config,
             graph,
             bin,
             adjacency,
-            candidates: Vec::new(),
+            scan: ScanBuffer::new(),
             kernel: active_kernel(),
             metrics: EngineMetrics::default(),
             obs: None,
@@ -59,7 +59,7 @@ impl UniBin {
     }
 
     /// Snapshot internals (see `crate::snapshot`).
-    pub(crate) fn parts(&self) -> (&TimeWindowBin, &EngineMetrics) {
+    pub(crate) fn parts(&self) -> (&CoverageBackend, &EngineMetrics) {
         (&self.bin, &self.metrics)
     }
 
@@ -67,7 +67,7 @@ impl UniBin {
     pub(crate) fn from_parts(
         config: EngineConfig,
         graph: Arc<UndirectedGraph>,
-        bin: TimeWindowBin,
+        bin: CoverageBackend,
         metrics: EngineMetrics,
     ) -> Self {
         let adjacency = AdjacencyBitsets::new(graph.node_count());
@@ -76,7 +76,7 @@ impl UniBin {
             graph,
             bin,
             adjacency,
-            candidates: Vec::new(),
+            scan: ScanBuffer::new(),
             kernel: active_kernel(),
             metrics,
             obs: None,
@@ -91,47 +91,39 @@ impl UniBin {
         self.metrics.on_evict(evicted as u64);
 
         // Newest-first scan over the λt window (index b down to a in the
-        // paper's circular-array description), run as a batched Hamming
-        // prefilter over the contiguous fingerprint column followed by an
-        // O(1) bitset author check per content candidate. Decision-equivalent
-        // to the scalar walk: candidates come out newest-first and the first
-        // one passing the author check is exactly where the scalar scan
-        // would have stopped.
-        // The view scan consults per-sub-bin popcount ranges: sub-bins whose
-        // popcount class cannot reach λc of the query are skipped wholesale,
-        // the rest run the SIMD (or scalar) kernel — output is identical.
-        let view = self.bin.window(record.timestamp, t.lambda_t);
-        view.filter_within_into(
-            self.kernel,
-            record.fingerprint,
-            t.lambda_c,
-            &mut self.candidates,
-        );
+        // paper's circular-array description). The exact backend runs the
+        // batched Hamming prefilter over the contiguous fingerprint column
+        // (with popcount-class sub-bin pruning), the approximate backend its
+        // prefix-bucket probes; either way candidates arrive newest-first
+        // and the first one passing the O(1) bitset author check is exactly
+        // where the scalar walk would have stopped.
+        self.bin.scan_into(self.kernel, &record, t, &mut self.scan);
         let mut verdict = None;
-        if !self.candidates.is_empty() {
+        if !self.scan.is_empty() {
             let row = self.adjacency.row(&self.graph, record.author);
-            for &pos in &self.candidates {
-                let pos = pos as usize;
-                let author = view.authors[pos];
+            for i in 0..self.scan.len() {
+                let author = self.scan.author(i);
                 if author == record.author || AdjacencyBitsets::test(row, author) {
-                    verdict = Some((view.ids[pos], pos));
+                    verdict = Some((self.scan.id(i), i));
                     break;
                 }
             }
         }
-        // A "comparison" is still one stored record examined by the
-        // newest-first scan: everything newer than the covering record
-        // (inclusive), or the whole window when nothing covers — identical
-        // to the scalar loop's count, reconstructed from the stop position.
-        self.metrics.comparisons += match verdict {
-            Some((_, pos)) => (view.len() - pos) as u64,
-            None => view.len() as u64,
-        };
+        // A "comparison" is one stored record examined: the exact arm
+        // reconstructs the scalar newest-first count from the stop position,
+        // the approximate arm charges its probes' candidate verifications.
+        self.metrics.comparisons += self.scan.comparisons(verdict.map(|(_, i)| i));
         if let Some((by, _)) = verdict {
             return Decision::Covered { by };
         }
 
-        self.bin.push(record);
+        let displaced = self.bin.push(record);
+        if displaced > 0 {
+            // Bounded-retention backends drop their oldest copies to admit
+            // the new one; account those like evictions so copy/memory
+            // gauges stay truthful. Exact backends never displace.
+            self.metrics.on_evict(displaced);
+        }
         self.metrics.on_insert(1, PostRecord::SIZE_BYTES);
         self.metrics.posts_emitted += 1;
         Decision::Emitted
@@ -178,7 +170,7 @@ impl Diversifier for UniBin {
         &mut self,
         r: &mut dyn std::io::Read,
     ) -> Result<(), crate::snapshot::SnapshotError> {
-        let (bin, metrics) = crate::snapshot::read_state_unibin(r, &self.graph)?;
+        let (bin, metrics) = crate::snapshot::read_state_unibin(r, &self.config, &self.graph)?;
         self.bin = bin;
         self.metrics = metrics;
         Ok(())
@@ -190,13 +182,24 @@ impl Diversifier for UniBin {
 
     fn window_records(&self, out: &mut Vec<PostRecord>) {
         let start = out.len();
-        out.extend(self.bin.iter());
+        self.bin.for_each_record(|r| out.push(r));
         crate::engine::order_window_records_from(out, start);
     }
 
     fn seed_record(&mut self, record: PostRecord) {
-        self.bin.push(record);
+        let displaced = self.bin.push(record);
+        if displaced > 0 {
+            self.metrics.on_evict(displaced);
+        }
         self.metrics.on_insert(1, PostRecord::SIZE_BYTES);
+    }
+
+    fn approx_stats(&self) -> Option<firehose_stream::ApproxStats> {
+        self.bin.approx_stats()
+    }
+
+    fn estimated_memory_bytes(&self) -> u64 {
+        self.bin.estimated_total_bytes() as u64
     }
 }
 

@@ -56,6 +56,7 @@
 //! ```
 
 pub mod advisor;
+pub mod backend;
 pub mod baseline;
 pub mod checkpoint;
 pub mod config;
@@ -78,7 +79,9 @@ pub mod stream_ext;
 /// ```
 pub mod prelude {
     pub use crate::checkpoint::{CheckpointManager, CheckpointPolicy};
-    pub use crate::config::{ChurnConfig, EngineConfig, Thresholds};
+    pub use crate::config::{
+        ApproxConfig, ChurnConfig, EngineConfig, EngineConfigBuilder, MemoryMode, Thresholds,
+    };
     pub use crate::decision::Decision;
     pub use crate::engine::{
         build_engine, AlgorithmKind, CliqueBin, Diversifier, NeighborBin, UniBin,
@@ -96,21 +99,26 @@ pub mod prelude {
 }
 
 pub use advisor::{recommend, AdvisorInputs, ThroughputClass};
+pub use backend::{CoverageBackend, ScanBuffer};
 pub use baseline::MaxMinDiversifier;
 pub use checkpoint::{
     restore_latest_valid, restore_latest_valid_multi, CheckpointManager, CheckpointPolicy,
     RestoreError, RestoredEngine,
 };
-pub use config::{ChurnConfig, ConfigError, EngineConfig, Thresholds};
+pub use config::{
+    ApproxConfig, ChurnConfig, ConfigError, EngineConfig, EngineConfigBuilder, MemoryMode,
+    Thresholds,
+};
 pub use costmodel::{CostInputs, CostPrediction};
 pub use coverage::{covers, explain, CoverageExplanation};
 pub use decision::Decision;
 pub use engine::{build_engine, AlgorithmKind, Diversifier};
 pub use metrics::EngineMetrics;
 pub use obs::{
-    export_engine_metrics, export_guard_stats, export_kernel_info, EngineObs, MultiObs, ShardObs,
+    export_engine_metrics, export_guard_stats, export_kernel_info, export_memory_mode, EngineObs,
+    MultiObs, ShardObs,
 };
-pub use quality::{evaluate, QualityReport};
+pub use quality::{evaluate, DeltaBounds, GateVerdict, MetricDelta, QualityGate, QualityReport};
 pub use service::{
     ChurnOp, FirehoseService, OverloadConfig, OverloadPolicy, OverloadStats, RateLimitConfig,
     ResilienceStats, ServiceError, StrategyKind,

@@ -79,6 +79,10 @@ impl CompactEngine {
         self.engine.metrics()
     }
 
+    pub(crate) fn approx_stats(&self) -> Option<firehose_stream::ApproxStats> {
+        self.engine.approx_stats()
+    }
+
     /// Sweep all bins of the wrapped engine.
     pub(crate) fn evict_expired(&mut self, now: firehose_stream::Timestamp) {
         self.engine.evict_expired(now);
@@ -445,6 +449,18 @@ impl MultiDiversifier for IndependentMulti {
         total.peak_memory_bytes =
             total.peak_copies * firehose_stream::PostRecord::SIZE_BYTES as u64;
         total
+    }
+
+    fn approx_stats(&self) -> Option<firehose_stream::ApproxStats> {
+        let mut acc = firehose_stream::ApproxStats::default();
+        let mut any = false;
+        for e in &self.engines {
+            if let Some(s) = e.approx_stats() {
+                acc.merge(&s);
+                any = true;
+            }
+        }
+        any.then_some(acc)
     }
 
     fn name(&self) -> String {

@@ -235,6 +235,15 @@ pub trait MultiDiversifier {
         self.metrics().memory_bytes()
     }
 
+    /// Aggregated approximate-backend counters across all internal engines.
+    /// `None` when engines run exact — and for the thread-backed strategies
+    /// (`P_*`, `Sh_*`), which do not ship per-engine probe counters across
+    /// their shard channels; the `firehose_memory_mode` gauge still reports
+    /// the configured mode there.
+    fn approx_stats(&self) -> Option<firehose_stream::ApproxStats> {
+        None
+    }
+
     /// Serialize the strategy's mutable state in the FHSNAP04 layout: the
     /// churn ledger, the **current** subscription relation, the sweep
     /// ledger, and every live engine's state keyed independently of

@@ -384,6 +384,20 @@ impl ComponentRegistry {
         total
     }
 
+    /// Aggregated approximate-backend counters across all live engines;
+    /// `None` when engines run exact.
+    pub(crate) fn approx_stats_total(&self) -> Option<firehose_stream::ApproxStats> {
+        let mut acc = firehose_stream::ApproxStats::default();
+        let mut any = false;
+        for e in self.engines.iter().flatten() {
+            if let Some(s) = e.approx_stats() {
+                acc.merge(&s);
+                any = true;
+            }
+        }
+        any.then_some(acc)
+    }
+
     /// Serialize in the FHSNAP04 layout: engines keyed by the hash of their
     /// member list, independent of slot assignment and churn history.
     pub(crate) fn save_state(&self, w: &mut dyn std::io::Write) -> std::io::Result<()> {

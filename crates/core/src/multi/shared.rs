@@ -225,6 +225,10 @@ impl MultiDiversifier for SharedMulti {
         self.registry.metrics_total()
     }
 
+    fn approx_stats(&self) -> Option<firehose_stream::ApproxStats> {
+        self.registry.approx_stats_total()
+    }
+
     fn name(&self) -> String {
         format!("S_{}", self.registry.kind())
     }

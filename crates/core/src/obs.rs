@@ -261,6 +261,74 @@ pub fn export_kernel_info(registry: &Registry) -> &'static str {
     kernel
 }
 
+/// Export the engine memory mode into `registry` as an info-style gauge
+/// `firehose_memory_mode{mode="exact|approx"} 1`, plus — in approximate
+/// mode — the configured knobs and, when `stats` is supplied, the
+/// approximate backends' lifetime probe/displacement counters. Called at
+/// reporting time, not per post; re-export is idempotent.
+pub fn export_memory_mode(
+    registry: &Registry,
+    mode: &crate::config::MemoryMode,
+    stats: Option<firehose_stream::ApproxStats>,
+) -> &'static str {
+    let name = mode.name();
+    registry
+        .gauge(
+            "firehose_memory_mode",
+            "Coverage memory mode selected at startup (1 = active)",
+            labels(&[("mode", name)]),
+        )
+        .set(1);
+    if let crate::config::MemoryMode::Approx(approx) = mode {
+        for (gauge, help, value) in [
+            (
+                "firehose_approx_probes",
+                "Configured prefix-probe count per approximate lookup",
+                u64::from(approx.probes()),
+            ),
+            (
+                "firehose_approx_bucket_budget",
+                "Configured retained-record cap per approximate time bucket",
+                u64::from(approx.bucket_budget()),
+            ),
+            (
+                "firehose_approx_granularity",
+                "Configured time buckets per λt window in approximate mode",
+                u64::from(approx.granularity()),
+            ),
+        ] {
+            registry.gauge(gauge, help, labels(&[])).set(value as i64);
+        }
+    }
+    if let Some(s) = stats {
+        for (counter, help, value) in [
+            (
+                "firehose_approx_probes_total",
+                "Prefix-table lookups performed by approximate bins",
+                s.probes_run,
+            ),
+            (
+                "firehose_approx_candidates_probed_total",
+                "Candidate verifications performed across approximate lookups",
+                s.candidates_probed,
+            ),
+            (
+                "firehose_approx_displaced_total",
+                "Records dropped by approximate bucket retention caps",
+                s.displaced,
+            ),
+            (
+                "firehose_approx_retained_records",
+                "Records currently retained across approximate bins",
+                s.retained,
+            ),
+        ] {
+            registry.counter(counter, help, labels(&[])).set(value);
+        }
+    }
+    name
+}
+
 /// Export an ingest-guard [`QuarantineStats`](firehose_stream::QuarantineStats)
 /// snapshot into `registry` as counters labelled `{stream="<label>"}` (and
 /// `{stream, reason}` for the per-reason quarantine counts). Called at
@@ -396,6 +464,46 @@ mod tests {
         );
         // Idempotent re-export.
         assert_eq!(export_kernel_info(&r), kernel);
+    }
+
+    #[test]
+    fn memory_mode_exported_with_approx_counters() {
+        use crate::config::{ApproxConfig, MemoryMode};
+
+        let r = Registry::new();
+        assert_eq!(export_memory_mode(&r, &MemoryMode::Exact, None), "exact");
+        let text = r.render_prometheus();
+        assert!(
+            text.contains("firehose_memory_mode{mode=\"exact\"} 1"),
+            "{text}"
+        );
+        assert!(!text.contains("firehose_approx_probes_total"), "{text}");
+
+        let r = Registry::new();
+        let mode = MemoryMode::Approx(ApproxConfig::new(4, 16, 8).unwrap());
+        let stats = firehose_stream::ApproxStats {
+            probes_run: 7,
+            candidates_probed: 21,
+            displaced: 3,
+            retained: 5,
+        };
+        assert_eq!(export_memory_mode(&r, &mode, Some(stats)), "approx");
+        let text = r.render_prometheus();
+        assert!(
+            text.contains("firehose_memory_mode{mode=\"approx\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("firehose_approx_bucket_budget 16"), "{text}");
+        assert!(text.contains("firehose_approx_probes_total 7"), "{text}");
+        assert!(
+            text.contains("firehose_approx_candidates_probed_total 21"),
+            "{text}"
+        );
+        assert!(text.contains("firehose_approx_displaced_total 3"), "{text}");
+        assert!(
+            text.contains("firehose_approx_retained_records 5"),
+            "{text}"
+        );
     }
 
     #[test]

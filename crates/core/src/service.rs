@@ -54,7 +54,7 @@ use firehose_stream::{
 use crate::checkpoint::{
     restore_latest_valid_multi, CheckpointManager, CheckpointPolicy, Manifest, RestoreError,
 };
-use crate::config::{ChurnConfig, EngineConfig};
+use crate::config::{ChurnConfig, EngineConfig, MemoryMode};
 use crate::engine::AlgorithmKind;
 use crate::metrics::EngineMetrics;
 use crate::multi::{
@@ -567,6 +567,14 @@ impl<'g> FirehoseServiceBuilder<'g> {
         self
     }
 
+    /// Pick the coverage memory mode for every component engine (default
+    /// [`MemoryMode::Exact`]). Shorthand for rewriting the engine config's
+    /// `memory` field.
+    pub fn memory(mut self, memory: MemoryMode) -> Self {
+        self.config.memory = memory;
+        self
+    }
+
     /// Set churn behavior (default [`ChurnConfig::default`]: warm starts on).
     pub fn churn_config(mut self, churn: ChurnConfig) -> Self {
         self.churn = churn;
@@ -627,6 +635,7 @@ impl<'g> FirehoseServiceBuilder<'g> {
     /// directory, and arms the guard.
     pub fn build(self) -> Result<FirehoseService, ServiceError> {
         let warm = self.churn.warm_start;
+        let memory = self.config.memory;
         let mut multi: Box<dyn MultiDiversifier + Send> = match self.strategy {
             StrategyKind::Independent => {
                 let mut m = IndependentMulti::builder(
@@ -726,6 +735,7 @@ impl<'g> FirehoseServiceBuilder<'g> {
             guard,
             manager,
             strategy: self.strategy,
+            memory,
             admitted: Vec::new(),
             decision: MultiDecision::default(),
             overload: self.overload,
@@ -753,6 +763,8 @@ pub struct FirehoseService {
     guard: Option<IngestGuard>,
     manager: Option<CheckpointManager>,
     strategy: StrategyKind,
+    /// Coverage-store memory mode every component engine was built with.
+    memory: MemoryMode,
     /// Guard output scratch, reused across `process` calls.
     admitted: Vec<Post>,
     /// Decision scratch, reused across `process` calls (the
@@ -1244,6 +1256,17 @@ impl FirehoseService {
     /// Aggregated engine metrics across all component engines.
     pub fn metrics(&self) -> EngineMetrics {
         self.multi.metrics()
+    }
+
+    /// Coverage-store memory mode every component engine runs with.
+    pub fn memory_mode(&self) -> MemoryMode {
+        self.memory
+    }
+
+    /// Aggregated approximate-backend counters; `None` in exact mode and
+    /// for thread-backed strategies (see [`MultiDiversifier::approx_stats`]).
+    pub fn approx_stats(&self) -> Option<firehose_stream::ApproxStats> {
+        self.multi.approx_stats()
     }
 
     /// Lifetime churn-operation counters.

@@ -24,11 +24,12 @@ use std::sync::Arc;
 
 use firehose_graph::{CliqueCover, UndirectedGraph};
 use firehose_simhash::SimHashOptions;
-use firehose_stream::{AuthorId, PostRecord, TimeWindowBin};
+use firehose_stream::{AuthorId, PostRecord};
 use firehose_text::tokenize::TokenWeights;
 use firehose_text::NormalizeOptions;
 
-use crate::config::{EngineConfig, Thresholds};
+use crate::backend::CoverageBackend;
+use crate::config::{ApproxConfig, EngineConfig, MemoryMode, Thresholds};
 use crate::engine::{CliqueBin, Diversifier, NeighborBin, UniBin};
 use crate::metrics::EngineMetrics;
 
@@ -39,6 +40,12 @@ const MAGIC_V3: &[u8; 8] = b"FHSNAP03";
 pub(crate) const TAG_UNIBIN: u8 = 1;
 pub(crate) const TAG_NEIGHBORBIN: u8 = 2;
 pub(crate) const TAG_CLIQUEBIN: u8 = 3;
+
+/// Marker prefixing an optional memory-mode section in the config header.
+/// It occupies the `λc` position and can never collide with a real `λc`
+/// (validated ≤ 64), so exact-mode snapshots stay byte-identical to the
+/// pre-approx format and legacy readers' configs parse unchanged.
+const MEMORY_MODE_SENTINEL: u32 = 0xFFFF_FFFF;
 
 /// Snapshot/checkpoint tag identifying an [`AlgorithmKind`].
 pub(crate) fn tag_for(kind: crate::engine::AlgorithmKind) -> u8 {
@@ -145,6 +152,12 @@ fn r_bool<R: Read + ?Sized>(r: &mut R) -> io::Result<bool> {
 }
 
 pub(crate) fn write_config<W: Write + ?Sized>(w: &mut W, c: &EngineConfig) -> io::Result<()> {
+    if let MemoryMode::Approx(approx) = c.memory {
+        w_u32(w, MEMORY_MODE_SENTINEL)?;
+        w_u32(w, approx.probes())?;
+        w_u32(w, approx.bucket_budget())?;
+        w_u32(w, approx.granularity())?;
+    }
     w_u32(w, c.thresholds.lambda_c)?;
     w_u64(w, c.thresholds.lambda_t)?;
     w_f64(w, c.thresholds.lambda_a)?;
@@ -163,7 +176,17 @@ pub(crate) fn write_config<W: Write + ?Sized>(w: &mut W, c: &EngineConfig) -> io
 }
 
 pub(crate) fn read_config<R: Read + ?Sized>(r: &mut R) -> Result<EngineConfig, SnapshotError> {
-    let lambda_c = r_u32(r)?;
+    let first = r_u32(r)?;
+    let (memory, lambda_c) = if first == MEMORY_MODE_SENTINEL {
+        let probes = r_u32(r)?;
+        let bucket_budget = r_u32(r)?;
+        let granularity = r_u32(r)?;
+        let approx = ApproxConfig::new(probes, bucket_budget, granularity)
+            .map_err(SnapshotError::BadConfig)?;
+        (MemoryMode::Approx(approx), r_u32(r)?)
+    } else {
+        (MemoryMode::Exact, first)
+    };
     let lambda_t = r_u64(r)?;
     let lambda_a = r_f64(r)?;
     let thresholds =
@@ -190,6 +213,7 @@ pub(crate) fn read_config<R: Read + ?Sized>(r: &mut R) -> Result<EngineConfig, S
             ngram,
         },
         expected_rate,
+        memory,
     })
 }
 
@@ -222,23 +246,37 @@ fn read_metrics<R: Read + ?Sized>(r: &mut R) -> io::Result<EngineMetrics> {
     })
 }
 
-fn write_bin<W: Write + ?Sized>(w: &mut W, bin: &TimeWindowBin) -> io::Result<()> {
+fn write_bin<W: Write + ?Sized>(w: &mut W, bin: &CoverageBackend) -> io::Result<()> {
     w_u32(w, bin.len() as u32)?;
-    for record in bin.iter() {
-        w_u64(w, record.id)?;
-        w_u32(w, record.author)?;
-        w_u64(w, record.timestamp)?;
-        w_u64(w, record.fingerprint)?;
+    let mut err = None;
+    bin.for_each_record(|record| {
+        if err.is_some() {
+            return;
+        }
+        err = [
+            w_u64(w, record.id),
+            w_u32(w, record.author),
+            w_u64(w, record.timestamp),
+            w_u64(w, record.fingerprint),
+        ]
+        .into_iter()
+        .find_map(Result::err);
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
     }
-    Ok(())
 }
 
-fn read_bin<R: Read + ?Sized>(r: &mut R) -> Result<TimeWindowBin, SnapshotError> {
+fn read_bin<R: Read + ?Sized>(
+    r: &mut R,
+    config: &EngineConfig,
+) -> Result<CoverageBackend, SnapshotError> {
     let len = r_u32(r)?;
     // Reserve at most MAX_PREALLOC records up front: `len` is untrusted
     // (a flipped bit in a length field must not become a multi-GB
     // allocation); a lying length fails the per-record reads instead.
-    let mut bin = TimeWindowBin::with_capacity((len as usize).min(MAX_PREALLOC));
+    let mut bin = CoverageBackend::for_config(config, (len as usize).min(MAX_PREALLOC));
     let mut prev = 0u64;
     for _ in 0..len {
         let record = PostRecord {
@@ -253,6 +291,8 @@ fn read_bin<R: Read + ?Sized>(r: &mut R) -> Result<TimeWindowBin, SnapshotError>
             ));
         }
         prev = record.timestamp;
+        // Re-inserting the saved suffix cannot displace: the saved contents
+        // already satisfied the retention caps they are restored under.
         bin.push(record);
     }
     Ok(bin)
@@ -264,16 +304,16 @@ fn read_bin<R: Read + ?Sized>(r: &mut R) -> Result<TimeWindowBin, SnapshotError>
 /// unique record once (first-seen order, keyed by post id) followed by one
 /// `u32` index list per bin, shrinking the state by roughly the average
 /// degree — which is what makes the default checkpoint cadence cheap.
-fn write_bins_dedup<W: Write + ?Sized>(w: &mut W, bins: &[&TimeWindowBin]) -> io::Result<()> {
+fn write_bins_dedup<W: Write + ?Sized>(w: &mut W, bins: &[&CoverageBackend]) -> io::Result<()> {
     let mut index_of: HashMap<u64, u32> = HashMap::new();
     let mut uniques: Vec<PostRecord> = Vec::new();
     for bin in bins {
-        for record in bin.iter() {
+        bin.for_each_record(|record| {
             index_of.entry(record.id).or_insert_with(|| {
                 uniques.push(record);
                 (uniques.len() - 1) as u32
             });
-        }
+        });
     }
     w_u32(w, uniques.len() as u32)?;
     for record in &uniques {
@@ -284,8 +324,14 @@ fn write_bins_dedup<W: Write + ?Sized>(w: &mut W, bins: &[&TimeWindowBin]) -> io
     }
     for bin in bins {
         w_u32(w, bin.len() as u32)?;
-        for record in bin.iter() {
-            w_u32(w, index_of[&record.id])?;
+        let mut err = None;
+        bin.for_each_record(|record| {
+            if err.is_none() {
+                err = w_u32(w, index_of[&record.id]).err();
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
         }
     }
     Ok(())
@@ -296,9 +342,10 @@ fn write_bins_dedup<W: Write + ?Sized>(w: &mut W, bins: &[&TimeWindowBin]) -> io
 /// beyond `author_count` and out-of-time-order bins are rejected.
 fn read_bins_dedup<R: Read + ?Sized>(
     r: &mut R,
+    config: &EngineConfig,
     bin_count: usize,
     author_count: usize,
-) -> Result<Vec<TimeWindowBin>, SnapshotError> {
+) -> Result<Vec<CoverageBackend>, SnapshotError> {
     let unique_count = r_u32(r)? as usize;
     let mut uniques = Vec::with_capacity(unique_count.min(MAX_PREALLOC));
     for _ in 0..unique_count {
@@ -318,7 +365,7 @@ fn read_bins_dedup<R: Read + ?Sized>(
     let mut bins = Vec::with_capacity(bin_count.min(MAX_PREALLOC));
     for _ in 0..bin_count {
         let len = r_u32(r)? as usize;
-        let mut bin = TimeWindowBin::with_capacity(len.min(MAX_PREALLOC));
+        let mut bin = CoverageBackend::for_config(config, len.min(MAX_PREALLOC));
         let mut prev = 0u64;
         for _ in 0..len {
             let idx = r_u32(r)? as usize;
@@ -366,7 +413,7 @@ fn read_header<R: Read + ?Sized>(
 
 pub(crate) fn write_state_unibin<W: Write + ?Sized>(
     w: &mut W,
-    bin: &TimeWindowBin,
+    bin: &CoverageBackend,
     metrics: &EngineMetrics,
 ) -> io::Result<()> {
     write_metrics(w, metrics)?;
@@ -375,35 +422,39 @@ pub(crate) fn write_state_unibin<W: Write + ?Sized>(
 
 pub(crate) fn read_state_unibin<R: Read + ?Sized>(
     r: &mut R,
+    config: &EngineConfig,
     graph: &UndirectedGraph,
-) -> Result<(TimeWindowBin, EngineMetrics), SnapshotError> {
+) -> Result<(CoverageBackend, EngineMetrics), SnapshotError> {
     let metrics = read_metrics(r)?;
-    let bin = read_bin(r)?;
-    for record in bin.iter() {
-        if record.author as usize >= graph.node_count() {
-            return Err(SnapshotError::StructureMismatch(
-                "record author outside graph",
-            ));
-        }
+    let bin = read_bin(r, config)?;
+    let mut bad_author = false;
+    bin.for_each_record(|record| {
+        bad_author |= record.author as usize >= graph.node_count();
+    });
+    if bad_author {
+        return Err(SnapshotError::StructureMismatch(
+            "record author outside graph",
+        ));
     }
     Ok((bin, metrics))
 }
 
 pub(crate) fn write_state_neighborbin<W: Write + ?Sized>(
     w: &mut W,
-    bins: &[TimeWindowBin],
+    bins: &[CoverageBackend],
     metrics: &EngineMetrics,
 ) -> io::Result<()> {
     write_metrics(w, metrics)?;
     w_u32(w, bins.len() as u32)?;
-    let refs: Vec<&TimeWindowBin> = bins.iter().collect();
+    let refs: Vec<&CoverageBackend> = bins.iter().collect();
     write_bins_dedup(w, &refs)
 }
 
 pub(crate) fn read_state_neighborbin<R: Read + ?Sized>(
     r: &mut R,
+    config: &EngineConfig,
     graph: &UndirectedGraph,
-) -> Result<(Vec<TimeWindowBin>, EngineMetrics), SnapshotError> {
+) -> Result<(Vec<CoverageBackend>, EngineMetrics), SnapshotError> {
     let metrics = read_metrics(r)?;
     let count = r_u32(r)? as usize;
     if count != graph.node_count() {
@@ -411,15 +462,15 @@ pub(crate) fn read_state_neighborbin<R: Read + ?Sized>(
             "bin count != author count",
         ));
     }
-    let bins = read_bins_dedup(r, count, graph.node_count())?;
+    let bins = read_bins_dedup(r, config, count, graph.node_count())?;
     Ok((bins, metrics))
 }
 
 #[allow(clippy::type_complexity)]
 pub(crate) fn write_state_cliquebin<W: Write + ?Sized>(
     w: &mut W,
-    clique_bins: &[TimeWindowBin],
-    self_bins: &HashMap<AuthorId, TimeWindowBin>,
+    clique_bins: &[CoverageBackend],
+    self_bins: &HashMap<AuthorId, CoverageBackend>,
     metrics: &EngineMetrics,
 ) -> io::Result<()> {
     write_metrics(w, metrics)?;
@@ -432,7 +483,7 @@ pub(crate) fn write_state_cliquebin<W: Write + ?Sized>(
     }
     // One unique table shared by clique bins and self bins: a record lives
     // in every covering clique *and* its author's self bin.
-    let mut refs: Vec<&TimeWindowBin> = clique_bins.iter().collect();
+    let mut refs: Vec<&CoverageBackend> = clique_bins.iter().collect();
     refs.extend(authors.iter().map(|a| &self_bins[a]));
     write_bins_dedup(w, &refs)
 }
@@ -440,12 +491,13 @@ pub(crate) fn write_state_cliquebin<W: Write + ?Sized>(
 #[allow(clippy::type_complexity)]
 pub(crate) fn read_state_cliquebin<R: Read + ?Sized>(
     r: &mut R,
+    config: &EngineConfig,
     author_count: usize,
     cover: &CliqueCover,
 ) -> Result<
     (
-        Vec<TimeWindowBin>,
-        HashMap<AuthorId, TimeWindowBin>,
+        Vec<CoverageBackend>,
+        HashMap<AuthorId, CoverageBackend>,
         EngineMetrics,
     ),
     SnapshotError,
@@ -475,8 +527,8 @@ pub(crate) fn read_state_cliquebin<R: Read + ?Sized>(
         prev = Some(author);
         authors.push(author);
     }
-    let mut bins = read_bins_dedup(r, clique_count + self_count, author_count)?;
-    let self_bins: HashMap<AuthorId, TimeWindowBin> = authors
+    let mut bins = read_bins_dedup(r, config, clique_count + self_count, author_count)?;
+    let self_bins: HashMap<AuthorId, CoverageBackend> = authors
         .into_iter()
         .zip(bins.drain(clique_count..))
         .collect();
@@ -502,7 +554,7 @@ pub fn restore_unibin<R: Read>(
     graph: Arc<UndirectedGraph>,
 ) -> Result<UniBin, SnapshotError> {
     let config = read_header(r, TAG_UNIBIN)?;
-    let (bin, metrics) = read_state_unibin(r, &graph)?;
+    let (bin, metrics) = read_state_unibin(r, &config, &graph)?;
     Ok(UniBin::from_parts(config, graph, bin, metrics))
 }
 
@@ -522,7 +574,7 @@ pub fn restore_neighborbin<R: Read>(
     graph: Arc<UndirectedGraph>,
 ) -> Result<NeighborBin, SnapshotError> {
     let config = read_header(r, TAG_NEIGHBORBIN)?;
-    let (bins, metrics) = read_state_neighborbin(r, &graph)?;
+    let (bins, metrics) = read_state_neighborbin(r, &config, &graph)?;
     Ok(NeighborBin::from_parts(config, graph, bins, metrics))
 }
 
@@ -543,7 +595,8 @@ pub fn restore_cliquebin<R: Read>(
     cover: Arc<CliqueCover>,
 ) -> Result<CliqueBin, SnapshotError> {
     let config = read_header(r, TAG_CLIQUEBIN)?;
-    let (clique_bins, self_bins, metrics) = read_state_cliquebin(r, graph.node_count(), &cover)?;
+    let (clique_bins, self_bins, metrics) =
+        read_state_cliquebin(r, &config, graph.node_count(), &cover)?;
     Ok(CliqueBin::from_parts(
         config,
         graph,
@@ -653,12 +706,64 @@ mod tests {
                 ngram: 2,
             },
             expected_rate: 12.5,
+            memory: MemoryMode::Exact,
         };
         let engine = UniBin::new(custom, graph());
         let mut buf = Vec::new();
         snapshot_unibin(&engine, &mut buf).unwrap();
         let restored = restore_unibin(&mut buf.as_slice(), graph()).unwrap();
         assert_eq!(restored.config(), &custom);
+    }
+
+    #[test]
+    fn approx_config_survives_roundtrip_via_sentinel() {
+        let mut custom = config();
+        custom.memory = MemoryMode::Approx(crate::config::ApproxConfig::new(6, 32, 12).unwrap());
+        let engine = UniBin::new(custom, graph());
+        let mut buf = Vec::new();
+        snapshot_unibin(&engine, &mut buf).unwrap();
+        let restored = restore_unibin(&mut buf.as_slice(), graph()).unwrap();
+        assert_eq!(restored.config(), &custom);
+    }
+
+    #[test]
+    fn exact_snapshot_layout_has_no_sentinel() {
+        // Exact-mode snapshots must stay byte-identical to the pre-approx
+        // format: the first config word is the real λc, not the marker.
+        let engine = UniBin::new(config(), graph());
+        let mut buf = Vec::new();
+        snapshot_unibin(&engine, &mut buf).unwrap();
+        // magic (8) + tag (1), then λc as LE u32.
+        assert_eq!(u32::from_le_bytes(buf[9..13].try_into().unwrap()), 18);
+    }
+
+    #[test]
+    fn approx_engines_roundtrip_preserves_future_decisions() {
+        let mut cfg = config();
+        cfg.memory = MemoryMode::Approx(crate::config::ApproxConfig::default());
+        let mut original = UniBin::new(cfg, graph());
+        for p in posts(0..40) {
+            original.offer(&p);
+        }
+        let mut buf = Vec::new();
+        snapshot_unibin(&original, &mut buf).unwrap();
+        let mut restored = restore_unibin(&mut buf.as_slice(), graph()).unwrap();
+        assert_eq!(restored.metrics(), original.metrics());
+        for p in posts(40..80) {
+            assert_eq!(restored.offer(&p), original.offer(&p), "post {}", p.id);
+        }
+        assert_eq!(restored.metrics(), original.metrics());
+
+        let mut original = NeighborBin::new(cfg, graph());
+        for p in posts(0..40) {
+            original.offer(&p);
+        }
+        let mut buf = Vec::new();
+        snapshot_neighborbin(&original, &mut buf).unwrap();
+        let mut restored = restore_neighborbin(&mut buf.as_slice(), graph()).unwrap();
+        for p in posts(40..80) {
+            assert_eq!(restored.offer(&p), original.offer(&p), "post {}", p.id);
+        }
     }
 
     #[test]

@@ -885,6 +885,11 @@ impl ServiceState {
     /// `GET /metrics`: refresh the exported snapshots and render.
     fn handle_metrics(&mut self) -> Handled {
         firehose_core::obs::export_kernel_info(&self.registry);
+        firehose_core::obs::export_memory_mode(
+            &self.registry,
+            &self.service.memory_mode(),
+            self.service.approx_stats(),
+        );
         firehose_core::obs::export_engine_metrics(
             &self.registry,
             &self.service.name(),

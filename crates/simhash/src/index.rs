@@ -138,15 +138,23 @@ struct Table {
 
 /// A Manku-style multi-table Hamming index over 64-bit fingerprints.
 ///
-/// Entries are identified by the dense `u32` id returned from [`insert`].
+/// Entries are identified by the `u32` slot id returned from [`insert`].
+/// [`retire`] frees a slot; freed slots are reused by later inserts, so the
+/// id space stays dense under sliding-window churn (the approximate coverage
+/// backend retires expired records continuously).
 ///
 /// [`insert`]: HammingIndex::insert
+/// [`retire`]: HammingIndex::retire
 pub struct HammingIndex {
     k: u32,
     /// `(shift, width)` per block, most significant block first.
     block_bits: Vec<(u8, u8)>,
     tables: Vec<Table>,
     entries: Vec<Fingerprint>,
+    /// Liveness flag per slot; retired slots stay allocated until reused.
+    live: Vec<bool>,
+    /// Retired slot ids available for reuse, LIFO.
+    free: Vec<u32>,
 }
 
 /// Hard cap on table count: beyond this the index is plainly infeasible and
@@ -206,6 +214,8 @@ impl HammingIndex {
                         block_bits,
                         tables,
                         entries: Vec::new(),
+                        live: Vec::new(),
+                        free: Vec::new(),
                     });
                 }
                 i -= 1;
@@ -230,14 +240,23 @@ impl HammingIndex {
         self.tables.len()
     }
 
-    /// Number of stored fingerprints.
+    /// Number of live (non-retired) fingerprints.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries.len() - self.free.len()
     }
 
-    /// True when no fingerprints are stored.
+    /// True when no live fingerprints are stored.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
+    }
+
+    /// Estimated heap bytes of the index structure itself: slot storage plus
+    /// one id per table per live entry (with an allowance for hash-map node
+    /// overhead). Excludes the caller's per-record metadata.
+    pub fn estimated_bytes(&self) -> usize {
+        const PER_TABLE_ID_BYTES: usize = 12; // u32 id + amortized map overhead
+        self.entries.len() * (std::mem::size_of::<Fingerprint>() + 1)
+            + self.len() * self.tables.len() * PER_TABLE_ID_BYTES
     }
 
     /// Extract the key of `fp` for the table's block combination.
@@ -255,10 +274,22 @@ impl HammingIndex {
         key
     }
 
-    /// Insert a fingerprint, returning its dense id.
+    /// Insert a fingerprint, returning its slot id. Retired slots are reused
+    /// before the slot table grows.
     pub fn insert(&mut self, fp: Fingerprint) -> u32 {
-        let id = u32::try_from(self.entries.len()).expect("index capacity exceeded");
-        self.entries.push(fp);
+        let id = match self.free.pop() {
+            Some(slot) => {
+                self.entries[slot as usize] = fp;
+                self.live[slot as usize] = true;
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.entries.len()).expect("index capacity exceeded");
+                self.entries.push(fp);
+                self.live.push(true);
+                slot
+            }
+        };
         for t in 0..self.tables.len() {
             let key = self.key(&self.tables[t], fp);
             self.tables[t].map.entry(key).or_default().push(id);
@@ -266,35 +297,76 @@ impl HammingIndex {
         id
     }
 
-    /// Ids of all stored fingerprints within distance `k` of `query`,
-    /// ascending and deduplicated.
-    pub fn query(&self, query: Fingerprint) -> Vec<u32> {
-        self.query_with_stats(query).0
+    /// Remove the entry stored under `id`, freeing its slot for reuse.
+    /// Returns `false` if the slot was already retired or never allocated.
+    pub fn retire(&mut self, id: u32) -> bool {
+        let Some(live) = self.live.get_mut(id as usize) else {
+            return false;
+        };
+        if !*live {
+            return false;
+        }
+        *live = false;
+        let fp = self.entries[id as usize];
+        for t in 0..self.tables.len() {
+            let key = self.key(&self.tables[t], fp);
+            if let std::collections::hash_map::Entry::Occupied(mut bucket) =
+                self.tables[t].map.entry(key)
+            {
+                // Bucket order is irrelevant (queries sort), so swap_remove.
+                let ids = bucket.get_mut();
+                if let Some(pos) = ids.iter().position(|&x| x == id) {
+                    ids.swap_remove(pos);
+                }
+                if ids.is_empty() {
+                    bucket.remove();
+                }
+            }
+        }
+        self.free.push(id);
+        true
     }
 
-    /// Like [`query`](Self::query), additionally returning the number of
-    /// candidate verifications performed (the ablation's cost metric).
-    pub fn query_with_stats(&self, query: Fingerprint) -> (Vec<u32>, usize) {
-        let mut matches: Vec<u32> = Vec::new();
+    /// Collect the slot ids of all live fingerprints within distance `k` of
+    /// `query` into `out` (cleared first), ascending and deduplicated.
+    /// Returns the number of candidate verifications performed — the scan
+    /// cost an exact backend would report as comparisons.
+    pub fn query_into(&self, query: Fingerprint, out: &mut Vec<u32>) -> usize {
+        self.query_within_into(query, self.k, out)
+    }
+
+    /// Like [`query_into`](Self::query_into) but verifies candidates at
+    /// distance `d` instead of the index distance `k`. For `d > k` this
+    /// widens the answer past the pigeonhole guarantee: every live entry
+    /// within distance `k` is still found, and entries at distance `k+1..=d`
+    /// are found iff they collide with the query in at least one prefix
+    /// table — the recall trade the approximate coverage backend makes to
+    /// answer λc-wide lookups from a small fixed table layout.
+    pub fn query_within_into(&self, query: Fingerprint, d: u32, out: &mut Vec<u32>) -> usize {
+        out.clear();
         let mut probed = 0usize;
         for table in &self.tables {
             if let Some(bucket) = table.map.get(&self.key(table, query)) {
                 probed += bucket.len();
                 for &id in bucket {
-                    if within_distance(self.entries[id as usize], query, self.k) {
-                        matches.push(id);
+                    if within_distance(self.entries[id as usize], query, d) {
+                        out.push(id);
                     }
                 }
             }
         }
-        matches.sort_unstable();
-        matches.dedup();
-        (matches, probed)
+        out.sort_unstable();
+        out.dedup();
+        probed
     }
 
-    /// Fingerprint stored under `id`.
+    /// Fingerprint stored under `id`; `None` for retired or unallocated slots.
     pub fn get(&self, id: u32) -> Option<Fingerprint> {
-        self.entries.get(id as usize).copied()
+        if *self.live.get(id as usize)? {
+            Some(self.entries[id as usize])
+        } else {
+            None
+        }
     }
 }
 
@@ -312,6 +384,13 @@ mod tests {
             .filter(|&(_, &fp)| hamming_distance(fp, query) <= k)
             .map(|(i, _)| i as u32)
             .collect()
+    }
+
+    /// Test convenience over the buffer-reuse API.
+    fn query(idx: &HammingIndex, q: u64) -> Vec<u32> {
+        let mut out = Vec::new();
+        idx.query_into(q, &mut out);
+        out
     }
 
     #[test]
@@ -366,7 +445,7 @@ mod tests {
     fn exact_duplicate_found() {
         let mut idx = HammingIndex::new(3).unwrap();
         let id = idx.insert(0xDEAD_BEEF_DEAD_BEEF);
-        assert_eq!(idx.query(0xDEAD_BEEF_DEAD_BEEF), vec![id]);
+        assert_eq!(query(&idx, 0xDEAD_BEEF_DEAD_BEEF), vec![id]);
     }
 
     #[test]
@@ -374,14 +453,14 @@ mod tests {
         let mut idx = HammingIndex::new(3).unwrap();
         let base = 0x0123_4567_89AB_CDEFu64;
         idx.insert(base);
-        assert_eq!(idx.query(base ^ 0b111), vec![0]); // distance 3
-        assert!(idx.query(base ^ 0b1111).is_empty()); // distance 4
+        assert_eq!(query(&idx, base ^ 0b111), vec![0]); // distance 3
+        assert!(query(&idx, base ^ 0b1111).is_empty()); // distance 4
     }
 
     #[test]
     fn empty_index_returns_nothing() {
         let idx = HammingIndex::new(5).unwrap();
-        assert!(idx.query(12345).is_empty());
+        assert!(query(&idx, 12345).is_empty());
         assert!(idx.is_empty());
     }
 
@@ -393,6 +472,70 @@ mod tests {
         assert_eq!(idx.get(id + 1), None);
     }
 
+    #[test]
+    fn retire_removes_and_frees_slot() {
+        let mut idx = HammingIndex::new(3).unwrap();
+        let a = idx.insert(0xAAAA);
+        let b = idx.insert(0xBBBB);
+        assert_eq!(idx.len(), 2);
+        assert!(idx.retire(a));
+        assert!(!idx.retire(a), "double retire must be a no-op");
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.get(a), None);
+        assert!(query(&idx, 0xAAAA).is_empty());
+        assert_eq!(query(&idx, 0xBBBB), vec![b]);
+        // The freed slot is reused by the next insert.
+        let c = idx.insert(0xCCCC);
+        assert_eq!(c, a);
+        assert_eq!(idx.get(c), Some(0xCCCC));
+        assert_eq!(query(&idx, 0xCCCC), vec![c]);
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn retire_out_of_range_is_rejected() {
+        let mut idx = HammingIndex::new(1).unwrap();
+        assert!(!idx.retire(0));
+        idx.insert(1);
+        assert!(!idx.retire(7));
+    }
+
+    #[test]
+    fn query_into_reports_probe_cost_and_reuses_buffer() {
+        let mut idx = HammingIndex::new(3).unwrap();
+        idx.insert(0);
+        idx.insert(1); // distance 1 from 0 — shares prefix buckets
+        let mut out = vec![99; 8];
+        let probed = idx.query_into(0, &mut out);
+        assert_eq!(out, vec![0, 1]);
+        // Both entries collide in several of the 4 tables; each bucket hit
+        // costs one verification, and the buffer was cleared first.
+        assert!(probed >= 2, "probed {probed}");
+        let probed = idx.query_into(!0u64, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(probed, 0);
+    }
+
+    #[test]
+    fn query_within_widens_past_index_distance() {
+        // k = 1, 2 blocks of 32 bits: tables key on single blocks.
+        let mut idx = HammingIndex::with_blocks(1, 2).unwrap();
+        let base = 0xAAAA_BBBB_CCCC_DDDDu64;
+        let id = idx.insert(base);
+        // Distance 3, all flips in the low block: the high block still
+        // collides, so widening the verification distance finds it...
+        let q = base ^ 0b111;
+        let mut out = Vec::new();
+        idx.query_within_into(q, 1, &mut out);
+        assert!(out.is_empty(), "beyond k at the default verification");
+        idx.query_within_into(q, 3, &mut out);
+        assert_eq!(out, vec![id]);
+        // ...but flips in *both* blocks leave no colliding table: missed
+        // even though the distance bound would admit it (the recall trade).
+        idx.query_within_into(base ^ ((1 << 40) | 0b11), 3, &mut out);
+        assert!(out.is_empty());
+    }
+
     proptest! {
         /// Core correctness: for any entries/query/k/blocks, the index returns
         /// exactly the linear-scan answer (no false negatives — pigeonhole —
@@ -400,7 +543,7 @@ mod tests {
         #[test]
         fn matches_linear_scan(
             entries in proptest::collection::vec(any::<u64>(), 0..64),
-            query: u64,
+            q: u64,
             k in 0u32..8,
             extra_blocks in 0u32..4,
         ) {
@@ -408,7 +551,48 @@ mod tests {
             for &fp in &entries {
                 idx.insert(fp);
             }
-            prop_assert_eq!(idx.query(query), linear_scan(&entries, query, k));
+            prop_assert_eq!(query(&idx, q), linear_scan(&entries, q, k));
+        }
+
+        /// Retiring a subset then querying matches a linear scan over the
+        /// survivors — retired slots never surface, reused slots do.
+        #[test]
+        fn retire_matches_linear_scan_over_survivors(
+            entries in proptest::collection::vec(any::<u64>(), 1..48),
+            retire_mask in proptest::collection::vec(any::<bool>(), 1..48),
+            reinserts in proptest::collection::vec(any::<u64>(), 0..16),
+            q: u64,
+            k in 0u32..6,
+        ) {
+            let mut idx = HammingIndex::new(k).unwrap();
+            let ids: Vec<u32> = entries.iter().map(|&fp| idx.insert(fp)).collect();
+            // Track liveness by slot id (slots are reused by reinserts).
+            let mut slots: Vec<Option<u64>> = entries.iter().map(|&fp| Some(fp)).collect();
+            for (i, &id) in ids.iter().enumerate() {
+                if *retire_mask.get(i).unwrap_or(&false) {
+                    prop_assert!(idx.retire(id));
+                    slots[id as usize] = None;
+                }
+            }
+            for &fp in &reinserts {
+                let id = idx.insert(fp) as usize;
+                if id == slots.len() {
+                    slots.push(Some(fp));
+                } else {
+                    prop_assert!(slots[id].is_none(), "reused a live slot");
+                    slots[id] = Some(fp);
+                }
+            }
+            let expected: Vec<u32> = slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, fp)| match fp {
+                    Some(f) if hamming_distance(*f, q) <= k => Some(i as u32),
+                    _ => None,
+                })
+                .collect();
+            prop_assert_eq!(query(&idx, q), expected);
+            prop_assert_eq!(idx.len(), slots.iter().flatten().count());
         }
 
         /// Mutating up to k bits of a stored fingerprint must always find it.
@@ -425,7 +609,7 @@ mod tests {
                 q ^= 1u64 << f;
             }
             // q is within distance <= #flips <= 4 < k of fp.
-            prop_assert!(idx.query(q).contains(&id));
+            prop_assert!(query(&idx, q).contains(&id));
         }
     }
 }

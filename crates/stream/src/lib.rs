@@ -11,7 +11,11 @@
 //! * [`window`] — [`TimeWindowBin`], the circular-buffer "post bin" of
 //!   Section 4 ("Handling Time Diversity"): only posts from the last `λt`
 //!   time units can cover a new arrival, so bins evict from the front and
-//!   scan from the back (most recent first);
+//!   scan from the back (most recent first), plus the [`WindowStore`]
+//!   contract both window backends satisfy;
+//! * [`approx`] — [`ApproxWindowBin`], the tiered bounded-memory window
+//!   (per-time-bucket retention caps + multi-probe SimHash prefix lookup)
+//!   behind the engines' approximate coverage mode;
 //! * [`time`] — millisecond timestamp helpers;
 //! * [`corpus`] — the TSV interchange format the CLI and generators use to
 //!   exchange post streams;
@@ -22,6 +26,7 @@
 //!   [`ChaosReader`] torn-write and bit-flip wrappers, [`Perturbator`]
 //!   stream corruption) for crash-safety and robustness tests.
 
+pub mod approx;
 pub mod corpus;
 pub mod fault;
 pub mod guard;
@@ -29,6 +34,7 @@ pub mod post;
 pub mod time;
 pub mod window;
 
+pub use approx::{ApproxCandidate, ApproxParams, ApproxStats, ApproxWindowBin, StoreOutcome};
 pub use corpus::{read_posts, write_posts, CorpusError};
 pub use fault::{
     ChaosReader, ChaosWriter, FaultPlan, Perturbator, ShardFault, ShardFaultKind, ShardFaultPlan,
@@ -38,7 +44,7 @@ pub use guard::{
 };
 pub use post::{AuthorId, Post, PostId, PostRecord, Timestamp};
 pub use time::{days, hours, minutes, seconds};
-pub use window::{TimeWindowBin, WindowView, SUBBIN_SPAN};
+pub use window::{TimeWindowBin, WindowStore, WindowView, SUBBIN_SPAN};
 
 /// Check that `posts` is sorted by timestamp (ties allowed). The SPSD
 /// problem's real-time semantics presuppose arrival order = time order.

@@ -26,7 +26,9 @@ use firehose::core::service::{
     read_churn_trace, FirehoseService, OverloadConfig, OverloadPolicy, RateLimitConfig,
     StrategyKind, TracedOp,
 };
-use firehose::core::{explain, restore_latest_valid, EngineConfig, RestoreError, Thresholds};
+use firehose::core::{
+    explain, restore_latest_valid, EngineConfig, MemoryMode, RestoreError, Thresholds,
+};
 use firehose::datagen::{
     generate_churn_trace, generate_subscriptions, ChurnGenConfig, SocialGenConfig,
     SubscriptionGenConfig, SyntheticSocialGraph, Workload, WorkloadConfig,
@@ -93,7 +95,8 @@ fn usage() -> String {
      build-graph  --follower FILE --out FILE [--lambda-a F] [--threads N]\n\
      cover        --graph FILE --out FILE\n\
      run          --posts FILE --graph FILE [--algorithm unibin|neighborbin|cliquebin]\n\
-     \t[--lambda-c N] [--lambda-t-mins N] [--lambda-a F] [--out FILE] [--quiet true]\n\
+     \t[--lambda-c N] [--lambda-t-mins N] [--lambda-a F] [--memory exact|approx[:BUDGET]]\n\
+     \t[--out FILE] [--quiet true]\n\
      \t[--checkpoint-dir DIR] [--checkpoint-every OFFERS] [--checkpoint-secs S]\n\
      \t[--guard strict|clamp|reorder] [--reorder-bound-ms N]\n\
      \t[--subscriptions FILE [--strategy independent|shared|parallel[:N]|sharded[:N]]\n\
@@ -101,6 +104,7 @@ fn usage() -> String {
      \t[--overload block|shed|reject[:CAPACITY]] [--rate-limit POSTS_PER_SEC]]\n\
      serve        --graph FILE --subscriptions FILE [--listen ADDR:PORT]\n\
      \t[--algorithm ...] [--lambda-c N] [--lambda-t-mins N] [--lambda-a F]\n\
+     \t[--memory exact|approx[:BUDGET]]\n\
      \t[--strategy independent|shared|parallel[:N]|sharded[:N]] [--shards N]\n\
      \t[--guard strict|clamp|reorder] [--reorder-bound-ms N]\n\
      \t[--overload block|shed|reject[:CAPACITY]] [--rate-limit POSTS_PER_SEC]\n\
@@ -118,6 +122,17 @@ fn thresholds_from(args: &Args) -> Result<Thresholds, String> {
     let lambda_t_mins: u64 = args.parse_or("lambda-t-mins", 30)?;
     let lambda_a: f64 = args.parse_or("lambda-a", 0.7)?;
     Thresholds::new(lambda_c, minutes(lambda_t_mins), lambda_a).map_err(|e| e.to_string())
+}
+
+/// Full engine configuration: thresholds plus the coverage memory mode from
+/// `--memory exact|approx[:BUDGET]` (default exact).
+fn engine_config_from(args: &Args) -> Result<EngineConfig, String> {
+    let thresholds = thresholds_from(args)?;
+    let memory: MemoryMode = match args.get("memory") {
+        Some(spec) => spec.parse().map_err(|e| format!("{e}"))?,
+        None => MemoryMode::Exact,
+    };
+    Ok(EngineConfig::builder(thresholds).memory(memory).build())
 }
 
 fn open_reader(path: &str) -> Result<BufReader<File>, String> {
@@ -374,7 +389,7 @@ fn cmd_run_multi(args: &Args) -> Result<(), String> {
     let graph_path = args.require("graph")?;
     let subs_path = args.require("subscriptions")?;
     let algorithm = algorithm_from(args)?;
-    let thresholds = thresholds_from(args)?;
+    let engine_config = engine_config_from(args)?;
     let quiet: bool = args.parse_or("quiet", false)?;
     let mut strategy: StrategyKind = args.get("strategy").unwrap_or("shared").parse()?;
     if let Some(n) = args.get("shards") {
@@ -394,7 +409,7 @@ fn cmd_run_multi(args: &Args) -> Result<(), String> {
     let mut builder = FirehoseService::builder(&graph, subscriptions)
         .strategy(strategy)
         .algorithm(algorithm)
-        .engine_config(EngineConfig::new(thresholds));
+        .engine_config(engine_config);
     if let Some(guard) = guard_config_from(args)? {
         builder = builder.guard(guard);
     }
@@ -531,7 +546,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let posts_path = args.require("posts")?;
     let graph_path = args.require("graph")?;
     let algorithm = algorithm_from(args)?;
-    let thresholds = thresholds_from(args)?;
+    let engine_config = engine_config_from(args)?;
     let quiet: bool = args.parse_or("quiet", false)?;
 
     let mut posts = corpus::read_posts(&mut open_reader(posts_path)?).map_err(|e| e.to_string())?;
@@ -563,7 +578,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let mut manager = None;
     let mut resume_at = 0usize;
     let mut engine = match args.get("checkpoint-dir") {
-        None => build_engine(algorithm, EngineConfig::new(thresholds), graph),
+        None => build_engine(algorithm, engine_config, graph),
         Some(dir) => {
             let policy = checkpoint_policy_from(args)?;
             let mut mgr = CheckpointManager::new(dir, policy).map_err(|e| e.to_string())?;
@@ -595,7 +610,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
                             s.generation, s.error
                         );
                     }
-                    build_engine(algorithm, EngineConfig::new(thresholds), graph)
+                    build_engine(algorithm, engine_config, graph)
                 }
                 Err(RestoreError::Io(e)) => {
                     return Err(format!("cannot read checkpoint directory {dir}: {e}"))
@@ -666,7 +681,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let subs_path = args.require("subscriptions")?;
     let listen = args.get("listen").unwrap_or("127.0.0.1:7878");
     let algorithm = algorithm_from(args)?;
-    let thresholds = thresholds_from(args)?;
+    let engine_config = engine_config_from(args)?;
     let mut strategy: StrategyKind = args.get("strategy").unwrap_or("shared").parse()?;
     if let Some(n) = args.get("shards") {
         strategy = StrategyKind::Sharded {
@@ -685,7 +700,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let mut builder = FirehoseService::builder(&graph, subscriptions)
         .strategy(strategy)
         .algorithm(algorithm)
-        .engine_config(EngineConfig::new(thresholds));
+        .engine_config(engine_config);
     if let Some(guard) = guard_config_from(args)? {
         builder = builder.guard(guard);
     }

@@ -1,12 +1,16 @@
 //! Backward compatibility against committed binary fixtures.
 //!
-//! `tests/fixtures/` holds snapshots and checkpoints captured from the
-//! pre-churn code (`main` before the FHSNAP04 bump): FHSNAP03 single-engine
-//! snapshots for all three kinds, and FHCKPT01 multi checkpoints whose
-//! state sections use the legacy position-ordered blob layout (no magic, no
-//! subscription table, no churn ledger). The current readers must restore
-//! all of them and continue decision-identically — a format bump must never
-//! orphan deployed checkpoint directories.
+//! `tests/fixtures/` holds snapshots and checkpoints captured from older
+//! code: FHSNAP03 single-engine snapshots for all three kinds and FHCKPT01
+//! multi checkpoints (legacy position-ordered blobs, no magic, no
+//! subscription table, no churn ledger) from `main` before the FHSNAP04
+//! bump, plus `fhsnap04_exact_*` snapshots captured from the pre-approx
+//! FHSNAP04 writer (the wire-serving release, before the memory-mode
+//! sentinel existed). The current readers must restore all of them and
+//! continue decision-identically — a format bump must never orphan deployed
+//! checkpoint directories — and the pre-approx FHSNAP04 snapshots must
+//! restore into [`MemoryMode::Exact`] with byte-identical re-capture, since
+//! exact-mode snapshots are declared byte-stable across the approx release.
 //!
 //! Fixture recipe (frozen; do NOT regenerate with current code): 6-author
 //! graph `[(0,1),(0,5),(3,4)]`, thresholds `(18, 30_000 ms, 0.5)`, posts
@@ -20,8 +24,11 @@ use std::sync::Arc;
 use firehose::core::checkpoint::restore_multi_from_slice;
 use firehose::core::engine::{AlgorithmKind, CliqueBin, Diversifier, NeighborBin, UniBin};
 use firehose::core::multi::{IndependentMulti, MultiDiversifier, SharedMulti, Subscriptions};
-use firehose::core::snapshot::{restore_cliquebin, restore_neighborbin, restore_unibin};
-use firehose::core::{EngineConfig, Thresholds};
+use firehose::core::snapshot::{
+    restore_cliquebin, restore_neighborbin, restore_unibin, snapshot_cliquebin,
+    snapshot_neighborbin, snapshot_unibin,
+};
+use firehose::core::{EngineConfig, MemoryMode, Thresholds};
 use firehose::graph::{greedy_clique_cover, UndirectedGraph};
 use firehose::stream::Post;
 
@@ -154,5 +161,97 @@ fn legacy_multi_checkpoints_restore_and_continue() {
         // Churn still works on a legacy-restored strategy.
         restored.subscribe(2, 4).unwrap();
         assert_eq!(restored.churn_stats().subscribes, 1, "{name}");
+    }
+}
+
+/// FHSNAP04 snapshots captured *before* the approximate-memory release (no
+/// memory-mode sentinel in the config header) restore into
+/// [`MemoryMode::Exact`] and continue decision-identically — the typed
+/// `MemoryMode` API must not orphan any deployed exact snapshot.
+#[test]
+fn fhsnap04_pre_approx_snapshots_restore_into_exact_mode() {
+    let stream = posts();
+    for kind in AlgorithmKind::ALL {
+        let name = format!("fhsnap04_exact_{}.bin", kind.to_string().to_lowercase());
+        let bytes = fixture(&name);
+        let mut restored: Box<dyn Diversifier> = match kind {
+            AlgorithmKind::UniBin => {
+                Box::new(restore_unibin(&mut &bytes[..], graph()).expect("restore FHSNAP04"))
+            }
+            AlgorithmKind::NeighborBin => {
+                Box::new(restore_neighborbin(&mut &bytes[..], graph()).expect("restore FHSNAP04"))
+            }
+            AlgorithmKind::CliqueBin => {
+                let cover = Arc::new(greedy_clique_cover(&graph()));
+                Box::new(
+                    restore_cliquebin(&mut &bytes[..], graph(), cover).expect("restore FHSNAP04"),
+                )
+            }
+        };
+        assert_eq!(
+            restored.config().memory,
+            MemoryMode::Exact,
+            "{name}: pre-approx snapshot must restore as exact mode"
+        );
+        assert_eq!(restored.metrics().posts_processed, 30, "{name}");
+
+        let mut fresh: Box<dyn Diversifier> = match kind {
+            AlgorithmKind::UniBin => Box::new(UniBin::new(config(), graph())),
+            AlgorithmKind::NeighborBin => Box::new(NeighborBin::new(config(), graph())),
+            AlgorithmKind::CliqueBin => Box::new(CliqueBin::new(config(), graph())),
+        };
+        for p in &stream[..30] {
+            fresh.offer(p);
+        }
+        for p in &stream[30..] {
+            assert_eq!(
+                restored.offer(p).is_emitted(),
+                fresh.offer(p).is_emitted(),
+                "{name}: decision diverged at post {}",
+                p.id
+            );
+        }
+    }
+}
+
+/// The current exact-mode writer is byte-identical to the pre-approx
+/// FHSNAP04 writer: replaying the fixture recipe through today's engines
+/// reproduces the committed fixture bytes exactly. This is what lets the
+/// memory-mode sentinel claim "exact snapshots unchanged" — any layout
+/// drift (sentinel leaking into exact mode, reordered fields) fails here.
+#[test]
+fn current_exact_writer_matches_pre_approx_fixture_bytes() {
+    let stream = posts();
+    for kind in AlgorithmKind::ALL {
+        let name = format!("fhsnap04_exact_{}.bin", kind.to_string().to_lowercase());
+        let expected = fixture(&name);
+        let mut buf = Vec::new();
+        match kind {
+            AlgorithmKind::UniBin => {
+                let mut engine = UniBin::new(config(), graph());
+                for p in &stream[..30] {
+                    engine.offer(p);
+                }
+                snapshot_unibin(&engine, &mut buf).unwrap();
+            }
+            AlgorithmKind::NeighborBin => {
+                let mut engine = NeighborBin::new(config(), graph());
+                for p in &stream[..30] {
+                    engine.offer(p);
+                }
+                snapshot_neighborbin(&engine, &mut buf).unwrap();
+            }
+            AlgorithmKind::CliqueBin => {
+                let mut engine = CliqueBin::new(config(), graph());
+                for p in &stream[..30] {
+                    engine.offer(p);
+                }
+                snapshot_cliquebin(&engine, &mut buf).unwrap();
+            }
+        }
+        assert_eq!(
+            buf, expected,
+            "{name}: exact-mode snapshot bytes drifted from the pre-approx writer"
+        );
     }
 }

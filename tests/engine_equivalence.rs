@@ -194,8 +194,9 @@ fn randomized_workloads_emit_identical_substreams() {
         let span_s = (workload.posts.last().unwrap().timestamp
             - workload.posts.first().unwrap().timestamp) as f64
             / 1_000.0;
-        let config = EngineConfig::new(thresholds)
-            .with_expected_rate(workload.len() as f64 / span_s.max(1e-9));
+        let config = EngineConfig::builder(thresholds)
+            .expected_rate(workload.len() as f64 / span_s.max(1e-9))
+            .build();
 
         let mut engines: Vec<_> = AlgorithmKind::ALL
             .into_iter()

@@ -171,8 +171,9 @@ fn manku_index_agrees_with_linear_scan_on_real_fingerprints() {
     for &fp in &fingerprints {
         index.insert(fp);
     }
+    let mut got = Vec::new();
     for &q in fingerprints.iter().take(50) {
-        let got = index.query(q);
+        index.query_into(q, &mut got);
         let expected: Vec<u32> = fingerprints
             .iter()
             .enumerate()
